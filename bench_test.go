@@ -1,0 +1,92 @@
+package pcstall_test
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (DESIGN.md §4 maps each to its modules). Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark reproduces one artifact and prints its rows on the first
+// iteration, so the benchmark log doubles as the reproduction record
+// (EXPERIMENTS.md compares these rows with the paper's). Results are
+// cached in a shared suite: later benchmarks reuse earlier runs exactly
+// the way the figures share runs in the paper.
+//
+// The platform is the scaled default (8 CUs, per-CU V/f domains); pass a
+// bigger -cus to cmd/pcstall-exp for paper-scale runs.
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"pcstall/internal/exp"
+)
+
+var (
+	benchSuiteOnce sync.Once
+	benchSuite     *exp.Suite
+)
+
+func suite() *exp.Suite {
+	benchSuiteOnce.Do(func() {
+		cfg := exp.DefaultConfig()
+		cfg.CUs = 8
+		cfg.Scale = 0.5
+		cfg.TraceEpochs = 32
+		benchSuite = exp.NewSuite(cfg)
+	})
+	return benchSuite
+}
+
+func runArtifact(b *testing.B, gen func() *exp.Table) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t := gen()
+		if i == 0 {
+			t.Fprint(os.Stdout)
+		}
+	}
+}
+
+// --- Characterization (paper §3-§4) ---
+
+func BenchmarkFigure5(b *testing.B)   { runArtifact(b, suite().Figure5) }
+func BenchmarkFigure6(b *testing.B)   { runArtifact(b, suite().Figure6) }
+func BenchmarkFigure7a(b *testing.B)  { runArtifact(b, suite().Figure7a) }
+func BenchmarkFigure7b(b *testing.B)  { runArtifact(b, suite().Figure7b) }
+func BenchmarkFigure8(b *testing.B)   { runArtifact(b, suite().Figure8) }
+func BenchmarkFigure10(b *testing.B)  { runArtifact(b, suite().Figure10) }
+func BenchmarkFigure11a(b *testing.B) { runArtifact(b, suite().Figure11a) }
+func BenchmarkFigure11b(b *testing.B) { runArtifact(b, suite().Figure11b) }
+
+// --- Tables ---
+
+func BenchmarkTable1(b *testing.B) { runArtifact(b, suite().Table1) }
+func BenchmarkTable2(b *testing.B) { runArtifact(b, suite().Table2) }
+func BenchmarkTable3(b *testing.B) { runArtifact(b, suite().Table3) }
+
+// --- Evaluation (paper §6) ---
+
+func BenchmarkFigure14(b *testing.B)  { runArtifact(b, suite().Figure14) }
+func BenchmarkFigure15(b *testing.B)  { runArtifact(b, suite().Figure15) }
+func BenchmarkFigure16(b *testing.B)  { runArtifact(b, suite().Figure16) }
+func BenchmarkFigure1a(b *testing.B)  { runArtifact(b, suite().Figure1a) }
+func BenchmarkFigure1b(b *testing.B)  { runArtifact(b, suite().Figure1b) }
+func BenchmarkFigure17(b *testing.B)  { runArtifact(b, suite().Figure17) }
+func BenchmarkFigure18a(b *testing.B) { runArtifact(b, suite().Figure18a) }
+func BenchmarkFigure18b(b *testing.B) { runArtifact(b, suite().Figure18b) }
+
+// --- Ablations (DESIGN.md §4) ---
+
+func BenchmarkAblationTableSize(b *testing.B)     { runArtifact(b, suite().AblTableSize) }
+func BenchmarkAblationOffsetBits(b *testing.B)    { runArtifact(b, suite().AblOffsetBits) }
+func BenchmarkAblationTableScope(b *testing.B)    { runArtifact(b, suite().AblTableScope) }
+func BenchmarkAblationAgeCoef(b *testing.B)       { runArtifact(b, suite().AblAgeCoef) }
+func BenchmarkAblationAlphaFallback(b *testing.B) { runArtifact(b, suite().AblAlphaFallback) }
+func BenchmarkAblationOracleSamples(b *testing.B) { runArtifact(b, suite().AblOracleSamples) }
+func BenchmarkAblationEstimators(b *testing.B)    { runArtifact(b, suite().AblEstimators) }
+func BenchmarkAblationEpochMode(b *testing.B)     { runArtifact(b, suite().AblEpochMode) }
+
+// --- Extensions (related-work predictor families, §2.4) ---
+
+func BenchmarkExtensionFamilies(b *testing.B) { runArtifact(b, suite().Extensions) }

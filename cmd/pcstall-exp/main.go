@@ -1,0 +1,102 @@
+// Command pcstall-exp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	pcstall-exp [flags] [id ...]
+//
+// Each id is a figure or table identifier: 1a 1b 5 6 7a 7b 8 10 11a 11b
+// t1 t2 t3 14 15 16 17 18a 18b, or "all". With no ids it prints the list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pcstall/internal/clock"
+	"pcstall/internal/exp"
+)
+
+func main() {
+	cfg := exp.DefaultConfig()
+	cus := flag.Int("cus", cfg.CUs, "number of compute units (paper: 64)")
+	scale := flag.Float64("scale", cfg.Scale, "workload duration scale")
+	seed := flag.Uint64("seed", cfg.Seed, "random seed")
+	apps := flag.String("apps", "", "comma-separated workload subset (default: all)")
+	traceEpochs := flag.Int("trace-epochs", cfg.TraceEpochs, "epochs sampled per characterization trace")
+	maxMs := flag.Int64("max-ms", int64(cfg.MaxTime/clock.Millisecond), "per-run simulated time cap (ms)")
+	timing := flag.Bool("time", false, "print wall-clock time per experiment")
+	flag.Parse()
+
+	cfg.CUs = *cus
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	cfg.TraceEpochs = *traceEpochs
+	cfg.MaxTime = clock.Time(*maxMs) * clock.Millisecond
+	if *apps != "" {
+		cfg.Apps = strings.Split(*apps, ",")
+	}
+	s := exp.NewSuite(cfg)
+
+	type entry struct {
+		id  string
+		run func() *exp.Table
+	}
+	entries := []entry{
+		{"1a", s.Figure1a}, {"1b", s.Figure1b},
+		{"5", s.Figure5}, {"6", s.Figure6},
+		{"7a", s.Figure7a}, {"7b", s.Figure7b},
+		{"8", s.Figure8}, {"10", s.Figure10},
+		{"11a", s.Figure11a}, {"11b", s.Figure11b},
+		{"t1", s.Table1}, {"t2", s.Table2}, {"t3", s.Table3},
+		{"14", s.Figure14}, {"15", s.Figure15}, {"16", s.Figure16},
+		{"17", s.Figure17}, {"18a", s.Figure18a}, {"18b", s.Figure18b},
+		{"a1", s.AblTableSize}, {"a2", s.AblOffsetBits},
+		{"a3", s.AblTableScope}, {"a4", s.AblAgeCoef},
+		{"a5", s.AblAlphaFallback}, {"a6", s.AblOracleSamples},
+		{"a7", s.AblEstimators},
+		{"a8", s.AblEpochMode},
+		{"e1", s.Extensions},
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		fmt.Println("pcstall-exp: specify experiment ids, 'all' (figures+tables), or 'ablations'. Available:")
+		for _, e := range entries {
+			fmt.Printf("  %s\n", e.id)
+		}
+		os.Exit(0)
+	}
+	want := map[string]bool{}
+	all, abl := false, false
+	for _, id := range ids {
+		switch id {
+		case "all":
+			all = true
+		case "ablations":
+			abl = true
+		}
+		want[strings.ToLower(id)] = true
+	}
+	ran := 0
+	for _, e := range entries {
+		isAbl := strings.HasPrefix(e.id, "a") && e.id != "all"
+		include := want[e.id] || (all && !isAbl) || (abl && isAbl)
+		if !include {
+			continue
+		}
+		start := time.Now()
+		t := e.run()
+		t.Fprint(os.Stdout)
+		if *timing {
+			fmt.Fprintf(os.Stderr, "[%s took %v]\n", e.id, time.Since(start).Round(time.Millisecond))
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "pcstall-exp: no experiment matched %v\n", ids)
+		os.Exit(1)
+	}
+}

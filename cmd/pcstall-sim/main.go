@@ -1,0 +1,113 @@
+// Command pcstall-sim runs one workload under one DVFS design and prints
+// the run summary: completion time, energy, EDP/ED²P, prediction accuracy
+// and frequency residency.
+//
+// Examples:
+//
+//	pcstall-sim -app comd -design PCSTALL
+//	pcstall-sim -app dgemm -design ORACLE -epoch-us 10 -objective EDP
+//	pcstall-sim -app xsbench -design STATIC-1300 -cus 16 -cus-per-domain 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pcstall"
+)
+
+func main() {
+	app := flag.String("app", "comd", "workload name (see pcstall-workloads)")
+	design := flag.String("design", "PCSTALL", "DVFS design (TABLE III name or STATIC-<MHz>)")
+	cus := flag.Int("cus", 8, "number of compute units")
+	cusPerDomain := flag.Int("cus-per-domain", 1, "CUs per V/f domain")
+	epochUs := flag.Int64("epoch-us", 1, "DVFS epoch in microseconds")
+	objective := flag.String("objective", "ED2P", "objective: EDP, ED2P, or PERF<pct> (e.g. PERF5)")
+	scale := flag.Float64("scale", 1.0, "workload duration scale")
+	seed := flag.Uint64("seed", 1, "random seed")
+	verbose := flag.Bool("v", false, "print per-epoch records")
+	traceOut := flag.String("trace", "", "write a per-epoch trace to this file (.jsonl or .csv)")
+	flag.Parse()
+
+	cfg := pcstall.DefaultConfig(*cus)
+	cfg.GPU.Domains.CUsPerDomain = *cusPerDomain
+	cfg.GPU.Seed = *seed
+	cfg.Epoch = pcstall.Time(*epochUs) * pcstall.Microsecond
+	cfg.Scale = *scale
+	cfg.Record = *verbose
+
+	switch {
+	case *objective == "EDP":
+		cfg.Objective = pcstall.EDP
+	case *objective == "ED2P":
+		cfg.Objective = pcstall.ED2P
+	case strings.HasPrefix(*objective, "PERF"):
+		var pct float64
+		if _, err := fmt.Sscanf(*objective, "PERF%f", &pct); err != nil {
+			fatalf("bad objective %q: %v", *objective, err)
+		}
+		cfg.Objective = pcstall.FixedPerf(pct / 100)
+	default:
+		fatalf("unknown objective %q (EDP, ED2P, PERF<pct>)", *objective)
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		if strings.HasSuffix(*traceOut, ".csv") {
+			cfg.Trace = pcstall.NewCSVTrace(f)
+		} else {
+			cfg.Trace = pcstall.NewJSONLTrace(f)
+		}
+	}
+
+	res, err := pcstall.RunApp(*app, *design, cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("app        %s\n", *app)
+	fmt.Printf("design     %s (objective %s)\n", res.Policy, res.Objective)
+	fmt.Printf("epochs     %d x %dus\n", res.Epochs, *epochUs)
+	fmt.Printf("time       %.2f us%s\n", res.Totals.TimeS*1e6, truncNote(res.Truncated))
+	fmt.Printf("energy     %.2f uJ\n", res.Totals.EnergyJ*1e6)
+	fmt.Printf("EDP        %.4g J*s\n", res.Totals.EDP())
+	fmt.Printf("ED2P       %.4g J*s^2\n", res.Totals.ED2P())
+	fmt.Printf("committed  %d instructions\n", res.Totals.Committed)
+	if res.AccuracyN > 0 {
+		fmt.Printf("accuracy   %.3f over %d domain-epochs\n", res.Accuracy, res.AccuracyN)
+	}
+	fmt.Printf("transitions %d\n", res.Transitions)
+	fmt.Printf("residency  ")
+	grid := cfg.GPU.Grid
+	for k, share := range res.Residency {
+		if share > 0.001 {
+			fmt.Printf("%v:%.1f%% ", grid.State(k), share*100)
+		}
+	}
+	fmt.Println()
+
+	if *verbose {
+		for i, r := range res.Records {
+			fmt.Printf("epoch %4d  d0 f=%v pred=%.0f actual=%.0f energy=%.3guJ\n",
+				i, r.Freq[0], r.PredI[0], r.ActualI[0], r.EnergyJ*1e6)
+		}
+	}
+}
+
+func truncNote(t bool) string {
+	if t {
+		return " (TRUNCATED at time cap)"
+	}
+	return ""
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pcstall-sim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Command pcstall-workloads inspects the synthetic workload suite: the
+// TABLE II inventory, per-kernel static instruction mixes, and (with
+// -profile) a quick dynamic profile of each app on a small GPU.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pcstall/internal/clock"
+	"pcstall/internal/sim"
+	"pcstall/internal/workload"
+)
+
+func main() {
+	cus := flag.Int("cus", 8, "GPU size used for grid sizing")
+	scale := flag.Float64("scale", 1.0, "workload duration scale")
+	kernels := flag.Bool("kernels", false, "print per-kernel static mixes")
+	profile := flag.Bool("profile", false, "run each app briefly and print dynamic stats")
+	flag.Parse()
+
+	gen := workload.DefaultGenConfig(*cus)
+	gen.Scale = *scale
+
+	fmt.Printf("%-8s %-4s %7s %8s", "app", "cls", "kernels", "launches")
+	if *profile {
+		fmt.Printf(" %10s %12s %8s %7s", "sim time", "instructions", "IPC/CU", "L2 hit")
+	}
+	fmt.Println()
+
+	for _, name := range workload.Names() {
+		app, err := workload.Build(name, gen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcstall-workloads: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-8s %-4s %7d %8d", app.Name, app.Class, app.UniqueKernels(), len(app.Launches))
+		if *profile {
+			cfg := sim.DefaultConfig(*cus)
+			g, err := sim.New(cfg, app.Kernels, app.Launches)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pcstall-workloads: %v\n", err)
+				os.Exit(1)
+			}
+			g.RunUntil(5 * clock.Millisecond)
+			us := float64(g.Now) / 1e6
+			cycles := us * float64(cfg.InitFreq) // MHz * us = cycles
+			ipc := float64(g.TotalCommitted) / cycles / float64(*cus)
+			fmt.Printf(" %8.1fus %12d %8.3f %6.1f%%",
+				us, g.TotalCommitted, ipc, g.Msys.L2HitRate()*100)
+			if !g.Finished {
+				fmt.Printf(" (capped)")
+			}
+		}
+		fmt.Println()
+		if *kernels {
+			for _, k := range app.Kernels {
+				st := k.Program.Stats()
+				fmt.Printf("    %-18s %4d instrs: %3d compute %3d loads %3d stores %2d waits %2d barriers %2d branches (depth %d) grid %dx%d\n",
+					k.Program.Name, st.Total, st.Compute, st.Loads, st.Stores,
+					st.WaitCnts, st.Barriers, st.Branches, st.LoopDepth,
+					k.Workgroups, k.WavesPerWG)
+			}
+		}
+	}
+}

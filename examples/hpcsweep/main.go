@@ -1,0 +1,71 @@
+// HPC epoch sweep: the paper's motivating observation (Fig. 1a) is that
+// shrinking DVFS epochs from hundreds of microseconds to 1µs unlocks
+// substantially more energy efficiency — if the predictor is good enough.
+// This example sweeps epoch durations over a mix of ECP-proxy-style HPC
+// workloads and prints how reactive (CRISP) and predictive (PCSTALL)
+// designs track the ORACLE as epochs shrink.
+//
+//	go run ./examples/hpcsweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"pcstall"
+)
+
+func main() {
+	apps := []string{"comd", "hacc", "minife", "xsbench"}
+	designs := []string{"CRISP", "PCSTALL", "ORACLE"}
+	epochs := []pcstall.Time{
+		1 * pcstall.Microsecond,
+		10 * pcstall.Microsecond,
+		50 * pcstall.Microsecond,
+	}
+
+	fmt.Println("geomean ED2P vs static 1.7GHz across", apps)
+	fmt.Printf("%-8s", "epoch")
+	for _, d := range designs {
+		fmt.Printf(" %9s", d)
+	}
+	fmt.Println()
+
+	for _, e := range epochs {
+		fmt.Printf("%-8s", fmt.Sprintf("%dus", e/pcstall.Microsecond))
+		for _, d := range designs {
+			g, err := geomeanNormED2P(apps, d, e)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %9.3f", g)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nlower is better; the predictive design should retain more of the")
+	fmt.Println("oracle's advantage at fine epochs than the reactive one (paper Fig. 1a).")
+}
+
+func geomeanNormED2P(apps []string, design string, epoch pcstall.Time) (float64, error) {
+	cfg := pcstall.DefaultConfig(8)
+	cfg.Epoch = epoch
+	// Longer epochs need longer apps to have enough decision points.
+	cfg.Scale = 1.0 * math.Max(1, float64(epoch/pcstall.Microsecond)/8)
+
+	logSum, n := 0.0, 0
+	for _, app := range apps {
+		base, err := pcstall.RunApp(app, "STATIC-1700", cfg)
+		if err != nil {
+			return 0, err
+		}
+		r, err := pcstall.RunApp(app, design, cfg)
+		if err != nil {
+			return 0, err
+		}
+		v := r.Totals.ED2P() / base.Totals.ED2P()
+		logSum += math.Log(v)
+		n++
+	}
+	return math.Exp(logSum / float64(n)), nil
+}

@@ -1,0 +1,65 @@
+// ML serving under an SLA: the paper's §6.4 scenario — save energy while
+// guaranteeing performance stays within a degradation limit. This example
+// runs the DeepBench/DNNMark-style MI kernels under the fixed-performance
+// objective at 5% and 10% limits and reports energy saved versus running
+// everything at the top frequency.
+//
+//	go run ./examples/mlserving
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pcstall"
+)
+
+func main() {
+	apps := []string{"dgemm", "BwdBN", "BwdPool", "BwdSoft", "FwdBN", "FwdPool", "FwdSoft"}
+	designs := []string{"CRISP", "PCSTALL", "ORACLE"}
+	limits := []float64{0.05, 0.10}
+
+	for _, limit := range limits {
+		fmt.Printf("== energy savings vs static 2.2GHz, <=%.0f%% slowdown allowed ==\n", limit*100)
+		fmt.Printf("%-8s", "app")
+		for _, d := range designs {
+			fmt.Printf(" %9s", d)
+		}
+		fmt.Printf(" %10s\n", "slowdown*")
+
+		totals := make(map[string]float64)
+		var baseSum float64
+		for _, app := range apps {
+			cfg := pcstall.DefaultConfig(8)
+			cfg.Objective = pcstall.FixedPerf(limit)
+
+			base, err := pcstall.RunApp(app, "STATIC-2200", cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			baseSum += base.Totals.EnergyJ
+
+			fmt.Printf("%-8s", app)
+			var pcstallTime float64
+			for _, d := range designs {
+				r, err := pcstall.RunApp(app, d, cfg)
+				if err != nil {
+					log.Fatal(err)
+				}
+				saving := 1 - r.Totals.EnergyJ/base.Totals.EnergyJ
+				totals[d] += r.Totals.EnergyJ
+				if d == "PCSTALL" {
+					pcstallTime = r.Totals.TimeS / base.Totals.TimeS
+				}
+				fmt.Printf(" %8.1f%%", saving*100)
+			}
+			fmt.Printf(" %9.3fx\n", pcstallTime)
+		}
+		fmt.Printf("%-8s", "TOTAL")
+		for _, d := range designs {
+			fmt.Printf(" %8.1f%%", (1-totals[d]/baseSum)*100)
+		}
+		fmt.Println("\n  *slowdown = PCSTALL completion time / static 2.2GHz time")
+		fmt.Println()
+	}
+}

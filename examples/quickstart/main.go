@@ -1,0 +1,51 @@
+// Quickstart: run one workload under the paper's PCSTALL mechanism and
+// compare it against static operation and the CRISP reactive baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pcstall"
+)
+
+func main() {
+	// An 8-CU GPU with one V/f domain per CU, 1µs DVFS epochs, ED²P
+	// objective — the paper's fine-grain configuration, scaled down.
+	cfg := pcstall.DefaultConfig(8)
+	cfg.Epoch = 1 * pcstall.Microsecond
+
+	const app = "comd"
+	designs := []string{"STATIC-1700", "CRISP", "PCSTALL", "ORACLE"}
+	results, err := pcstall.Compare(app, designs, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := results["STATIC-1700"].Totals.ED2P()
+	fmt.Printf("workload %s on 8 CUs, 1us epochs, ED2P objective\n\n", app)
+	fmt.Printf("%-12s %10s %10s %8s %9s\n", "design", "time(us)", "energy(uJ)", "ED2P", "accuracy")
+	for _, d := range designs {
+		r := results[d]
+		acc := "-"
+		if r.AccuracyN > 0 {
+			acc = fmt.Sprintf("%.3f", r.Accuracy)
+		}
+		fmt.Printf("%-12s %10.1f %10.1f %8.3f %9s\n",
+			d, r.Totals.TimeS*1e6, r.Totals.EnergyJ*1e6, r.Totals.ED2P()/base, acc)
+	}
+	fmt.Println("\nED2P is normalized to the static 1.7GHz baseline (lower is better).")
+
+	// Where did PCSTALL spend its time? (the paper's Fig. 16 view)
+	r := results["PCSTALL"]
+	fmt.Printf("\nPCSTALL frequency residency:\n")
+	grid := cfg.GPU.Grid
+	for k, share := range r.Residency {
+		if share > 0.005 {
+			fmt.Printf("  %v %5.1f%%\n", grid.State(k), share*100)
+		}
+	}
+	fmt.Printf("V/f transitions: %d\n", r.Transitions)
+}

@@ -1,0 +1,3 @@
+module pcstall
+
+go 1.22

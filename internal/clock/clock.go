@@ -1,0 +1,200 @@
+// Package clock models frequencies, voltage/frequency domains, and DVFS
+// transitions.
+//
+// Simulated time is int64 picoseconds. A domain at f MHz ticks at
+//
+//	anchor + k*1e6/f   (integer division, k = cycles since anchor)
+//
+// computed fresh for each k, so tick times are exact rational floors with
+// no accumulated drift, and two runs of the same schedule produce
+// identical tick sequences — a requirement for the snapshot/rollback
+// oracle in internal/oracle.
+package clock
+
+import "fmt"
+
+// Time is simulated time in picoseconds.
+type Time = int64
+
+// Common durations in picoseconds.
+const (
+	Nanosecond  Time = 1_000
+	Microsecond Time = 1_000_000
+	Millisecond Time = 1_000_000_000
+)
+
+// Freq is a clock frequency in MHz.
+type Freq int32
+
+// GHz returns the frequency in GHz for display.
+func (f Freq) GHz() float64 { return float64(f) / 1000 }
+
+// String formats the frequency as "1.7GHz".
+func (f Freq) String() string { return fmt.Sprintf("%.1fGHz", f.GHz()) }
+
+// PeriodPs returns the (floor) clock period in picoseconds.
+func (f Freq) PeriodPs() Time { return 1_000_000 / Time(f) }
+
+// Grid is the discrete set of DVFS-reachable frequencies. The paper's
+// configuration is 1.3-2.2 GHz in 100 MHz steps (10 V/f states), with the
+// range itself set by a higher-level power manager (§5.4).
+type Grid struct {
+	Min, Max, Step Freq
+}
+
+// DefaultGrid is the paper's 10-state grid.
+func DefaultGrid() Grid { return Grid{Min: 1300, Max: 2200, Step: 100} }
+
+// Validate checks that the grid is well-formed.
+func (g Grid) Validate() error {
+	if g.Min <= 0 || g.Max < g.Min || g.Step <= 0 {
+		return fmt.Errorf("clock: invalid grid %+v", g)
+	}
+	if (g.Max-g.Min)%g.Step != 0 {
+		return fmt.Errorf("clock: grid %+v: range not a multiple of step", g)
+	}
+	return nil
+}
+
+// Count returns the number of V/f states.
+func (g Grid) Count() int { return int((g.Max-g.Min)/g.Step) + 1 }
+
+// States returns all frequencies, ascending.
+func (g Grid) States() []Freq {
+	out := make([]Freq, 0, g.Count())
+	for f := g.Min; f <= g.Max; f += g.Step {
+		out = append(out, f)
+	}
+	return out
+}
+
+// State returns the i-th frequency (0 = Min).
+func (g Grid) State(i int) Freq { return g.Min + Freq(i)*g.Step }
+
+// Index returns the state index of f, or -1 if f is not on the grid.
+func (g Grid) Index(f Freq) int {
+	if f < g.Min || f > g.Max || (f-g.Min)%g.Step != 0 {
+		return -1
+	}
+	return int((f - g.Min) / g.Step)
+}
+
+// Clamp snaps f onto the nearest grid state.
+func (g Grid) Clamp(f Freq) Freq {
+	if f < g.Min {
+		return g.Min
+	}
+	if f > g.Max {
+		return g.Max
+	}
+	r := (f - g.Min) % g.Step
+	f -= r
+	if r*2 >= g.Step {
+		f += g.Step
+	}
+	return f
+}
+
+// Mid returns the grid's middle state (the paper's 1.7 GHz static
+// baseline on the default grid, rounding down for even counts).
+func (g Grid) Mid() Freq { return g.State((g.Count() - 1) / 2) }
+
+// TransitionLatency returns the V/f transition latency the paper assumes
+// for a given epoch duration (§5): 4ns at 1µs epochs, 40ns at 10µs, 200ns
+// at 50µs, 400ns at 100µs; interpolated as 0.4% of the epoch in between.
+func TransitionLatency(epoch Time) Time {
+	lat := epoch / 250 // 0.4%
+	if lat < 1*Nanosecond {
+		lat = 1 * Nanosecond
+	}
+	if lat > 400*Nanosecond {
+		lat = 400 * Nanosecond
+	}
+	return lat
+}
+
+// Domain is one voltage/frequency island: a group of CUs (plus their L1s)
+// sharing a frequency. Domain is plain data; copying the struct snapshots
+// it exactly.
+type Domain struct {
+	ID   int32
+	Freq Freq
+	// Anchor is the time the current frequency took effect; cycle k of
+	// this regime ticks at Anchor + k*1e6/Freq.
+	Anchor Time
+	// StallUntil is the end of the in-progress DVFS transition; the
+	// domain must not execute before it.
+	StallUntil Time
+	// Transitions counts frequency changes (for transition energy).
+	Transitions int64
+}
+
+// NewDomain returns a domain running at f from time 0.
+func NewDomain(id int32, f Freq) Domain {
+	return Domain{ID: id, Freq: f}
+}
+
+// TickAt returns the time of cycle k since the anchor.
+func (d *Domain) TickAt(k int64) Time {
+	return d.Anchor + k*1_000_000/Time(d.Freq)
+}
+
+// NextTickAfter returns the earliest domain tick strictly after t (and not
+// before the transition stall ends).
+func (d *Domain) NextTickAfter(t Time) Time {
+	if t < d.StallUntil {
+		t = d.StallUntil
+	}
+	if t < d.Anchor {
+		return d.Anchor
+	}
+	// Smallest k with Anchor + k*1e6/F > t  =>  k = floor((t-Anchor)*F/1e6) + 1.
+	k := (t-d.Anchor)*Time(d.Freq)/1_000_000 + 1
+	tick := d.TickAt(k)
+	for tick <= t { // guard against floor-division edge cases
+		k++
+		tick = d.TickAt(k)
+	}
+	return tick
+}
+
+// SetFreq requests frequency f at time now. If f differs from the current
+// frequency the domain stalls for transition and re-anchors its cycle
+// grid at the stall end. Setting the same frequency is free.
+func (d *Domain) SetFreq(f Freq, now, transition Time) {
+	if f == d.Freq {
+		return
+	}
+	d.Freq = f
+	d.Anchor = now + transition
+	d.StallUntil = now + transition
+	d.Transitions++
+}
+
+// Map describes how CUs are grouped into V/f domains.
+type Map struct {
+	NumCUs       int
+	CUsPerDomain int
+}
+
+// Validate checks the grouping divides the GPU evenly.
+func (m Map) Validate() error {
+	if m.NumCUs < 1 || m.CUsPerDomain < 1 {
+		return fmt.Errorf("clock: invalid domain map %+v", m)
+	}
+	if m.NumCUs%m.CUsPerDomain != 0 {
+		return fmt.Errorf("clock: %d CUs not divisible into domains of %d", m.NumCUs, m.CUsPerDomain)
+	}
+	return nil
+}
+
+// NumDomains returns the number of V/f domains.
+func (m Map) NumDomains() int { return m.NumCUs / m.CUsPerDomain }
+
+// DomainOf returns the domain index of a CU.
+func (m Map) DomainOf(cu int) int { return cu / m.CUsPerDomain }
+
+// CUs returns the CU index range [lo, hi) of a domain.
+func (m Map) CUs(domain int) (lo, hi int) {
+	return domain * m.CUsPerDomain, (domain + 1) * m.CUsPerDomain
+}

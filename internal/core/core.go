@@ -1,0 +1,191 @@
+// Package core assembles the paper's primary contribution: the PCSTALL
+// fine-grain DVFS mechanism (wavefront-level STALL estimation feeding a
+// PC-indexed sensitivity predictor, §4.4) and the registry of all
+// evaluated DVFS designs (TABLE III), plus the hardware storage
+// accounting of TABLE I.
+package core
+
+import (
+	"fmt"
+
+	"pcstall/internal/clock"
+	"pcstall/internal/dvfs"
+	"pcstall/internal/estimate"
+	"pcstall/internal/predict"
+)
+
+// Design describes one evaluated DVFS design (a TABLE III row).
+type Design struct {
+	Name string
+	// Estimation and Control describe the design for reports.
+	Estimation string
+	Control    string
+	// Practical designs use only hardware counters; impractical ones
+	// (ACC*, ORACLE) consume fork-pre-execute sampling.
+	Practical bool
+	// New constructs a fresh policy instance for one run.
+	New func() dvfs.Policy
+}
+
+// Designs returns TABLE III in paper order: the four reactive baselines,
+// the accurate-estimate reactive bound, PCSTALL, the accurate PC bound,
+// and the oracle.
+func Designs() []Design {
+	return []Design{
+		{
+			Name: "STALL", Estimation: "Stall Model", Control: "Reactive", Practical: true,
+			New: func() dvfs.Policy { return &dvfs.Reactive{Model: estimate.Stall{}} },
+		},
+		{
+			Name: "LEAD", Estimation: "Leading Load", Control: "Reactive", Practical: true,
+			New: func() dvfs.Policy { return &dvfs.Reactive{Model: estimate.Lead{}} },
+		},
+		{
+			Name: "CRIT", Estimation: "Critical Path", Control: "Reactive", Practical: true,
+			New: func() dvfs.Policy { return &dvfs.Reactive{Model: estimate.Crit{}} },
+		},
+		{
+			Name: "CRISP", Estimation: "CRISP GPU Model", Control: "Reactive", Practical: true,
+			New: func() dvfs.Policy { return &dvfs.Reactive{Model: estimate.Crisp{}} },
+		},
+		{
+			Name: "ACCREAC", Estimation: "Accurate Estimate", Control: "Reactive", Practical: false,
+			New: func() dvfs.Policy { return &dvfs.AccReactive{} },
+		},
+		{
+			Name: "PCSTALL", Estimation: "Stall - Wavefront", Control: "PC-Based", Practical: true,
+			New: func() dvfs.Policy { return dvfs.NewPCStall() },
+		},
+		{
+			Name: "ACCPC", Estimation: "Accurate Estimate", Control: "PC-Based", Practical: false,
+			New: func() dvfs.Policy { return dvfs.NewAccPC() },
+		},
+		{
+			Name: "ORACLE", Estimation: "Accurate Estimate", Control: "Oracle", Practical: false,
+			New: func() dvfs.Policy { return &dvfs.Oracle{} },
+		},
+	}
+}
+
+// ExtensionDesigns returns the predictor families this reproduction
+// implements beyond TABLE III, drawn from the paper's related-work
+// survey (§2.4): a global phase-history-table predictor (HIST, Isci et
+// al.) and a tabular Q-learning governor (QLEARN, Bai et al.).
+func ExtensionDesigns() []Design {
+	return []Design{
+		{
+			Name: "HIST", Estimation: "CRISP GPU Model", Control: "Phase History Table", Practical: true,
+			New: func() dvfs.Policy { return dvfs.NewHistory() },
+		},
+		{
+			Name: "QLEARN", Estimation: "(fused)", Control: "Q-Learning", Practical: true,
+			New: func() dvfs.Policy { return dvfs.NewQLearn() },
+		},
+	}
+}
+
+// DesignByName finds a design (case-sensitive TABLE III name or extension
+// name). Static baselines are synthesized from names like "STATIC-1700".
+func DesignByName(name string) (Design, error) {
+	for _, d := range Designs() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	for _, d := range ExtensionDesigns() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	var mhz int
+	if n, err := fmt.Sscanf(name, "STATIC-%d", &mhz); n == 1 && err == nil {
+		f := clock.Freq(mhz)
+		return Design{
+			Name: name, Estimation: "-", Control: "Static", Practical: true,
+			New: func() dvfs.Policy { return &dvfs.Static{F: f} },
+		}, nil
+	}
+	return Design{}, fmt.Errorf("core: unknown design %q", name)
+}
+
+// StaticDesign returns the static baseline at f.
+func StaticDesign(f clock.Freq) Design {
+	return Design{
+		Name: "STATIC-" + f.String(), Estimation: "-", Control: "Static", Practical: true,
+		New: func() dvfs.Policy { return &dvfs.Static{F: f} },
+	}
+}
+
+// StorageRow is one TABLE I row: the per-instance hardware storage a
+// design's estimator/predictor requires.
+type StorageRow struct {
+	Design string
+	// Components itemizes the storage.
+	Components []StorageItem
+	TotalBytes int
+}
+
+// StorageItem is one storage component.
+type StorageItem struct {
+	Name  string
+	Count int
+	Bytes int
+}
+
+// StorageTable computes TABLE I for a given PC-table configuration and CU
+// shape (wavesPerCU slots, mshrs outstanding misses tracked by the
+// critical-path models).
+func StorageTable(pc predict.PCTableConfig, wavesPerCU, mshrs int) []StorageRow {
+	rows := []StorageRow{
+		{
+			Design: "PCSTALL",
+			Components: []StorageItem{
+				// One packed sensitivity byte per entry, as TABLE I.
+				{Name: "Sensitivity Table", Count: pc.Entries, Bytes: pc.Entries},
+				// Starting-PC index bits, one register per wavefront.
+				{Name: "Starting PC register (index bits)", Count: wavesPerCU, Bytes: wavesPerCU},
+				// One 32-bit stall-time accumulator per wavefront.
+				{Name: "Stall Time Registers", Count: wavesPerCU, Bytes: 4 * wavesPerCU},
+			},
+		},
+		{
+			Design: "CRISP",
+			Components: []StorageItem{
+				// Critical-path timestamps for outstanding loads.
+				{Name: "Outstanding-load timestamps", Count: mshrs, Bytes: 8 * mshrs},
+				// CRISP additionally models store stalls, which needs
+				// timestamps for the outstanding stores.
+				{Name: "Outstanding-store timestamps", Count: 16, Bytes: 8 * 16},
+				{Name: "Store stall / overlap counters", Count: 3, Bytes: 24},
+				{Name: "Critical path accumulator", Count: 1, Bytes: 8},
+			},
+		},
+		{
+			Design: "CRIT",
+			Components: []StorageItem{
+				{Name: "Outstanding-load timestamps", Count: mshrs, Bytes: 8 * mshrs},
+				{Name: "Critical path accumulator", Count: 1, Bytes: 8},
+			},
+		},
+		{
+			Design: "LEAD",
+			Components: []StorageItem{
+				{Name: "Leading load register + accumulator", Count: 2, Bytes: 12},
+			},
+		},
+		{
+			Design: "STALL",
+			Components: []StorageItem{
+				{Name: "Stall accumulator", Count: 1, Bytes: 4},
+			},
+		},
+	}
+	for i := range rows {
+		total := 0
+		for _, c := range rows[i].Components {
+			total += c.Bytes
+		}
+		rows[i].TotalBytes = total
+	}
+	return rows
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"pcstall/internal/predict"
+)
+
+func TestDesignsMatchTable3(t *testing.T) {
+	ds := Designs()
+	want := []struct {
+		name      string
+		control   string
+		practical bool
+	}{
+		{"STALL", "Reactive", true},
+		{"LEAD", "Reactive", true},
+		{"CRIT", "Reactive", true},
+		{"CRISP", "Reactive", true},
+		{"ACCREAC", "Reactive", false},
+		{"PCSTALL", "PC-Based", true},
+		{"ACCPC", "PC-Based", false},
+		{"ORACLE", "Oracle", false},
+	}
+	if len(ds) != len(want) {
+		t.Fatalf("%d designs, want %d", len(ds), len(want))
+	}
+	for i, w := range want {
+		d := ds[i]
+		if d.Name != w.name || d.Control != w.control || d.Practical != w.practical {
+			t.Errorf("design %d = {%s %s %v}, want {%s %s %v}",
+				i, d.Name, d.Control, d.Practical, w.name, w.control, w.practical)
+		}
+		p := d.New()
+		if p == nil || p.Name() != d.Name {
+			t.Errorf("design %s factory produced %v", d.Name, p)
+		}
+		// Stateful policies must not share instances. (Stateless
+		// zero-size policies like ORACLE legitimately alias: Go gives
+		// all zero-size allocations the same address.)
+		if d.Name == "PCSTALL" || d.Name == "ACCPC" {
+			if d.New() == p {
+				t.Errorf("design %s factory returned a shared instance", d.Name)
+			}
+		}
+	}
+}
+
+func TestDesignByName(t *testing.T) {
+	d, err := DesignByName("PCSTALL")
+	if err != nil || d.Name != "PCSTALL" {
+		t.Fatalf("PCSTALL lookup: %v %v", d, err)
+	}
+	if _, err := DesignByName("nope"); err == nil {
+		t.Fatal("unknown design accepted")
+	}
+	s, err := DesignByName("STATIC-1500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Control != "Static" || s.New().Name() != "STATIC-1.5GHz" {
+		t.Fatalf("static parsing: %v -> %s", s, s.New().Name())
+	}
+}
+
+func TestStaticDesign(t *testing.T) {
+	d := StaticDesign(2200)
+	if d.New().Name() != "STATIC-2.2GHz" {
+		t.Fatalf("name %s", d.New().Name())
+	}
+}
+
+func TestStorageTable(t *testing.T) {
+	rows := StorageTable(predict.DefaultPCTable(), 40, 32)
+	byName := map[string]StorageRow{}
+	for _, r := range rows {
+		byName[r.Design] = r
+		sum := 0
+		for _, c := range r.Components {
+			sum += c.Bytes
+		}
+		if sum != r.TotalBytes {
+			t.Errorf("%s components sum %d != total %d", r.Design, sum, r.TotalBytes)
+		}
+	}
+	// TABLE I anchors: PCSTALL = 328 bytes (128 table + 40 PC + 160
+	// stall registers); STALL = 4 bytes; PCSTALL < CRISP.
+	if byName["PCSTALL"].TotalBytes != 328 {
+		t.Errorf("PCSTALL storage %d, want 328", byName["PCSTALL"].TotalBytes)
+	}
+	if byName["STALL"].TotalBytes != 4 {
+		t.Errorf("STALL storage %d, want 4", byName["STALL"].TotalBytes)
+	}
+	if byName["PCSTALL"].TotalBytes >= byName["CRISP"].TotalBytes {
+		t.Errorf("PCSTALL (%d B) not smaller than CRISP (%d B) — the paper's storage claim",
+			byName["PCSTALL"].TotalBytes, byName["CRISP"].TotalBytes)
+	}
+	// Simpler models are strictly ordered by cost.
+	if !(byName["STALL"].TotalBytes < byName["LEAD"].TotalBytes &&
+		byName["LEAD"].TotalBytes < byName["CRIT"].TotalBytes) {
+		t.Error("model storage ordering broken")
+	}
+}

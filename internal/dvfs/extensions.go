@@ -1,0 +1,293 @@
+package dvfs
+
+import (
+	"pcstall/internal/estimate"
+	"pcstall/internal/sim"
+	"pcstall/internal/xrand"
+)
+
+// Extension designs beyond the paper's TABLE III, implementing the two
+// alternative predictor families its related-work section surveys
+// (§2.4): global phase-history tables (Isci et al.) and Q-learning V/f
+// selection (Bai et al.). They answer the natural reviewer question "is
+// the PC really the right key?" — history tables key on *recent phase
+// patterns*, Q-learning keys on *coarse state features*; PCSTALL keys on
+// *where the code is about to execute*.
+
+// History is a global phase-history-table predictor: each domain's
+// per-epoch sensitivity is quantized into a small number of phase
+// levels; a table keyed by the last HistLen levels predicts the next
+// epoch's curve. Misses fall back to last-value (reactive) behaviour.
+type History struct {
+	// Model estimates the elapsed epoch (measurement front-end).
+	Model estimate.CUModel
+	// Levels is the number of quantization buckets for sensitivity.
+	Levels int
+	// HistLen is the pattern length (number of past epochs in the key).
+	HistLen int
+	// Alpha is the EWMA weight for repeated patterns.
+	Alpha float64
+
+	table   map[uint64][]float64
+	hist    []uint64 // per domain: packed recent levels
+	last    [][]float64
+	maxSens []float64 // per domain running scale for quantization
+	buf     []float64
+}
+
+// NewHistory returns the default-configured history predictor.
+func NewHistory() *History {
+	return &History{Model: estimate.Crisp{}, Levels: 8, HistLen: 4, Alpha: 0.5}
+}
+
+// Name implements Policy.
+func (p *History) Name() string { return "HIST" }
+
+// Truth implements Policy.
+func (p *History) Truth() TruthNeed { return NoTruth }
+
+// Predicts implements Policy.
+func (p *History) Predicts() bool { return true }
+
+// Reset implements Policy.
+func (p *History) Reset() {
+	p.table = nil
+	p.hist = nil
+	p.last = nil
+	p.maxSens = nil
+}
+
+func (p *History) init(nd, k int) {
+	if p.table != nil {
+		return
+	}
+	p.table = make(map[uint64][]float64)
+	p.hist = make([]uint64, nd)
+	p.last = make([][]float64, nd)
+	p.maxSens = make([]float64, nd)
+	for d := range p.last {
+		p.last[d] = make([]float64, k)
+	}
+	if cap(p.buf) < k {
+		p.buf = make([]float64, k)
+	}
+}
+
+// quantize maps a measured curve's slope onto a phase level.
+func (p *History) quantize(d int, curve []float64) uint64 {
+	slope := curve[len(curve)-1] - curve[0]
+	if slope < 0 {
+		slope = 0
+	}
+	if slope > p.maxSens[d] {
+		p.maxSens[d] = slope
+	}
+	if p.maxSens[d] == 0 {
+		return 0
+	}
+	lv := int(slope / p.maxSens[d] * float64(p.Levels))
+	if lv >= p.Levels {
+		lv = p.Levels - 1
+	}
+	return uint64(lv)
+}
+
+func (p *History) key(d int) uint64 {
+	// Domain-tagged pattern so domains don't pollute each other while
+	// still sharing one physical table.
+	return p.hist[d]<<8 | uint64(d&0xff)
+}
+
+// Decide implements Policy.
+func (p *History) Decide(ctx *Context, elapsed *sim.EpochSample, obj Objective, pred [][]float64, choice []int) {
+	k := ctx.Grid.Count()
+	nd := len(pred)
+	p.init(nd, k)
+	mask := uint64(1)<<(uint(p.HistLen)*8) - 1
+
+	for d := 0; d < nd; d++ {
+		if elapsed != nil {
+			// Measure the elapsed epoch and update the entry keyed by
+			// the pattern that *preceded* it.
+			dur := int64(elapsed.End - elapsed.Start)
+			lo, hi := ctx.DMap.CUs(d)
+			measured := p.buf[:k]
+			for s := range measured {
+				measured[s] = 0
+			}
+			cuCurve := make([]float64, k)
+			for cu := lo; cu < hi; cu++ {
+				estimate.PredictCU(p.Model, &elapsed.CUs[cu], dur, elapsed.Freqs[d], ctx.Grid, cuCurve)
+				for s := range cuCurve {
+					measured[s] += cuCurve[s]
+				}
+			}
+			prevKey := p.key(d)
+			if e, ok := p.table[prevKey]; ok {
+				for s := range e {
+					e[s] = p.Alpha*measured[s] + (1-p.Alpha)*e[s]
+				}
+			} else {
+				p.table[prevKey] = append([]float64(nil), measured...)
+			}
+			copy(p.last[d], measured)
+			// Advance the phase history with the measured level.
+			p.hist[d] = (p.hist[d]<<8 | p.quantize(d, measured)) & mask
+		}
+
+		// Predict the next epoch from the current pattern.
+		if e, ok := p.table[p.key(d)]; ok {
+			copy(pred[d], e)
+		} else {
+			copy(pred[d], p.last[d])
+		}
+	}
+	chooseAll(ctx, obj, pred, choice)
+}
+
+// QLearn is a tabular Q-learning governor: the state is the quantized
+// (activity, memory-intensity) of the elapsed epoch, actions are V/f
+// states, and the reward is the negative per-epoch objective score. It
+// selects frequencies directly — prediction and selection fused — which
+// is why its "prediction accuracy" is not comparable (Predicts reports
+// false) and only its energy results are.
+type QLearn struct {
+	// Buckets quantizes each state feature.
+	Buckets int
+	// LearnRate and Discount are the Q-learning parameters.
+	LearnRate float64
+	Discount  float64
+	// Epsilon is the exploration rate.
+	Epsilon float64
+	// Seed drives exploration.
+	Seed uint64
+
+	q     [][]float64 // [state][action]
+	rng   xrand.State
+	prevS []int
+	prevA []int
+}
+
+// NewQLearn returns a default-configured Q-learning governor.
+func NewQLearn() *QLearn {
+	return &QLearn{Buckets: 4, LearnRate: 0.3, Discount: 0.5, Epsilon: 0.1, Seed: 99}
+}
+
+// Name implements Policy.
+func (p *QLearn) Name() string { return "QLEARN" }
+
+// Truth implements Policy.
+func (p *QLearn) Truth() TruthNeed { return NoTruth }
+
+// Predicts implements Policy.
+func (p *QLearn) Predicts() bool { return false }
+
+// Reset implements Policy.
+func (p *QLearn) Reset() { p.q = nil }
+
+func (p *QLearn) init(nd, k int) {
+	if p.q != nil {
+		return
+	}
+	states := p.Buckets * p.Buckets
+	p.q = make([][]float64, states)
+	for i := range p.q {
+		p.q[i] = make([]float64, k)
+	}
+	p.rng = xrand.New(p.Seed)
+	p.prevS = make([]int, nd)
+	p.prevA = make([]int, nd)
+	for d := range p.prevS {
+		p.prevS[d] = -1
+	}
+}
+
+// observe quantizes a domain's elapsed epoch into a table state.
+func (p *QLearn) observe(ctx *Context, elapsed *sim.EpochSample, d int) (state int, reward float64) {
+	dur := elapsed.End - elapsed.Start
+	if dur <= 0 {
+		return 0, 0
+	}
+	lo, hi := ctx.DMap.CUs(d)
+	var committed, issue, memOps int64
+	for cu := lo; cu < hi; cu++ {
+		committed += elapsed.CUs[cu].C.Committed
+		issue += elapsed.CUs[cu].C.IssueSlots
+		memOps += elapsed.CUs[cu].C.MemCommitted
+	}
+	f := elapsed.Freqs[d]
+	cycles := float64(dur) * float64(f) / 1e6
+	act := float64(issue) / (cycles * float64(ctx.G.Cfg.SIMDsPerCU*ctx.DMap.CUsPerDomain))
+	memFrac := 0.0
+	if committed > 0 {
+		memFrac = float64(memOps) / float64(committed)
+	}
+	b := func(x float64) int {
+		i := int(x * float64(p.Buckets))
+		if i >= p.Buckets {
+			i = p.Buckets - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		return i
+	}
+	state = b(act)*p.Buckets + b(memFrac)
+
+	// Reward: negative per-epoch ED²P-style score of what actually
+	// happened (energy over work³, scaled to a stable magnitude).
+	e := ctx.PredictE(d, f, float64(committed))
+	i := float64(committed)
+	if i < 1 {
+		i = 1
+	}
+	reward = -e * 1e18 / (i * i * i)
+	return state, reward
+}
+
+// Decide implements Policy.
+func (p *QLearn) Decide(ctx *Context, elapsed *sim.EpochSample, _ Objective, pred [][]float64, choice []int) {
+	k := ctx.Grid.Count()
+	nd := len(pred)
+	p.init(nd, k)
+
+	for d := 0; d < nd; d++ {
+		for s := range pred[d] {
+			pred[d][s] = 0
+		}
+		state := 0
+		if elapsed != nil {
+			var reward float64
+			state, reward = p.observe(ctx, elapsed, d)
+			if p.prevS[d] >= 0 {
+				// Q(s,a) += lr * (r + gamma*max Q(s',·) - Q(s,a))
+				best := p.q[state][0]
+				for _, v := range p.q[state] {
+					if v > best {
+						best = v
+					}
+				}
+				cell := &p.q[p.prevS[d]][p.prevA[d]]
+				*cell += p.LearnRate * (reward + p.Discount*best - *cell)
+			}
+		}
+		a := 0
+		if p.rng.Float64() < p.Epsilon {
+			a = p.rng.Intn(k)
+		} else {
+			for s := 1; s < k; s++ {
+				if p.q[state][s] > p.q[state][a] {
+					a = s
+				}
+			}
+		}
+		p.prevS[d] = state
+		p.prevA[d] = a
+		choice[d] = a
+	}
+}
+
+var (
+	_ Policy = (*History)(nil)
+	_ Policy = (*QLearn)(nil)
+)

@@ -1,0 +1,126 @@
+package dvfs_test
+
+import (
+	"testing"
+
+	"pcstall/internal/clock"
+	"pcstall/internal/dvfs"
+	"pcstall/internal/power"
+)
+
+func TestHistoryRunsAndPredicts(t *testing.T) {
+	pm := power.DefaultModelFor(2)
+	g := freshGPU(t, "comd", 2)
+	res, err := dvfs.Run(g, dvfs.NewHistory(), dvfs.RunConfig{
+		Epoch: clock.Microsecond, Obj: dvfs.ED2P, PM: &pm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatal("HIST run truncated")
+	}
+	if res.AccuracyN == 0 {
+		t.Fatal("HIST produced no scored predictions")
+	}
+	if res.Accuracy <= 0.2 {
+		t.Fatalf("HIST accuracy %.3f implausibly low", res.Accuracy)
+	}
+}
+
+func TestHistoryLearnsRepeatingPhases(t *testing.T) {
+	// On a strongly phased app the history table must outpredict pure
+	// noise: accuracy well above zero and the policy must visit more
+	// than one frequency (it reacts to phases).
+	pm := power.DefaultModelFor(2)
+	g := freshGPU(t, "BwdBN", 2)
+	res, err := dvfs.Run(g, dvfs.NewHistory(), dvfs.RunConfig{
+		Epoch: clock.Microsecond, Obj: dvfs.ED2P, PM: &pm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := 0
+	for _, share := range res.Residency {
+		if share > 0.01 {
+			states++
+		}
+	}
+	if states < 2 {
+		t.Fatalf("HIST used %d states on a phased app", states)
+	}
+}
+
+func TestQLearnRunsAndConverges(t *testing.T) {
+	pm := power.DefaultModelFor(2)
+	g := freshGPU(t, "xsbench", 2)
+	res, err := dvfs.Run(g, dvfs.NewQLearn(), dvfs.RunConfig{
+		Epoch: clock.Microsecond, Obj: dvfs.ED2P, PM: &pm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatal("QLEARN run truncated")
+	}
+	// QLEARN fuses prediction and selection: it must not contribute
+	// accuracy samples.
+	if res.AccuracyN != 0 {
+		t.Fatalf("QLEARN reported %d accuracy samples", res.AccuracyN)
+	}
+	// On a memory-bound app the learner should discover that low
+	// frequencies score better: the bottom half of the grid should
+	// dominate residency despite epsilon exploration.
+	low := 0.0
+	for k := 0; k < 5; k++ {
+		low += res.Residency[k]
+	}
+	if low < 0.5 {
+		t.Fatalf("QLEARN spent only %.0f%% in the lower half of the grid on xsbench", low*100)
+	}
+}
+
+func TestQLearnDeterministicSeed(t *testing.T) {
+	pm := power.DefaultModelFor(2)
+	run := func() dvfs.Result {
+		g := freshGPU(t, "comd", 2)
+		r, err := dvfs.Run(g, dvfs.NewQLearn(), dvfs.RunConfig{
+			Epoch: clock.Microsecond, Obj: dvfs.ED2P, PM: &pm,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.Totals != b.Totals || a.Transitions != b.Transitions {
+		t.Fatal("QLEARN runs with identical seeds diverged")
+	}
+}
+
+func TestExtensionsBeatNothingButRun(t *testing.T) {
+	// Sanity envelope: both extensions complete every ablation app and
+	// produce energy within 3x of the static baseline (they are
+	// heuristics, not disasters).
+	pm := power.DefaultModelFor(2)
+	for _, app := range []string{"comd", "dgemm"} {
+		base, err := dvfs.Run(freshGPU(t, app, 2), &dvfs.Static{F: 1700}, dvfs.RunConfig{
+			Epoch: clock.Microsecond, Obj: dvfs.ED2P, PM: &pm,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pol := range []dvfs.Policy{dvfs.NewHistory(), dvfs.NewQLearn()} {
+			r, err := dvfs.Run(freshGPU(t, app, 2), pol, dvfs.RunConfig{
+				Epoch: clock.Microsecond, Obj: dvfs.ED2P, PM: &pm,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Totals.ED2P() > 3*base.Totals.ED2P() {
+				t.Errorf("%s on %s: ED2P %.3gx static", pol.Name(), app,
+					r.Totals.ED2P()/base.Totals.ED2P())
+			}
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package dvfs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pcstall/internal/clock"
+	"pcstall/internal/xrand"
+)
+
+var states = clock.DefaultGrid().States()
+
+func TestEDnPNames(t *testing.T) {
+	if EDP.Name() != "EDP" || ED2P.Name() != "ED2P" {
+		t.Fatalf("names %q, %q", EDP.Name(), ED2P.Name())
+	}
+}
+
+func TestEDnPPrefersFreeWork(t *testing.T) {
+	// Same energy everywhere, more work at higher states: pick the top.
+	predI := make([]float64, len(states))
+	predE := make([]float64, len(states))
+	for k := range states {
+		predI[k] = float64(1000 + 100*k)
+		predE[k] = 1
+	}
+	if got := ED2P.Choose(states, predI, predE); got != len(states)-1 {
+		t.Fatalf("chose %d, want top state", got)
+	}
+}
+
+func TestEDnPPrefersCheapIdle(t *testing.T) {
+	// Flat work (memory-bound), rising energy: pick the bottom.
+	predI := make([]float64, len(states))
+	predE := make([]float64, len(states))
+	for k := range states {
+		predI[k] = 1000
+		predE[k] = float64(1 + k)
+	}
+	if got := ED2P.Choose(states, predI, predE); got != 0 {
+		t.Fatalf("chose %d, want bottom state", got)
+	}
+	if got := EDP.Choose(states, predI, predE); got != 0 {
+		t.Fatalf("EDP chose %d, want bottom state", got)
+	}
+}
+
+func TestEDnPWeighsSpeedMoreThanEDP(t *testing.T) {
+	// With work scaling sublinearly vs energy, a higher n should never
+	// choose a lower state than a lower n (more delay emphasis).
+	rng := xrand.New(5)
+	for trial := 0; trial < 200; trial++ {
+		predI := make([]float64, len(states))
+		predE := make([]float64, len(states))
+		i0 := 100 + rng.Float64()*1000
+		slope := rng.Float64() * 2
+		for k := range states {
+			f := float64(states[k])
+			predI[k] = i0 + slope*i0*(f-1300)/900
+			predE[k] = 1e-6 * (0.5 + f/1300*rng.Float64()*0 + f*f/1e6)
+		}
+		edp := EDP.Choose(states, predI, predE)
+		ed2p := ED2P.Choose(states, predI, predE)
+		if ed2p < edp {
+			t.Fatalf("ED2P chose lower state (%d) than EDP (%d)", ed2p, edp)
+		}
+	}
+}
+
+func TestEDnPChoiceInRange(t *testing.T) {
+	err := quick.Check(func(seed uint64, n uint8) bool {
+		rng := xrand.New(seed)
+		predI := make([]float64, len(states))
+		predE := make([]float64, len(states))
+		for k := range states {
+			predI[k] = rng.Float64() * 1e4
+			predE[k] = rng.Float64() * 1e-5
+		}
+		obj := EDnP{N: int(n%3) + 1}
+		got := obj.Choose(states, predI, predE)
+		return got >= 0 && got < len(states)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEDnPHandlesZeroWork(t *testing.T) {
+	predI := make([]float64, len(states))
+	predE := make([]float64, len(states))
+	for k := range states {
+		predE[k] = float64(k + 1)
+	}
+	// All-zero work: minimum energy (bottom state) wins.
+	if got := ED2P.Choose(states, predI, predE); got != 0 {
+		t.Fatalf("zero-work choice %d", got)
+	}
+}
+
+func TestFixedPerfRespectsLimit(t *testing.T) {
+	// Work scales linearly; energy rises steeply. With a 10% limit the
+	// governor may only choose states within 90% of the top state's work.
+	predI := make([]float64, len(states))
+	predE := make([]float64, len(states))
+	for k := range states {
+		f := float64(states[k])
+		predI[k] = f // linear in f
+		predE[k] = f * f
+	}
+	obj := FixedPerf{Limit: 0.10}
+	got := obj.Choose(states, predI, predE)
+	floor := 0.9 * predI[len(states)-1]
+	if predI[got] < floor {
+		t.Fatalf("chose state %d with work %.0f below the floor %.0f", got, predI[got], floor)
+	}
+	// It should pick the cheapest feasible state, which is the lowest
+	// state satisfying the floor.
+	wantState := -1
+	for k := range states {
+		if predI[k] >= floor {
+			wantState = k
+			break
+		}
+	}
+	if got != wantState {
+		t.Fatalf("chose %d, want cheapest feasible %d", got, wantState)
+	}
+}
+
+func TestFixedPerfFlatWorkloadPicksBottom(t *testing.T) {
+	// Memory-bound: all states meet the floor, so minimum energy wins.
+	predI := []float64{100, 100, 100, 100, 100, 100, 100, 100, 100, 100}
+	predE := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	obj := FixedPerf{Limit: 0.05}
+	if got := obj.Choose(states, predI, predE); got != 0 {
+		t.Fatalf("chose %d, want 0", got)
+	}
+}
+
+func TestFixedPerfName(t *testing.T) {
+	if (FixedPerf{Limit: 0.05}).Name() != "Energy@5%" {
+		t.Fatalf("name %q", (FixedPerf{Limit: 0.05}).Name())
+	}
+}
+
+func TestFixedPerfAlwaysFeasible(t *testing.T) {
+	// The top state is always feasible, so Choose never returns an
+	// index outside the range even for adversarial curves.
+	err := quick.Check(func(seed uint64) bool {
+		rng := xrand.New(seed)
+		predI := make([]float64, len(states))
+		predE := make([]float64, len(states))
+		for k := range states {
+			predI[k] = rng.Float64() * 100
+			predE[k] = rng.Float64()
+		}
+		got := FixedPerf{Limit: 0.05}.Choose(states, predI, predE)
+		return got >= 0 && got < len(states)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQoSTargetPicksCheapestFeasible(t *testing.T) {
+	predI := []float64{100, 120, 140, 160, 180, 200, 220, 240, 260, 280}
+	predE := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	obj := QoSTarget{InstrPerEpoch: 150}
+	if got := obj.Choose(states, predI, predE); got != 3 {
+		t.Fatalf("chose %d, want 3 (first state meeting 150)", got)
+	}
+}
+
+func TestQoSTargetInfeasibleRunsFastest(t *testing.T) {
+	predI := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 95}
+	predE := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	obj := QoSTarget{InstrPerEpoch: 1000}
+	if got := obj.Choose(states, predI, predE); got != 9 {
+		t.Fatalf("infeasible epoch chose %d, want fastest", got)
+	}
+}
+
+func TestQoSTargetName(t *testing.T) {
+	if (QoSTarget{InstrPerEpoch: 500}).Name() != "QoS@500" {
+		t.Fatalf("name %q", (QoSTarget{InstrPerEpoch: 500}).Name())
+	}
+}

@@ -1,0 +1,283 @@
+package dvfs
+
+import (
+	"fmt"
+
+	"pcstall/internal/clock"
+	"pcstall/internal/metrics"
+	"pcstall/internal/oracle"
+	"pcstall/internal/power"
+	"pcstall/internal/sim"
+	"pcstall/internal/trace"
+)
+
+// RunConfig parameterizes one application run under a policy.
+type RunConfig struct {
+	// Epoch is the fixed DVFS time epoch (§3.1).
+	Epoch clock.Time
+	// Obj is the objective function.
+	Obj Objective
+	// PM is the power model.
+	PM *power.Model
+	// Transition overrides the V/f transition latency; 0 selects the
+	// paper's epoch-dependent latency (clock.TransitionLatency).
+	Transition clock.Time
+	// MaxTime caps simulated time as a runaway guard; 0 means 100 ms.
+	MaxTime clock.Time
+	// Record keeps per-epoch records in the result (costs memory).
+	Record bool
+	// OracleSamples overrides the sampler's fork count for policies
+	// that need truth (0 = one per V/f state).
+	OracleSamples int
+	// Trace, when non-nil, receives one EpochEvent per epoch.
+	Trace trace.Recorder
+	// InstrWindow switches the controller from fixed-time epochs to
+	// fixed-instruction windows (the §3.1 alternative the paper argues
+	// against): a boundary occurs once the GPU commits this many
+	// instructions (or after 8×Epoch as a starvation guard). Epoch
+	// remains the stepping quantum and the policies' assumed duration.
+	InstrWindow int64
+	// Thermal enables temperature-dependent leakage accounting (§5):
+	// each domain carries a lumped-RC temperature that power feeds and
+	// leakage reads. Nil disables it (leakage at nominal temperature).
+	Thermal *power.Thermal
+}
+
+// EpochRecord is one epoch's outcome (kept when RunConfig.Record is set).
+type EpochRecord struct {
+	Start, End clock.Time
+	// Freq[d] is the frequency domain d ran.
+	Freq []clock.Freq
+	// PredI[d] is the policy's predicted instructions at the chosen
+	// state; ActualI[d] what really committed.
+	PredI   []float64
+	ActualI []float64
+	// EnergyJ is the GPU core energy of the epoch.
+	EnergyJ float64
+}
+
+// Result summarizes one run.
+type Result struct {
+	Policy    string
+	Objective string
+	// Totals feeds EDP/ED²P computation. TimeS is completion time (or
+	// the cap, if Truncated).
+	Totals metrics.RunTotals
+	// Truncated reports the run hit MaxTime before the app finished.
+	Truncated bool
+	Epochs    int
+	// Accuracy is the mean §6.1 prediction accuracy across domain-epochs
+	// (NaN-free: zero when the policy does not predict).
+	Accuracy  float64
+	AccuracyN int64
+	// Residency[k] is the fraction of domain-time spent at state k
+	// (Fig. 16).
+	Residency []float64
+	// Transitions counts V/f transitions across domains.
+	Transitions int64
+	// FinalTempC holds the per-domain node temperatures at run end when
+	// thermal accounting is enabled (nil otherwise).
+	FinalTempC []float64
+	// Records holds per-epoch detail when requested.
+	Records []EpochRecord
+}
+
+// Run executes the application loaded in g to completion under the given
+// policy. g must be freshly constructed; it is consumed by the run.
+func Run(g *sim.GPU, pol Policy, cfg RunConfig) (Result, error) {
+	if cfg.Epoch <= 0 {
+		return Result{}, fmt.Errorf("dvfs: epoch %d", cfg.Epoch)
+	}
+	if cfg.Obj == nil || cfg.PM == nil {
+		return Result{}, fmt.Errorf("dvfs: objective and power model are required")
+	}
+	maxTime := cfg.MaxTime
+	if maxTime == 0 {
+		maxTime = 100 * clock.Millisecond
+	}
+	trans := cfg.Transition
+	if trans == 0 {
+		trans = clock.TransitionLatency(cfg.Epoch)
+	}
+	grid := g.Cfg.Grid
+	dmap := g.Cfg.Domains
+	nd := dmap.NumDomains()
+	k := grid.Count()
+	simds := g.Cfg.SIMDsPerCU
+
+	ctx := &Context{
+		G:           g,
+		Grid:        grid,
+		DMap:        dmap,
+		Epoch:       cfg.Epoch,
+		OccPerInstr: make([]float64, nd),
+		PredictE: func(d int, f clock.Freq, predI float64) float64 {
+			return cfg.PM.PredictEpochEnergyJ(f, predI, dmap.CUsPerDomain, simds, cfg.Epoch) +
+				cfg.PM.UncoreShareJ(cfg.Epoch, nd)
+		},
+	}
+
+	var sampler *oracle.Sampler
+	if pol.Truth() != NoTruth {
+		sampler = &oracle.Sampler{
+			Grid:      grid,
+			PM:        cfg.PM,
+			CollectWF: pol.Truth() == WFTruth,
+			Samples:   cfg.OracleSamples,
+		}
+	}
+
+	pol.Reset()
+	pred := make([][]float64, nd)
+	for d := range pred {
+		pred[d] = make([]float64, k)
+	}
+	choice := make([]int, nd)
+	res := Result{
+		Policy:    pol.Name(),
+		Objective: cfg.Obj.Name(),
+		Residency: make([]float64, k),
+	}
+	var temps []float64
+	if cfg.Thermal != nil {
+		temps = make([]float64, nd)
+		for d := range temps {
+			temps[d] = cfg.Thermal.AmbientC
+		}
+	}
+	var (
+		elapsed   *sim.EpochSample
+		sampleBuf sim.EpochSample
+		prevTruth *oracle.Truth
+		acc       metrics.Welford
+		energy    float64
+		domTime   float64
+	)
+
+	for !g.Finished && g.Now < maxTime {
+		if sampler != nil {
+			ctx.NextTruth = sampler.SampleNext(g, cfg.Epoch)
+		}
+		ctx.PrevTruth = prevTruth
+		pol.Decide(ctx, elapsed, cfg.Obj, pred, choice)
+		for d := 0; d < nd; d++ {
+			g.SetDomainFreq(d, grid.State(choice[d]), trans)
+		}
+
+		if cfg.InstrWindow > 0 {
+			target := g.TotalCommitted + cfg.InstrWindow
+			guard := g.Now + 8*cfg.Epoch
+			step := cfg.Epoch / 8
+			if step < 1 {
+				step = 1
+			}
+			for !g.Finished && g.TotalCommitted < target && g.Now < guard && g.Now < maxTime {
+				g.RunUntil(g.Now + step)
+			}
+		} else {
+			g.RunUntil(g.Now + cfg.Epoch)
+		}
+		g.CollectEpoch(&sampleBuf)
+		elapsed = &sampleBuf
+		dur := sampleBuf.End - sampleBuf.Start
+		partial := g.Finished && dur < cfg.Epoch && cfg.InstrWindow == 0
+		if cfg.InstrWindow > 0 {
+			partial = g.Finished
+		}
+
+		var tev *trace.EpochEvent
+		if cfg.Trace != nil {
+			tev = &trace.EpochEvent{
+				Index:   res.Epochs,
+				StartPs: int64(sampleBuf.Start),
+				EndPs:   int64(sampleBuf.End),
+				Domains: make([]trace.DomainEvent, nd),
+			}
+		}
+		var rec *EpochRecord
+		if cfg.Record {
+			res.Records = append(res.Records, EpochRecord{
+				Start: sampleBuf.Start, End: sampleBuf.End,
+				Freq:    make([]clock.Freq, nd),
+				PredI:   make([]float64, nd),
+				ActualI: make([]float64, nd),
+			})
+			rec = &res.Records[len(res.Records)-1]
+		}
+
+		for d := 0; d < nd; d++ {
+			var committed, issue, occPs int64
+			lo, hi := dmap.CUs(d)
+			for cu := lo; cu < hi; cu++ {
+				committed += sampleBuf.CUs[cu].C.Committed
+				issue += sampleBuf.CUs[cu].C.IssueSlots
+				occPs += sampleBuf.CUs[cu].C.OccupancyPs
+			}
+			if committed > 0 {
+				period := float64(grid.State(choice[d]).PeriodPs())
+				ctx.OccPerInstr[d] = float64(occPs) / period / float64(committed)
+			}
+			var e float64
+			if cfg.Thermal != nil {
+				var perCU float64
+				e, perCU = cfg.PM.DomainEpochEnergyJAt(grid.State(choice[d]), issue,
+					dmap.CUsPerDomain, simds, dur, temps[d], *cfg.Thermal)
+				temps[d] = cfg.Thermal.Step(temps[d], perCU, dur)
+			} else {
+				e = cfg.PM.DomainEpochEnergyJ(grid.State(choice[d]), issue, dmap.CUsPerDomain, simds, dur)
+			}
+			energy += e
+			res.Residency[choice[d]] += float64(dur)
+			domTime += float64(dur)
+			// Idle domains (no work and none predicted) are excluded:
+			// a trivially correct 0≈0 would dilute the metric.
+			if pol.Predicts() && res.Epochs > 0 && !partial &&
+				(committed > 0 || pred[d][choice[d]] >= 1) {
+				acc.Add(metrics.PredAccuracy(pred[d][choice[d]], float64(committed)))
+			}
+			if rec != nil {
+				rec.Freq[d] = grid.State(choice[d])
+				rec.PredI[d] = pred[d][choice[d]]
+				rec.ActualI[d] = float64(committed)
+				rec.EnergyJ += e
+			}
+			if tev != nil {
+				tev.Domains[d] = trace.DomainEvent{
+					Domain:  d,
+					FreqMHz: int(grid.State(choice[d])),
+					PredI:   pred[d][choice[d]],
+					ActualI: float64(committed),
+					EnergyJ: e,
+				}
+			}
+		}
+		if tev != nil {
+			if err := cfg.Trace.Epoch(*tev); err != nil {
+				return res, fmt.Errorf("dvfs: trace recorder: %w", err)
+			}
+		}
+		prevTruth = ctx.NextTruth
+		res.Epochs++
+	}
+
+	res.Truncated = !g.Finished
+	for d := range g.Domains {
+		res.Transitions += g.Domains[d].Transitions
+	}
+	energy += cfg.PM.UncoreEnergyJ(g.Now)
+	energy += cfg.PM.TransitionEnergyJ(res.Transitions)
+	res.Totals = metrics.RunTotals{
+		EnergyJ:   energy,
+		TimeS:     float64(g.Now) * 1e-12,
+		Committed: g.TotalCommitted,
+	}
+	res.Accuracy = acc.Mean
+	res.AccuracyN = acc.N
+	res.FinalTempC = temps
+	if domTime > 0 {
+		for i := range res.Residency {
+			res.Residency[i] /= domTime
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,145 @@
+package dvfs_test
+
+import (
+	"testing"
+
+	"pcstall/internal/clock"
+	"pcstall/internal/core"
+	"pcstall/internal/dvfs"
+	"pcstall/internal/estimate"
+	"pcstall/internal/power"
+	"pcstall/internal/sim"
+	"pcstall/internal/workload"
+)
+
+func freshGPU(t *testing.T, app string, cus int) *sim.GPU {
+	t.Helper()
+	cfg := sim.DefaultConfig(cus)
+	gen := workload.DefaultGenConfig(cus)
+	gen.Scale = 0.25
+	a := workload.MustBuild(app, gen)
+	g, err := sim.New(cfg, a.Kernels, a.Launches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	pm := power.DefaultModelFor(2)
+	g := freshGPU(t, "comd", 2)
+	if _, err := dvfs.Run(g, &dvfs.Static{F: 1700}, dvfs.RunConfig{Obj: dvfs.ED2P, PM: &pm}); err == nil {
+		t.Error("zero epoch accepted")
+	}
+	if _, err := dvfs.Run(g, &dvfs.Static{F: 1700}, dvfs.RunConfig{Epoch: clock.Microsecond}); err == nil {
+		t.Error("missing objective/power model accepted")
+	}
+}
+
+func TestTruncationFlag(t *testing.T) {
+	pm := power.DefaultModelFor(2)
+	g := freshGPU(t, "comd", 2)
+	res, err := dvfs.Run(g, &dvfs.Static{F: 1700}, dvfs.RunConfig{
+		Epoch: clock.Microsecond, Obj: dvfs.ED2P, PM: &pm,
+		MaxTime: 3 * clock.Microsecond, // far too short for the app
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatal("time-capped run not marked truncated")
+	}
+	if res.Epochs != 3 {
+		t.Fatalf("%d epochs before a 3us cap", res.Epochs)
+	}
+}
+
+func TestRecordMode(t *testing.T) {
+	pm := power.DefaultModelFor(2)
+	g := freshGPU(t, "xsbench", 2)
+	res, err := dvfs.Run(g, &dvfs.Reactive{Model: estimate.Crisp{}}, dvfs.RunConfig{
+		Epoch: clock.Microsecond, Obj: dvfs.ED2P, PM: &pm, Record: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != res.Epochs {
+		t.Fatalf("%d records for %d epochs", len(res.Records), res.Epochs)
+	}
+	var actual float64
+	for _, r := range res.Records {
+		if r.End <= r.Start {
+			t.Fatal("non-positive epoch duration in record")
+		}
+		for d := range r.ActualI {
+			actual += r.ActualI[d]
+		}
+	}
+	if int64(actual) != res.Totals.Committed {
+		t.Fatalf("record actuals %d != committed %d", int64(actual), res.Totals.Committed)
+	}
+}
+
+func TestTransitionsOnlyOnFrequencyChange(t *testing.T) {
+	pm := power.DefaultModelFor(2)
+	g := freshGPU(t, "comd", 2)
+	res, err := dvfs.Run(g, &dvfs.Static{F: 1700}, dvfs.RunConfig{
+		Epoch: clock.Microsecond, Obj: dvfs.ED2P, PM: &pm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Boot frequency is 1.7 GHz = the static choice: zero transitions.
+	if res.Transitions != 0 {
+		t.Fatalf("static-at-boot-frequency run made %d transitions", res.Transitions)
+	}
+}
+
+func TestOracleSampleCountPlumbed(t *testing.T) {
+	pm := power.DefaultModelFor(2)
+	d, err := core.DesignByName("ORACLE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 2-sample oracle must still run to completion and stay plausible.
+	g := freshGPU(t, "comd", 2)
+	res, err := dvfs.Run(g, d.New(), dvfs.RunConfig{
+		Epoch: clock.Microsecond, Obj: dvfs.ED2P, PM: &pm, OracleSamples: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated || res.AccuracyN == 0 {
+		t.Fatalf("reduced-sample oracle run degenerate: %+v", res)
+	}
+}
+
+func TestEnergyPositiveAndDecomposed(t *testing.T) {
+	pm := power.DefaultModelFor(2)
+	g := freshGPU(t, "comd", 2)
+	res, err := dvfs.Run(g, &dvfs.Static{F: 1700}, dvfs.RunConfig{
+		Epoch: clock.Microsecond, Obj: dvfs.ED2P, PM: &pm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total energy must at least include the uncore floor for the run's
+	// duration.
+	floor := pm.UncoreEnergyJ(clock.Time(res.Totals.TimeS * 1e12))
+	if res.Totals.EnergyJ <= floor {
+		t.Fatalf("energy %g below uncore floor %g", res.Totals.EnergyJ, floor)
+	}
+}
+
+func TestPolicyNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, d := range core.Designs() {
+		p := d.New()
+		if seen[p.Name()] {
+			t.Fatalf("duplicate policy name %s", p.Name())
+		}
+		seen[p.Name()] = true
+		// Reset must be callable on a fresh policy.
+		p.Reset()
+	}
+}

@@ -1,0 +1,219 @@
+// Package estimate implements the frequency-sensitivity estimation models
+// the paper compares (§2.3, TABLE III): the CPU-derived CU-level models —
+// STALL, Leading Load (LEAD), Critical Path (CRIT), and CRISP — and the
+// wavefront-level STALL model that PCSTALL builds on (§4.2, §4.4).
+//
+// All models answer the same question about an elapsed fixed-time epoch:
+// had the domain run at frequency f₂ instead of f₁, how many instructions
+// would it have committed? Each model estimates the asynchronous (memory)
+// share T_async of the epoch, assumed frequency-invariant, with the
+// remainder scaling with the clock:
+//
+//	Î(f₂) = I₁ · (T_async + (f₂/f₁)·T_core) / T,   T_core = T − T_async
+//
+// which is the fixed-time-epoch form of the classical
+// T(f₂) = T_async + (f₁/f₂)·T_core execution-time model.
+package estimate
+
+import (
+	"pcstall/internal/clock"
+	"pcstall/internal/sim"
+)
+
+// CUModel estimates the asynchronous share of a CU's elapsed epoch from
+// its counters; everything else is shared arithmetic.
+type CUModel interface {
+	Name() string
+	// AsyncPs returns the estimated frequency-invariant time of the
+	// epoch; the caller clamps it to [0, totalPs].
+	AsyncPs(c *sim.CUCounters, totalPs int64) int64
+}
+
+// Stall is the classical stall model (Keramidas et al.): asynchronous
+// time is the time the processor was fully stalled on memory. Applied at
+// CU level this badly undercounts GPU memory time — other wavefronts hide
+// one wavefront's stalls — which is the paper's core criticism.
+type Stall struct{}
+
+// Name implements CUModel.
+func (Stall) Name() string { return "STALL" }
+
+// AsyncPs implements CUModel.
+func (Stall) AsyncPs(c *sim.CUCounters, _ int64) int64 { return c.MemBlockedPs }
+
+// Lead is the Leading Load model: asynchronous time is the summed latency
+// of loads issued when no other load was in flight, a proxy that
+// tolerates memory-level parallelism.
+type Lead struct{}
+
+// Name implements CUModel.
+func (Lead) Name() string { return "LEAD" }
+
+// AsyncPs implements CUModel.
+func (Lead) AsyncPs(c *sim.CUCounters, _ int64) int64 { return c.LeadLatPs }
+
+// Crit is the Critical Path model (Miftakhutdinov et al.): asynchronous
+// time is the non-overlapped latency along the load critical path.
+type Crit struct{}
+
+// Name implements CUModel.
+func (Crit) Name() string { return "CRIT" }
+
+// AsyncPs implements CUModel.
+func (Crit) AsyncPs(c *sim.CUCounters, _ int64) int64 { return c.CritLatPs }
+
+// Crisp is the CRISP GPU model (Nath & Tullsen): the critical path plus
+// store stalls, minus credit for compute that overlapped memory.
+type Crisp struct{}
+
+// Name implements CUModel.
+func (Crisp) Name() string { return "CRISP" }
+
+// AsyncPs implements CUModel.
+func (Crisp) AsyncPs(c *sim.CUCounters, _ int64) int64 {
+	a := c.CritLatPs + c.StoreStallPs - c.OverlapPs/2
+	if a < 0 {
+		a = 0
+	}
+	return a
+}
+
+// Curve fills out[k] with Î(grid state k) for an entity that committed i1
+// instructions over totalPs at frequency ran with asyncPs asynchronous
+// time. out must have grid.Count() elements.
+func Curve(i1 float64, asyncPs, totalPs int64, ran clock.Freq, grid clock.Grid, out []float64) {
+	if totalPs <= 0 {
+		for k := range out {
+			out[k] = 0
+		}
+		return
+	}
+	if asyncPs < 0 {
+		asyncPs = 0
+	}
+	if asyncPs > totalPs {
+		asyncPs = totalPs
+	}
+	tA := float64(asyncPs)
+	tC := float64(totalPs - asyncPs)
+	tot := float64(totalPs)
+	for k := range out {
+		f := grid.State(k)
+		out[k] = i1 * (tA + tC*float64(f)/float64(ran)) / tot
+	}
+}
+
+// PredictCU fills out with the CU-level per-state prediction for one CU's
+// elapsed epoch.
+func PredictCU(m CUModel, ep *sim.CUEpoch, durPs int64, ran clock.Freq, grid clock.Grid, out []float64) {
+	async := m.AsyncPs(&ep.C, durPs)
+	Curve(float64(ep.C.Committed), async, durPs, ran, grid, out)
+}
+
+// WFEstimate is a wavefront's estimated linear sensitivity model,
+// anchored at a reference frequency: Î(f) = IRef + Slope·(f − fRef).
+// Slope is the paper's Sensitivity = ΔInstructions/ΔFrequency in
+// instructions per MHz.
+type WFEstimate struct {
+	IRef  float64
+	Slope float64
+}
+
+// Eval returns the estimated instructions at frequency f (never below 0).
+func (e WFEstimate) Eval(f, fRef clock.Freq) float64 {
+	v := e.IRef + e.Slope*float64(f-fRef)
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// WFStallConfig parameterizes the wavefront-level STALL model.
+type WFStallConfig struct {
+	// AgeCoef scales the scheduling-contention normalization: a
+	// wavefront's measured core time is discounted by up to AgeCoef
+	// according to its age rank (§4.4 — the oldest wavefront sees no
+	// contention under oldest-first scheduling, Fig. 11a).
+	AgeCoef float64
+}
+
+// DefaultWFStall returns the paper-tuned configuration.
+func DefaultWFStall() WFStallConfig { return WFStallConfig{AgeCoef: 0.3} }
+
+// BarrierStallFrac returns the fraction of non-barrier time the CU's
+// wavefronts spent memory-stalled this epoch. Barrier wait tracks the
+// workgroup's laggards, so a wave's barrier time behaves like the group
+// mix: this fraction of it is frequency-pinned (memory), the rest
+// compresses with the clock (compute).
+func BarrierStallFrac(recs []sim.WFRecord) float64 {
+	var stall, base int64
+	for i := range recs {
+		stall += recs[i].C.StallPs
+		base += recs[i].ResidentPs - recs[i].C.BarrierPs
+	}
+	if base <= 0 {
+		return 1
+	}
+	f := float64(stall) / float64(base)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// EstimateWF applies the wavefront-level STALL model to one wavefront's
+// epoch record: T_async is its s_waitcnt blocked time plus the memory
+// share of its barrier wait (barrierFrac, from BarrierStallFrac); the
+// rest of its resident time is core time, and the resulting sensitivity
+// S = IPC_WF · T_core (§4.4) is normalized by scheduling age. nResident
+// is the number of wavefronts resident in the CU this epoch. Estimates of
+// partially resident waves (dispatched or retired mid-epoch) are scaled
+// to a full-epoch equivalent of epochPs so table entries are comparable.
+func (c WFStallConfig) EstimateWF(rec *sim.WFRecord, epochPs int64, ran clock.Freq, grid clock.Grid, nResident int, barrierFrac float64) WFEstimate {
+	total := rec.ResidentPs
+	if total <= 0 {
+		return WFEstimate{}
+	}
+	async := rec.C.StallPs + int64(barrierFrac*float64(rec.C.BarrierPs))
+	if async > total {
+		async = total
+	}
+	tCore := float64(total - async)
+	i1 := float64(rec.C.Committed)
+
+	// Age normalization: younger waves' apparent core time includes
+	// ready-but-not-scheduled time that does not scale like private
+	// compute; discount it by rank.
+	if nResident > 1 && c.AgeCoef > 0 {
+		factor := 1 - c.AgeCoef*float64(rec.AgeRank)/float64(nResident-1)
+		if factor < 1-c.AgeCoef {
+			factor = 1 - c.AgeCoef
+		}
+		tCore *= factor
+	}
+
+	slope := i1 * tCore / (float64(total) * float64(ran)) // instructions per MHz
+	fRef := grid.Mid()
+	iref := i1 + slope*float64(fRef-ran)
+	if iref < 0 {
+		iref = 0
+	}
+	// A wave resident for only part of the epoch (dispatched mid-epoch)
+	// would store an unrepresentatively small estimate; scale it to a
+	// full-epoch equivalent. Retired waves are NOT scaled: they stopped
+	// because the program ended, so their small totals are real.
+	if epochPs > total && !rec.Done {
+		scale := float64(epochPs) / float64(total)
+		iref *= scale
+		slope *= scale
+	}
+	return WFEstimate{IRef: iref, Slope: slope}
+}
+
+// SumCurve adds a wavefront estimate into a per-state accumulation.
+func (e WFEstimate) SumCurve(grid clock.Grid, out []float64) {
+	fRef := grid.Mid()
+	for k := range out {
+		out[k] += e.Eval(grid.State(k), fRef)
+	}
+}

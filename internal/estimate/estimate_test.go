@@ -1,0 +1,248 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pcstall/internal/clock"
+	"pcstall/internal/sim"
+)
+
+var grid = clock.DefaultGrid()
+
+func TestCurveAnchorsAtRanFrequency(t *testing.T) {
+	out := make([]float64, grid.Count())
+	Curve(1000, 300_000, 1_000_000, 1700, grid, out)
+	// At the frequency actually run, the estimate is the observation.
+	if got := out[grid.Index(1700)]; math.Abs(got-1000) > 1e-9 {
+		t.Fatalf("I(ran) = %g, want 1000", got)
+	}
+}
+
+func TestCurveFullyAsyncIsFlat(t *testing.T) {
+	out := make([]float64, grid.Count())
+	Curve(500, 1_000_000, 1_000_000, 1700, grid, out)
+	for k, v := range out {
+		if math.Abs(v-500) > 1e-9 {
+			t.Fatalf("fully async curve not flat at state %d: %g", k, v)
+		}
+	}
+}
+
+func TestCurveFullyCoreScalesLinearly(t *testing.T) {
+	out := make([]float64, grid.Count())
+	Curve(1700, 0, 1_000_000, 1700, grid, out)
+	for k, v := range out {
+		want := float64(grid.State(k)) // I = f when I1 = f1
+		if math.Abs(v-want) > 1e-9 {
+			t.Fatalf("pure-core curve at %v: %g, want %g", grid.State(k), v, want)
+		}
+	}
+}
+
+func TestCurveClampsAsync(t *testing.T) {
+	out := make([]float64, grid.Count())
+	Curve(100, -5, 1_000_000, 1700, grid, out) // negative async clamped to 0
+	if out[0] >= out[len(out)-1] {
+		t.Fatal("clamped-to-core curve should increase with f")
+	}
+	Curve(100, 2_000_000, 1_000_000, 1700, grid, out) // async > total clamped
+	for _, v := range out {
+		if math.Abs(v-100) > 1e-9 {
+			t.Fatal("async > total should flatten curve")
+		}
+	}
+	Curve(100, 0, 0, 1700, grid, out) // zero total
+	for _, v := range out {
+		if v != 0 {
+			t.Fatal("zero-duration curve should be zero")
+		}
+	}
+}
+
+func TestCurveMonotoneInFrequency(t *testing.T) {
+	err := quick.Check(func(i1u, asyncU uint32) bool {
+		i1 := float64(i1u%100000) + 1
+		async := int64(asyncU % 1_000_001)
+		out := make([]float64, grid.Count())
+		Curve(i1, async, 1_000_000, 1700, grid, out)
+		for k := 1; k < len(out); k++ {
+			if out[k] < out[k-1]-1e-9 {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCUModelSignals(t *testing.T) {
+	c := &sim.CUCounters{
+		MemBlockedPs: 100,
+		LeadLatPs:    200,
+		CritLatPs:    300,
+		StoreStallPs: 50,
+		OverlapPs:    40,
+	}
+	if (Stall{}).AsyncPs(c, 1000) != 100 {
+		t.Error("STALL should use MemBlockedPs")
+	}
+	if (Lead{}).AsyncPs(c, 1000) != 200 {
+		t.Error("LEAD should use LeadLatPs")
+	}
+	if (Crit{}).AsyncPs(c, 1000) != 300 {
+		t.Error("CRIT should use CritLatPs")
+	}
+	if got := (Crisp{}).AsyncPs(c, 1000); got != 300+50-20 {
+		t.Errorf("CRISP async = %d", got)
+	}
+	// CRISP clamps at zero when overlap credit exceeds memory time.
+	c2 := &sim.CUCounters{OverlapPs: 1000}
+	if (Crisp{}).AsyncPs(c2, 1000) != 0 {
+		t.Error("CRISP went negative")
+	}
+}
+
+func TestCUModelNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, m := range []CUModel{Stall{}, Lead{}, Crit{}, Crisp{}} {
+		n := m.Name()
+		if n == "" || names[n] {
+			t.Fatalf("bad model name %q", n)
+		}
+		names[n] = true
+	}
+}
+
+func wfRec(committed, stallPs, barrierPs, residentPs int64, rank int32) *sim.WFRecord {
+	return &sim.WFRecord{
+		AgeRank:    rank,
+		ResidentPs: residentPs,
+		C: sim.WFCounters{
+			Committed: committed,
+			StallPs:   stallPs,
+			BarrierPs: barrierPs,
+		},
+	}
+}
+
+func TestWFEstimatePureCompute(t *testing.T) {
+	cfg := WFStallConfig{AgeCoef: 0}
+	rec := wfRec(1700, 0, 0, 1_000_000, 0)
+	e := cfg.EstimateWF(rec, 1_000_000, 1700, grid, 1, 0)
+	// Pure compute: S = I/f -> at 2.2GHz predicts I * 2200/1700.
+	got := e.Eval(2200, grid.Mid())
+	want := 1700.0 * 2200 / 1700
+	if math.Abs(got-want) > 1 {
+		t.Fatalf("pure compute at fmax: %g, want %g", got, want)
+	}
+}
+
+func TestWFEstimatePureStallIsFlat(t *testing.T) {
+	cfg := WFStallConfig{AgeCoef: 0}
+	rec := wfRec(50, 1_000_000, 0, 1_000_000, 0)
+	e := cfg.EstimateWF(rec, 1_000_000, 1700, grid, 1, 0)
+	if e.Slope != 0 {
+		t.Fatalf("fully stalled wave has slope %g", e.Slope)
+	}
+	if math.Abs(e.Eval(2200, grid.Mid())-50) > 1e-9 {
+		t.Fatal("fully stalled wave should predict constant I")
+	}
+}
+
+func TestWFEstimateBarrierFraction(t *testing.T) {
+	cfg := WFStallConfig{AgeCoef: 0}
+	rec := wfRec(100, 200_000, 400_000, 1_000_000, 0)
+	// barrierFrac 1: barrier fully memory-like -> more async, lower slope.
+	eMem := cfg.EstimateWF(rec, 1_000_000, 1700, grid, 1, 1.0)
+	// barrierFrac 0: barrier fully compute-like -> higher slope.
+	eComp := cfg.EstimateWF(rec, 1_000_000, 1700, grid, 1, 0.0)
+	if eMem.Slope >= eComp.Slope {
+		t.Fatalf("barrier classification has no effect: %g vs %g", eMem.Slope, eComp.Slope)
+	}
+}
+
+func TestWFEstimateAgeNormalization(t *testing.T) {
+	cfg := DefaultWFStall()
+	young := cfg.EstimateWF(wfRec(100, 0, 0, 1_000_000, 9), 1_000_000, 1700, grid, 10, 0)
+	old := cfg.EstimateWF(wfRec(100, 0, 0, 1_000_000, 0), 1_000_000, 1700, grid, 10, 0)
+	if young.Slope >= old.Slope {
+		t.Fatalf("young wave slope %g not discounted vs old %g", young.Slope, old.Slope)
+	}
+	if young.Slope < old.Slope*(1-cfg.AgeCoef)-1e-9 {
+		t.Fatalf("age discount exceeds AgeCoef bound")
+	}
+}
+
+func TestWFEstimatePartialResidencyScaling(t *testing.T) {
+	cfg := WFStallConfig{AgeCoef: 0}
+	// Dispatched mid-epoch: resident half the epoch, so the full-epoch
+	// estimate doubles.
+	part := cfg.EstimateWF(wfRec(100, 0, 0, 500_000, 0), 1_000_000, 1700, grid, 1, 0)
+	full := cfg.EstimateWF(wfRec(100, 0, 0, 1_000_000, 0), 1_000_000, 1700, grid, 1, 0)
+	if math.Abs(part.IRef-2*full.IRef) > 1e-6 {
+		t.Fatalf("partial residency not scaled: %g vs 2x%g", part.IRef, full.IRef)
+	}
+	// Retired waves are not scaled.
+	done := wfRec(100, 0, 0, 500_000, 0)
+	done.Done = true
+	d := cfg.EstimateWF(done, 1_000_000, 1700, grid, 1, 0)
+	if math.Abs(d.IRef-full.IRef) > 1e-6 {
+		t.Fatalf("retired wave scaled: %g", d.IRef)
+	}
+}
+
+func TestWFEstimateZeroResidency(t *testing.T) {
+	cfg := DefaultWFStall()
+	e := cfg.EstimateWF(wfRec(0, 0, 0, 0, 0), 1_000_000, 1700, grid, 1, 0)
+	if e.IRef != 0 || e.Slope != 0 {
+		t.Fatal("zero residency should give zero estimate")
+	}
+}
+
+func TestBarrierStallFrac(t *testing.T) {
+	recs := []sim.WFRecord{
+		*wfRec(10, 800_000, 100_000, 1_000_000, 0), // heavily stalled
+		*wfRec(10, 100_000, 500_000, 1_000_000, 1),
+	}
+	f := BarrierStallFrac(recs)
+	want := float64(900_000) / float64(1_400_000)
+	if math.Abs(f-want) > 1e-9 {
+		t.Fatalf("frac %g, want %g", f, want)
+	}
+	if BarrierStallFrac(nil) != 1 {
+		t.Fatal("empty records should default to fully async")
+	}
+}
+
+func TestWFEvalNeverNegative(t *testing.T) {
+	e := WFEstimate{IRef: 10, Slope: -1}
+	if e.Eval(2200, 1700) != 0 {
+		t.Fatal("Eval went negative")
+	}
+}
+
+func TestSumCurve(t *testing.T) {
+	e := WFEstimate{IRef: 100, Slope: 0.1}
+	out := make([]float64, grid.Count())
+	e.SumCurve(grid, out)
+	e.SumCurve(grid, out)
+	want := 2 * e.Eval(1300, grid.Mid())
+	if math.Abs(out[0]-want) > 1e-9 {
+		t.Fatalf("summed curve %g, want %g", out[0], want)
+	}
+}
+
+func TestPredictCUUsesModel(t *testing.T) {
+	ep := &sim.CUEpoch{C: sim.CUCounters{Committed: 1000, MemBlockedPs: 500_000}}
+	outStall := make([]float64, grid.Count())
+	PredictCU(Stall{}, ep, 1_000_000, 1700, grid, outStall)
+	outLead := make([]float64, grid.Count())
+	PredictCU(Lead{}, ep, 1_000_000, 1700, grid, outLead) // LeadLatPs = 0 -> pure core
+	if outStall[len(outStall)-1] >= outLead[len(outLead)-1] {
+		t.Fatal("stall-aware prediction should scale less than pure-core prediction")
+	}
+}

@@ -1,0 +1,258 @@
+package exp
+
+import (
+	"fmt"
+
+	"pcstall/internal/clock"
+	"pcstall/internal/core"
+	"pcstall/internal/dvfs"
+	"pcstall/internal/metrics"
+	"pcstall/internal/predict"
+	"pcstall/internal/workload"
+)
+
+// evalDesigns are the TABLE III designs in Figure 14/15 order.
+var evalDesigns = []string{"STALL", "LEAD", "CRIT", "CRISP", "ACCREAC", "PCSTALL", "ACCPC"}
+
+// Figure1a reproduces the opportunity study: geomean ED²P (normalized to
+// static 1.7 GHz) as the DVFS epoch shrinks from 100µs to 1µs, for
+// CRISP, PCSTALL, and ORACLE.
+func (s *Suite) Figure1a() *Table {
+	designs := []string{"CRISP", "PCSTALL", "ORACLE"}
+	t := &Table{
+		ID:     "Figure 1a",
+		Title:  "Geomean normalized ED2P vs DVFS epoch duration",
+		Header: append([]string{"epoch"}, designs...),
+	}
+	for _, e := range epochSweep {
+		vals := make([]float64, len(designs))
+		for i, d := range designs {
+			vals[i] = s.geomeanOver(func(app string) float64 {
+				return s.normED(app, d, e, 2, 1)
+			})
+		}
+		t.AddRow(epochLabel(e), 3, vals...)
+	}
+	return t
+}
+
+// Figure1b reproduces the accuracy-vs-epoch study for CRISP, ACCREAC,
+// and PCSTALL.
+func (s *Suite) Figure1b() *Table {
+	designs := []string{"CRISP", "ACCREAC", "PCSTALL"}
+	t := &Table{
+		ID:     "Figure 1b",
+		Title:  "Mean prediction accuracy vs DVFS epoch duration",
+		Header: append([]string{"epoch"}, designs...),
+	}
+	for _, e := range epochSweep {
+		vals := make([]float64, len(designs))
+		for i, d := range designs {
+			vals[i] = s.meanOver(func(app string) float64 {
+				return s.run(app, d, e, dvfs.ED2P, 1).Accuracy
+			})
+		}
+		t.AddRow(epochLabel(e), 3, vals...)
+	}
+	return t
+}
+
+// Figure14 reproduces the per-workload prediction accuracy of every
+// design at 1µs epochs (ORACLE is 100% by construction and omitted).
+func (s *Suite) Figure14() *Table {
+	t := &Table{
+		ID:     "Figure 14",
+		Title:  "Prediction accuracy at 1us epochs",
+		Header: append([]string{"app"}, evalDesigns...),
+	}
+	means := make([]float64, len(evalDesigns))
+	for _, app := range s.apps() {
+		vals := make([]float64, len(evalDesigns))
+		for i, d := range evalDesigns {
+			vals[i] = s.run(app, d, clock.Microsecond, dvfs.ED2P, 1).Accuracy
+			means[i] += vals[i]
+		}
+		t.AddRow(app, 3, vals...)
+	}
+	for i := range means {
+		means[i] /= float64(len(s.apps()))
+	}
+	t.AddRow("MEAN", 3, means...)
+	return t
+}
+
+// Figure15 reproduces the per-workload ED²P at 1µs epochs, normalized to
+// static 1.7 GHz operation.
+func (s *Suite) Figure15() *Table {
+	designs := []string{"STATIC-1300", "STATIC-2200", "CRISP", "ACCREAC", "PCSTALL", "ACCPC", "ORACLE"}
+	t := &Table{
+		ID:     "Figure 15",
+		Title:  "ED2P normalized to static 1.7GHz (1us epochs)",
+		Header: append([]string{"app"}, designs...),
+	}
+	geo := make([][]float64, len(designs))
+	for _, app := range s.apps() {
+		vals := make([]float64, len(designs))
+		for i, d := range designs {
+			vals[i] = s.normED(app, d, clock.Microsecond, 2, 1)
+			geo[i] = append(geo[i], vals[i])
+		}
+		t.AddRow(app, 3, vals...)
+	}
+	gm := make([]float64, len(designs))
+	for i := range designs {
+		gm[i] = metrics.Geomean(geo[i])
+	}
+	t.AddRow("GEOMEAN", 3, gm...)
+	return t
+}
+
+// Figure16 reproduces the frequency residency of PCSTALL optimizing ED²P
+// at 1µs: the share of domain-time spent at each V/f state, per workload.
+func (s *Suite) Figure16() *Table {
+	grid := clock.DefaultGrid()
+	t := &Table{
+		ID:     "Figure 16",
+		Title:  "Frequency time share under PCSTALL (ED2P, 1us)",
+		Header: []string{"app"},
+	}
+	for _, f := range grid.States() {
+		t.Header = append(t.Header, f.String())
+	}
+	for _, app := range s.apps() {
+		r := s.run(app, "PCSTALL", clock.Microsecond, dvfs.ED2P, 1)
+		t.AddRow(app, 3, r.Residency...)
+	}
+	return t
+}
+
+// Figure17 reproduces the EDP sweep: geomean EDP normalized to static
+// 1.7 GHz vs epoch duration.
+func (s *Suite) Figure17() *Table {
+	designs := []string{"CRISP", "PCSTALL", "ORACLE"}
+	t := &Table{
+		ID:     "Figure 17",
+		Title:  "Geomean normalized EDP vs DVFS epoch duration",
+		Header: append([]string{"epoch"}, designs...),
+	}
+	for _, e := range epochSweep {
+		vals := make([]float64, len(designs))
+		for i, d := range designs {
+			vals[i] = s.geomeanOver(func(app string) float64 {
+				obj := dvfs.EDP
+				base := s.run(app, "STATIC-1700", e, obj, 1).Totals.EDP()
+				return s.run(app, d, e, obj, 1).Totals.EDP() / base
+			})
+		}
+		t.AddRow(epochLabel(e), 3, vals...)
+	}
+	return t
+}
+
+// Figure18a reproduces the fixed-performance energy study: mean energy
+// savings versus static top-frequency operation when the governor may
+// degrade performance by at most 5% / 10%.
+func (s *Suite) Figure18a() *Table {
+	designs := []string{"CRISP", "PCSTALL", "ORACLE"}
+	t := &Table{
+		ID:     "Figure 18a",
+		Title:  "Energy savings (%) vs static 2.2GHz under perf-degradation limits (1us)",
+		Header: append([]string{"limit"}, designs...),
+	}
+	for _, limit := range []float64{0.05, 0.10} {
+		obj := dvfs.FixedPerf{Limit: limit}
+		vals := make([]float64, len(designs))
+		for i, d := range designs {
+			vals[i] = 100 * s.meanOver(func(app string) float64 {
+				base := s.run(app, "STATIC-2200", clock.Microsecond, obj, 1).Totals.EnergyJ
+				e := s.run(app, d, clock.Microsecond, obj, 1).Totals.EnergyJ
+				return 1 - e/base
+			})
+		}
+		t.AddRow(fmt.Sprintf("%.0f%%", limit*100), 1, vals...)
+	}
+	return t
+}
+
+// Figure18b reproduces the V/f-domain granularity study: geomean
+// normalized ED²P as domains grow from one CU to half the GPU.
+func (s *Suite) Figure18b() *Table {
+	designs := []string{"CRISP", "PCSTALL", "ORACLE"}
+	t := &Table{
+		ID:     "Figure 18b",
+		Title:  "Geomean normalized ED2P vs V/f domain granularity (1us)",
+		Header: append([]string{"CUs/domain"}, designs...),
+	}
+	for g := 1; g <= s.Cfg.CUs/2; g *= 2 {
+		vals := make([]float64, len(designs))
+		for i, d := range designs {
+			vals[i] = s.geomeanOver(func(app string) float64 {
+				return s.normED(app, d, clock.Microsecond, 2, g)
+			})
+		}
+		t.AddRow(fmt.Sprintf("%dCU", g), 3, vals...)
+	}
+	return t
+}
+
+// Table1 reproduces the hardware storage overhead table.
+func (s *Suite) Table1() *Table {
+	t := &Table{
+		ID:     "Table I",
+		Title:  "Hardware storage overhead per instance (bytes)",
+		Header: []string{"design", "component", "bytes", "total"},
+	}
+	rows := core.StorageTable(predict.DefaultPCTable(), 40, 32)
+	for _, r := range rows {
+		for i, c := range r.Components {
+			total := ""
+			if i == 0 {
+				total = fmt.Sprintf("%d", r.TotalBytes)
+			}
+			name := ""
+			if i == 0 {
+				name = r.Design
+			}
+			t.Rows = append(t.Rows, []string{name, c.Name, fmt.Sprintf("%d", c.Bytes), total})
+			t.Data = append(t.Data, []float64{float64(c.Bytes), float64(r.TotalBytes)})
+		}
+	}
+	return t
+}
+
+// Table2 reproduces the workload inventory.
+func (s *Suite) Table2() *Table {
+	t := &Table{
+		ID:     "Table II",
+		Title:  "HPC and MI workloads (unique kernels in parentheses)",
+		Header: []string{"app", "class", "kernels", "launches"},
+	}
+	gen := workload.DefaultGenConfig(s.Cfg.CUs)
+	gen.Scale = s.Cfg.Scale
+	for _, name := range workload.Names() {
+		a := workload.MustBuild(name, gen)
+		t.Rows = append(t.Rows, []string{
+			a.Name, string(a.Class),
+			fmt.Sprintf("%d", a.UniqueKernels()),
+			fmt.Sprintf("%d", len(a.Launches)),
+		})
+		t.Data = append(t.Data, []float64{float64(a.UniqueKernels()), float64(len(a.Launches))})
+	}
+	return t
+}
+
+// Table3 reproduces the evaluated-designs table.
+func (s *Suite) Table3() *Table {
+	t := &Table{
+		ID:     "Table III",
+		Title:  "DVFS prediction designs evaluated",
+		Header: []string{"name", "estimation model", "control mechanism", "practical"},
+	}
+	for _, d := range core.Designs() {
+		t.Rows = append(t.Rows, []string{
+			d.Name, d.Estimation, d.Control, fmt.Sprintf("%v", d.Practical),
+		})
+		t.Data = append(t.Data, nil)
+	}
+	return t
+}

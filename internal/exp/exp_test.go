@@ -1,0 +1,221 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"pcstall/internal/clock"
+	"pcstall/internal/dvfs"
+)
+
+// tinySuite returns a suite scaled for unit tests: a small GPU, short
+// workloads, and a restricted app set.
+func tinySuite(apps ...string) *Suite {
+	cfg := DefaultConfig()
+	cfg.CUs = 2
+	cfg.Scale = 0.25
+	cfg.TraceEpochs = 12
+	if len(apps) > 0 {
+		cfg.Apps = apps
+	}
+	return NewSuite(cfg)
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := &Table{
+		ID:     "T",
+		Title:  "demo",
+		Header: []string{"row", "a", "b"},
+		Notes:  []string{"a note"},
+	}
+	tb.AddRow("x", 2, 1.234, 5.678)
+	tb.AddRow("y", 2, 9, 10)
+
+	var sb strings.Builder
+	tb.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"== T: demo ==", "1.23", "5.68", "a note", "row"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if got := tb.Row("x"); len(got) != 2 || got[0] != 1.234 {
+		t.Fatalf("Row(x) = %v", got)
+	}
+	if tb.Row("nope") != nil {
+		t.Fatal("Row of unknown label should be nil")
+	}
+}
+
+func TestRunCaching(t *testing.T) {
+	s := tinySuite("comd")
+	a := s.run("comd", "STATIC-1700", clock.Microsecond, dvfs.ED2P, 1)
+	b := s.run("comd", "STATIC-1700", clock.Microsecond, dvfs.ED2P, 1)
+	if a != b {
+		t.Fatal("identical runs not cached")
+	}
+	c := s.run("comd", "STATIC-1700", clock.Microsecond, dvfs.EDP, 1)
+	if a == c {
+		t.Fatal("different objective shared a cache entry")
+	}
+}
+
+func TestTraceShape(t *testing.T) {
+	s := tinySuite("comd")
+	tr := s.trace("comd", clock.Microsecond, 8, true)
+	if len(tr.sens) == 0 || len(tr.sens) > 8 {
+		t.Fatalf("trace has %d epochs", len(tr.sens))
+	}
+	for e := range tr.sens {
+		if len(tr.sens[e]) != 2 { // 2 CUs = 2 domains
+			t.Fatalf("epoch %d has %d domains", e, len(tr.sens[e]))
+		}
+	}
+	if len(tr.wf) != len(tr.sens) {
+		t.Fatal("wf samples missing")
+	}
+	if len(tr.curves) == 0 {
+		t.Fatal("no curves kept for Fig.5")
+	}
+	// Cached on second call.
+	if tr2 := s.trace("comd", clock.Microsecond, 8, true); tr2 != tr {
+		t.Fatal("trace not cached")
+	}
+}
+
+func TestMeanRelChangeBounds(t *testing.T) {
+	s := tinySuite("comd", "xsbench")
+	for _, app := range s.apps() {
+		v := s.trace(app, clock.Microsecond, 10, false).meanRelChange()
+		if v < 0 || v > 1 {
+			t.Fatalf("%s rel change %g out of [0,1]", app, v)
+		}
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	s := tinySuite("comd")
+	tb := s.Figure5()
+	if len(tb.Rows) == 0 {
+		t.Fatal("Figure 5 empty")
+	}
+	if len(tb.Header) != 11 { // epoch + 10 states
+		t.Fatalf("header has %d columns", len(tb.Header))
+	}
+	// Each sampled epoch's curve trends upward or flat overall; small
+	// per-state dips are legitimate cross-domain interference noise
+	// (the paper's R² is 0.82, not 1).
+	for i, row := range tb.Data {
+		if len(row) < 2 || row[0] == 0 {
+			continue
+		}
+		if row[len(row)-1] < row[0]*0.8 {
+			t.Errorf("row %d decreases overall: %v", i, row)
+		}
+	}
+	if len(tb.Notes) == 0 || !strings.Contains(tb.Notes[0], "R^2") {
+		t.Fatal("missing R² note")
+	}
+}
+
+func TestFigure7aShape(t *testing.T) {
+	s := tinySuite("comd", "BwdPool")
+	tb := s.Figure7a()
+	if len(tb.Rows) != 3 { // 2 apps + MEAN
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	mean := tb.Row("MEAN")
+	if mean == nil || mean[0] < 0 || mean[0] > 1 {
+		t.Fatalf("bad MEAN row %v", mean)
+	}
+}
+
+func TestFigure14And15Consistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several designs")
+	}
+	s := tinySuite("comd", "xsbench")
+	f14 := s.Figure14()
+	f15 := s.Figure15()
+	if len(f14.Rows) != 3 || len(f15.Rows) != 3 { // 2 apps + aggregate
+		t.Fatalf("row counts %d/%d", len(f14.Rows), len(f15.Rows))
+	}
+	for _, row := range f14.Data {
+		for i, v := range row {
+			if v < 0 || v > 1 {
+				t.Fatalf("accuracy %g out of range (col %d)", v, i)
+			}
+		}
+	}
+	for _, row := range f15.Data {
+		for i, v := range row {
+			if v <= 0 || v > 10 {
+				t.Fatalf("normalized ED2P %g implausible (col %d)", v, i)
+			}
+		}
+	}
+}
+
+func TestFigure16ResidencySumsToOne(t *testing.T) {
+	s := tinySuite("xsbench")
+	tb := s.Figure16()
+	for i, row := range tb.Data {
+		sum := 0.0
+		for _, v := range row {
+			sum += v
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Fatalf("row %d residency sums to %g", i, sum)
+		}
+	}
+}
+
+func TestTables(t *testing.T) {
+	s := tinySuite("comd")
+	t1 := s.Table1()
+	if len(t1.Rows) == 0 {
+		t.Fatal("Table I empty")
+	}
+	// PCSTALL total must be the paper's 328 bytes.
+	found := false
+	for i, r := range t1.Rows {
+		if r[0] == "PCSTALL" && t1.Data[i][1] == 328 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("PCSTALL storage total != 328 bytes")
+	}
+	t2 := s.Table2()
+	if len(t2.Rows) != 16 {
+		t.Fatalf("Table II has %d rows", len(t2.Rows))
+	}
+	t3 := s.Table3()
+	if len(t3.Rows) != 8 {
+		t.Fatalf("Table III has %d rows", len(t3.Rows))
+	}
+}
+
+func TestNewSuiteDefaults(t *testing.T) {
+	s := NewSuite(Config{})
+	if s.Cfg.CUs == 0 || len(s.Cfg.Apps) != 16 || s.Cfg.MaxTime == 0 {
+		t.Fatalf("zero-value config not defaulted: %+v", s.Cfg)
+	}
+}
+
+func TestGeomeanMeanOver(t *testing.T) {
+	s := tinySuite("comd", "xsbench")
+	g := s.geomeanOver(func(string) float64 { return 4 })
+	if g != 4 {
+		t.Fatalf("geomean of constant = %g", g)
+	}
+	m := s.meanOver(func(app string) float64 {
+		if app == "comd" {
+			return 1
+		}
+		return 3
+	})
+	if m != 2 {
+		t.Fatalf("mean = %g", m)
+	}
+}

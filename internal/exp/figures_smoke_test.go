@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"testing"
+)
+
+// TestAllFiguresSmoke regenerates every remaining artifact at a tiny
+// scale and checks structural sanity (row counts, value ranges). The
+// heavyweight figure-accuracy claims are validated by the benchmark
+// harness at full scale; this test guards against wiring regressions.
+func TestAllFiguresSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates every artifact")
+	}
+	s := tinySuite("comd", "xsbench")
+
+	inRange := func(name string, tb *Table, lo, hi float64) {
+		t.Helper()
+		if len(tb.Rows) == 0 {
+			t.Fatalf("%s: empty", name)
+		}
+		for i, row := range tb.Data {
+			for j, v := range row {
+				if v < lo || v > hi {
+					t.Errorf("%s row %d col %d: %g outside [%g,%g]", name, i, j, v, lo, hi)
+				}
+			}
+		}
+	}
+
+	inRange("Figure6", s.Figure6(), -1e6, 1e6)
+	inRange("Figure7b", s.Figure7b(), 0, 1)
+	inRange("Figure8", s.Figure8(), -1e6, 1e6)
+	inRange("Figure10", s.Figure10(), 0, 1)
+	inRange("Figure11a", s.Figure11a(), 0, 1)
+	inRange("Figure11b", s.Figure11b(), 0, 1)
+	inRange("Figure1a", s.Figure1a(), 0.1, 10)
+	inRange("Figure1b", s.Figure1b(), 0, 1)
+	inRange("Figure17", s.Figure17(), 0.1, 10)
+	inRange("Figure18a", s.Figure18a(), -100, 100)
+	inRange("Figure18b", s.Figure18b(), 0.1, 10)
+
+	// Granularity rows must cover 1 CU up to half the GPU.
+	if got := len(s.Figure18b().Rows); got != 1 { // 2-CU GPU: only 1CU/domain
+		t.Fatalf("Figure18b rows = %d on a 2-CU GPU", got)
+	}
+}
+
+// TestAblationsSmoke regenerates the ablation tables at a tiny scale.
+func TestAblationsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates every ablation")
+	}
+	s := tinySuite("comd", "xsbench")
+	for _, a := range []struct {
+		name string
+		gen  func() *Table
+		rows int
+	}{
+		{"A1", s.AblTableSize, 7},
+		{"A2", s.AblOffsetBits, 5},
+		{"A3", s.AblTableScope, 3},
+		{"A4", s.AblAgeCoef, 4},
+		{"A5", s.AblAlphaFallback, 4},
+		{"A6", s.AblOracleSamples, 5},
+		{"A7", s.AblEstimators, 5},
+		{"A8", s.AblEpochMode, 2},
+		{"E1", s.Extensions, 5},
+	} {
+		tb := a.gen()
+		if len(tb.Rows) != a.rows {
+			t.Errorf("%s: %d rows, want %d", a.name, len(tb.Rows), a.rows)
+		}
+		for i, row := range tb.Data {
+			for j, v := range row {
+				if v != v { // NaN
+					t.Errorf("%s row %d col %d is NaN", a.name, i, j)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package isa
+
+import "fmt"
+
+// Builder assembles a Program with structured loops. It panics on misuse
+// (unclosed loops, loops closed without opening) — builder errors are
+// programming errors in workload generators, not runtime conditions.
+type Builder struct {
+	name      string
+	base      uint64
+	code      []Instruction
+	loopStack []int // instruction indices of loop heads
+	trips     []int32
+	tripVars  []int32
+	slots     int
+}
+
+// NewBuilder starts a program named name whose first instruction will live
+// at byte address base.
+func NewBuilder(name string, base uint64) *Builder {
+	return &Builder{name: name, base: base}
+}
+
+// Emit appends an arbitrary instruction.
+func (b *Builder) Emit(in Instruction) *Builder {
+	if in.Kind != Branch {
+		in.BranchSlot = -1
+	}
+	b.code = append(b.code, in)
+	return b
+}
+
+// VALUBlock appends n vector ALU instructions with the given latency.
+func (b *Builder) VALUBlock(n int, latency uint8) *Builder {
+	for i := 0; i < n; i++ {
+		b.Emit(Instruction{Kind: VALU, Latency: latency})
+	}
+	return b
+}
+
+// SALU appends one scalar ALU instruction.
+func (b *Builder) SALU() *Builder {
+	return b.Emit(Instruction{Kind: SALU, Latency: 1})
+}
+
+// LDSBlock appends n local-data-share operations.
+func (b *Builder) LDSBlock(n int, latency uint8) *Builder {
+	for i := 0; i < n; i++ {
+		b.Emit(Instruction{Kind: LDS, Latency: latency})
+	}
+	return b
+}
+
+// Load appends a vector load with the given access pattern.
+func (b *Builder) Load(p AccessPattern) *Builder {
+	return b.Emit(Instruction{Kind: VLoad, Latency: 1, Pattern: p})
+}
+
+// Store appends a vector store with the given access pattern.
+func (b *Builder) Store(p AccessPattern) *Builder {
+	return b.Emit(Instruction{Kind: VStore, Latency: 1, Pattern: p})
+}
+
+// WaitAll appends s_waitcnt 0: block until all outstanding memory
+// operations of the wavefront complete.
+func (b *Builder) WaitAll() *Builder {
+	return b.Emit(Instruction{Kind: WaitCnt, Latency: 1, Imm: 0})
+}
+
+// Wait appends s_waitcnt n: block until at most n memory operations remain
+// outstanding (n > 0 expresses software pipelining / MLP).
+func (b *Builder) Wait(n int32) *Builder {
+	return b.Emit(Instruction{Kind: WaitCnt, Latency: 1, Imm: n})
+}
+
+// Barrier appends a workgroup barrier.
+func (b *Builder) Barrier() *Builder {
+	return b.Emit(Instruction{Kind: Barrier, Latency: 1})
+}
+
+// Loop opens a loop whose body executes trip times per entry, with up to
+// ±tripVar per-wavefront variation (clamped below trip so every wave
+// iterates at least once). Close it with EndLoop.
+func (b *Builder) Loop(trip, tripVar int32) *Builder {
+	if trip < 1 {
+		trip = 1
+	}
+	if tripVar >= trip {
+		tripVar = trip - 1
+	}
+	b.loopStack = append(b.loopStack, len(b.code))
+	b.trips = append(b.trips, trip)
+	b.tripVars = append(b.tripVars, tripVar)
+	return b
+}
+
+// EndLoop closes the innermost open loop by emitting its backward branch.
+// A loop with an empty body is elided entirely.
+func (b *Builder) EndLoop() *Builder {
+	n := len(b.loopStack)
+	if n == 0 {
+		panic(fmt.Sprintf("isa: EndLoop without Loop in %q", b.name))
+	}
+	head := b.loopStack[n-1]
+	trip := b.trips[n-1]
+	tv := b.tripVars[n-1]
+	b.loopStack = b.loopStack[:n-1]
+	b.trips = b.trips[:n-1]
+	b.tripVars = b.tripVars[:n-1]
+	if head == len(b.code) {
+		return b // empty body: nothing to repeat
+	}
+	b.code = append(b.code, Instruction{
+		Kind:       Branch,
+		Latency:    1,
+		Imm:        int32(head),
+		Trip:       trip,
+		TripVar:    tv,
+		BranchSlot: int32(b.slots),
+	})
+	b.slots++
+	return b
+}
+
+// Build terminates the program with s_endpgm, validates it, and returns
+// it. Build panics if loops are unclosed or validation fails: workload
+// generators are static code, so a bad program is a bug, not input error.
+func (b *Builder) Build() Program {
+	if len(b.loopStack) != 0 {
+		panic(fmt.Sprintf("isa: program %q has %d unclosed loops", b.name, len(b.loopStack)))
+	}
+	b.Emit(Instruction{Kind: EndPgm, Latency: 1})
+	p := Program{Name: b.name, Code: b.code, BranchSlots: b.slots, Base: b.base}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Kernel couples a program with its dispatch shape.
+type Kernel struct {
+	Program Program
+	// Workgroups is the number of workgroups in the dispatch grid.
+	Workgroups int
+	// WavesPerWG is the number of wavefronts per workgroup (1..40 in
+	// this model; each wavefront is one 64-lane GCN wave).
+	WavesPerWG int
+}
+
+// Validate checks the kernel's dispatch shape and program.
+func (k *Kernel) Validate() error {
+	if k.Workgroups < 1 {
+		return fmt.Errorf("isa: kernel %q: %d workgroups", k.Program.Name, k.Workgroups)
+	}
+	if k.WavesPerWG < 1 || k.WavesPerWG > 40 {
+		return fmt.Errorf("isa: kernel %q: %d waves per workgroup out of [1,40]", k.Program.Name, k.WavesPerWG)
+	}
+	return k.Program.Validate()
+}
+
+// TotalWaves returns the number of wavefronts the kernel dispatches.
+func (k *Kernel) TotalWaves() int { return k.Workgroups * k.WavesPerWG }

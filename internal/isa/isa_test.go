@@ -1,0 +1,286 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pcstall/internal/xrand"
+)
+
+func pat() AccessPattern {
+	return AccessPattern{Kind: PatStream, Base: 1 << 20, WorkingSet: 1 << 20, Stride: 256, Lines: 2}
+}
+
+func TestBuilderBasicProgram(t *testing.T) {
+	p := NewBuilder("k", 0x1000).
+		VALUBlock(3, 4).
+		Load(pat()).
+		WaitAll().
+		Store(pat()).
+		WaitAll().
+		Build()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[len(p.Code)-1].Kind != EndPgm {
+		t.Fatal("program not EndPgm-terminated")
+	}
+	st := p.Stats()
+	if st.Compute != 3 || st.Loads != 1 || st.Stores != 1 || st.WaitCnts != 2 {
+		t.Fatalf("bad stats: %+v", st)
+	}
+}
+
+func TestBuilderLoopNesting(t *testing.T) {
+	p := NewBuilder("loops", 0).
+		Loop(10, 2).
+		VALUBlock(1, 4).
+		Loop(5, 0).
+		SALU().
+		EndLoop().
+		EndLoop().
+		Build()
+	st := p.Stats()
+	if st.Branches != 2 {
+		t.Fatalf("want 2 branches, got %d", st.Branches)
+	}
+	if st.LoopDepth != 2 {
+		t.Fatalf("want loop depth 2, got %d", st.LoopDepth)
+	}
+	// Branch slots must be densely numbered in emit order.
+	slot := int32(0)
+	for _, in := range p.Code {
+		if in.Kind == Branch {
+			if in.BranchSlot != slot {
+				t.Fatalf("branch slot %d, want %d", in.BranchSlot, slot)
+			}
+			slot++
+		}
+	}
+}
+
+func TestBuilderUnclosedLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Build with unclosed loop did not panic")
+		}
+	}()
+	NewBuilder("bad", 0).Loop(3, 0).SALU().Build()
+}
+
+func TestBuilderEndLoopWithoutLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EndLoop without Loop did not panic")
+		}
+	}()
+	NewBuilder("bad", 0).SALU().EndLoop()
+}
+
+func TestBuilderClampsTripVariation(t *testing.T) {
+	p := NewBuilder("clamp", 0).
+		Loop(3, 99). // variation larger than trip must be clamped
+		SALU().
+		EndLoop().
+		Build()
+	for _, in := range p.Code {
+		if in.Kind == Branch && in.TripVar >= in.Trip {
+			t.Fatalf("trip variation %d not clamped below trip %d", in.TripVar, in.Trip)
+		}
+	}
+}
+
+func TestValidateRejectsBarrierInVariableLoop(t *testing.T) {
+	p := NewBuilder("deadlock", 0).
+		Loop(10, 3).
+		Barrier().
+		EndLoop()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("barrier inside variable-trip loop not rejected")
+		}
+		if !strings.Contains(toString(r), "barrier") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	p.Build()
+}
+
+func toString(v any) string {
+	if err, ok := v.(error); ok {
+		return err.Error()
+	}
+	if s, ok := v.(string); ok {
+		return s
+	}
+	return ""
+}
+
+func TestValidateRejectsStructuralErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		prog Program
+	}{
+		{"empty", Program{Name: "e"}},
+		{"no endpgm", Program{Name: "n", Code: []Instruction{{Kind: VALU}}}},
+		{"forward branch", Program{Name: "f", Code: []Instruction{
+			{Kind: Branch, Imm: 1, Trip: 2, BranchSlot: 0},
+			{Kind: EndPgm},
+		}, BranchSlots: 1}},
+		{"memory without pattern", Program{Name: "m", Code: []Instruction{
+			{Kind: VLoad},
+			{Kind: EndPgm},
+		}}},
+		{"negative waitcnt", Program{Name: "w", Code: []Instruction{
+			{Kind: WaitCnt, Imm: -1},
+			{Kind: EndPgm},
+		}}},
+		{"slot mismatch", Program{Name: "s", Code: []Instruction{
+			{Kind: SALU},
+			{Kind: Branch, Imm: 0, Trip: 2, BranchSlot: 5},
+			{Kind: EndPgm},
+		}, BranchSlots: 1}},
+	}
+	for _, c := range cases {
+		if err := c.prog.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid program", c.name)
+		}
+	}
+}
+
+func TestPCArithmetic(t *testing.T) {
+	p := NewBuilder("pc", 0x4000).VALUBlock(2, 4).Build()
+	if p.PC(0) != 0x4000 {
+		t.Fatalf("PC(0) = %#x", p.PC(0))
+	}
+	if p.PC(1) != 0x4000+InstrBytes {
+		t.Fatalf("PC(1) = %#x", p.PC(1))
+	}
+}
+
+func TestKernelValidate(t *testing.T) {
+	p := NewBuilder("k", 0).SALU().Build()
+	good := Kernel{Program: p, Workgroups: 2, WavesPerWG: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if good.TotalWaves() != 8 {
+		t.Fatalf("TotalWaves = %d", good.TotalWaves())
+	}
+	bad := []Kernel{
+		{Program: p, Workgroups: 0, WavesPerWG: 4},
+		{Program: p, Workgroups: 1, WavesPerWG: 0},
+		{Program: p, Workgroups: 1, WavesPerWG: 41},
+	}
+	for i, k := range bad {
+		if err := k.Validate(); err == nil {
+			t.Errorf("bad kernel %d accepted", i)
+		}
+	}
+}
+
+// TestRandomProgramsValidate is a property test: any program the Builder
+// produces from a random (but well-bracketed) construction sequence must
+// pass Validate.
+func TestRandomProgramsValidate(t *testing.T) {
+	build := func(seed uint64) (prog Program, panicked bool) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		rng := xrand.New(seed)
+		b := NewBuilder("rand", uint64(rng.Intn(1<<20)))
+		var varStack []bool // per open loop: has trip variation
+		anyVar := func() bool {
+			for _, v := range varStack {
+				if v {
+					return true
+				}
+			}
+			return false
+		}
+		hasBarrier := false
+		n := 5 + rng.Intn(60)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(8) {
+			case 0, 1:
+				b.VALUBlock(1+rng.Intn(8), uint8(1+rng.Intn(4)))
+			case 2:
+				b.Load(pat())
+			case 3:
+				b.WaitAll()
+			case 4:
+				b.Store(pat())
+				b.Wait(int32(rng.Intn(3)))
+			case 5:
+				if len(varStack) < 3 {
+					tv := int32(rng.Intn(3))
+					b.Loop(int32(2+rng.Intn(20)), tv)
+					varStack = append(varStack, tv > 0)
+				}
+			case 6:
+				if len(varStack) > 0 {
+					b.EndLoop()
+					varStack = varStack[:len(varStack)-1]
+				}
+			case 7:
+				if !anyVar() && !hasBarrier {
+					// Barriers only outside variable-trip loops.
+					b.Barrier()
+					hasBarrier = true
+				}
+			}
+		}
+		for len(varStack) > 0 {
+			b.EndLoop()
+			varStack = varStack[:len(varStack)-1]
+		}
+		return b.Build(), false
+	}
+	err := quick.Check(func(seed uint64) bool {
+		p, panicked := build(seed)
+		if panicked {
+			return false
+		}
+		return p.Validate() == nil
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindClassification(t *testing.T) {
+	for _, k := range []Kind{VALU, SALU, LDS} {
+		if !k.IsCompute() || k.IsMemory() {
+			t.Errorf("%v misclassified", k)
+		}
+	}
+	for _, k := range []Kind{VLoad, VStore} {
+		if !k.IsMemory() || k.IsCompute() {
+			t.Errorf("%v misclassified", k)
+		}
+	}
+	for _, k := range []Kind{WaitCnt, Barrier, Branch, EndPgm} {
+		if k.IsMemory() || k.IsCompute() {
+			t.Errorf("%v misclassified", k)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{VALU, SALU, LDS, VLoad, VStore, WaitCnt, Barrier, Branch, EndPgm}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d has empty/duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if !strings.HasPrefix(Kind(99).String(), "kind(") {
+		t.Error("unknown kind should format as kind(N)")
+	}
+}

@@ -1,0 +1,159 @@
+// Package mem implements the GPU memory hierarchy substrate: per-CU L1
+// caches, a banked shared L2 running in the fixed uncore clock domain, and
+// a DRAM model with fixed latency and bounded bandwidth.
+//
+// Everything in this package is plain data (flat slices, no pointers
+// between components), so the whole hierarchy can be deep-copied by
+// Clone for the fork-pre-execute oracle. Timing decisions (when a bank
+// dequeues, when a response lands) are made in integer picoseconds using
+// the uncore frequency, and are fully deterministic.
+package mem
+
+// Cache is a set-associative cache with true-LRU replacement. It models
+// tags only — the simulator never materializes data — and is a value type
+// whose Clone copies the full tag state.
+type Cache struct {
+	sets      uint32
+	ways      uint32
+	lineShift uint32
+	tick      uint64
+	// tags holds sets*ways entries; entry 0 is invalid, otherwise the
+	// stored value is lineAddr+1.
+	tags []uint64
+	// stamp holds the LRU timestamp for each entry.
+	stamp []uint64
+	// hits and misses are cumulative probe outcomes.
+	hits, misses int64
+}
+
+// NewCache builds a cache with the given geometry. sets and ways must be
+// positive; lineBytes must be a power of two.
+func NewCache(sets, ways, lineBytes int) Cache {
+	if sets < 1 || ways < 1 {
+		panic("mem: cache needs at least one set and one way")
+	}
+	if lineBytes <= 0 || lineBytes&(lineBytes-1) != 0 {
+		panic("mem: line size must be a power of two")
+	}
+	shift := uint32(0)
+	for 1<<shift != lineBytes {
+		shift++
+	}
+	n := sets * ways
+	return Cache{
+		sets:      uint32(sets),
+		ways:      uint32(ways),
+		lineShift: shift,
+		tags:      make([]uint64, n),
+		stamp:     make([]uint64, n),
+	}
+}
+
+// LineBytes returns the cache line size.
+func (c *Cache) LineBytes() int { return 1 << c.lineShift }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return int(c.sets) }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return int(c.ways) }
+
+// CapacityBytes returns the total capacity.
+func (c *Cache) CapacityBytes() int {
+	return int(c.sets) * int(c.ways) * (1 << c.lineShift)
+}
+
+// Hits returns the cumulative hit count.
+func (c *Cache) Hits() int64 { return c.hits }
+
+// Misses returns the cumulative miss count.
+func (c *Cache) Misses() int64 { return c.misses }
+
+func (c *Cache) setOf(addr uint64) uint32 {
+	return uint32((addr >> c.lineShift) % uint64(c.sets))
+}
+
+// Probe looks up addr, updating LRU state and hit/miss counters. It
+// returns true on hit. Probe does not allocate on miss; pair it with Fill.
+func (c *Cache) Probe(addr uint64) bool {
+	c.tick++
+	line := addr>>c.lineShift + 1
+	base := c.setOf(addr) * c.ways
+	for w := uint32(0); w < c.ways; w++ {
+		if c.tags[base+w] == line {
+			c.stamp[base+w] = c.tick
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// Contains reports whether addr is resident without touching LRU state or
+// counters (used by tests and invariant checks).
+func (c *Cache) Contains(addr uint64) bool {
+	line := addr>>c.lineShift + 1
+	base := c.setOf(addr) * c.ways
+	for w := uint32(0); w < c.ways; w++ {
+		if c.tags[base+w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill installs addr's line, evicting the LRU way of its set if needed.
+// It returns the evicted line address and whether an eviction happened.
+// Filling an already-resident line refreshes its LRU stamp.
+func (c *Cache) Fill(addr uint64) (evicted uint64, wasEvicted bool) {
+	c.tick++
+	line := addr>>c.lineShift + 1
+	base := c.setOf(addr) * c.ways
+	victim := base
+	oldest := ^uint64(0)
+	for w := uint32(0); w < c.ways; w++ {
+		i := base + w
+		if c.tags[i] == line {
+			c.stamp[i] = c.tick
+			return 0, false
+		}
+		if c.tags[i] == 0 {
+			// Prefer an invalid way; stamp 0 guarantees selection
+			// over any valid entry.
+			if oldest != 0 {
+				victim, oldest = i, 0
+			}
+			continue
+		}
+		if c.stamp[i] < oldest {
+			victim, oldest = i, c.stamp[i]
+		}
+	}
+	if c.tags[victim] != 0 {
+		evicted = (c.tags[victim] - 1) << c.lineShift
+		wasEvicted = true
+	}
+	c.tags[victim] = line
+	c.stamp[victim] = c.tick
+	return evicted, wasEvicted
+}
+
+// Flush invalidates every line and resets counters.
+func (c *Cache) Flush() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.stamp[i] = 0
+	}
+	c.tick = 0
+	c.hits = 0
+	c.misses = 0
+}
+
+// Clone returns a deep copy.
+func (c *Cache) Clone() Cache {
+	cp := *c
+	cp.tags = append([]uint64(nil), c.tags...)
+	cp.stamp = append([]uint64(nil), c.stamp...)
+	return cp
+}

@@ -1,0 +1,342 @@
+package mem
+
+import (
+	"fmt"
+
+	"pcstall/internal/clock"
+)
+
+// Request is one cache-line transaction traveling through the hierarchy.
+// CU and WF identify the issuing wavefront so the simulator can decrement
+// its outstanding counters when the response lands; the remaining fields
+// feed the estimation models' counters.
+type Request struct {
+	Addr  uint64
+	CU    int32
+	WF    int32
+	Store bool
+	// Issue is the time the CU issued the request (after L1 miss).
+	Issue clock.Time
+	// Leading marks a load issued while its CU had no other loads in
+	// flight (the Leading Load model's signal).
+	Leading bool
+	// L1Hit marks a response scheduled by the CU itself for an L1 hit;
+	// it bypassed the shared hierarchy.
+	L1Hit bool
+}
+
+// Config describes the memory hierarchy geometry and timing.
+type Config struct {
+	LineBytes int
+
+	L1Sets     int
+	L1Ways     int
+	L1Latency  int // CU cycles from issue to response on an L1 hit
+	L1MSHRs    int // max outstanding L1 misses per CU (issue stalls beyond)
+	L2Banks    int
+	L2Sets     int // per bank
+	L2Ways     int
+	L2Latency  int // uncore cycles from dequeue to response on an L2 hit
+	DRAMLat    int // uncore cycles from DRAM dequeue to response
+	DRAMWidth  int // DRAM requests serviced per uncore cycle
+	UncoreFreq clock.Freq
+}
+
+// DefaultConfig mirrors the paper's platform: 16 L2 banks shared by all
+// CUs with the memory subsystem fixed at 1.6 GHz (§5). Capacities are
+// Vega-class: 16 KiB L1 per CU, 4 MiB L2 total.
+func DefaultConfig() Config {
+	return Config{
+		LineBytes:  64,
+		L1Sets:     64, // 16 KiB: 64 sets * 4 ways * 64 B
+		L1Ways:     4,
+		L1Latency:  28,
+		L1MSHRs:    32,
+		L2Banks:    16,
+		L2Sets:     256, // 4 MiB: 16 banks * 256 sets * 16 ways * 64 B
+		L2Ways:     16,
+		L2Latency:  64,
+		DRAMLat:    240,
+		DRAMWidth:  2,
+		UncoreFreq: 1600,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("mem: line size %d not a power of two", c.LineBytes)
+	case c.L1Sets < 1 || c.L1Ways < 1 || c.L2Banks < 1 || c.L2Sets < 1 || c.L2Ways < 1:
+		return fmt.Errorf("mem: non-positive cache geometry: %+v", c)
+	case c.L1Latency < 1 || c.L2Latency < 1 || c.DRAMLat < 1:
+		return fmt.Errorf("mem: non-positive latency: %+v", c)
+	case c.L1MSHRs < 1:
+		return fmt.Errorf("mem: need at least one L1 MSHR")
+	case c.DRAMWidth < 1:
+		return fmt.Errorf("mem: DRAM width %d < 1", c.DRAMWidth)
+	case c.UncoreFreq < 1:
+		return fmt.Errorf("mem: uncore frequency %v", c.UncoreFreq)
+	}
+	return nil
+}
+
+// NewL1 builds one CU's L1 cache per the config.
+func (c Config) NewL1() Cache { return NewCache(c.L1Sets, c.L1Ways, c.LineBytes) }
+
+// queue is a FIFO of requests with O(1) amortized push/pop.
+type queue struct {
+	buf  []Request
+	head int
+}
+
+func (q *queue) push(r Request) { q.buf = append(q.buf, r) }
+
+func (q *queue) len() int { return len(q.buf) - q.head }
+
+func (q *queue) pop() Request {
+	r := q.buf[q.head]
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return r
+}
+
+func (q *queue) clone() queue {
+	return queue{buf: append([]Request(nil), q.buf...), head: q.head}
+}
+
+// completion is a response scheduled to land at time At.
+type completion struct {
+	At  clock.Time
+	Seq int64 // tie-break so completion order is deterministic
+	Req Request
+}
+
+// complHeap is a binary min-heap ordered by (At, Seq).
+type complHeap []completion
+
+func (h *complHeap) push(c completion) {
+	*h = append(*h, c)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !(*h)[i].less((*h)[p]) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (c completion) less(o completion) bool {
+	if c.At != o.At {
+		return c.At < o.At
+	}
+	return c.Seq < o.Seq
+}
+
+func (h *complHeap) pop() completion {
+	top := (*h)[0]
+	n := len(*h) - 1
+	(*h)[0] = (*h)[n]
+	*h = (*h)[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && (*h)[l].less((*h)[small]) {
+			small = l
+		}
+		if r < n && (*h)[r].less((*h)[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}
+
+// Stats are cumulative traffic counters for the shared hierarchy.
+type Stats struct {
+	L2Hits    int64
+	L2Misses  int64
+	DRAMReqs  int64
+	Submitted int64
+}
+
+// MemSys is the shared portion of the hierarchy: banked L2 plus DRAM,
+// clocked at the fixed uncore frequency. Each uncore cycle every bank
+// dequeues at most one request and DRAM dequeues at most DRAMWidth.
+type MemSys struct {
+	Cfg    Config
+	banks  []queue
+	dramQ  queue
+	l2     []Cache
+	compl  complHeap
+	seq    int64
+	cycle  int64 // uncore cycles consumed (cycle k happens at k*period)
+	period clock.Time
+	stats  Stats
+}
+
+// NewMemSys builds the shared hierarchy.
+func NewMemSys(cfg Config) *MemSys {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := &MemSys{
+		Cfg:    cfg,
+		banks:  make([]queue, cfg.L2Banks),
+		l2:     make([]Cache, cfg.L2Banks),
+		period: cfg.UncoreFreq.PeriodPs(),
+	}
+	for i := range m.l2 {
+		m.l2[i] = NewCache(cfg.L2Sets, cfg.L2Ways, cfg.LineBytes)
+	}
+	return m
+}
+
+// Stats returns cumulative traffic counters.
+func (m *MemSys) Stats() Stats { return m.stats }
+
+// BankOf returns the L2 bank servicing addr.
+func (m *MemSys) BankOf(addr uint64) int {
+	return int((addr / uint64(m.Cfg.LineBytes)) % uint64(m.Cfg.L2Banks))
+}
+
+// Submit enqueues an L1 miss into its L2 bank queue.
+func (m *MemSys) Submit(r Request) {
+	m.stats.Submitted++
+	m.banks[m.BankOf(r.Addr)].push(r)
+}
+
+// Pending reports whether any queue still holds work (completions alone do
+// not require uncore ticks; they are drained by PopDone).
+func (m *MemSys) Pending() bool {
+	if m.dramQ.len() > 0 {
+		return true
+	}
+	for i := range m.banks {
+		if m.banks[i].len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// NextTickAfter returns the first uncore cycle boundary strictly after t,
+// advancing the internal cycle cursor model. The uncore grid is anchored
+// at time zero.
+func (m *MemSys) NextTickAfter(t clock.Time) clock.Time {
+	k := t/m.period + 1
+	return k * m.period
+}
+
+// NextDone returns the land time of the earliest scheduled completion, or
+// false if none are in flight.
+func (m *MemSys) NextDone() (clock.Time, bool) {
+	if len(m.compl) == 0 {
+		return 0, false
+	}
+	return m.compl[0].At, true
+}
+
+// Tick advances the shared hierarchy by one uncore cycle at time now:
+// every bank dequeues one request (L2 hit → response after L2Latency;
+// miss → DRAM queue and L2 fill on the miss path), and DRAM dequeues up
+// to DRAMWidth requests (response after DRAMLat).
+func (m *MemSys) Tick(now clock.Time) {
+	for b := range m.banks {
+		if m.banks[b].len() == 0 {
+			continue
+		}
+		r := m.banks[b].pop()
+		if m.l2[b].Probe(r.Addr) {
+			m.stats.L2Hits++
+			m.schedule(r, now+clock.Time(m.Cfg.L2Latency)*m.period)
+			continue
+		}
+		m.stats.L2Misses++
+		m.dramQ.push(r)
+	}
+	for i := 0; i < m.Cfg.DRAMWidth && m.dramQ.len() > 0; i++ {
+		r := m.dramQ.pop()
+		m.stats.DRAMReqs++
+		m.l2[m.BankOf(r.Addr)].Fill(r.Addr)
+		m.schedule(r, now+clock.Time(m.Cfg.DRAMLat)*m.period)
+	}
+}
+
+func (m *MemSys) schedule(r Request, at clock.Time) {
+	m.seq++
+	m.compl.push(completion{At: at, Seq: m.seq, Req: r})
+}
+
+// ScheduleLocal schedules a response that bypasses the shared hierarchy —
+// the CU uses it for L1 hits, whose latency is in the CU's own clock
+// domain. The response lands through the same deterministic completion
+// queue as L2/DRAM responses.
+func (m *MemSys) ScheduleLocal(r Request, at clock.Time) {
+	r.L1Hit = true
+	m.schedule(r, at)
+}
+
+// PopDone appends to buf every completion landing at or before now, in
+// deterministic (time, sequence) order, and returns the extended slice.
+func (m *MemSys) PopDone(now clock.Time, buf []Request) []Request {
+	for len(m.compl) > 0 && m.compl[0].At <= now {
+		buf = append(buf, m.compl.pop().Req)
+	}
+	return buf
+}
+
+// InFlight returns the number of scheduled, unlanded completions.
+func (m *MemSys) InFlight() int { return len(m.compl) }
+
+// QueueDepth returns the total occupancy of bank and DRAM queues, an
+// indicator of contention used by tests and traces.
+func (m *MemSys) QueueDepth() int {
+	n := m.dramQ.len()
+	for i := range m.banks {
+		n += m.banks[i].len()
+	}
+	return n
+}
+
+// L2HitRate returns the cumulative L2 hit fraction (0 when no traffic).
+func (m *MemSys) L2HitRate() float64 {
+	tot := m.stats.L2Hits + m.stats.L2Misses
+	if tot == 0 {
+		return 0
+	}
+	return float64(m.stats.L2Hits) / float64(tot)
+}
+
+// Clone returns a deep copy of the full shared-hierarchy state.
+func (m *MemSys) Clone() *MemSys {
+	cp := &MemSys{
+		Cfg:    m.Cfg,
+		banks:  make([]queue, len(m.banks)),
+		dramQ:  m.dramQ.clone(),
+		l2:     make([]Cache, len(m.l2)),
+		compl:  append(complHeap(nil), m.compl...),
+		seq:    m.seq,
+		cycle:  m.cycle,
+		period: m.period,
+		stats:  m.stats,
+	}
+	for i := range m.banks {
+		cp.banks[i] = m.banks[i].clone()
+	}
+	for i := range m.l2 {
+		cp.l2[i] = m.l2[i].Clone()
+	}
+	return cp
+}

@@ -1,0 +1,160 @@
+// Package metrics implements the quantitative machinery of the paper's
+// evaluation: the frequency-sensitivity metric (§3.2), linear regression
+// and R² for the linearity study (Fig. 5), relative-change statistics for
+// the variability analyses (Figs. 7, 10, 11), prediction accuracy (§6.1),
+// and energy-delay products (§5.2).
+package metrics
+
+import "math"
+
+// LinearFit fits y = intercept + slope*x by least squares and returns the
+// coefficient of determination R². With fewer than two distinct x values
+// it returns a zero slope and R² of 0.
+func LinearFit(xs, ys []float64) (slope, intercept, r2 float64) {
+	n := float64(len(xs))
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, mean(ys), 0
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return 0, my, 0
+	}
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	if syy == 0 {
+		return slope, intercept, 1
+	}
+	ssRes := syy - slope*sxy
+	r2 = 1 - ssRes/syy
+	if r2 < 0 {
+		r2 = 0
+	}
+	return slope, intercept, r2
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(xs []float64) float64 { return mean(xs) }
+
+// Geomean returns the geometric mean of positive values; non-positive
+// values are skipped. It returns 0 if nothing remains.
+func Geomean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// RelChange returns the relative change between consecutive observations
+// a and b: |b-a| / max(|a|,|b|). It returns 0 when both are ~zero, so
+// quiet phases do not register as variation.
+func RelChange(a, b float64) float64 {
+	d := math.Abs(b - a)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m < 1e-12 {
+		return 0
+	}
+	r := d / m
+	if r > 1 {
+		r = 1
+	}
+	return r
+}
+
+// PredAccuracy scores a prediction against the realized value as
+// 1 - |pred-actual|/actual, clamped to [0, 1] — the paper's §6.1 metric
+// (predicted vs. actual instructions committed). A zero actual with a
+// zero prediction scores 1.
+func PredAccuracy(pred, actual float64) float64 {
+	if actual <= 0 {
+		if math.Abs(pred) <= 1 {
+			return 1
+		}
+		return 0
+	}
+	a := 1 - math.Abs(pred-actual)/actual
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+// Welford accumulates a running mean without storing samples.
+type Welford struct {
+	N    int64
+	Mean float64
+	m2   float64
+}
+
+// Add incorporates one sample.
+func (w *Welford) Add(x float64) {
+	w.N++
+	d := x - w.Mean
+	w.Mean += d / float64(w.N)
+	w.m2 += d * (x - w.Mean)
+}
+
+// Var returns the population variance.
+func (w *Welford) Var() float64 {
+	if w.N < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.N)
+}
+
+// Std returns the population standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// RunTotals aggregates one application run for energy-delay accounting.
+type RunTotals struct {
+	// EnergyJ is total energy including uncore and transition overheads.
+	EnergyJ float64
+	// TimeS is the application's completion time in seconds.
+	TimeS float64
+	// Committed is total instructions committed.
+	Committed int64
+}
+
+// EDnP returns Energy × Delayⁿ (n=1 is EDP, n=2 is ED²P).
+func (r RunTotals) EDnP(n int) float64 {
+	v := r.EnergyJ
+	for i := 0; i < n; i++ {
+		v *= r.TimeS
+	}
+	return v
+}
+
+// EDP returns the energy-delay product.
+func (r RunTotals) EDP() float64 { return r.EDnP(1) }
+
+// ED2P returns the energy-delay² product.
+func (r RunTotals) ED2P() float64 { return r.EDnP(2) }

@@ -1,0 +1,194 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pcstall/internal/xrand"
+)
+
+func TestLinearFitExactLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x + 7
+	}
+	slope, intercept, r2 := LinearFit(xs, ys)
+	if math.Abs(slope-3) > 1e-12 || math.Abs(intercept-7) > 1e-12 {
+		t.Fatalf("fit %g, %g", slope, intercept)
+	}
+	if r2 != 1 {
+		t.Fatalf("R2 = %g for exact line", r2)
+	}
+}
+
+func TestLinearFitConstant(t *testing.T) {
+	slope, intercept, r2 := LinearFit([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if slope != 0 || intercept != 5 || r2 != 1 {
+		t.Fatalf("constant fit: %g %g %g", slope, intercept, r2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	// Single point / mismatched / same-x inputs must not divide by zero.
+	if s, _, r2 := LinearFit([]float64{1}, []float64{2}); s != 0 || r2 != 0 {
+		t.Error("single point not handled")
+	}
+	if s, _, _ := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); s != 0 {
+		t.Error("zero x-variance not handled")
+	}
+}
+
+func TestLinearFitNoisyR2(t *testing.T) {
+	rng := xrand.New(1)
+	xs := make([]float64, 100)
+	ys := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 2*xs[i] + 10 + rng.NormFloat64()*5
+	}
+	_, _, r2 := LinearFit(xs, ys)
+	if r2 < 0.9 || r2 > 1 {
+		t.Fatalf("R2 = %g for mildly noisy line", r2)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("Geomean(2,8) = %g", g)
+	}
+	if g := Geomean([]float64{5}); math.Abs(g-5) > 1e-12 {
+		t.Fatalf("Geomean(5) = %g", g)
+	}
+	// Non-positive values are skipped, not propagated as NaN.
+	if g := Geomean([]float64{0, -1, 4}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("Geomean with junk = %g", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Fatalf("Geomean(nil) = %g", g)
+	}
+}
+
+func TestRelChange(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{10, 10, 0},
+		{10, 5, 0.5},
+		{5, 10, 0.5},
+		{0, 0, 0},
+		{-4, 4, 1}, // clamped at 1
+		{0, 7, 1},
+	}
+	for _, c := range cases {
+		if got := RelChange(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("RelChange(%g,%g) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRelChangeProperties(t *testing.T) {
+	err := quick.Check(func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		v := RelChange(a, b)
+		sym := RelChange(b, a)
+		return v >= 0 && v <= 1 && v == sym
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredAccuracy(t *testing.T) {
+	cases := []struct{ pred, actual, want float64 }{
+		{100, 100, 1},
+		{90, 100, 0.9},
+		{110, 100, 0.9},
+		{300, 100, 0}, // clamped
+		{0, 0, 1},
+		{0.5, 0, 1}, // sub-instruction prediction of idle
+		{50, 0, 0},
+	}
+	for _, c := range cases {
+		if got := PredAccuracy(c.pred, c.actual); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("PredAccuracy(%g,%g) = %g, want %g", c.pred, c.actual, got, c.want)
+		}
+	}
+}
+
+func TestPredAccuracyBounded(t *testing.T) {
+	err := quick.Check(func(pred, actual float64) bool {
+		if math.IsNaN(pred) || math.IsNaN(actual) {
+			return true
+		}
+		v := PredAccuracy(pred, actual)
+		return v >= 0 && v <= 1
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordMatchesDirect(t *testing.T) {
+	rng := xrand.New(3)
+	var w Welford
+	var xs []float64
+	for i := 0; i < 1000; i++ {
+		x := rng.Float64()*100 - 50
+		xs = append(xs, x)
+		w.Add(x)
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	variance := ss / float64(len(xs))
+	if math.Abs(w.Mean-mean) > 1e-9 {
+		t.Fatalf("mean %g vs %g", w.Mean, mean)
+	}
+	if math.Abs(w.Var()-variance) > 1e-6 {
+		t.Fatalf("var %g vs %g", w.Var(), variance)
+	}
+	if math.Abs(w.Std()-math.Sqrt(variance)) > 1e-6 {
+		t.Fatal("std inconsistent with var")
+	}
+}
+
+func TestWelfordSmall(t *testing.T) {
+	var w Welford
+	if w.Var() != 0 || w.Std() != 0 {
+		t.Fatal("empty Welford variance nonzero")
+	}
+	w.Add(5)
+	if w.Mean != 5 || w.Var() != 0 {
+		t.Fatal("single-sample Welford wrong")
+	}
+}
+
+func TestEDnP(t *testing.T) {
+	r := RunTotals{EnergyJ: 2, TimeS: 3}
+	if r.EDnP(0) != 2 {
+		t.Fatal("ED0P != E")
+	}
+	if r.EDP() != 6 {
+		t.Fatalf("EDP = %g", r.EDP())
+	}
+	if r.ED2P() != 18 {
+		t.Fatalf("ED2P = %g", r.ED2P())
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean wrong")
+	}
+}

@@ -1,0 +1,208 @@
+// Package oracle implements the paper's fork-pre-execute methodology
+// (§5.1, Fig. 13): at an epoch boundary the simulator state is forked
+// into one sampling run per V/f state; sample s assigns domain d the
+// state (d+s) mod K, shuffling frequencies across domains so that
+// cross-domain interference is measured under a representative mix. Each
+// sample pre-executes the next epoch and reports per-domain (and
+// optionally per-wavefront) instructions committed, after which the
+// parent re-executes the epoch with the frequencies the policy selects.
+//
+// The paper forks simulator processes; this package clones the in-process
+// simulator state (sim.GPU.Clone), which is functionally identical and
+// deterministic.
+package oracle
+
+import (
+	"pcstall/internal/clock"
+	"pcstall/internal/estimate"
+	"pcstall/internal/metrics"
+	"pcstall/internal/power"
+	"pcstall/internal/sim"
+)
+
+// WFTruth is one wavefront's sampled behaviour across all V/f states.
+type WFTruth struct {
+	// StartPC is the byte PC the wavefront held at the sampled epoch's
+	// start (identical across samples — all forks share the start
+	// state).
+	StartPC uint64
+	// AgeRank is the wavefront's age order within its CU at the epoch
+	// start (0 = oldest, identical across samples).
+	AgeRank int32
+	// Committed[k] is the wavefront's committed instructions when its
+	// domain ran state k.
+	Committed []float64
+	// ResidentPs[k] is its residency in that sample.
+	ResidentPs []int64
+}
+
+// Truth is the sampled ground truth for one upcoming epoch.
+type Truth struct {
+	// EpochPs is the sampled epoch duration.
+	EpochPs clock.Time
+	// I[d][k] is instructions domain d commits at state k.
+	I [][]float64
+	// E[d][k] is domain d's core energy at state k (from the power
+	// model applied to the sample's activity).
+	E [][]float64
+	// WF[cu] maps GlobalWave → per-state truth; populated only when the
+	// sampler's CollectWF is set.
+	WF []map[int64]*WFTruth
+}
+
+// Slope returns domain d's true sensitivity (instructions per MHz) by
+// linear regression over the sampled states.
+func (t *Truth) Slope(grid clock.Grid, d int) (slope, r2 float64) {
+	xs := make([]float64, len(t.I[d]))
+	for k := range xs {
+		xs[k] = float64(grid.State(k))
+	}
+	slope, _, r2 = metrics.LinearFit(xs, t.I[d])
+	return slope, r2
+}
+
+// WFEstimateTrue converts a wavefront's sampled curve into the linear
+// (IRef, Slope) form the PC table stores — this is what the impractical
+// ACCPC design feeds its table.
+func (w *WFTruth) WFEstimateTrue(grid clock.Grid) estimate.WFEstimate {
+	xs := make([]float64, len(w.Committed))
+	for k := range xs {
+		xs[k] = float64(grid.State(k))
+	}
+	slope, intercept, _ := metrics.LinearFit(xs, w.Committed)
+	fRef := grid.Mid()
+	return estimate.WFEstimate{IRef: intercept + slope*float64(fRef), Slope: slope}
+}
+
+// Sampler pre-executes upcoming epochs across the frequency grid.
+type Sampler struct {
+	Grid clock.Grid
+	PM   *power.Model
+	// CollectWF enables per-wavefront truth (needed by ACCPC and the
+	// wavefront-level characterization figures; costs allocation).
+	CollectWF bool
+	// Samples optionally limits the number of forked samples (0 = one
+	// per V/f state, the paper's configuration). Fewer samples leave
+	// some (domain, state) cells estimated by linear interpolation —
+	// used by the sample-count ablation.
+	Samples int
+
+	scratch sim.EpochSample
+}
+
+// SampleNext forks g and pre-executes the next epoch of the given
+// duration under shuffled frequency assignments. g itself is not
+// modified.
+func (s *Sampler) SampleNext(g *sim.GPU, epoch clock.Time) *Truth {
+	k := s.Grid.Count()
+	nd := g.Cfg.Domains.NumDomains()
+	t := &Truth{
+		EpochPs: epoch,
+		I:       make([][]float64, nd),
+		E:       make([][]float64, nd),
+	}
+	for d := 0; d < nd; d++ {
+		t.I[d] = make([]float64, k)
+		t.E[d] = make([]float64, k)
+	}
+	filled := make([][]bool, nd)
+	for d := range filled {
+		filled[d] = make([]bool, k)
+	}
+	if s.CollectWF {
+		t.WF = make([]map[int64]*WFTruth, g.Cfg.NumCUs)
+		for c := range t.WF {
+			t.WF[c] = make(map[int64]*WFTruth)
+		}
+	}
+
+	nSamples := s.Samples
+	if nSamples <= 0 || nSamples > k {
+		nSamples = k
+	}
+	simds := g.Cfg.SIMDsPerCU
+	cusPerDom := g.Cfg.Domains.CUsPerDomain
+
+	for smp := 0; smp < nSamples; smp++ {
+		c := g.Clone()
+		// Reset the clone's per-epoch counters so the sample measures
+		// exactly the pre-executed epoch, regardless of when the parent
+		// last collected.
+		c.CollectEpoch(&s.scratch)
+		for d := 0; d < nd; d++ {
+			c.SetDomainFreq(d, s.Grid.State((d+smp)%k), 0)
+		}
+		c.RunUntil(c.Now + epoch)
+		c.CollectEpoch(&s.scratch)
+		es := &s.scratch
+		dur := es.End - es.Start
+		for d := 0; d < nd; d++ {
+			st := (d + smp) % k
+			var committed, issue int64
+			lo, hi := g.Cfg.Domains.CUs(d)
+			for cu := lo; cu < hi; cu++ {
+				committed += es.CUs[cu].C.Committed
+				issue += es.CUs[cu].C.IssueSlots
+			}
+			t.I[d][st] = float64(committed)
+			t.E[d][st] = s.PM.DomainEpochEnergyJ(s.Grid.State(st), issue, cusPerDom, simds, dur) +
+				s.PM.UncoreShareJ(dur, nd)
+			filled[d][st] = true
+		}
+		if s.CollectWF {
+			collectWF(g, t, es, smp, k)
+		}
+	}
+	if nSamples < k {
+		interpolate(t, filled)
+	}
+	return t
+}
+
+// collectWF records per-wavefront committed counts from one sample into t.
+func collectWF(g *sim.GPU, t *Truth, es *sim.EpochSample, smp, k int) {
+	for cu := range es.CUs {
+		d := g.Cfg.Domains.DomainOf(cu)
+		st := (d + smp) % k
+		for i := range es.CUs[cu].WFs {
+			rec := &es.CUs[cu].WFs[i]
+			wt := t.WF[cu][rec.GlobalWave]
+			if wt == nil {
+				wt = &WFTruth{
+					StartPC:    rec.StartPC,
+					AgeRank:    rec.AgeRank,
+					Committed:  make([]float64, k),
+					ResidentPs: make([]int64, k),
+				}
+				t.WF[cu][rec.GlobalWave] = wt
+			}
+			wt.Committed[st] = float64(rec.C.Committed)
+			wt.ResidentPs[st] = rec.ResidentPs
+		}
+	}
+}
+
+// interpolate fills unsampled (domain, state) cells linearly from the
+// sampled ones (ablation mode only).
+func interpolate(t *Truth, filled [][]bool) {
+	for d := range t.I {
+		xs := make([]float64, 0, len(t.I[d]))
+		ys := make([]float64, 0, len(t.I[d]))
+		es := make([]float64, 0, len(t.I[d]))
+		for k := range t.I[d] {
+			if filled[d][k] {
+				xs = append(xs, float64(k))
+				ys = append(ys, t.I[d][k])
+				es = append(es, t.E[d][k])
+			}
+		}
+		slopeI, interI, _ := metrics.LinearFit(xs, ys)
+		slopeE, interE, _ := metrics.LinearFit(xs, es)
+		for k := range t.I[d] {
+			if !filled[d][k] {
+				t.I[d][k] = interI + slopeI*float64(k)
+				t.E[d][k] = interE + slopeE*float64(k)
+			}
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+
+	"pcstall/internal/clock"
+	"pcstall/internal/isa"
+	"pcstall/internal/power"
+	"pcstall/internal/sim"
+)
+
+func computeGPU(t *testing.T, cus int) *sim.GPU {
+	t.Helper()
+	p := isa.NewBuilder("compute", 0).
+		Loop(100000, 0).
+		VALUBlock(8, 4).
+		EndLoop().
+		Build()
+	k := isa.Kernel{Program: p, Workgroups: cus, WavesPerWG: 4}
+	g, err := sim.New(sim.DefaultConfig(cus), []isa.Kernel{k}, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func memGPU(t *testing.T, cus int) *sim.GPU {
+	t.Helper()
+	p := isa.NewBuilder("mem", 0).
+		Loop(100000, 0).
+		Load(isa.AccessPattern{Kind: isa.PatRandom, Base: 1 << 30, WorkingSet: 64 << 20, Stride: 64, Lines: 4}).
+		Load(isa.AccessPattern{Kind: isa.PatRandom, Base: 1 << 30, WorkingSet: 64 << 20, Stride: 64, Lines: 4}).
+		WaitAll().
+		VALUBlock(1, 4).
+		EndLoop().
+		Build()
+	k := isa.Kernel{Program: p, Workgroups: cus, WavesPerWG: 8}
+	g, err := sim.New(sim.DefaultConfig(cus), []isa.Kernel{k}, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func sampler(pm *power.Model, wf bool) *Sampler {
+	return &Sampler{Grid: clock.DefaultGrid(), PM: pm, CollectWF: wf}
+}
+
+func TestComputeKernelTruthScalesLinearly(t *testing.T) {
+	pm := power.DefaultModelFor(2)
+	g := computeGPU(t, 2)
+	g.RunUntil(2 * clock.Microsecond) // warm up
+	truth := sampler(&pm, false).SampleNext(g, clock.Microsecond)
+
+	grid := clock.DefaultGrid()
+	slope, r2 := truth.Slope(grid, 0)
+	if slope <= 0 {
+		t.Fatalf("compute kernel slope %g, want positive", slope)
+	}
+	if r2 < 0.95 {
+		t.Fatalf("compute kernel R² %g, want near-linear", r2)
+	}
+	// I(fmax)/I(fmin) should approach fmax/fmin.
+	ratio := truth.I[0][grid.Count()-1] / truth.I[0][0]
+	want := float64(grid.Max) / float64(grid.Min)
+	if math.Abs(ratio-want) > 0.25 {
+		t.Fatalf("compute scaling ratio %.3f, want ≈%.3f", ratio, want)
+	}
+}
+
+func TestMemoryKernelTruthIsFlat(t *testing.T) {
+	pm := power.DefaultModelFor(2)
+	g := memGPU(t, 2)
+	g.RunUntil(5 * clock.Microsecond)
+	truth := sampler(&pm, false).SampleNext(g, clock.Microsecond)
+	grid := clock.DefaultGrid()
+	ratio := truth.I[0][grid.Count()-1] / math.Max(truth.I[0][0], 1)
+	if ratio > 1.2 {
+		t.Fatalf("memory-bound kernel scaled %.3fx with frequency", ratio)
+	}
+}
+
+func TestSamplingDoesNotPerturbParent(t *testing.T) {
+	pm := power.DefaultModelFor(2)
+	g := computeGPU(t, 2)
+	g.RunUntil(2 * clock.Microsecond)
+	now, committed := g.Now, g.TotalCommitted
+	sampler(&pm, true).SampleNext(g, clock.Microsecond)
+	if g.Now != now || g.TotalCommitted != committed {
+		t.Fatal("SampleNext modified the parent simulation")
+	}
+}
+
+func TestTruthEnergyIncreasesWithFrequency(t *testing.T) {
+	pm := power.DefaultModelFor(2)
+	g := computeGPU(t, 2)
+	g.RunUntil(2 * clock.Microsecond)
+	truth := sampler(&pm, false).SampleNext(g, clock.Microsecond)
+	for d := range truth.E {
+		for k := 1; k < len(truth.E[d]); k++ {
+			if truth.E[d][k] < truth.E[d][k-1] {
+				t.Fatalf("domain %d: energy decreased from state %d to %d", d, k-1, k)
+			}
+		}
+	}
+}
+
+func TestWFTruthCollected(t *testing.T) {
+	pm := power.DefaultModelFor(2)
+	g := computeGPU(t, 2)
+	g.RunUntil(2 * clock.Microsecond)
+	truth := sampler(&pm, true).SampleNext(g, clock.Microsecond)
+	if truth.WF == nil {
+		t.Fatal("WF truth not collected")
+	}
+	total := 0
+	grid := clock.DefaultGrid()
+	for cu := range truth.WF {
+		for _, wt := range truth.WF[cu] {
+			total++
+			if len(wt.Committed) != grid.Count() {
+				t.Fatal("per-WF curve has wrong state count")
+			}
+			e := wt.WFEstimateTrue(grid)
+			if e.IRef < 0 {
+				t.Fatal("negative IRef from true WF estimate")
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no wavefront truth recorded")
+	}
+}
+
+func TestReducedSampleInterpolation(t *testing.T) {
+	pm := power.DefaultModelFor(2)
+	g := computeGPU(t, 2)
+	g.RunUntil(2 * clock.Microsecond)
+
+	full := sampler(&pm, false).SampleNext(g, clock.Microsecond)
+	s3 := sampler(&pm, false)
+	s3.Samples = 3
+	part := s3.SampleNext(g, clock.Microsecond)
+
+	// Interpolated cells must be filled and close to the full sampling
+	// for a linear (compute-bound) kernel.
+	for k := range part.I[0] {
+		if part.I[0][k] <= 0 {
+			t.Fatalf("state %d not interpolated", k)
+		}
+		rel := math.Abs(part.I[0][k]-full.I[0][k]) / full.I[0][k]
+		if rel > 0.25 {
+			t.Fatalf("state %d interpolation off by %.1f%%", k, rel*100)
+		}
+	}
+}
+
+func TestShuffleCoversAllStates(t *testing.T) {
+	// With NumDomains >= 1 and full sampling, every (domain, state) cell
+	// must come from a real sample: verify values vary across states for
+	// a compute kernel (interpolation would make them exactly collinear,
+	// real samples have simulation jitter, but most importantly none are
+	// zero).
+	pm := power.DefaultModelFor(4)
+	g := computeGPU(t, 4)
+	g.RunUntil(2 * clock.Microsecond)
+	truth := sampler(&pm, false).SampleNext(g, clock.Microsecond)
+	for d := range truth.I {
+		for k, v := range truth.I[d] {
+			if v <= 0 {
+				t.Fatalf("domain %d state %d has no sampled work", d, k)
+			}
+		}
+	}
+}

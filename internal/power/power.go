@@ -1,0 +1,197 @@
+// Package power models GPU energy consumption across voltage/frequency
+// states, mirroring the structure the paper describes for its in-house
+// model (§5): dynamic power P = Ceff·V²·A·f, leakage with mild voltage
+// dependence, integrated-voltage-regulator conversion efficiency per
+// state, a fixed-clock uncore term, and per-transition energy.
+//
+// Absolute watts are uncalibrated (the paper's model is proprietary and
+// validated against a Radeon VII); the experiments only consume
+// energy-delay *ratios* between frequencies, which depend on the V(f)
+// curve shape rather than the scale. DESIGN.md §1 records the
+// substitution.
+package power
+
+import (
+	"fmt"
+
+	"pcstall/internal/clock"
+)
+
+// Model holds the calibration constants. Construct with DefaultModel and
+// adjust fields before first use.
+type Model struct {
+	// VMin/VMax define the linear V(f) curve endpoints across the grid.
+	VMin, VMax float64
+	// FMin/FMax are the frequencies at which VMin/VMax apply.
+	FMin, FMax clock.Freq
+	// CeffF is the effective switched capacitance per CU in farads:
+	// dynamic power = CeffF · V² · f_Hz · activity.
+	CeffF float64
+	// IdleActivity is the floor activity of a clocked but idle CU
+	// (imperfect clock gating).
+	IdleActivity float64
+	// LeakW is per-CU leakage at VNom.
+	LeakW float64
+	// VNom is the voltage at which LeakW is specified.
+	VNom float64
+	// LeakPerV is the fractional leakage increase per volt above VNom
+	// (leakage varies only mildly across the IVR's small range, §5).
+	LeakPerV float64
+	// UncoreW is the fixed-clock memory-subsystem power for the whole
+	// GPU (L2, interconnect, DRAM interface at 1.6 GHz).
+	UncoreW float64
+	// TransitionJ is the energy cost of one V/f transition of a domain.
+	TransitionJ float64
+	// EffMin/EffMax are IVR conversion efficiencies at VMin/VMax.
+	EffMin, EffMax float64
+}
+
+// DefaultModel returns Vega-class constants on the default grid for a
+// 64-CU GPU: ~0.75 V at 1.3 GHz to ~1.05 V at 2.2 GHz, ≈3.5 W dynamic per
+// fully-active CU at the top state. For scaled-down GPUs use
+// DefaultModelFor so the uncore does not dwarf the core domains.
+func DefaultModel() Model { return DefaultModelFor(64) }
+
+// DefaultModelFor returns the default model with the uncore sized for a
+// GPU of numCUs (L2/DRAM-interface power tracks machine size).
+func DefaultModelFor(numCUs int) Model {
+	return Model{
+		VMin: 0.70, VMax: 1.10,
+		FMin: 1300, FMax: 2200,
+		CeffF: 1.4e-9,
+		// Even a fully stalled CU keeps clock trees, the scheduler, and
+		// the register-file banks toggling; a third of peak switched
+		// capacitance is Vega-class. This is what makes down-clocking
+		// memory phases profitable (the paper's core premise).
+		IdleActivity: 0.35,
+		LeakW:        0.3,
+		VNom:         0.90,
+		LeakPerV:     1.6,
+		UncoreW:      0.4 * float64(numCUs),
+		TransitionJ:  5e-8,
+		EffMin:       0.84, EffMax: 0.93,
+	}
+}
+
+// Validate checks the model constants.
+func (m *Model) Validate() error {
+	switch {
+	case m.VMin <= 0 || m.VMax < m.VMin:
+		return fmt.Errorf("power: bad voltage range [%g, %g]", m.VMin, m.VMax)
+	case m.FMin <= 0 || m.FMax <= m.FMin:
+		return fmt.Errorf("power: bad frequency range [%v, %v]", m.FMin, m.FMax)
+	case m.CeffF <= 0:
+		return fmt.Errorf("power: Ceff %g", m.CeffF)
+	case m.IdleActivity < 0 || m.IdleActivity > 1:
+		return fmt.Errorf("power: idle activity %g", m.IdleActivity)
+	case m.EffMin <= 0 || m.EffMin > 1 || m.EffMax <= 0 || m.EffMax > 1:
+		return fmt.Errorf("power: IVR efficiency out of (0,1]")
+	}
+	return nil
+}
+
+// Voltage returns the supply voltage for frequency f (linear V/f curve,
+// clamped at the grid edges).
+func (m *Model) Voltage(f clock.Freq) float64 {
+	if f <= m.FMin {
+		return m.VMin
+	}
+	if f >= m.FMax {
+		return m.VMax
+	}
+	t := float64(f-m.FMin) / float64(m.FMax-m.FMin)
+	return m.VMin + t*(m.VMax-m.VMin)
+}
+
+// IVREff returns regulator efficiency at frequency f's voltage.
+func (m *Model) IVREff(f clock.Freq) float64 {
+	t := (m.Voltage(f) - m.VMin) / (m.VMax - m.VMin)
+	return m.EffMin + t*(m.EffMax-m.EffMin)
+}
+
+// CUPowerW returns one CU's power draw (at the regulator input) at
+// frequency f with the given activity factor in [0, 1].
+func (m *Model) CUPowerW(f clock.Freq, activity float64) float64 {
+	if activity < m.IdleActivity {
+		activity = m.IdleActivity
+	}
+	if activity > 1 {
+		activity = 1
+	}
+	v := m.Voltage(f)
+	dyn := m.CeffF * v * v * float64(f) * 1e6 * activity
+	leak := m.LeakW * (1 + m.LeakPerV*(v-m.VNom))
+	return (dyn + leak) / m.IVREff(f)
+}
+
+// Activity converts issue-slot counters into an activity factor: issued
+// slots divided by available slots (SIMDs × cycles in the interval).
+func Activity(issueSlots int64, simds int, f clock.Freq, durPs clock.Time) float64 {
+	if durPs <= 0 {
+		return 0
+	}
+	cycles := float64(durPs) * float64(f) / 1e6
+	slots := float64(simds) * cycles
+	if slots <= 0 {
+		return 0
+	}
+	a := float64(issueSlots) / slots
+	if a > 1 {
+		a = 1
+	}
+	return a
+}
+
+// DomainEpochEnergyJ returns the energy one V/f domain of numCUs consumed
+// over an epoch of durPs at frequency f, given the domain's total issue
+// slots.
+func (m *Model) DomainEpochEnergyJ(f clock.Freq, issueSlots int64, numCUs, simds int, durPs clock.Time) float64 {
+	if durPs <= 0 || numCUs <= 0 {
+		return 0
+	}
+	perCU := issueSlots / int64(numCUs)
+	a := Activity(perCU, simds, f, durPs)
+	return m.CUPowerW(f, a) * float64(numCUs) * float64(durPs) * 1e-12
+}
+
+// PredictEpochEnergyJ returns the energy the governor should expect for a
+// domain running the next epoch at frequency f while committing predI
+// instructions. Predicted activity scales the issue rate with predicted
+// work: activity(f) = predI / (simds · cycles(f) · issueFraction), where
+// issueFraction accounts for committed instructions per issue slot being
+// ≈1 in this ISA.
+func (m *Model) PredictEpochEnergyJ(f clock.Freq, predI float64, numCUs, simds int, durPs clock.Time) float64 {
+	if durPs <= 0 || numCUs <= 0 {
+		return 0
+	}
+	cycles := float64(durPs) * float64(f) / 1e6
+	a := predI / (float64(numCUs) * float64(simds) * cycles)
+	if a < 0 {
+		a = 0
+	}
+	if a > 1 {
+		a = 1
+	}
+	return m.CUPowerW(f, a) * float64(numCUs) * float64(durPs) * 1e-12
+}
+
+// UncoreEnergyJ returns the fixed-clock subsystem energy over a duration.
+func (m *Model) UncoreEnergyJ(durPs clock.Time) float64 {
+	return m.UncoreW * float64(durPs) * 1e-12
+}
+
+// UncoreShareJ returns one domain's share of uncore energy over a
+// duration. Governors fold this into per-state decision energy so that
+// finishing sooner is correctly credited with uncore savings; omitting it
+// biases every objective toward the lowest frequency.
+func (m *Model) UncoreShareJ(durPs clock.Time, numDomains int) float64 {
+	if numDomains < 1 {
+		return 0
+	}
+	return m.UncoreW * float64(durPs) * 1e-12 / float64(numDomains)
+}
+
+// TransitionEnergyJ returns the energy of n V/f transitions.
+func (m *Model) TransitionEnergyJ(n int64) float64 {
+	return m.TransitionJ * float64(n)
+}

@@ -1,0 +1,191 @@
+package power
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pcstall/internal/clock"
+)
+
+func TestDefaultModelValid(t *testing.T) {
+	for _, n := range []int{1, 8, 64} {
+		m := DefaultModelFor(n)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("DefaultModelFor(%d): %v", n, err)
+		}
+	}
+	m := DefaultModel()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVoltageCurve(t *testing.T) {
+	m := DefaultModelFor(8)
+	if m.Voltage(m.FMin) != m.VMin || m.Voltage(m.FMax) != m.VMax {
+		t.Fatal("voltage endpoints wrong")
+	}
+	// Clamped outside the grid.
+	if m.Voltage(m.FMin-500) != m.VMin || m.Voltage(m.FMax+500) != m.VMax {
+		t.Fatal("voltage not clamped")
+	}
+	// Strictly increasing inside.
+	prev := m.Voltage(m.FMin)
+	for f := m.FMin + 100; f <= m.FMax; f += 100 {
+		v := m.Voltage(f)
+		if v <= prev {
+			t.Fatalf("voltage not increasing at %v", f)
+		}
+		prev = v
+	}
+}
+
+func TestPowerMonotoneInFrequency(t *testing.T) {
+	m := DefaultModelFor(8)
+	for _, a := range []float64{0, 0.35, 0.7, 1} {
+		prev := 0.0
+		for f := m.FMin; f <= m.FMax; f += 100 {
+			p := m.CUPowerW(f, a)
+			if p <= prev {
+				t.Fatalf("power not increasing in f at activity %g", a)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestPowerMonotoneInActivity(t *testing.T) {
+	m := DefaultModelFor(8)
+	err := quick.Check(func(a1, a2 float64) bool {
+		a1, a2 = abs01(a1), abs01(a2)
+		if a1 > a2 {
+			a1, a2 = a2, a1
+		}
+		return m.CUPowerW(1700, a1) <= m.CUPowerW(1700, a2)+1e-12
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs01(x float64) float64 {
+	if x < 0 {
+		x = -x
+	}
+	for x > 1 {
+		x /= 10
+	}
+	return x
+}
+
+func TestIdleActivityFloor(t *testing.T) {
+	m := DefaultModelFor(8)
+	if m.CUPowerW(1700, 0) != m.CUPowerW(1700, m.IdleActivity) {
+		t.Fatal("idle floor not applied")
+	}
+}
+
+func TestDynamicRangeIsWide(t *testing.T) {
+	// The paper's premise: core power at top-frequency full activity is
+	// several times idle power at the bottom frequency. Without this
+	// spread fine-grain DVFS has nothing to win.
+	m := DefaultModelFor(8)
+	lo := m.CUPowerW(m.FMin, 0)
+	hi := m.CUPowerW(m.FMax, 1)
+	if hi/lo < 3 {
+		t.Fatalf("power dynamic range %.2fx too narrow for DVFS study", hi/lo)
+	}
+}
+
+func TestActivity(t *testing.T) {
+	// 4 SIMDs at 2 GHz for 1µs = 8000 issue slots.
+	if a := Activity(8000, 4, 2000, clock.Microsecond); a != 1 {
+		t.Fatalf("full activity = %g", a)
+	}
+	if a := Activity(4000, 4, 2000, clock.Microsecond); a != 0.5 {
+		t.Fatalf("half activity = %g", a)
+	}
+	if a := Activity(99999, 4, 2000, clock.Microsecond); a != 1 {
+		t.Fatal("activity not clamped at 1")
+	}
+	if a := Activity(10, 4, 2000, 0); a != 0 {
+		t.Fatal("zero duration not handled")
+	}
+}
+
+func TestEnergyScalesWithDuration(t *testing.T) {
+	m := DefaultModelFor(8)
+	e1 := m.DomainEpochEnergyJ(1700, 1000, 1, 4, clock.Microsecond)
+	e2 := m.DomainEpochEnergyJ(1700, 2000, 1, 4, 2*clock.Microsecond)
+	if e1 <= 0 {
+		t.Fatal("zero energy")
+	}
+	// Same activity for twice the time: exactly double.
+	if diff := e2/e1 - 2; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("energy ratio %g, want 2", e2/e1)
+	}
+}
+
+func TestPredictEpochEnergyConsistency(t *testing.T) {
+	// Predicting the observed instruction count must give (nearly) the
+	// energy the accounting path computes for equivalent activity.
+	m := DefaultModelFor(8)
+	const issue = 2500
+	got := m.DomainEpochEnergyJ(1700, issue, 1, 4, clock.Microsecond)
+	pred := m.PredictEpochEnergyJ(1700, issue, 1, 4, clock.Microsecond)
+	if rel := (got - pred) / got; rel > 0.01 || rel < -0.01 {
+		t.Fatalf("accounted %g vs predicted %g", got, pred)
+	}
+}
+
+func TestUncore(t *testing.T) {
+	m := DefaultModelFor(10)
+	e := m.UncoreEnergyJ(clock.Microsecond)
+	if e != m.UncoreW*1e-6 {
+		t.Fatalf("uncore energy %g", e)
+	}
+	share := m.UncoreShareJ(clock.Microsecond, 5)
+	if share*5 != e {
+		t.Fatalf("shares %g don't sum to total %g", share*5, e)
+	}
+	if m.UncoreShareJ(clock.Microsecond, 0) != 0 {
+		t.Fatal("zero domains not handled")
+	}
+}
+
+func TestTransitionEnergy(t *testing.T) {
+	m := DefaultModelFor(8)
+	if m.TransitionEnergyJ(10) != 10*m.TransitionJ {
+		t.Fatal("transition energy wrong")
+	}
+}
+
+func TestIVREffIncreasesWithVoltage(t *testing.T) {
+	m := DefaultModelFor(8)
+	if m.IVREff(m.FMin) >= m.IVREff(m.FMax) {
+		t.Fatal("IVR efficiency should rise with voltage for this model")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := DefaultModelFor(8)
+	bad.VMin = -1
+	if bad.Validate() == nil {
+		t.Error("negative voltage accepted")
+	}
+	bad = DefaultModelFor(8)
+	bad.CeffF = 0
+	if bad.Validate() == nil {
+		t.Error("zero Ceff accepted")
+	}
+	bad = DefaultModelFor(8)
+	bad.EffMin = 1.5
+	if bad.Validate() == nil {
+		t.Error("efficiency > 1 accepted")
+	}
+	bad = DefaultModelFor(8)
+	bad.IdleActivity = 2
+	if bad.Validate() == nil {
+		t.Error("idle activity > 1 accepted")
+	}
+}

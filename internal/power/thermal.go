@@ -1,0 +1,100 @@
+package power
+
+import (
+	"math"
+
+	"pcstall/internal/clock"
+)
+
+// Thermal is the lumped-RC thermal model behind the paper's note that its
+// power model "accounts for ... the impact temperature has on leakage
+// power" (§5). Each V/f domain is one thermal node: its temperature moves
+// toward the steady-state implied by current power with a first-order
+// time constant, and leakage scales with the node temperature.
+//
+// Thermal is a parameter set; the per-domain temperature state lives with
+// the caller (the DVFS runner keeps one TempC per domain) so the power
+// Model itself stays immutable and shareable.
+type Thermal struct {
+	// AmbientC is the die's idle/ambient temperature.
+	AmbientC float64
+	// NomC is the temperature at which Model.LeakW is specified.
+	NomC float64
+	// RthKPerW is the thermal resistance of one CU's node (K per watt
+	// of that CU's power).
+	RthKPerW float64
+	// TauPs is the node's thermal time constant. Real silicon is in the
+	// hundreds of microseconds to milliseconds — long against 1µs
+	// epochs, so temperature integrates across many decisions.
+	TauPs float64
+	// LeakPerC is the fractional leakage increase per °C above NomC.
+	LeakPerC float64
+}
+
+// DefaultThermal returns GPU-class constants: 45°C ambient, leakage
+// specified at 65°C, ~8 K/W per CU node, 500µs time constant, and ~1%
+// leakage growth per °C.
+func DefaultThermal() Thermal {
+	return Thermal{
+		AmbientC: 45,
+		NomC:     65,
+		RthKPerW: 8,
+		TauPs:    500 * float64(clock.Microsecond),
+		LeakPerC: 0.011,
+	}
+}
+
+// SteadyC returns the temperature a node settles at under constant
+// per-CU power.
+func (t Thermal) SteadyC(perCUPowerW float64) float64 {
+	return t.AmbientC + t.RthKPerW*perCUPowerW
+}
+
+// Step advances a node temperature over durPs under perCUPowerW and
+// returns the new temperature.
+func (t Thermal) Step(tempC, perCUPowerW float64, durPs clock.Time) float64 {
+	if t.TauPs <= 0 {
+		return t.SteadyC(perCUPowerW)
+	}
+	target := t.SteadyC(perCUPowerW)
+	alpha := 1 - math.Exp(-float64(durPs)/t.TauPs)
+	return tempC + (target-tempC)*alpha
+}
+
+// LeakScale returns the leakage multiplier at tempC relative to NomC,
+// floored at one tenth so pathological inputs cannot produce negative
+// leakage.
+func (t Thermal) LeakScale(tempC float64) float64 {
+	s := 1 + t.LeakPerC*(tempC-t.NomC)
+	if s < 0.1 {
+		s = 0.1
+	}
+	return s
+}
+
+// CUPowerWAt is Model.CUPowerW with temperature-scaled leakage.
+func (m *Model) CUPowerWAt(f clock.Freq, activity, tempC float64, th Thermal) float64 {
+	if activity < m.IdleActivity {
+		activity = m.IdleActivity
+	}
+	if activity > 1 {
+		activity = 1
+	}
+	v := m.Voltage(f)
+	dyn := m.CeffF * v * v * float64(f) * 1e6 * activity
+	leak := m.LeakW * (1 + m.LeakPerV*(v-m.VNom)) * th.LeakScale(tempC)
+	return (dyn + leak) / m.IVREff(f)
+}
+
+// DomainEpochEnergyJAt is Model.DomainEpochEnergyJ with temperature-
+// scaled leakage. It also returns the per-CU power so the caller can
+// advance its thermal state.
+func (m *Model) DomainEpochEnergyJAt(f clock.Freq, issueSlots int64, numCUs, simds int, durPs clock.Time, tempC float64, th Thermal) (energyJ, perCUPowerW float64) {
+	if durPs <= 0 || numCUs <= 0 {
+		return 0, 0
+	}
+	perCU := issueSlots / int64(numCUs)
+	a := Activity(perCU, simds, f, durPs)
+	p := m.CUPowerWAt(f, a, tempC, th)
+	return p * float64(numCUs) * float64(durPs) * 1e-12, p
+}

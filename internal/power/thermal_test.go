@@ -1,0 +1,112 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"pcstall/internal/clock"
+)
+
+func TestThermalSteadyState(t *testing.T) {
+	th := DefaultThermal()
+	if got := th.SteadyC(0); got != th.AmbientC {
+		t.Fatalf("idle steady state %g, want ambient %g", got, th.AmbientC)
+	}
+	if th.SteadyC(4) <= th.SteadyC(1) {
+		t.Fatal("steady temperature not increasing with power")
+	}
+}
+
+func TestThermalStepConvergesToSteady(t *testing.T) {
+	th := DefaultThermal()
+	temp := th.AmbientC
+	const powerW = 3.0
+	for i := 0; i < 100; i++ {
+		temp = th.Step(temp, powerW, clock.Time(th.TauPs))
+	}
+	if math.Abs(temp-th.SteadyC(powerW)) > 0.1 {
+		t.Fatalf("temperature %g did not converge to %g", temp, th.SteadyC(powerW))
+	}
+}
+
+func TestThermalStepMonotoneApproach(t *testing.T) {
+	th := DefaultThermal()
+	temp := th.AmbientC
+	prev := temp
+	for i := 0; i < 20; i++ {
+		temp = th.Step(temp, 3, clock.Microsecond)
+		if temp < prev {
+			t.Fatal("heating node cooled down")
+		}
+		if temp > th.SteadyC(3) {
+			t.Fatal("node overshot steady state")
+		}
+		prev = temp
+	}
+	// A 1µs step against a 500µs time constant must move only slightly.
+	if temp > th.AmbientC+(th.SteadyC(3)-th.AmbientC)*0.1 {
+		t.Fatalf("temperature moved %g°C in 20µs — time constant ignored", temp-th.AmbientC)
+	}
+}
+
+func TestThermalCooling(t *testing.T) {
+	th := DefaultThermal()
+	hot := th.SteadyC(4)
+	cooled := th.Step(hot, 0, clock.Time(th.TauPs*5))
+	if cooled >= hot {
+		t.Fatal("unpowered node did not cool")
+	}
+	if cooled < th.AmbientC {
+		t.Fatal("node cooled below ambient")
+	}
+}
+
+func TestLeakScale(t *testing.T) {
+	th := DefaultThermal()
+	if th.LeakScale(th.NomC) != 1 {
+		t.Fatal("leak scale at nominal temperature != 1")
+	}
+	if th.LeakScale(th.NomC+20) <= 1 {
+		t.Fatal("hotter node should leak more")
+	}
+	if th.LeakScale(th.NomC-10) >= 1 {
+		t.Fatal("cooler node should leak less")
+	}
+	if th.LeakScale(-1000) < 0.1-1e-12 {
+		t.Fatal("leak scale floor violated")
+	}
+}
+
+func TestCUPowerWAtMatchesNominal(t *testing.T) {
+	m := DefaultModelFor(8)
+	th := DefaultThermal()
+	base := m.CUPowerW(1700, 0.5)
+	at := m.CUPowerWAt(1700, 0.5, th.NomC, th)
+	if math.Abs(base-at) > 1e-9 {
+		t.Fatalf("at nominal temperature %g != %g", at, base)
+	}
+	if m.CUPowerWAt(1700, 0.5, th.NomC+30, th) <= base {
+		t.Fatal("hot CU should draw more power")
+	}
+}
+
+func TestDomainEpochEnergyJAt(t *testing.T) {
+	m := DefaultModelFor(8)
+	th := DefaultThermal()
+	eCold, pCold := m.DomainEpochEnergyJAt(1700, 2000, 1, 4, clock.Microsecond, th.AmbientC, th)
+	eHot, pHot := m.DomainEpochEnergyJAt(1700, 2000, 1, 4, clock.Microsecond, 95, th)
+	if eHot <= eCold || pHot <= pCold {
+		t.Fatal("hot domain should consume more")
+	}
+	if e, p := m.DomainEpochEnergyJAt(1700, 2000, 0, 4, clock.Microsecond, 50, th); e != 0 || p != 0 {
+		t.Fatal("degenerate inputs not handled")
+	}
+}
+
+func TestThermalZeroTau(t *testing.T) {
+	th := DefaultThermal()
+	th.TauPs = 0
+	if th.Step(th.AmbientC, 2, clock.Microsecond) != th.SteadyC(2) {
+		t.Fatal("zero time constant should jump to steady state")
+	}
+}

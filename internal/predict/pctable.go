@@ -1,0 +1,137 @@
+// Package predict implements the prediction mechanisms of TABLE III: the
+// last-value reactive predictor every prior model uses, and the paper's
+// PC-indexed sensitivity table (§4.4, Fig. 12) that keys phase behaviour
+// on the wavefront program counter.
+package predict
+
+import (
+	"fmt"
+
+	"pcstall/internal/estimate"
+	"pcstall/internal/isa"
+)
+
+// PCTableConfig sizes the PC-indexed sensitivity table.
+type PCTableConfig struct {
+	// Entries is the number of table entries (the paper finds 128 gives
+	// a 95%+ hit ratio, §4.4).
+	Entries int
+	// OffsetBits is the number of low PC-address bits dropped before
+	// indexing; 4 bits ≈ 4 instructions per entry (Fig. 11b).
+	OffsetBits int
+	// Alpha is the exponential update weight for repeated observations
+	// of the same entry (1 = last value wins).
+	Alpha float64
+}
+
+// DefaultPCTable is the paper's tuned configuration.
+func DefaultPCTable() PCTableConfig {
+	return PCTableConfig{Entries: 128, OffsetBits: 4, Alpha: 0.4}
+}
+
+// Validate checks the configuration.
+func (c PCTableConfig) Validate() error {
+	if c.Entries < 1 {
+		return fmt.Errorf("predict: %d entries", c.Entries)
+	}
+	if c.OffsetBits < 0 || c.OffsetBits > 20 {
+		return fmt.Errorf("predict: offset bits %d out of [0,20]", c.OffsetBits)
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		return fmt.Errorf("predict: alpha %g out of (0,1]", c.Alpha)
+	}
+	return nil
+}
+
+// StorageBytes returns the hardware storage of one table instance
+// (TABLE I accounting): one sensitivity byte pair per entry.
+func (c PCTableConfig) StorageBytes() int { return c.Entries }
+
+// PCTable is one PC-indexed sensitivity table instance. It may serve one
+// CU, one domain, or the whole GPU; sharing granularity is the caller's
+// choice (the paper observes accuracy is insensitive to it, §4.4).
+type PCTable struct {
+	cfg   PCTableConfig
+	tags  []uint64
+	est   []estimate.WFEstimate
+	valid []bool
+
+	lookups int64
+	hits    int64
+}
+
+// NewPCTable builds a table.
+func NewPCTable(cfg PCTableConfig) *PCTable {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &PCTable{
+		cfg:   cfg,
+		tags:  make([]uint64, cfg.Entries),
+		est:   make([]estimate.WFEstimate, cfg.Entries),
+		valid: make([]bool, cfg.Entries),
+	}
+}
+
+func (t *PCTable) index(pc uint64) (int, uint64) {
+	key := pc >> uint(t.cfg.OffsetBits)
+	return int(key % uint64(t.cfg.Entries)), key
+}
+
+// Update stores (or blends) the sensitivity estimated for the epoch that
+// began at byte address pc — the paper's update mechanism, run off the
+// critical path after each epoch.
+func (t *PCTable) Update(pc uint64, e estimate.WFEstimate) {
+	i, key := t.index(pc)
+	if t.valid[i] && t.tags[i] == key {
+		a := t.cfg.Alpha
+		t.est[i].IRef = a*e.IRef + (1-a)*t.est[i].IRef
+		t.est[i].Slope = a*e.Slope + (1-a)*t.est[i].Slope
+		return
+	}
+	t.tags[i] = key
+	t.est[i] = e
+	t.valid[i] = true
+}
+
+// Lookup retrieves the stored sensitivity for a wavefront about to start
+// an epoch at byte address pc — the paper's lookup mechanism, run just
+// before the epoch boundary.
+func (t *PCTable) Lookup(pc uint64) (estimate.WFEstimate, bool) {
+	t.lookups++
+	i, key := t.index(pc)
+	if t.valid[i] && t.tags[i] == key {
+		t.hits++
+		return t.est[i], true
+	}
+	return estimate.WFEstimate{}, false
+}
+
+// HitRatio returns the lifetime lookup hit ratio.
+func (t *PCTable) HitRatio() float64 {
+	if t.lookups == 0 {
+		return 0
+	}
+	return float64(t.hits) / float64(t.lookups)
+}
+
+// Lookups returns the lifetime lookup count.
+func (t *PCTable) Lookups() int64 { return t.lookups }
+
+// Reset invalidates all entries (used at application boundaries).
+func (t *PCTable) Reset() {
+	for i := range t.valid {
+		t.valid[i] = false
+	}
+	t.lookups, t.hits = 0, 0
+}
+
+// InstrSpan returns how many instructions the table covers end to end
+// (entries × instructions per entry), e.g. 512 for the default table.
+func (c PCTableConfig) InstrSpan() int {
+	perEntry := (1 << uint(c.OffsetBits)) / isa.InstrBytes
+	if perEntry < 1 {
+		perEntry = 1
+	}
+	return c.Entries * perEntry
+}

@@ -1,0 +1,193 @@
+package predict
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pcstall/internal/estimate"
+	"pcstall/internal/xrand"
+)
+
+func TestUpdateLookupRoundtrip(t *testing.T) {
+	tb := NewPCTable(DefaultPCTable())
+	e := estimate.WFEstimate{IRef: 123, Slope: 0.5}
+	tb.Update(0x1000, e)
+	got, ok := tb.Lookup(0x1000)
+	if !ok {
+		t.Fatal("miss after update")
+	}
+	if got != e {
+		t.Fatalf("got %+v, want %+v", got, e)
+	}
+}
+
+func TestLookupMiss(t *testing.T) {
+	tb := NewPCTable(DefaultPCTable())
+	if _, ok := tb.Lookup(0x2000); ok {
+		t.Fatal("hit in empty table")
+	}
+	if tb.HitRatio() != 0 {
+		t.Fatal("hit ratio after one miss should be 0")
+	}
+}
+
+func TestOffsetBitsGroupNearbyPCs(t *testing.T) {
+	cfg := DefaultPCTable() // 4 offset bits = 16 bytes = 4 instructions
+	tb := NewPCTable(cfg)
+	e := estimate.WFEstimate{IRef: 7}
+	tb.Update(0x1000, e)
+	// PCs within the same 16-byte window share the entry.
+	if _, ok := tb.Lookup(0x100C); !ok {
+		t.Fatal("nearby PC in same window missed")
+	}
+	// The next window is a different entry (tag mismatch -> miss).
+	if _, ok := tb.Lookup(0x1010); ok {
+		t.Fatal("next window aliased into same entry")
+	}
+}
+
+func TestTagDetectsAliasing(t *testing.T) {
+	cfg := PCTableConfig{Entries: 16, OffsetBits: 4, Alpha: 1}
+	tb := NewPCTable(cfg)
+	tb.Update(0x0000, estimate.WFEstimate{IRef: 1})
+	// 16 entries * 16 bytes = 256-byte span; +256 maps to the same
+	// index with a different tag.
+	if _, ok := tb.Lookup(0x0100); ok {
+		t.Fatal("aliasing PC hit a stale entry")
+	}
+	// And updating the alias evicts the original.
+	tb.Update(0x0100, estimate.WFEstimate{IRef: 2})
+	if _, ok := tb.Lookup(0x0000); ok {
+		t.Fatal("evicted entry still hits")
+	}
+}
+
+func TestEWMABlending(t *testing.T) {
+	cfg := PCTableConfig{Entries: 16, OffsetBits: 4, Alpha: 0.5}
+	tb := NewPCTable(cfg)
+	tb.Update(0x40, estimate.WFEstimate{IRef: 100, Slope: 1})
+	tb.Update(0x40, estimate.WFEstimate{IRef: 200, Slope: 3})
+	got, _ := tb.Lookup(0x40)
+	if math.Abs(got.IRef-150) > 1e-9 || math.Abs(got.Slope-2) > 1e-9 {
+		t.Fatalf("EWMA blend got %+v, want {150 2}", got)
+	}
+}
+
+func TestAlphaOneIsLastValue(t *testing.T) {
+	cfg := PCTableConfig{Entries: 16, OffsetBits: 4, Alpha: 1}
+	tb := NewPCTable(cfg)
+	tb.Update(0x40, estimate.WFEstimate{IRef: 100})
+	tb.Update(0x40, estimate.WFEstimate{IRef: 200})
+	got, _ := tb.Lookup(0x40)
+	if got.IRef != 200 {
+		t.Fatalf("alpha=1 should keep last value, got %g", got.IRef)
+	}
+}
+
+func TestHitRatioAccounting(t *testing.T) {
+	tb := NewPCTable(DefaultPCTable())
+	tb.Update(0x40, estimate.WFEstimate{IRef: 1})
+	tb.Lookup(0x40)   // hit
+	tb.Lookup(0x4000) // miss
+	if tb.Lookups() != 2 {
+		t.Fatalf("lookups = %d", tb.Lookups())
+	}
+	if math.Abs(tb.HitRatio()-0.5) > 1e-9 {
+		t.Fatalf("hit ratio %g", tb.HitRatio())
+	}
+}
+
+func TestReset(t *testing.T) {
+	tb := NewPCTable(DefaultPCTable())
+	tb.Update(0x40, estimate.WFEstimate{IRef: 1})
+	tb.Lookup(0x40)
+	tb.Reset()
+	if _, ok := tb.Lookup(0x40); ok {
+		t.Fatal("entry survived reset")
+	}
+	if tb.Lookups() != 1 {
+		t.Fatal("lookup counters not reset")
+	}
+}
+
+func TestInstrSpan(t *testing.T) {
+	// 128 entries x 4 instructions per entry = 512 instructions — the
+	// paper's coverage claim (§4.4).
+	if got := DefaultPCTable().InstrSpan(); got != 512 {
+		t.Fatalf("default span %d, want 512", got)
+	}
+	if got := (PCTableConfig{Entries: 64, OffsetBits: 0, Alpha: 1}).InstrSpan(); got != 64 {
+		t.Fatalf("offset-0 span %d, want 64", got)
+	}
+}
+
+func TestStorageBytes(t *testing.T) {
+	if DefaultPCTable().StorageBytes() != 128 {
+		t.Fatal("default table storage should be 128 bytes (TABLE I)")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []PCTableConfig{
+		{Entries: 0, OffsetBits: 4, Alpha: 0.5},
+		{Entries: 128, OffsetBits: -1, Alpha: 0.5},
+		{Entries: 128, OffsetBits: 30, Alpha: 0.5},
+		{Entries: 128, OffsetBits: 4, Alpha: 0},
+		{Entries: 128, OffsetBits: 4, Alpha: 1.5},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// TestNonCollidingEntriesIndependent: distinct windows within the table's
+// span never interfere.
+func TestNonCollidingEntriesIndependent(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		cfg := PCTableConfig{Entries: 64, OffsetBits: 4, Alpha: 1}
+		tb := NewPCTable(cfg)
+		rng := xrand.New(seed)
+		span := uint64(cfg.Entries << cfg.OffsetBits)
+		vals := map[uint64]float64{}
+		for i := 0; i < 40; i++ {
+			w := uint64(rng.Intn(cfg.Entries))
+			pc := w << uint(cfg.OffsetBits) % span
+			v := rng.Float64() * 100
+			tb.Update(pc, estimate.WFEstimate{IRef: v})
+			vals[pc] = v
+		}
+		for pc, v := range vals {
+			got, ok := tb.Lookup(pc)
+			if !ok || got.IRef != v {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHighHitRatioOnLoopedPCs(t *testing.T) {
+	// The paper sizes the table at 128 entries for a 95%+ hit ratio on
+	// loops of a few hundred instructions (§4.4): simulate a 300-
+	// instruction loop revisited many times.
+	tb := NewPCTable(DefaultPCTable())
+	const loopInstrs = 300
+	for pass := 0; pass < 10; pass++ {
+		for pc := uint64(0); pc < loopInstrs*4; pc += 4 {
+			if _, ok := tb.Lookup(pc); !ok {
+				tb.Update(pc, estimate.WFEstimate{IRef: 1})
+			} else {
+				tb.Update(pc, estimate.WFEstimate{IRef: 1})
+			}
+		}
+	}
+	if tb.HitRatio() < 0.85 {
+		t.Fatalf("hit ratio %.3f too low for a %d-instruction loop", tb.HitRatio(), loopInstrs)
+	}
+}

@@ -1,0 +1,63 @@
+package sim_test
+
+import (
+	"testing"
+
+	"pcstall/internal/clock"
+	"pcstall/internal/sim"
+	"pcstall/internal/workload"
+)
+
+// Microbenchmarks for the simulator substrate itself (simulation rate,
+// snapshot cost). The paper-figure benchmarks live at the repository
+// root.
+
+func benchGPU(b *testing.B, app string, cus int) *sim.GPU {
+	b.Helper()
+	cfg := sim.DefaultConfig(cus)
+	a := workload.MustBuild(app, workload.DefaultGenConfig(cus))
+	g, err := sim.New(cfg, a.Kernels, a.Launches)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkSimulate measures simulation throughput: wall time per 50µs of
+// simulated time on an 8-CU GPU.
+func BenchmarkSimulate(b *testing.B) {
+	for _, app := range []string{"comd", "xsbench", "dgemm"} {
+		b.Run(app, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g := benchGPU(b, app, 8)
+				g.RunUntil(50 * clock.Microsecond)
+			}
+		})
+	}
+}
+
+// BenchmarkClone measures the snapshot cost the fork-pre-execute oracle
+// pays per sample.
+func BenchmarkClone(b *testing.B) {
+	g := benchGPU(b, "comd", 8)
+	g.RunUntil(20 * clock.Microsecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Clone()
+	}
+}
+
+// BenchmarkEpochCollect measures the per-boundary counter collection.
+func BenchmarkEpochCollect(b *testing.B) {
+	g := benchGPU(b, "comd", 8)
+	var es sim.EpochSample
+	for i := 0; i < b.N; i++ {
+		g.RunUntil(g.Now + clock.Microsecond)
+		g.CollectEpoch(&es)
+		if g.Finished {
+			b.StopTimer()
+			g = benchGPU(b, "comd", 8)
+			b.StartTimer()
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package sim implements the cycle-approximate GPU timing simulator: CUs
+// with four SIMDs and up to 40 resident wavefronts each, oldest-first
+// wavefront scheduling, in-order per-wavefront issue, s_waitcnt blocking
+// on outstanding memory counters, workgroup barriers, a global dispatcher,
+// and an event loop that interleaves per-CU clock domains with the fixed
+// uncore clock of the shared memory hierarchy.
+//
+// All simulator state is plain data reachable from GPU; GPU.Clone deep
+// copies it, which is what the fork-pre-execute oracle (internal/oracle)
+// relies on. Given identical frequency schedules, two clones execute
+// identically: event ties break on component index and all randomness
+// lives in cloned xrand.State values.
+package sim
+
+import "pcstall/internal/clock"
+
+// CUCounters accumulates one CU's per-epoch activity. The DVFS manager
+// snapshots and resets these at every epoch boundary; estimation models
+// (internal/estimate) consume the snapshot.
+type CUCounters struct {
+	// Committed is the number of instructions committed by all resident
+	// wavefronts (the paper's work-done proxy, §3.2).
+	Committed int64
+	// MemCommitted counts committed VLoad/VStore instructions.
+	MemCommitted int64
+	// IssueSlots counts SIMD issue events (for the activity factor of
+	// the power model).
+	IssueSlots int64
+	// OccupancyPs is total SIMD time consumed by issued instructions
+	// (the per-instruction issue cost governors use to bound predicted
+	// throughput).
+	OccupancyPs int64
+	// MemBlockedPs is time the whole CU was stalled with at least one
+	// wavefront blocked on s_waitcnt — the CU-level STALL model signal.
+	MemBlockedPs int64
+	// StoreStallPs is the portion of MemBlockedPs during which some
+	// blocked wavefront was waiting on an outstanding store (CRISP).
+	StoreStallPs int64
+	// BarrierOnlyPs is time the CU was stalled with wavefronts blocked
+	// only on barriers (no memory wait).
+	BarrierOnlyPs int64
+	// LeadLatPs accumulates the latency of leading loads completed this
+	// epoch (Leading Load model).
+	LeadLatPs int64
+	// CritLatPs accumulates non-overlapped load latency along the load
+	// critical path (Critical Path / CRISP models).
+	CritLatPs int64
+	// OverlapPs is time during which the CU issued instructions while
+	// loads were in flight (CRISP's compute-memory overlap credit).
+	OverlapPs int64
+	// L1Hits and L1Misses count vector L1 probes.
+	L1Hits   int64
+	L1Misses int64
+	// LinesIssued counts cache-line requests generated.
+	LinesIssued int64
+}
+
+// WFCounters accumulates one wavefront's per-epoch activity; the
+// wavefront-level STALL model and the PC-based predictor consume these.
+type WFCounters struct {
+	// Committed is instructions committed this epoch.
+	Committed int64
+	// StallPs is time blocked at s_waitcnt this epoch.
+	StallPs int64
+	// BarrierPs is time blocked at barriers this epoch.
+	BarrierPs int64
+	// OccupancyPs is SIMD time consumed by this wavefront's issued
+	// instructions this epoch.
+	OccupancyPs int64
+}
+
+func (c *WFCounters) reset() { *c = WFCounters{} }
+
+// WFRecord is the per-wavefront epoch sample handed to estimation models
+// and the PC predictor at an epoch boundary.
+type WFRecord struct {
+	// Slot is the wavefront slot within its CU.
+	Slot int32
+	// GlobalWave is the wavefront's global dispatch index.
+	GlobalWave int64
+	// AgeRank is the wavefront's age order among wavefronts that were
+	// resident in the CU this epoch (0 = oldest = highest scheduling
+	// priority under oldest-first).
+	AgeRank int32
+	// StartPC is the byte PC at which the wavefront began the epoch (or
+	// its dispatch PC if it arrived mid-epoch).
+	StartPC uint64
+	// EndPC is the byte PC at the epoch boundary; it is the key the
+	// PC-based predictor looks up for the next epoch. Valid only if
+	// !Done.
+	EndPC uint64
+	// Done marks a wavefront that retired during the epoch.
+	Done bool
+	// ResidentPs is the portion of the epoch the wavefront was present.
+	ResidentPs int64
+	C          WFCounters
+}
+
+// CUEpoch is one CU's complete epoch sample.
+type CUEpoch struct {
+	CU int32
+	C  CUCounters
+	// WFs lists every wavefront resident at any point in the epoch,
+	// including ones that retired mid-epoch. The backing array is reused
+	// across epochs; copy records that must outlive the next collection.
+	WFs []WFRecord
+}
+
+// EpochSample is the GPU-wide epoch sample collected at a boundary.
+type EpochSample struct {
+	Start, End clock.Time
+	CUs        []CUEpoch
+	// Freqs is the frequency each domain ran during the epoch.
+	Freqs []clock.Freq
+	// Finished reports whether the application completed during the
+	// epoch.
+	Finished bool
+}
+
+// DomainCommitted sums committed instructions over the CUs of domain d
+// under the given domain map.
+func (e *EpochSample) DomainCommitted(m clock.Map, d int) int64 {
+	lo, hi := m.CUs(d)
+	var n int64
+	for cu := lo; cu < hi; cu++ {
+		n += e.CUs[cu].C.Committed
+	}
+	return n
+}
+
+// TotalCommitted sums committed instructions over all CUs.
+func (e *EpochSample) TotalCommitted() int64 {
+	var n int64
+	for i := range e.CUs {
+		n += e.CUs[i].C.Committed
+	}
+	return n
+}

@@ -1,0 +1,462 @@
+package sim
+
+import (
+	"sort"
+
+	"pcstall/internal/clock"
+	"pcstall/internal/isa"
+	"pcstall/internal/mem"
+)
+
+// CU is one compute unit: four SIMDs, up to MaxWavesPerCU resident
+// wavefronts, a private vector L1, and per-epoch counters. All fields are
+// plain data for snapshotting.
+type CU struct {
+	ID     int32
+	Domain int32
+	WFs    []Wavefront
+	// SIMDFreeAt is the time each SIMD finishes its current instruction.
+	SIMDFreeAt []clock.Time
+	L1         mem.Cache
+	// L1MissOut is the number of in-flight L1 misses (MSHR occupancy).
+	L1MissOut int32
+	// LoadsInFlight and StoresInFlight count this CU's in-flight lines.
+	LoadsInFlight  int32
+	StoresInFlight int32
+	// CritEnd is the end of the load critical path seen so far.
+	CritEnd clock.Time
+	// ActiveWaves counts occupied wavefront slots.
+	ActiveWaves int32
+	// simdQ[s] lists the occupied slots bound to SIMD s in age order
+	// (GlobalWave ascending); dispatch appends (wave IDs are monotonic)
+	// and retire removes.
+	simdQ [][]int32
+	// IdleSince marks when the CU last became unable to issue (-1 when
+	// it can issue); the idle*
+	// flags classify the blocked interval for the estimation models.
+	IdleSince   clock.Time
+	idleMemWait bool
+	idleStore   bool
+	idleBarrier bool
+	C           CUCounters
+	// Retired buffers the records of wavefronts that completed during
+	// the current epoch; collect drains it at the boundary.
+	Retired []WFRecord
+}
+
+const noIdle = clock.Time(-1)
+
+func newCU(id int32, domain int32, cfg *Config) CU {
+	cu := CU{
+		ID:         id,
+		Domain:     domain,
+		WFs:        make([]Wavefront, cfg.MaxWavesPerCU),
+		SIMDFreeAt: make([]clock.Time, cfg.SIMDsPerCU),
+		L1:         cfg.Mem.NewL1(),
+		IdleSince:  noIdle,
+		simdQ:      make([][]int32, cfg.SIMDsPerCU),
+	}
+	return cu
+}
+
+// freeSlots returns the number of free wavefront slots.
+func (cu *CU) freeSlots() int {
+	n := 0
+	for i := range cu.WFs {
+		if cu.WFs[i].State == WFFree {
+			n++
+		}
+	}
+	return n
+}
+
+// execOutcome classifies one issue attempt.
+type execOutcome uint8
+
+const (
+	outIssued  execOutcome = iota // SIMD consumed
+	outBlocked                    // wavefront changed to a blocked state
+	outSkipped                    // structural hazard (MSHRs); try another wave
+)
+
+// tick advances the CU by one cycle at time now. It returns true if the CU
+// should tick again next cycle (some wavefront can still issue or a SIMD
+// is finishing soon).
+func (cu *CU) tick(g *GPU, now clock.Time) {
+	period := g.Domains[cu.Domain].Freq.PeriodPs()
+	issued := false
+	for s := 0; s < len(cu.SIMDFreeAt); s++ {
+		if cu.SIMDFreeAt[s] > now {
+			continue
+		}
+		// Oldest-first among runnable waves bound to this SIMD (the
+		// queue is age-ordered), skipping waves that block or hit a
+		// structural hazard without consuming the SIMD.
+		q := cu.simdQ[s]
+		for qi := 0; qi < len(q); qi++ {
+			w := int(q[qi])
+			if cu.WFs[w].State != WFRunning {
+				continue
+			}
+			out := cu.exec(g, w, s, now, period)
+			if out == outIssued {
+				issued = true
+				break
+			}
+			// The queue may have been edited by a retire during exec
+			// (barrier release chains); re-read it defensively.
+			q = cu.simdQ[s]
+		}
+	}
+	if issued && cu.LoadsInFlight > 0 {
+		cu.C.OverlapPs += period
+	}
+	g.scheduleCU(cu, now)
+}
+
+// enqueue registers a dispatched slot on its SIMD's age-ordered queue.
+func (cu *CU) enqueue(slot int32) {
+	s := cu.WFs[slot].GlobalWave % int64(len(cu.SIMDFreeAt))
+	cu.simdQ[s] = append(cu.simdQ[s], slot)
+}
+
+// dequeue removes a retired slot from its SIMD queue.
+func (cu *CU) dequeue(slot int32) {
+	s := cu.WFs[slot].GlobalWave % int64(len(cu.SIMDFreeAt))
+	q := cu.simdQ[s]
+	for i, v := range q {
+		if v == slot {
+			cu.simdQ[s] = append(q[:i], q[i+1:]...)
+			return
+		}
+	}
+}
+
+func (cu *CU) commit(g *GPU, wf *Wavefront, memOp bool) {
+	cu.C.Committed++
+	wf.C.Committed++
+	if memOp {
+		cu.C.MemCommitted++
+	}
+	g.TotalCommitted++
+}
+
+// exec attempts to issue the wavefront's next instruction on SIMD s.
+func (cu *CU) exec(g *GPU, w, s int, now clock.Time, period clock.Time) execOutcome {
+	wf := &cu.WFs[w]
+	prog := &g.Kernels[wf.Kernel].Program
+	in := &prog.Code[wf.PC]
+
+	switch in.Kind {
+	case isa.VALU, isa.SALU, isa.LDS:
+		occ := clock.Time(in.Latency) * period
+		cu.SIMDFreeAt[s] = now + occ
+		wf.C.OccupancyPs += occ
+		cu.C.OccupancyPs += int64(occ)
+		cu.C.IssueSlots++
+		cu.commit(g, wf, false)
+		wf.PC++
+		return outIssued
+
+	case isa.VLoad, isa.VStore:
+		lines := int32(in.Pattern.Lines)
+		if cu.L1MissOut+lines > int32(g.Cfg.Mem.L1MSHRs) {
+			// MSHR backpressure: block the wave as memory stall until a
+			// miss completes, exactly like an implicit waitcnt. Leaving
+			// it runnable would misaccount memory-system time as
+			// frequency-scalable core time.
+			wf.State = WFThrottled
+			wf.BlockedSince = now
+			return outBlocked
+		}
+		store := in.Kind == isa.VStore
+		for l := int32(0); l < lines; l++ {
+			addr := wf.lineAddr(&in.Pattern, int(l))
+			cu.C.LinesIssued++
+			if !store && cu.L1.Probe(addr) {
+				cu.C.L1Hits++
+				g.scheduleLocal(mem.Request{
+					Addr: addr, CU: cu.ID, WF: int32(w),
+					Issue: now,
+				}, now+clock.Time(g.Cfg.Mem.L1Latency)*period)
+				wf.OutLoads++
+				cu.LoadsInFlight++
+				continue
+			}
+			leading := !store && cu.LoadsInFlight == 0
+			if !store {
+				cu.C.L1Misses++
+			}
+			g.submit(mem.Request{
+				Addr: addr, CU: cu.ID, WF: int32(w),
+				Store: store, Issue: now, Leading: leading,
+			})
+			cu.L1MissOut++
+			if store {
+				wf.OutStores++
+				cu.StoresInFlight++
+			} else {
+				wf.OutLoads++
+				cu.LoadsInFlight++
+			}
+		}
+		wf.MemCounter++
+		cu.SIMDFreeAt[s] = now + period
+		wf.C.OccupancyPs += period
+		cu.C.OccupancyPs += int64(period)
+		cu.C.IssueSlots++
+		cu.commit(g, wf, true)
+		wf.PC++
+		return outIssued
+
+	case isa.WaitCnt:
+		if wf.OutLoads+wf.OutStores <= in.Imm {
+			cu.SIMDFreeAt[s] = now + period
+			wf.C.OccupancyPs += period
+			cu.C.OccupancyPs += int64(period)
+			cu.C.IssueSlots++
+			cu.commit(g, wf, false)
+			wf.PC++
+			return outIssued
+		}
+		wf.State = WFWaitCnt
+		wf.WaitThresh = in.Imm
+		wf.BlockedSince = now
+		return outBlocked
+
+	case isa.Barrier:
+		wf.State = WFBarrier
+		wf.BlockedSince = now
+		cu.tryReleaseBarrier(g, wf.WG, now)
+		if wf.State == WFRunning {
+			// This wave was the last arrival; its barrier committed
+			// during the release. It may issue again next cycle.
+			return outBlocked
+		}
+		return outBlocked
+
+	case isa.Branch:
+		slot := in.BranchSlot
+		if wf.Loop[slot] > 0 {
+			wf.Loop[slot]--
+			wf.PC = in.Imm
+		} else {
+			wf.Loop[slot] = wf.LoopReload[slot]
+			wf.PC++
+		}
+		cu.SIMDFreeAt[s] = now + period
+		wf.C.OccupancyPs += period
+		cu.C.OccupancyPs += int64(period)
+		cu.C.IssueSlots++
+		cu.commit(g, wf, false)
+		return outIssued
+
+	case isa.EndPgm:
+		if wf.OutLoads+wf.OutStores > 0 {
+			// Implicit waitcnt 0 before program end so responses never
+			// target a recycled slot.
+			wf.State = WFWaitCnt
+			wf.WaitThresh = 0
+			wf.BlockedSince = now
+			return outBlocked
+		}
+		cu.SIMDFreeAt[s] = now + period
+		wf.C.OccupancyPs += period
+		cu.C.OccupancyPs += int64(period)
+		cu.C.IssueSlots++
+		cu.commit(g, wf, false)
+		cu.retire(g, w, now)
+		return outIssued
+
+	default:
+		panic("sim: unknown instruction kind")
+	}
+}
+
+// tryReleaseBarrier releases workgroup wg's waves if all have arrived.
+func (cu *CU) tryReleaseBarrier(g *GPU, wg int64, now clock.Time) {
+	arrived := int32(0)
+	var size int32
+	for i := range cu.WFs {
+		wf := &cu.WFs[i]
+		if wf.State == WFBarrier && wf.WG == wg {
+			arrived++
+			size = wf.WGSize
+		}
+	}
+	if arrived < size {
+		return
+	}
+	for i := range cu.WFs {
+		wf := &cu.WFs[i]
+		if wf.State != WFBarrier || wf.WG != wg {
+			continue
+		}
+		wf.C.BarrierPs += now - wf.BlockedSince
+		wf.State = WFRunning
+		cu.commit(g, wf, false)
+		wf.PC++
+	}
+}
+
+// retire frees a completed wavefront's slot, flushing its epoch record.
+func (cu *CU) retire(g *GPU, w int, now clock.Time) {
+	wf := &cu.WFs[w]
+	prog := &g.Kernels[wf.Kernel].Program
+	cu.Retired = append(cu.Retired, WFRecord{
+		Slot:       int32(w),
+		GlobalWave: wf.GlobalWave,
+		StartPC:    wf.EpochStartPC,
+		EndPC:      prog.PC(wf.PC),
+		Done:       true,
+		ResidentPs: wf.resident(g.EpochStart, now),
+		C:          wf.C,
+	})
+	cu.dequeue(int32(w))
+	wf.State = WFFree
+	cu.ActiveWaves--
+	g.noteWaveDone(now)
+}
+
+// canIssue reports whether any wavefront could issue now or once a SIMD
+// frees (used to decide whether the CU may sleep).
+func (cu *CU) canIssue() bool {
+	for i := range cu.WFs {
+		if cu.WFs[i].State == WFRunning {
+			return true
+		}
+	}
+	return false
+}
+
+// beginIdle classifies and opens an idle interval at time now.
+func (cu *CU) beginIdle(now clock.Time) {
+	if cu.IdleSince != noIdle {
+		return
+	}
+	cu.IdleSince = now
+	cu.idleMemWait = false
+	cu.idleStore = false
+	cu.idleBarrier = false
+	anyBlocked := false
+	for i := range cu.WFs {
+		wf := &cu.WFs[i]
+		switch wf.State {
+		case WFWaitCnt, WFThrottled:
+			anyBlocked = true
+			cu.idleMemWait = true
+			if wf.OutStores > 0 {
+				cu.idleStore = true
+			}
+		case WFBarrier:
+			anyBlocked = true
+		}
+	}
+	cu.idleBarrier = anyBlocked && !cu.idleMemWait
+}
+
+// closeIdle ends an open idle interval at time now, attributing the
+// blocked time to the estimation-model counters.
+func (cu *CU) closeIdle(now clock.Time) {
+	if cu.IdleSince == noIdle {
+		return
+	}
+	dur := now - cu.IdleSince
+	if dur > 0 && cu.ActiveWaves > 0 {
+		if cu.idleMemWait {
+			cu.C.MemBlockedPs += dur
+			if cu.idleStore {
+				cu.C.StoreStallPs += dur
+			}
+		} else if cu.idleBarrier {
+			cu.C.BarrierOnlyPs += dur
+		}
+	}
+	cu.IdleSince = noIdle
+}
+
+// collect finalizes the epoch ending at end and fills rec (reused across
+// epochs) with this CU's sample, then resets epoch state for the next
+// epoch starting at end.
+func (cu *CU) collect(g *GPU, end clock.Time, out *CUEpoch) {
+	// Close open blocked intervals so their time lands in this epoch.
+	cu.closeIdle(end)
+	for i := range cu.WFs {
+		wf := &cu.WFs[i]
+		switch wf.State {
+		case WFWaitCnt, WFThrottled:
+			wf.C.StallPs += end - wf.BlockedSince
+			wf.BlockedSince = end
+		case WFBarrier:
+			wf.C.BarrierPs += end - wf.BlockedSince
+			wf.BlockedSince = end
+		}
+	}
+
+	out.CU = cu.ID
+	out.C = cu.C
+	out.WFs = out.WFs[:0]
+	out.WFs = append(out.WFs, cu.Retired...)
+	for i := range cu.WFs {
+		wf := &cu.WFs[i]
+		if wf.State == WFFree {
+			continue
+		}
+		prog := &g.Kernels[wf.Kernel].Program
+		out.WFs = append(out.WFs, WFRecord{
+			Slot:       int32(i),
+			GlobalWave: wf.GlobalWave,
+			StartPC:    wf.EpochStartPC,
+			EndPC:      prog.PC(wf.PC),
+			ResidentPs: wf.resident(g.EpochStart, end),
+			C:          wf.C,
+		})
+	}
+	// Age ranks: 0 = oldest (highest priority under oldest-first).
+	sort.Slice(out.WFs, func(a, b int) bool {
+		return out.WFs[a].GlobalWave < out.WFs[b].GlobalWave
+	})
+	for i := range out.WFs {
+		out.WFs[i].AgeRank = int32(i)
+	}
+
+	// Reset for the next epoch.
+	cu.C = CUCounters{}
+	cu.Retired = cu.Retired[:0]
+	for i := range cu.WFs {
+		wf := &cu.WFs[i]
+		if wf.State == WFFree {
+			continue
+		}
+		wf.C.reset()
+		prog := &g.Kernels[wf.Kernel].Program
+		wf.EpochStartPC = prog.PC(wf.PC)
+		if wf.DispatchedAt < end {
+			wf.DispatchedAt = end // clamp residency to the new epoch
+		}
+	}
+	// Re-open the idle interval if the CU is still blocked.
+	if !cu.canIssue() && cu.ActiveWaves > 0 {
+		cu.beginIdle(end)
+	}
+}
+
+// clone deep-copies the CU.
+func (cu *CU) clone() CU {
+	cp := *cu
+	cp.WFs = make([]Wavefront, len(cu.WFs))
+	for i := range cu.WFs {
+		w := cu.WFs[i]
+		w.Loop = append([]int32(nil), cu.WFs[i].Loop...)
+		w.LoopReload = append([]int32(nil), cu.WFs[i].LoopReload...)
+		cp.WFs[i] = w
+	}
+	cp.SIMDFreeAt = append([]clock.Time(nil), cu.SIMDFreeAt...)
+	cp.L1 = cu.L1.Clone()
+	cp.Retired = append([]WFRecord(nil), cu.Retired...)
+	cp.simdQ = make([][]int32, len(cu.simdQ))
+	for s := range cu.simdQ {
+		cp.simdQ[s] = append([]int32(nil), cu.simdQ[s]...)
+	}
+	return cp
+}

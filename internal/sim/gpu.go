@@ -1,0 +1,466 @@
+package sim
+
+import (
+	"fmt"
+
+	"pcstall/internal/clock"
+	"pcstall/internal/isa"
+	"pcstall/internal/mem"
+	"pcstall/internal/xrand"
+)
+
+// Config describes the simulated GPU.
+type Config struct {
+	// NumCUs is the number of compute units (the paper's platform has 64).
+	NumCUs int
+	// MaxWavesPerCU is the wavefront slot count per CU (40 on Vega).
+	MaxWavesPerCU int
+	// SIMDsPerCU is the number of SIMD issue units per CU.
+	SIMDsPerCU int
+	// Mem is the memory hierarchy configuration.
+	Mem mem.Config
+	// Domains maps CUs into V/f domains.
+	Domains clock.Map
+	// Grid is the DVFS frequency grid.
+	Grid clock.Grid
+	// InitFreq is the frequency every domain starts at.
+	InitFreq clock.Freq
+	// Seed drives all workload randomness.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's platform scaled by numCUs: per-CU V/f
+// domains, the 1.3-2.2 GHz grid, Vega-like CU shape, and the default
+// memory hierarchy.
+func DefaultConfig(numCUs int) Config {
+	g := clock.DefaultGrid()
+	return Config{
+		NumCUs:        numCUs,
+		MaxWavesPerCU: 40,
+		SIMDsPerCU:    4,
+		Mem:           mem.DefaultConfig(),
+		Domains:       clock.Map{NumCUs: numCUs, CUsPerDomain: 1},
+		Grid:          g,
+		InitFreq:      g.Mid(),
+		Seed:          1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.NumCUs < 1 {
+		return fmt.Errorf("sim: %d CUs", c.NumCUs)
+	}
+	if c.MaxWavesPerCU < 1 || c.SIMDsPerCU < 1 {
+		return fmt.Errorf("sim: bad CU shape: %d waves, %d SIMDs", c.MaxWavesPerCU, c.SIMDsPerCU)
+	}
+	if err := c.Mem.Validate(); err != nil {
+		return err
+	}
+	if c.Domains.NumCUs != c.NumCUs {
+		return fmt.Errorf("sim: domain map covers %d CUs, GPU has %d", c.Domains.NumCUs, c.NumCUs)
+	}
+	if err := c.Domains.Validate(); err != nil {
+		return err
+	}
+	if err := c.Grid.Validate(); err != nil {
+		return err
+	}
+	if c.Grid.Index(c.InitFreq) < 0 {
+		return fmt.Errorf("sim: initial frequency %v not on grid", c.InitFreq)
+	}
+	return nil
+}
+
+// GPU is the complete simulator state. Clone deep-copies it; the clone
+// executes identically given identical frequency schedules.
+type GPU struct {
+	Cfg Config
+	// Kernels is the deduplicated kernel set (shared, read-only).
+	Kernels []isa.Kernel
+	// Launches is the kernel launch order, as indices into Kernels
+	// (shared, read-only). Launches run back-to-back with a full GPU
+	// sync between them.
+	Launches []int32
+
+	CUs     []CU
+	Domains []clock.Domain
+	Msys    *mem.MemSys
+	Now     clock.Time
+	// EpochStart anchors per-epoch counters.
+	EpochStart clock.Time
+	// Finished is set once every launch has completed.
+	Finished bool
+	// TotalCommitted counts instructions committed since time zero.
+	TotalCommitted int64
+
+	// Dispatch state.
+	LaunchIdx      int32
+	WGDispatched   int64
+	WavesLeft      int64
+	WGSeq          int64
+	GlobalWaveSeq  int64
+	dispatchCursor int32
+	Rng            xrand.State
+
+	heap      tickHeap
+	memTickAt clock.Time
+	doneBuf   []mem.Request
+}
+
+// New builds a GPU running the given launch sequence. It validates the
+// configuration and all kernels, and performs the initial dispatch so the
+// simulation is ready to run from time zero.
+func New(cfg Config, kernels []isa.Kernel, launches []int32) (*GPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(kernels) == 0 || len(launches) == 0 {
+		return nil, fmt.Errorf("sim: need at least one kernel and one launch")
+	}
+	for i := range kernels {
+		if err := kernels[i].Validate(); err != nil {
+			return nil, err
+		}
+		if kernels[i].WavesPerWG > cfg.MaxWavesPerCU {
+			return nil, fmt.Errorf("sim: kernel %q workgroup (%d waves) exceeds CU capacity (%d)",
+				kernels[i].Program.Name, kernels[i].WavesPerWG, cfg.MaxWavesPerCU)
+		}
+	}
+	for _, l := range launches {
+		if l < 0 || int(l) >= len(kernels) {
+			return nil, fmt.Errorf("sim: launch index %d out of range", l)
+		}
+	}
+
+	g := &GPU{
+		Cfg:       cfg,
+		Kernels:   kernels,
+		Launches:  launches,
+		CUs:       make([]CU, cfg.NumCUs),
+		Domains:   make([]clock.Domain, cfg.Domains.NumDomains()),
+		Msys:      mem.NewMemSys(cfg.Mem),
+		Rng:       xrand.New(cfg.Seed),
+		heap:      newTickHeap(cfg.NumCUs),
+		memTickAt: InfTime,
+		LaunchIdx: -1,
+	}
+	for i := range g.CUs {
+		g.CUs[i] = newCU(int32(i), int32(cfg.Domains.DomainOf(i)), &cfg)
+	}
+	for d := range g.Domains {
+		g.Domains[d] = clock.NewDomain(int32(d), cfg.InitFreq)
+	}
+	g.advanceLaunch(0)
+	return g, nil
+}
+
+// advanceLaunch moves to the next kernel launch (or finishes) and
+// dispatches its first workgroups.
+func (g *GPU) advanceLaunch(now clock.Time) {
+	g.LaunchIdx++
+	if int(g.LaunchIdx) >= len(g.Launches) {
+		g.Finished = true
+		return
+	}
+	k := &g.Kernels[g.Launches[g.LaunchIdx]]
+	g.WGDispatched = 0
+	g.WavesLeft = int64(k.TotalWaves())
+	g.tryDispatch(now)
+}
+
+// tryDispatch assigns pending workgroups of the current launch to CUs
+// with enough free slots, round-robin: one workgroup per CU per pass so
+// the grid spreads across the whole GPU before any CU is double-loaded.
+func (g *GPU) tryDispatch(now clock.Time) {
+	if g.Finished {
+		return
+	}
+	kern := &g.Kernels[g.Launches[g.LaunchIdx]]
+	total := int64(kern.Workgroups)
+	n := int32(len(g.CUs))
+	for g.WGDispatched < total {
+		progress := false
+		start := g.dispatchCursor
+		for off := int32(0); off < n && g.WGDispatched < total; off++ {
+			ci := (start + off) % n
+			cu := &g.CUs[ci]
+			if cu.freeSlots() >= kern.WavesPerWG {
+				g.dispatchWG(cu, now)
+				g.dispatchCursor = (ci + 1) % n
+				progress = true
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// dispatchWG places one workgroup of the current launch on cu.
+func (g *GPU) dispatchWG(cu *CU, now clock.Time) {
+	kIdx := g.Launches[g.LaunchIdx]
+	kern := &g.Kernels[kIdx]
+	wg := g.WGSeq
+	g.WGSeq++
+	g.WGDispatched++
+	placed := 0
+	for i := range cu.WFs {
+		if placed == kern.WavesPerWG {
+			break
+		}
+		wf := &cu.WFs[i]
+		if wf.State != WFFree {
+			continue
+		}
+		gw := g.GlobalWaveSeq
+		g.GlobalWaveSeq++
+		wf.init(kIdx, &kern.Program, wg, int32(kern.WavesPerWG), gw, now, g.Rng.Split(uint64(gw)))
+		cu.ActiveWaves++
+		cu.enqueue(int32(i))
+		placed++
+	}
+	cu.closeIdle(now)
+	g.scheduleCU(cu, now)
+}
+
+// noteWaveDone is called by CU.retire when a wavefront completes.
+func (g *GPU) noteWaveDone(now clock.Time) {
+	g.WavesLeft--
+	if g.WavesLeft == 0 {
+		g.advanceLaunch(now)
+		return
+	}
+	g.tryDispatch(now)
+}
+
+// submit routes a request into the shared hierarchy, waking the uncore.
+func (g *GPU) submit(r mem.Request) {
+	g.Msys.Submit(r)
+	if g.memTickAt == InfTime {
+		g.memTickAt = g.Msys.NextTickAfter(g.Now)
+	}
+}
+
+// scheduleLocal schedules an L1-hit response.
+func (g *GPU) scheduleLocal(r mem.Request, at clock.Time) {
+	g.Msys.ScheduleLocal(r, at)
+}
+
+// scheduleCU recomputes cu's next tick: the first domain tick at which
+// some runnable wavefront's SIMD is free, or sleep if nothing can issue.
+func (g *GPU) scheduleCU(cu *CU, now clock.Time) {
+	earliest := InfTime
+	for s := range cu.SIMDFreeAt {
+		for _, slot := range cu.simdQ[s] {
+			if cu.WFs[slot].State == WFRunning {
+				if cu.SIMDFreeAt[s] < earliest {
+					earliest = cu.SIMDFreeAt[s]
+				}
+				break
+			}
+		}
+	}
+	if earliest == InfTime {
+		cu.beginIdle(now)
+		g.heap.set(cu.ID, InfTime)
+		return
+	}
+	cu.closeIdle(now)
+	dom := &g.Domains[cu.Domain]
+	t := earliest - 1
+	if t < now {
+		t = now
+	}
+	g.heap.set(cu.ID, dom.NextTickAfter(t))
+}
+
+// applyCompletion lands one memory response at time now.
+func (g *GPU) applyCompletion(r mem.Request, now clock.Time) {
+	cu := &g.CUs[r.CU]
+	cu.closeIdle(now)
+	wf := &cu.WFs[r.WF]
+	if r.Store {
+		cu.StoresInFlight--
+		cu.L1MissOut--
+		wf.OutStores--
+	} else {
+		cu.LoadsInFlight--
+		wf.OutLoads--
+		if !r.L1Hit {
+			cu.L1MissOut--
+			cu.L1.Fill(r.Addr)
+			if r.Leading {
+				cu.C.LeadLatPs += now - r.Issue
+			}
+			start := r.Issue
+			if cu.CritEnd > start {
+				start = cu.CritEnd
+			}
+			if now > cu.CritEnd {
+				cu.C.CritLatPs += now - start
+				cu.CritEnd = now
+			}
+		}
+	}
+	if !r.L1Hit {
+		// A miss completion freed an MSHR: release throttled waves so
+		// they can retry their memory issue.
+		for i := range cu.WFs {
+			twf := &cu.WFs[i]
+			if twf.State == WFThrottled {
+				twf.C.StallPs += now - twf.BlockedSince
+				twf.State = WFRunning
+			}
+		}
+	}
+	if wf.State == WFWaitCnt && wf.OutLoads+wf.OutStores <= wf.WaitThresh {
+		wf.C.StallPs += now - wf.BlockedSince
+		wf.State = WFRunning
+		prog := &g.Kernels[wf.Kernel].Program
+		cu.commit(g, wf, false)
+		if prog.Code[wf.PC].Kind == isa.EndPgm {
+			cu.retire(g, int(r.WF), now)
+		} else {
+			wf.PC++
+		}
+	}
+	g.scheduleCU(cu, now)
+}
+
+// RunUntil advances simulated time to limit (or until the application
+// finishes, whichever comes first). On return g.Now is the limit, or the
+// finish time if the workload completed earlier.
+func (g *GPU) RunUntil(limit clock.Time) {
+	for !g.Finished {
+		_, t := g.heap.min()
+		if g.memTickAt < t {
+			t = g.memTickAt
+		}
+		if dt, ok := g.Msys.NextDone(); ok && dt < t {
+			t = dt
+		}
+		if t > limit {
+			break
+		}
+		g.Now = t
+
+		g.doneBuf = g.Msys.PopDone(t, g.doneBuf[:0])
+		for _, r := range g.doneBuf {
+			if g.Finished {
+				break
+			}
+			g.applyCompletion(r, t)
+		}
+		if g.Finished {
+			break
+		}
+
+		if g.memTickAt == t {
+			g.Msys.Tick(t)
+			if g.Msys.Pending() {
+				g.memTickAt = g.Msys.NextTickAfter(t)
+			} else {
+				g.memTickAt = InfTime
+			}
+		}
+
+		for {
+			i, k := g.heap.min()
+			if k != t {
+				break
+			}
+			g.CUs[i].tick(g, t)
+			if g.Finished {
+				break
+			}
+		}
+	}
+	if !g.Finished && g.Now < limit {
+		g.Now = limit
+	}
+}
+
+// CollectEpoch finalizes the epoch ending now and fills out with the
+// GPU-wide sample, then resets per-epoch state. The sample's slices are
+// reused across calls; consumers must copy anything they keep.
+func (g *GPU) CollectEpoch(out *EpochSample) {
+	end := g.Now
+	out.Start = g.EpochStart
+	out.End = end
+	out.Finished = g.Finished
+	if cap(out.Freqs) < len(g.Domains) {
+		out.Freqs = make([]clock.Freq, len(g.Domains))
+	}
+	out.Freqs = out.Freqs[:len(g.Domains)]
+	for d := range g.Domains {
+		out.Freqs[d] = g.Domains[d].Freq
+	}
+	if cap(out.CUs) < len(g.CUs) {
+		cus := make([]CUEpoch, len(g.CUs))
+		copy(cus, out.CUs)
+		out.CUs = cus
+	}
+	out.CUs = out.CUs[:len(g.CUs)]
+	for i := range g.CUs {
+		g.CUs[i].collect(g, end, &out.CUs[i])
+	}
+	g.EpochStart = end
+}
+
+// SetDomainFreq requests frequency f for domain d at the current time,
+// stalling the domain for the given transition latency if f differs from
+// its current frequency.
+func (g *GPU) SetDomainFreq(d int, f clock.Freq, transition clock.Time) {
+	dom := &g.Domains[d]
+	if f == dom.Freq {
+		return
+	}
+	dom.SetFreq(f, g.Now, transition)
+	lo, hi := g.Cfg.Domains.CUs(d)
+	for cu := lo; cu < hi; cu++ {
+		g.scheduleCU(&g.CUs[cu], g.Now)
+	}
+}
+
+// ActivePCs appends the (cu, wavefront, byte-PC) of every resident
+// wavefront in domain d — the PC predictor's lookup keys for the next
+// epoch.
+func (g *GPU) ActivePCs(d int, buf []WavePC) []WavePC {
+	lo, hi := g.Cfg.Domains.CUs(d)
+	for ci := lo; ci < hi; ci++ {
+		cu := &g.CUs[ci]
+		for i := range cu.WFs {
+			wf := &cu.WFs[i]
+			if wf.State == WFFree {
+				continue
+			}
+			prog := &g.Kernels[wf.Kernel].Program
+			buf = append(buf, WavePC{CU: int32(ci), Slot: int32(i), GlobalWave: wf.GlobalWave, PC: prog.PC(wf.PC)})
+		}
+	}
+	return buf
+}
+
+// WavePC identifies a resident wavefront and its current byte PC.
+type WavePC struct {
+	CU         int32
+	Slot       int32
+	GlobalWave int64
+	PC         uint64
+}
+
+// Clone deep-copies the entire simulator state. Kernels and launches are
+// immutable and shared.
+func (g *GPU) Clone() *GPU {
+	cp := *g
+	cp.CUs = make([]CU, len(g.CUs))
+	for i := range g.CUs {
+		cp.CUs[i] = g.CUs[i].clone()
+	}
+	cp.Domains = append([]clock.Domain(nil), g.Domains...)
+	cp.Msys = g.Msys.Clone()
+	cp.heap = g.heap.clone()
+	cp.doneBuf = nil
+	return &cp
+}

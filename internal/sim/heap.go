@@ -1,0 +1,102 @@
+package sim
+
+import "pcstall/internal/clock"
+
+// InfTime is a sentinel "never" time for sleeping components.
+const InfTime = clock.Time(1) << 62
+
+// tickHeap is an indexed binary min-heap over per-component tick times.
+// Components are dense indices [0, n); ties break on component index so
+// event ordering — and therefore the whole simulation — is deterministic.
+type tickHeap struct {
+	key  []clock.Time // key[i] = component i's next tick
+	heap []int32      // heap of component indices
+	pos  []int32      // pos[i] = index of component i within heap
+}
+
+func newTickHeap(n int) tickHeap {
+	h := tickHeap{
+		key:  make([]clock.Time, n),
+		heap: make([]int32, n),
+		pos:  make([]int32, n),
+	}
+	for i := 0; i < n; i++ {
+		h.key[i] = InfTime
+		h.heap[i] = int32(i)
+		h.pos[i] = int32(i)
+	}
+	return h
+}
+
+func (h *tickHeap) less(a, b int32) bool {
+	ka, kb := h.key[h.heap[a]], h.key[h.heap[b]]
+	if ka != kb {
+		return ka < kb
+	}
+	return h.heap[a] < h.heap[b]
+}
+
+func (h *tickHeap) swap(a, b int32) {
+	h.heap[a], h.heap[b] = h.heap[b], h.heap[a]
+	h.pos[h.heap[a]] = a
+	h.pos[h.heap[b]] = b
+}
+
+func (h *tickHeap) up(i int32) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			return
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *tickHeap) down(i int32) {
+	n := int32(len(h.heap))
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less(l, small) {
+			small = l
+		}
+		if r < n && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}
+
+// set updates component i's next tick time.
+func (h *tickHeap) set(i int32, t clock.Time) {
+	old := h.key[i]
+	if old == t {
+		return
+	}
+	h.key[i] = t
+	if t < old {
+		h.up(h.pos[i])
+	} else {
+		h.down(h.pos[i])
+	}
+}
+
+// min returns the component with the earliest tick and its time.
+func (h *tickHeap) min() (int32, clock.Time) {
+	i := h.heap[0]
+	return i, h.key[i]
+}
+
+// clone deep-copies the heap.
+func (h *tickHeap) clone() tickHeap {
+	return tickHeap{
+		key:  append([]clock.Time(nil), h.key...),
+		heap: append([]int32(nil), h.heap...),
+		pos:  append([]int32(nil), h.pos...),
+	}
+}

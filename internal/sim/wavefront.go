@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"pcstall/internal/clock"
+	"pcstall/internal/isa"
+	"pcstall/internal/xrand"
+)
+
+// WFState is a wavefront slot's lifecycle state.
+type WFState uint8
+
+const (
+	// WFFree marks an empty slot available for dispatch.
+	WFFree WFState = iota
+	// WFRunning marks a wavefront eligible to issue.
+	WFRunning
+	// WFWaitCnt marks a wavefront blocked at s_waitcnt.
+	WFWaitCnt
+	// WFBarrier marks a wavefront blocked at a workgroup barrier.
+	WFBarrier
+	// WFThrottled marks a wavefront whose memory instruction cannot
+	// issue because the CU's L1 MSHRs are full — memory-system
+	// backpressure, accounted as stall time just like s_waitcnt.
+	WFThrottled
+)
+
+// Wavefront is one resident 64-lane wave. It is plain data; copying the
+// struct (plus its slices) snapshots it.
+type Wavefront struct {
+	State WFState
+	// Kernel indexes GPU.Kernels.
+	Kernel int32
+	// PC is the current instruction index within the kernel's program.
+	PC int32
+	// WG is the global workgroup ID this wave belongs to.
+	WG int64
+	// WGSize is the number of waves in the workgroup (for barriers).
+	WGSize int32
+	// GlobalWave is the global dispatch index (also the age key for
+	// oldest-first scheduling: smaller = older).
+	GlobalWave int64
+	// DispatchedAt is when the wave became resident.
+	DispatchedAt clock.Time
+	// Loop holds the remaining trip counts, one per branch slot.
+	Loop []int32
+	// LoopReload holds the per-wavefront reload values (trip-1 with the
+	// program's per-wave jitter applied at dispatch).
+	LoopReload []int32
+	// OutLoads and OutStores count in-flight memory lines.
+	OutLoads  int32
+	OutStores int32
+	// WaitThresh is the s_waitcnt threshold while State == WFWaitCnt.
+	WaitThresh int32
+	// BlockedSince is when the wave entered WFWaitCnt or WFBarrier.
+	BlockedSince clock.Time
+	// Rng drives this wave's random access patterns.
+	Rng xrand.State
+	// MemCounter counts executed memory instructions (address stream
+	// position for streaming patterns).
+	MemCounter uint32
+	// EpochStartPC is the byte PC at the start of the current epoch.
+	EpochStartPC uint64
+	C            WFCounters
+}
+
+// init prepares a freshly dispatched wavefront in place.
+func (wf *Wavefront) init(k int32, prog *isa.Program, wg int64, wgSize int32, globalWave int64, now clock.Time, rng xrand.State) {
+	wf.State = WFRunning
+	wf.Kernel = k
+	wf.PC = 0
+	wf.WG = wg
+	wf.WGSize = wgSize
+	wf.GlobalWave = globalWave
+	wf.DispatchedAt = now
+	wf.OutLoads = 0
+	wf.OutStores = 0
+	wf.WaitThresh = 0
+	wf.BlockedSince = 0
+	wf.Rng = rng
+	wf.MemCounter = 0
+	wf.EpochStartPC = prog.PC(0)
+	wf.C.reset()
+
+	if cap(wf.Loop) < prog.BranchSlots {
+		wf.Loop = make([]int32, prog.BranchSlots)
+		wf.LoopReload = make([]int32, prog.BranchSlots)
+	} else {
+		wf.Loop = wf.Loop[:prog.BranchSlots]
+		wf.LoopReload = wf.LoopReload[:prog.BranchSlots]
+	}
+	for _, in := range prog.Code {
+		if in.Kind != isa.Branch {
+			continue
+		}
+		reload := in.Trip - 1
+		if in.TripVar > 0 {
+			reload += int32(wf.Rng.Intn(int(2*in.TripVar+1))) - in.TripVar
+			if reload < 0 {
+				reload = 0
+			}
+		}
+		wf.Loop[in.BranchSlot] = reload
+		wf.LoopReload[in.BranchSlot] = reload
+	}
+}
+
+// lineAddr produces the line-aligned address for request line i of the
+// wavefront's next execution of a memory instruction with pattern p.
+func (wf *Wavefront) lineAddr(p *isa.AccessPattern, line int) uint64 {
+	const lineBytes = 64
+	var off uint64
+	switch p.Kind {
+	case isa.PatStream, isa.PatStrided:
+		// Each wave walks its own lane of the region with the pattern
+		// stride; the golden-ratio wave offset spreads partitions.
+		base := uint64(wf.GlobalWave) * 0x9E3779B1 * lineBytes
+		off = (base + uint64(wf.MemCounter)*uint64(p.Stride)) % p.WorkingSet
+	case isa.PatRandom:
+		off = wf.Rng.Uint64() % p.WorkingSet
+	case isa.PatShared:
+		// All waves walk the same stream positions, giving heavy L2
+		// reuse — and L2 thrashing once the shared set outgrows L2.
+		off = (uint64(wf.MemCounter) * uint64(p.Stride)) % p.WorkingSet
+	default:
+		off = 0
+	}
+	addr := p.Base + off + uint64(line)*lineBytes
+	return addr &^ (lineBytes - 1)
+}
+
+// resident returns the wavefront's residency within [start, end).
+func (wf *Wavefront) resident(start, end clock.Time) int64 {
+	s := start
+	if wf.DispatchedAt > s {
+		s = wf.DispatchedAt
+	}
+	if end <= s {
+		return 0
+	}
+	return end - s
+}

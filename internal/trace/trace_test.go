@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func events(n, domains int) []EpochEvent {
+	out := make([]EpochEvent, n)
+	for i := range out {
+		out[i] = EpochEvent{
+			Index:   i,
+			StartPs: int64(i) * 1000,
+			EndPs:   int64(i+1) * 1000,
+		}
+		for d := 0; d < domains; d++ {
+			out[i].Domains = append(out[i].Domains, DomainEvent{
+				Domain: d, FreqMHz: 1300 + 100*d,
+				PredI: float64(100 + i), ActualI: float64(110 + i),
+				EnergyJ: 1e-6,
+			})
+		}
+	}
+	return out
+}
+
+func TestJSONLRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewJSONL(&buf)
+	want := events(5, 2)
+	for _, e := range want {
+		if err := rec.Epoch(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d events, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Index != want[i].Index || got[i].EndPs != want[i].EndPs {
+			t.Fatalf("event %d header mismatch: %+v", i, got[i])
+		}
+		if len(got[i].Domains) != 2 || got[i].Domains[1].FreqMHz != 1400 {
+			t.Fatalf("event %d domains mismatch: %+v", i, got[i].Domains)
+		}
+	}
+}
+
+func TestReadJSONLBadInput(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestCSVFormat(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewCSV(&buf)
+	for _, e := range events(3, 2) {
+		if err := rec.Epoch(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// Header + 3 epochs x 2 domains.
+	if len(lines) != 1+6 {
+		t.Fatalf("%d lines, want 7:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "epoch,start_ps,end_ps,domain,freq_mhz") {
+		t.Fatalf("bad header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,0,1000,0,1300") {
+		t.Fatalf("bad first row %q", lines[1])
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	var a, b bytes.Buffer
+	m := Multi{NewJSONL(&a), NewJSONL(&b)}
+	if err := m.Epoch(events(1, 1)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() == 0 || a.String() != b.String() {
+		t.Fatal("multi recorder did not fan out identically")
+	}
+}

@@ -1,0 +1,332 @@
+package workload
+
+import (
+	"fmt"
+
+	"pcstall/internal/isa"
+)
+
+// HPC application generators, standing in for the ECP proxy apps of
+// TABLE II. Phase blocks are sized so that phase alternation is visible
+// at microsecond epochs (a ~2000-cycle block is ≈1µs at 1.7 GHz), which
+// is what gives GPU workloads their high fine-grain sensitivity variation
+// (paper §3.3).
+
+const (
+	kib = 1 << 10
+	mib = 1 << 20
+)
+
+func init() {
+	register("comd", HPC, 0, genCoMD)
+	register("hpgmg", HPC, 1, genHPGMG)
+	register("lulesh", HPC, 2, genLulesh)
+	register("minife", HPC, 3, genMiniFE)
+	register("xsbench", HPC, 4, genXSBench)
+	register("hacc", HPC, 5, genHACC)
+	register("quickS", HPC, 6, genQuickS)
+	register("pennant", HPC, 7, genPennant)
+	register("snapc", HPC, 8, genSNAP)
+}
+
+// genCoMD: molecular dynamics (1 kernel). Each timestep gathers neighbor
+// data (random loads over a cell table) then computes pairwise forces (a
+// long VALU block), alternating memory and compute phases within a wave.
+func genCoMD(cfg GenConfig) App {
+	b := newBuilder(cfg, 0)
+	neighbors := b.random(8*mib, 3)
+	forces := b.stream(4*mib, 1)
+
+	p := b.program("comd_force")
+	p.Loop(cfg.trips(10), 0) // barrier inside: uniform trips
+	{                        // gather phase: latency-bound neighbor walk
+		p.Loop(14, 1)
+		p.Load(neighbors).Load(neighbors).Load(neighbors).Load(neighbors)
+		p.WaitAll()
+		p.VALUBlock(4, 4)
+		p.EndLoop()
+	}
+	{ // force phase: compute-bound
+		p.Loop(56, 0)
+		p.VALUBlock(16, 4).LDSBlock(2, 2)
+		p.EndLoop()
+	}
+	p.Store(forces).WaitAll()
+	// Cell-list staging synchronizes the workgroup each timestep,
+	// keeping all waves of a CU in the same phase — the source of the
+	// CU-level phase swings fine-grain DVFS exploits.
+	p.Barrier()
+	p.EndLoop()
+
+	wgs, wpw := b.grid(8, 8)
+	return App{
+		Name: "comd", Class: HPC,
+		Kernels:  []isa.Kernel{kernel(p.Build(), wgs, wpw)},
+		Launches: []int32{0},
+	}
+}
+
+// genHPGMG: full multigrid (1 kernel). Stencil smoothing streams a grid
+// much larger than L2 with little compute per point — memory-bound.
+func genHPGMG(cfg GenConfig) App {
+	b := newBuilder(cfg, 1)
+	grid := b.stream(48*mib, 2)
+	out := b.stream(48*mib, 2)
+
+	p := b.program("hpgmg_smooth")
+	p.Loop(cfg.trips(220), 4)
+	p.Load(grid).Load(grid).Load(grid)
+	p.Wait(2) // mild software pipelining
+	p.VALUBlock(5, 4)
+	p.Load(grid)
+	p.WaitAll()
+	p.VALUBlock(3, 4)
+	p.Store(out)
+	p.EndLoop()
+
+	wgs, wpw := b.grid(4, 8)
+	return App{
+		Name: "hpgmg", Class: HPC,
+		Kernels:  []isa.Kernel{kernel(p.Build(), wgs, wpw)},
+		Launches: []int32{0},
+	}
+}
+
+// genLulesh: shock hydrodynamics (27 kernels). The real app's iteration
+// calls a long chain of small kernels with very different mixes; kernels
+// here draw their compute/memory balance from the generator RNG.
+func genLulesh(cfg GenConfig) App {
+	b := newBuilder(cfg, 2)
+	kernels := make([]isa.Kernel, 0, 27)
+	for k := 0; k < 27; k++ {
+		comp := 2 + b.rng.Intn(18) // VALU block length
+		loads := 1 + b.rng.Intn(4)
+		ws := uint64(4+b.rng.Intn(28)) * mib
+		pat := b.stream(ws, 2)
+		if b.rng.Intn(3) == 0 {
+			pat = b.random(ws, 3)
+		}
+		p := b.program(fmt.Sprintf("lulesh_k%02d", k))
+		p.Loop(cfg.trips(8+b.rng.Intn(10)), 2)
+		for l := 0; l < loads; l++ {
+			p.Load(pat)
+		}
+		p.WaitAll()
+		p.VALUBlock(comp, 4)
+		if b.rng.Intn(2) == 0 {
+			p.Store(pat)
+		}
+		p.EndLoop()
+		wgs, wpw := b.grid(4, 6)
+		kernels = append(kernels, kernel(p.Build(), wgs, wpw))
+	}
+	return App{
+		Name: "lulesh", Class: HPC,
+		Kernels:  kernels,
+		Launches: repeatLaunches(27, 2),
+	}
+}
+
+// genMiniFE: finite-element CG solve (3 kernels): sparse matvec
+// (memory-bound, irregular), dot-product reduction (compute + barrier),
+// and axpy (streaming).
+func genMiniFE(cfg GenConfig) App {
+	b := newBuilder(cfg, 3)
+	matrix := b.random(24*mib, 3)
+	vec := b.stream(8*mib, 1)
+	out := b.stream(8*mib, 1)
+
+	spmv := b.program("minife_spmv")
+	spmv.Loop(cfg.trips(40), 4)
+	spmv.Load(matrix).Load(matrix).Load(vec)
+	spmv.WaitAll()
+	spmv.VALUBlock(6, 4)
+	spmv.Store(out)
+	spmv.EndLoop()
+
+	dot := b.program("minife_dot")
+	dot.Loop(cfg.trips(30), 0)
+	dot.Load(vec).Load(out)
+	dot.WaitAll()
+	dot.VALUBlock(8, 4)
+	dot.EndLoop()
+	dot.LDSBlock(4, 2)
+	dot.Barrier()
+	dot.VALUBlock(6, 4)
+
+	axpy := b.program("minife_axpy")
+	axpy.Loop(cfg.trips(50), 2)
+	axpy.Load(vec).Load(out)
+	axpy.Wait(2)
+	axpy.VALUBlock(3, 4)
+	axpy.Store(out)
+	axpy.EndLoop()
+
+	wgs, wpw := b.grid(4, 8)
+	return App{
+		Name: "minife", Class: HPC,
+		Kernels: []isa.Kernel{
+			kernel(spmv.Build(), wgs, wpw),
+			kernel(dot.Build(), wgs, wpw),
+			kernel(axpy.Build(), wgs, wpw),
+		},
+		Launches: repeatLaunches(3, 4),
+	}
+}
+
+// genXSBench: Monte Carlo neutron transport lookup (1 kernel) — random
+// lookups into a huge nuclide grid dominate; strongly memory-bound.
+func genXSBench(cfg GenConfig) App {
+	b := newBuilder(cfg, 4)
+	grid := b.random(96*mib, 4)
+
+	p := b.program("xsbench_lookup")
+	p.Loop(cfg.trips(260), 16)
+	p.Load(grid).Load(grid)
+	p.WaitAll()
+	p.VALUBlock(4, 4)
+	p.EndLoop()
+
+	wgs, wpw := b.grid(4, 8)
+	return App{
+		Name: "xsbench", Class: HPC,
+		Kernels:  []isa.Kernel{kernel(p.Build(), wgs, wpw)},
+		Launches: []int32{0},
+	}
+}
+
+// genHACC: cosmology (2 kernels): a compute-dense short-range force
+// kernel and a memory-heavy particle-update kernel; alternating launches
+// produce the app's strongly phased profile (paper Fig. 6b).
+func genHACC(cfg GenConfig) App {
+	b := newBuilder(cfg, 5)
+	particles := b.stream(16*mib, 2)
+
+	force := b.program("hacc_force")
+	force.Loop(cfg.trips(6), 0) // barrier inside: uniform trips
+	force.Loop(12, 1)
+	force.Load(particles).Load(particles)
+	force.WaitAll()
+	force.VALUBlock(3, 4)
+	force.EndLoop()
+	force.Loop(36, 0)
+	force.VALUBlock(18, 4)
+	force.EndLoop()
+	force.Store(particles)
+	force.Barrier()
+	force.EndLoop()
+
+	update := b.program("hacc_update")
+	update.Loop(cfg.trips(60), 4)
+	update.Load(particles).Load(particles)
+	update.WaitAll()
+	update.VALUBlock(4, 4)
+	update.Store(particles)
+	update.EndLoop()
+
+	wgs, wpw := b.grid(8, 8)
+	return App{
+		Name: "hacc", Class: HPC,
+		Kernels: []isa.Kernel{
+			kernel(force.Build(), wgs, wpw),
+			kernel(update.Build(), wgs, wpw),
+		},
+		Launches: repeatLaunches(2, 3),
+	}
+}
+
+// genQuickS: Monte Carlo particle transport (1 kernel). Per-particle
+// histories have highly divergent lengths (large trip variation at both
+// loop levels), giving the suite's highest inter-wavefront variation
+// (paper Fig. 11a).
+func genQuickS(cfg GenConfig) App {
+	b := newBuilder(cfg, 6)
+	tallies := b.random(32*mib, 3)
+
+	p := b.program("quicks_history")
+	p.Loop(cfg.trips(64), 44)
+	p.Load(tallies)
+	p.WaitAll()
+	p.Loop(8, 6)
+	p.VALUBlock(10, 4)
+	p.EndLoop()
+	p.Store(tallies)
+	p.EndLoop()
+	p.WaitAll()
+
+	wgs, wpw := b.grid(4, 8)
+	return App{
+		Name: "quickS", Class: HPC,
+		Kernels:  []isa.Kernel{kernel(p.Build(), wgs, wpw)},
+		Launches: []int32{0},
+	}
+}
+
+// genPennant: unstructured mesh hydrodynamics (5 kernels) with fixed,
+// distinct balances from gather-heavy to compute-heavy.
+func genPennant(cfg GenConfig) App {
+	b := newBuilder(cfg, 7)
+	mesh := b.random(16*mib, 3)
+	zones := b.stream(8*mib, 2)
+
+	shapes := []struct {
+		name  string
+		loads int
+		comp  int
+		trips int
+	}{
+		{"pennant_gather", 4, 4, 30},
+		{"pennant_corner", 2, 12, 16},
+		{"pennant_force", 1, 20, 12},
+		{"pennant_scatter", 3, 6, 24},
+		{"pennant_energy", 2, 10, 18},
+	}
+	kernels := make([]isa.Kernel, 0, len(shapes))
+	for i, s := range shapes {
+		p := b.program(s.name)
+		p.Loop(cfg.trips(s.trips), 2)
+		pat := mesh
+		if i%2 == 1 {
+			pat = zones
+		}
+		for l := 0; l < s.loads; l++ {
+			p.Load(pat)
+		}
+		p.WaitAll()
+		p.VALUBlock(s.comp, 4)
+		p.Store(zones)
+		p.EndLoop()
+		wgs, wpw := b.grid(4, 6)
+		kernels = append(kernels, kernel(p.Build(), wgs, wpw))
+	}
+	return App{
+		Name: "pennant", Class: HPC,
+		Kernels:  kernels,
+		Launches: repeatLaunches(5, 3),
+	}
+}
+
+// genSNAP: discrete-ordinates transport sweep (1 kernel). Wavefront-
+// synchronized sweeps make it barrier-heavy with moderate compute.
+func genSNAP(cfg GenConfig) App {
+	b := newBuilder(cfg, 8)
+	angles := b.stream(12*mib, 2)
+
+	p := b.program("snap_sweep")
+	p.Loop(cfg.trips(160), 0) // barriers inside: trips must be uniform
+	p.Load(angles).Load(angles)
+	p.WaitAll()
+	p.VALUBlock(12, 4)
+	p.LDSBlock(2, 2)
+	p.Barrier()
+	p.Store(angles)
+	p.EndLoop()
+	p.WaitAll()
+
+	wgs, wpw := b.grid(8, 8)
+	return App{
+		Name: "snapc", Class: HPC,
+		Kernels:  []isa.Kernel{kernel(p.Build(), wgs, wpw)},
+		Launches: []int32{0},
+	}
+}

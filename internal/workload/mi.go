@@ -1,0 +1,198 @@
+package workload
+
+import "pcstall/internal/isa"
+
+// Machine-intelligence kernel generators, standing in for the
+// DeepBench/DNNMark kernels of TABLE II.
+
+func init() {
+	register("dgemm", MI, 9, genDGEMM)
+	register("BwdBN", MI, 10, genBwdBN)
+	register("BwdPool", MI, 11, genBwdPool)
+	register("BwdSoft", MI, 12, genBwdSoft)
+	register("FwdBN", MI, 13, genFwdBN)
+	register("FwdPool", MI, 14, genFwdPool)
+	register("FwdSoft", MI, 15, genFwdSoft)
+}
+
+// genDGEMM: double-precision tiled matrix multiply (1 kernel). Tiles are
+// staged through LDS then consumed by long FMA blocks — strongly
+// compute-bound — but tile boundaries inject memory bursts and barriers,
+// making its fine-grain behaviour highly heterogeneous (paper §6.2).
+func genDGEMM(cfg GenConfig) App {
+	b := newBuilder(cfg, 9)
+	a := b.stream(6*mib, 1)
+	bb := b.strided(6*mib, 2)
+	c := b.stream(6*mib, 1)
+
+	p := b.program("dgemm_tile")
+	p.Loop(cfg.trips(30), 0) // barriers inside: trips must be uniform
+	// Stage next tiles: a bursty memory phase.
+	p.Load(a).Load(a).Load(bb).Load(bb)
+	p.WaitAll()
+	p.LDSBlock(4, 2)
+	p.Barrier()
+	// Consume tiles: long FMA phase.
+	p.Loop(22, 0)
+	p.VALUBlock(20, 4)
+	p.LDSBlock(2, 2)
+	p.EndLoop()
+	p.Barrier()
+	p.EndLoop()
+	p.Store(c).WaitAll()
+
+	wgs, wpw := b.grid(8, 8)
+	return App{
+		Name: "dgemm", Class: MI,
+		Kernels:  []isa.Kernel{kernel(p.Build(), wgs, wpw)},
+		Launches: []int32{0},
+	}
+}
+
+// batchNorm builds the shared structure of the batch-norm kernels: a
+// statistics-reduction phase (streaming loads, light compute, barrier)
+// alternating with an elementwise normalization phase (VALU block,
+// stores). compute controls the normalization block length.
+func batchNorm(b *builder, name string, outerTrips int32, compute int) isa.Program {
+	acts := b.stream(24*mib, 2)
+	out := b.stream(24*mib, 2)
+
+	p := b.program(name)
+	p.Loop(outerTrips, 0) // barriers inside: trips must be uniform
+	// Reduction phase: memory-dominated.
+	p.Loop(18, 1)
+	p.Load(acts).Load(acts)
+	p.WaitAll()
+	p.VALUBlock(3, 4)
+	p.EndLoop()
+	p.LDSBlock(3, 2)
+	p.Barrier()
+	// Normalize phase: compute-dominated.
+	p.Loop(44, 0)
+	p.VALUBlock(compute, 4)
+	p.Store(out)
+	p.EndLoop()
+	p.WaitAll()
+	p.Barrier()
+	p.EndLoop()
+	return p.Build()
+}
+
+// genBwdBN: batch-norm backward (1 kernel) — pronounced reduce/normalize
+// phase alternation (paper Figs. 6c and 8).
+func genBwdBN(cfg GenConfig) App {
+	b := newBuilder(cfg, 10)
+	wgs, wpw := b.grid(8, 8)
+	return App{
+		Name: "BwdBN", Class: MI,
+		Kernels:  []isa.Kernel{kernel(batchNorm(b, "bwdbn", cfg.trips(9), 10), wgs, wpw)},
+		Launches: []int32{0},
+	}
+}
+
+// genFwdBN: batch-norm forward — same structure with a heavier
+// normalization phase.
+func genFwdBN(cfg GenConfig) App {
+	b := newBuilder(cfg, 13)
+	wgs, wpw := b.grid(8, 8)
+	return App{
+		Name: "FwdBN", Class: MI,
+		Kernels:  []isa.Kernel{kernel(batchNorm(b, "fwdbn", cfg.trips(9), 16), wgs, wpw)},
+		Launches: []int32{0},
+	}
+}
+
+// pool builds a pooling kernel: a perfectly uniform loop with pipelined
+// loads and a fixed compute block. The constant instruction rate is why
+// BwdPool settles on a single frequency under DVFS (paper §6.2).
+func pool(b *builder, name string, outerTrips int32, compute int) isa.Program {
+	in := b.stream(16*mib, 2)
+	out := b.stream(16*mib, 1)
+
+	p := b.program(name)
+	p.Loop(outerTrips, 0)
+	p.Load(in)
+	p.Wait(1)
+	p.VALUBlock(compute, 4)
+	p.Store(out)
+	p.EndLoop()
+	p.WaitAll()
+	return p.Build()
+}
+
+// genBwdPool: pooling backward (1 kernel), constant-rate and balanced.
+func genBwdPool(cfg GenConfig) App {
+	b := newBuilder(cfg, 11)
+	wgs, wpw := b.grid(4, 8)
+	return App{
+		Name: "BwdPool", Class: MI,
+		Kernels:  []isa.Kernel{kernel(pool(b, "bwdpool", cfg.trips(320), 6), wgs, wpw)},
+		Launches: []int32{0},
+	}
+}
+
+// genFwdPool: pooling forward — the same shape with more compute per
+// element.
+func genFwdPool(cfg GenConfig) App {
+	b := newBuilder(cfg, 14)
+	wgs, wpw := b.grid(4, 8)
+	return App{
+		Name: "FwdPool", Class: MI,
+		Kernels:  []isa.Kernel{kernel(pool(b, "fwdpool", cfg.trips(300), 9), wgs, wpw)},
+		Launches: []int32{0},
+	}
+}
+
+// genBwdSoft: softmax backward (1 kernel): reduction barriers plus
+// memory-leaning elementwise work.
+func genBwdSoft(cfg GenConfig) App {
+	b := newBuilder(cfg, 12)
+	grads := b.stream(20*mib, 2)
+	out := b.stream(20*mib, 2)
+
+	p := b.program("bwdsoft")
+	p.Loop(cfg.trips(120), 0) // barriers inside: trips must be uniform
+	p.Load(grads).Load(grads)
+	p.WaitAll()
+	p.VALUBlock(6, 4)
+	p.LDSBlock(2, 2)
+	p.Barrier()
+	p.VALUBlock(4, 4)
+	p.Store(out)
+	p.EndLoop()
+	p.WaitAll()
+
+	wgs, wpw := b.grid(8, 8)
+	return App{
+		Name: "BwdSoft", Class: MI,
+		Kernels:  []isa.Kernel{kernel(p.Build(), wgs, wpw)},
+		Launches: []int32{0},
+	}
+}
+
+// genFwdSoft: softmax forward (1 kernel). All CUs walk a shared hot set
+// sized above L2 while sustaining heavy store traffic, so raising the
+// core clock buys almost no throughput past mid frequencies — the paper's
+// second-order effect where static 1.7 GHz beats both 1.3 and 2.2 GHz.
+func genFwdSoft(cfg GenConfig) App {
+	b := newBuilder(cfg, 15)
+	hot := b.shared(6*mib, 320, 2)
+	out := b.stream(20*mib, 2)
+
+	p := b.program("fwdsoft")
+	p.Loop(cfg.trips(150), 2)
+	p.Load(hot).Load(hot).Load(hot)
+	p.Wait(2)
+	p.VALUBlock(5, 4)
+	p.Store(out).Store(out)
+	p.WaitAll()
+	p.VALUBlock(3, 4)
+	p.EndLoop()
+
+	wgs, wpw := b.grid(4, 8)
+	return App{
+		Name: "FwdSoft", Class: MI,
+		Kernels:  []isa.Kernel{kernel(p.Build(), wgs, wpw)},
+		Launches: []int32{0},
+	}
+}

@@ -1,0 +1,233 @@
+// Package workload synthesizes GPU applications standing in for the
+// paper's benchmark suite (TABLE II): nine ECP-proxy-style HPC apps and
+// seven DeepBench/DNNMark-style machine-intelligence kernels.
+//
+// The real suites are GPU binaries this repository cannot run; each
+// generator instead builds an isa program whose dynamic behaviour matches
+// the property the paper attributes to the app — instruction mix, phase
+// alternation at microsecond scale, loop-trip divergence across
+// wavefronts, working-set sizes relative to L1/L2, and kernel counts.
+// DESIGN.md §1 records this substitution. Generators are deterministic
+// given GenConfig.Seed.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"pcstall/internal/isa"
+	"pcstall/internal/xrand"
+)
+
+// Class labels an application family, mirroring TABLE II's two columns.
+type Class string
+
+const (
+	// HPC marks ECP-proxy-style applications.
+	HPC Class = "HPC"
+	// MI marks machine-intelligence kernels.
+	MI Class = "MI"
+)
+
+// App is a complete application: a deduplicated kernel set plus a launch
+// order. Launches execute back-to-back with a full-GPU sync in between.
+type App struct {
+	Name     string
+	Class    Class
+	Kernels  []isa.Kernel
+	Launches []int32
+}
+
+// UniqueKernels returns the number of distinct kernels (TABLE II's braces).
+func (a *App) UniqueKernels() int { return len(a.Kernels) }
+
+// Validate checks every kernel and launch index.
+func (a *App) Validate() error {
+	if len(a.Kernels) == 0 || len(a.Launches) == 0 {
+		return fmt.Errorf("workload: app %q has no kernels or launches", a.Name)
+	}
+	for i := range a.Kernels {
+		if err := a.Kernels[i].Validate(); err != nil {
+			return fmt.Errorf("workload: app %q: %w", a.Name, err)
+		}
+	}
+	for _, l := range a.Launches {
+		if l < 0 || int(l) >= len(a.Kernels) {
+			return fmt.Errorf("workload: app %q: launch index %d out of range", a.Name, l)
+		}
+	}
+	return nil
+}
+
+// GenConfig parameterizes workload synthesis.
+type GenConfig struct {
+	// NumCUs sizes dispatch grids so the GPU is fully occupied.
+	NumCUs int
+	// Scale multiplies outer loop trip counts (1.0 ≈ 60-200µs per app at
+	// 1.7 GHz on the default platform). Values below ~0.25 are clamped
+	// per-loop to keep at least one iteration.
+	Scale float64
+	// Seed drives per-app randomization (kernel heterogeneity).
+	Seed uint64
+}
+
+// DefaultGenConfig sizes workloads for a GPU with numCUs compute units.
+func DefaultGenConfig(numCUs int) GenConfig {
+	return GenConfig{NumCUs: numCUs, Scale: 1.0, Seed: 7}
+}
+
+func (c GenConfig) trips(n int) int32 {
+	v := int32(float64(n) * c.Scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// builder is the app-generator context: a program-base bump allocator for
+// code addresses, a region allocator for data addresses, and an RNG.
+type builder struct {
+	cfg      GenConfig
+	rng      xrand.State
+	nextCode uint64
+	nextData uint64
+}
+
+func newBuilder(cfg GenConfig, appIndex uint64) *builder {
+	return &builder{
+		cfg:      cfg,
+		rng:      xrand.New(cfg.Seed).Split(appIndex),
+		nextCode: 0x1000,
+		nextData: 1 << 30,
+	}
+}
+
+// program starts a kernel program at a fresh, non-aliasing code base.
+func (b *builder) program(name string) *isa.Builder {
+	p := isa.NewBuilder(name, b.nextCode)
+	b.nextCode += 1 << 20
+	return p
+}
+
+// region allocates a data region of the given size (1 MiB aligned).
+func (b *builder) region(bytes uint64) uint64 {
+	const align = 1 << 20
+	base := b.nextData
+	b.nextData += (bytes + align - 1) &^ (align - 1)
+	return base
+}
+
+// stream returns a perfectly coalesced streaming pattern.
+func (b *builder) stream(ws uint64, lines int) isa.AccessPattern {
+	return isa.AccessPattern{Kind: isa.PatStream, Base: b.region(ws), WorkingSet: ws, Stride: 256, Lines: uint8(lines)}
+}
+
+// strided returns a large-stride pattern (poor spatial locality).
+func (b *builder) strided(ws uint64, lines int) isa.AccessPattern {
+	return isa.AccessPattern{Kind: isa.PatStrided, Base: b.region(ws), WorkingSet: ws, Stride: 4096 + 64, Lines: uint8(lines)}
+}
+
+// random returns a uniformly random pattern within a private region.
+func (b *builder) random(ws uint64, lines int) isa.AccessPattern {
+	return isa.AccessPattern{Kind: isa.PatRandom, Base: b.region(ws), WorkingSet: ws, Stride: 64, Lines: uint8(lines)}
+}
+
+// shared returns a globally shared streaming pattern (all waves walk the
+// same positions); working sets above L2 capacity thrash it.
+func (b *builder) shared(ws uint64, stride uint32, lines int) isa.AccessPattern {
+	return isa.AccessPattern{Kind: isa.PatShared, Base: b.region(ws), WorkingSet: ws, Stride: stride, Lines: uint8(lines)}
+}
+
+// grid sizes a dispatch so the GPU holds roughly wavesPerCU waves per CU.
+func (b *builder) grid(wavesPerWG, wavesPerCU int) (workgroups, wpw int) {
+	total := b.cfg.NumCUs * wavesPerCU
+	wgs := total / wavesPerWG
+	if wgs < 1 {
+		wgs = 1
+	}
+	return wgs, wavesPerWG
+}
+
+// kernel finalizes a program into a kernel with the given dispatch shape.
+func kernel(p isa.Program, workgroups, wavesPerWG int) isa.Kernel {
+	return isa.Kernel{Program: p, Workgroups: workgroups, WavesPerWG: wavesPerWG}
+}
+
+// repeatLaunches builds a launch order cycling through n kernels r times.
+func repeatLaunches(n, r int) []int32 {
+	out := make([]int32, 0, n*r)
+	for i := 0; i < r; i++ {
+		for k := 0; k < n; k++ {
+			out = append(out, int32(k))
+		}
+	}
+	return out
+}
+
+// Generator builds one application for a configuration.
+type Generator func(GenConfig) App
+
+var registry = map[string]struct {
+	class Class
+	index uint64
+	gen   Generator
+}{}
+
+func register(name string, class Class, index uint64, gen Generator) {
+	if _, dup := registry[name]; dup {
+		panic("workload: duplicate app " + name)
+	}
+	registry[name] = struct {
+		class Class
+		index uint64
+		gen   Generator
+	}{class, index, gen}
+}
+
+// Names returns all registered application names in canonical (paper
+// table) order: HPC apps first, then MI apps.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return registry[names[i]].index < registry[names[j]].index
+	})
+	return names
+}
+
+// ClassOf returns the family of a registered app.
+func ClassOf(name string) Class { return registry[name].class }
+
+// Build generates one application by name.
+func Build(name string, cfg GenConfig) (App, error) {
+	e, ok := registry[name]
+	if !ok {
+		return App{}, fmt.Errorf("workload: unknown app %q", name)
+	}
+	app := e.gen(cfg)
+	if err := app.Validate(); err != nil {
+		return App{}, err
+	}
+	return app, nil
+}
+
+// MustBuild is Build for static names; it panics on error.
+func MustBuild(name string, cfg GenConfig) App {
+	app, err := Build(name, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return app
+}
+
+// All generates every registered application in canonical order.
+func All(cfg GenConfig) []App {
+	names := Names()
+	apps := make([]App, 0, len(names))
+	for _, n := range names {
+		apps = append(apps, MustBuild(n, cfg))
+	}
+	return apps
+}

@@ -1,0 +1,221 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"pcstall/internal/isa"
+)
+
+func TestNamesOrderAndCount(t *testing.T) {
+	names := Names()
+	if len(names) != 16 {
+		t.Fatalf("%d apps registered, want 16 (TABLE II)", len(names))
+	}
+	// HPC first, then MI, in paper order.
+	want := []string{
+		"comd", "hpgmg", "lulesh", "minife", "xsbench", "hacc", "quickS",
+		"pennant", "snapc",
+		"dgemm", "BwdBN", "BwdPool", "BwdSoft", "FwdBN", "FwdPool", "FwdSoft",
+	}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("canonical order wrong:\n got %v\nwant %v", names, want)
+	}
+}
+
+func TestClasses(t *testing.T) {
+	hpc := 0
+	mi := 0
+	for _, n := range Names() {
+		switch ClassOf(n) {
+		case HPC:
+			hpc++
+		case MI:
+			mi++
+		default:
+			t.Fatalf("app %s has no class", n)
+		}
+	}
+	if hpc != 9 || mi != 7 {
+		t.Fatalf("class split %d/%d, want 9 HPC / 7 MI", hpc, mi)
+	}
+}
+
+func TestKernelCountsMatchTable2(t *testing.T) {
+	// The paper's TABLE II kernel counts in braces.
+	want := map[string]int{
+		"comd": 1, "hpgmg": 1, "lulesh": 27, "minife": 3, "xsbench": 1,
+		"hacc": 2, "quickS": 1, "pennant": 5, "snapc": 1,
+		"dgemm": 1, "BwdBN": 1, "BwdPool": 1, "BwdSoft": 1,
+		"FwdBN": 1, "FwdPool": 1, "FwdSoft": 1,
+	}
+	cfg := DefaultGenConfig(8)
+	for name, n := range want {
+		app := MustBuild(name, cfg)
+		if app.UniqueKernels() != n {
+			t.Errorf("%s has %d kernels, want %d", name, app.UniqueKernels(), n)
+		}
+	}
+}
+
+func TestAllAppsValidate(t *testing.T) {
+	for _, cus := range []int{1, 4, 16, 64} {
+		cfg := DefaultGenConfig(cus)
+		for _, app := range All(cfg) {
+			if err := app.Validate(); err != nil {
+				t.Errorf("cus=%d: %v", cus, err)
+			}
+		}
+	}
+}
+
+func TestScaleExtremes(t *testing.T) {
+	// Tiny and large scales must still produce valid programs.
+	for _, scale := range []float64{0.05, 0.5, 4.0, 50.0} {
+		cfg := DefaultGenConfig(4)
+		cfg.Scale = scale
+		for _, app := range All(cfg) {
+			if err := app.Validate(); err != nil {
+				t.Errorf("scale %g: %v", scale, err)
+			}
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	cfg := DefaultGenConfig(8)
+	a := MustBuild("lulesh", cfg)
+	b := MustBuild("lulesh", cfg)
+	if len(a.Kernels) != len(b.Kernels) {
+		t.Fatal("kernel count differs between builds")
+	}
+	for i := range a.Kernels {
+		if !reflect.DeepEqual(a.Kernels[i].Program.Code, b.Kernels[i].Program.Code) {
+			t.Fatalf("kernel %d differs between identical builds", i)
+		}
+	}
+}
+
+func TestSeedChangesRandomizedApps(t *testing.T) {
+	cfg1 := DefaultGenConfig(8)
+	cfg2 := DefaultGenConfig(8)
+	cfg2.Seed = cfg1.Seed + 1
+	a := MustBuild("lulesh", cfg1) // lulesh draws kernel mixes from the RNG
+	b := MustBuild("lulesh", cfg2)
+	same := true
+	for i := range a.Kernels {
+		if !reflect.DeepEqual(a.Kernels[i].Program.Code, b.Kernels[i].Program.Code) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical lulesh kernels")
+	}
+}
+
+func TestBuildUnknownApp(t *testing.T) {
+	if _, err := Build("nosuchapp", DefaultGenConfig(4)); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestWorkloadCharacters(t *testing.T) {
+	// Spot-check the qualitative characters the paper relies on.
+	cfg := DefaultGenConfig(8)
+
+	memRatio := func(name string) float64 {
+		app := MustBuild(name, cfg)
+		var mem, comp int
+		for _, k := range app.Kernels {
+			st := k.Program.Stats()
+			mem += st.Loads + st.Stores
+			comp += st.Compute
+		}
+		return float64(mem) / float64(mem+comp)
+	}
+	if xs, dg := memRatio("xsbench"), memRatio("dgemm"); xs <= dg {
+		t.Errorf("xsbench mem ratio %.2f should exceed dgemm %.2f", xs, dg)
+	}
+
+	// quickS must have the most divergent trip counts (paper Fig. 11a).
+	maxVar := func(name string) int32 {
+		app := MustBuild(name, cfg)
+		var v int32
+		for _, k := range app.Kernels {
+			for _, in := range k.Program.Code {
+				if in.Kind == isa.Branch && in.TripVar > v {
+					v = in.TripVar
+				}
+			}
+		}
+		return v
+	}
+	if maxVar("quickS") <= maxVar("BwdPool") {
+		t.Error("quickS should have larger trip divergence than BwdPool")
+	}
+
+	// FwdSoft must use a shared hot working set (its L2 behaviour).
+	shared := false
+	for _, k := range MustBuild("FwdSoft", cfg).Kernels {
+		for _, in := range k.Program.Code {
+			if in.Pattern.Kind == isa.PatShared {
+				shared = true
+			}
+		}
+	}
+	if !shared {
+		t.Error("FwdSoft lost its shared hot set")
+	}
+
+	// Barrier-synced apps must actually contain barriers.
+	for _, name := range []string{"dgemm", "BwdBN", "FwdBN", "snapc", "comd", "hacc", "BwdSoft"} {
+		has := false
+		for _, k := range MustBuild(name, cfg).Kernels {
+			if k.Program.Stats().Barriers > 0 {
+				has = true
+			}
+		}
+		if !has {
+			t.Errorf("%s should contain barriers", name)
+		}
+	}
+}
+
+func TestGridScalesWithCUs(t *testing.T) {
+	small := MustBuild("comd", DefaultGenConfig(2))
+	big := MustBuild("comd", DefaultGenConfig(32))
+	if small.Kernels[0].Workgroups >= big.Kernels[0].Workgroups {
+		t.Fatal("dispatch grid does not scale with GPU size")
+	}
+}
+
+func TestRegionsDoNotOverlapWithinApp(t *testing.T) {
+	// Distinct private regions of one app must not overlap (PatShared
+	// regions are deliberately shared between instructions).
+	for _, name := range Names() {
+		app := MustBuild(name, DefaultGenConfig(8))
+		type region struct{ base, end uint64 }
+		var regions []region
+		seen := map[uint64]bool{}
+		for _, k := range app.Kernels {
+			for _, in := range k.Program.Code {
+				p := in.Pattern
+				if p.Kind == isa.PatNone || seen[p.Base] {
+					continue
+				}
+				seen[p.Base] = true
+				regions = append(regions, region{p.Base, p.Base + p.WorkingSet})
+			}
+		}
+		for i := range regions {
+			for j := i + 1; j < len(regions); j++ {
+				a, b := regions[i], regions[j]
+				if a.base < b.end && b.base < a.end {
+					t.Errorf("%s: regions [%#x,%#x) and [%#x,%#x) overlap",
+						name, a.base, a.end, b.base, b.end)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Package xrand provides small, deterministic, value-type random number
+// generators whose entire state is an exported struct field set.
+//
+// The simulator snapshots and rolls back its complete state for the
+// fork-pre-execute oracle (see internal/oracle); math/rand hides its state
+// behind pointers, so it cannot be cloned. xrand.State is nine bytes of
+// plain data: copying the struct copies the stream position.
+package xrand
+
+// State is a splitmix64-based generator. The zero value is a valid
+// generator (equivalent to Seed(0)); distinct seeds give independent
+// streams. State is a value type: assignment clones the stream.
+type State struct {
+	X uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) State {
+	return State{X: seed}
+}
+
+// Uint64 advances the stream and returns the next 64 random bits.
+func (s *State) Uint64() uint64 {
+	s.X += 0x9e3779b97f4a7c15
+	z := s.X
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint32 returns the next 32 random bits.
+func (s *State) Uint32() uint32 {
+	return uint32(s.Uint64() >> 32)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (s *State) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection-free approximation is fine here;
+	// bias is < 2^-32 for the small n the simulator uses.
+	return int((uint64(s.Uint32()) * uint64(n)) >> 32)
+}
+
+// Int63n returns a uniform value in [0, n) for 63-bit n. It panics if n <= 0.
+func (s *State) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("xrand: Int63n with non-positive n")
+	}
+	return int64(s.Uint64()&(1<<63-1)) % n
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *State) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns an approximately standard-normal value using the sum
+// of twelve uniforms (Irwin-Hall). The simulator only needs mild, bounded
+// noise, and this avoids any transcendental-function state.
+func (s *State) NormFloat64() float64 {
+	sum := 0.0
+	for i := 0; i < 12; i++ {
+		sum += s.Float64()
+	}
+	return sum - 6
+}
+
+// Split derives an independent child stream from the current state and a
+// label, without advancing the parent. Used to give each wavefront its own
+// stream that is stable across snapshot/rollback.
+func (s State) Split(label uint64) State {
+	mix := s.X ^ (label+1)*0xd1342543de82ef95
+	child := State{X: mix}
+	child.Uint64() // burn one output to decorrelate
+	return child
+}

@@ -1,0 +1,179 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestValueSemanticsSnapshot(t *testing.T) {
+	s := New(7)
+	s.Uint64()
+	snap := s // copying the struct snapshots the stream
+	want := make([]uint64, 16)
+	for i := range want {
+		want[i] = s.Uint64()
+	}
+	for i := range want {
+		if got := snap.Uint64(); got != want[i] {
+			t.Fatalf("restored stream diverged at %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	err := quick.Check(func(seed uint64, n int) bool {
+		if n <= 0 {
+			n = -n + 1
+		}
+		n = n%1000 + 1
+		s := New(seed)
+		v := s.Intn(n)
+		return v >= 0 && v < n
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	s := New(1)
+	s.Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %.4f far from 0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(13)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("NormFloat64 mean %.4f far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("NormFloat64 variance %.4f far from 1", variance)
+	}
+}
+
+func TestSplitDoesNotAdvanceParent(t *testing.T) {
+	s := New(5)
+	before := s
+	_ = s.Split(1)
+	_ = s.Split(2)
+	if s != before {
+		t.Fatal("Split advanced the parent stream")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	s := New(5)
+	a := s.Split(1)
+	b := s.Split(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split streams with different labels matched %d times", same)
+	}
+}
+
+func TestSplitStableAcrossCalls(t *testing.T) {
+	s := New(5)
+	a := s.Split(7)
+	b := s.Split(7)
+	for i := 0; i < 32; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-label splits from same parent differ")
+		}
+	}
+}
+
+func TestInt63nBounds(t *testing.T) {
+	err := quick.Check(func(seed uint64, n int64) bool {
+		if n <= 0 {
+			n = -n + 1
+		}
+		n = n%1_000_000 + 1
+		s := New(seed)
+		v := s.Int63n(n)
+		return v >= 0 && v < n
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint32Coverage(t *testing.T) {
+	// High and low halves should both vary.
+	s := New(3)
+	var orAll, andAll uint32 = 0, 0xffffffff
+	for i := 0; i < 1000; i++ {
+		v := s.Uint32()
+		orAll |= v
+		andAll &= v
+	}
+	if orAll != 0xffffffff {
+		t.Errorf("some bits never set: %08x", orAll)
+	}
+	if andAll != 0 {
+		t.Errorf("some bits always set: %08x", andAll)
+	}
+}

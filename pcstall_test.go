@@ -1,0 +1,239 @@
+package pcstall_test
+
+import (
+	"bytes"
+	"testing"
+
+	"pcstall"
+	"pcstall/internal/power"
+	"pcstall/internal/trace"
+)
+
+func smallCfg() pcstall.Config {
+	cfg := pcstall.DefaultConfig(2)
+	cfg.Scale = 0.25
+	return cfg
+}
+
+func TestWorkloadsAndDesigns(t *testing.T) {
+	if len(pcstall.Workloads()) != 16 {
+		t.Fatalf("%d workloads", len(pcstall.Workloads()))
+	}
+	designs := pcstall.Designs()
+	if len(designs) != 8 {
+		t.Fatalf("%d designs", len(designs))
+	}
+	names := map[string]bool{}
+	for _, d := range designs {
+		if d.New == nil {
+			t.Fatalf("design %s has no factory", d.Name)
+		}
+		names[d.Name] = true
+	}
+	for _, want := range []string{"STALL", "LEAD", "CRIT", "CRISP", "ACCREAC", "PCSTALL", "ACCPC", "ORACLE"} {
+		if !names[want] {
+			t.Errorf("design %s missing", want)
+		}
+	}
+}
+
+func TestRunAppEndToEnd(t *testing.T) {
+	res, err := pcstall.RunApp("comd", "PCSTALL", smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatal("run truncated")
+	}
+	if res.Totals.Committed == 0 || res.Totals.EnergyJ <= 0 || res.Totals.TimeS <= 0 {
+		t.Fatalf("implausible totals %+v", res.Totals)
+	}
+	if res.Policy != "PCSTALL" || res.Objective != "ED2P" {
+		t.Fatalf("labels %s/%s", res.Policy, res.Objective)
+	}
+}
+
+func TestRunAppErrors(t *testing.T) {
+	if _, err := pcstall.RunApp("nosuchapp", "PCSTALL", smallCfg()); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if _, err := pcstall.RunApp("comd", "NOSUCHDESIGN", smallCfg()); err == nil {
+		t.Error("unknown design accepted")
+	}
+}
+
+func TestStaticDesignByName(t *testing.T) {
+	res, err := pcstall.RunApp("xsbench", "STATIC-1300", smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A static run spends all time at its one frequency.
+	nonzero := 0
+	for _, share := range res.Residency {
+		if share > 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 1 {
+		t.Fatalf("static run touched %d states", nonzero)
+	}
+	// The GPU boots at the grid's mid frequency, so a static design may
+	// transition once per domain at the first boundary — never after.
+	if res.Transitions > 2 {
+		t.Fatalf("static run made %d transitions", res.Transitions)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	res, err := pcstall.Compare("xsbench", []string{"STATIC-1700", "PCSTALL"}, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("%d results", len(res))
+	}
+	if res["STATIC-1700"].Totals.Committed != res["PCSTALL"].Totals.Committed {
+		t.Fatal("same app committed different totals under different designs")
+	}
+}
+
+func TestConfigDefaultsApplied(t *testing.T) {
+	cfg := pcstall.Config{GPU: pcstall.DefaultConfig(2).GPU, Scale: 0.25}
+	// Objective, epoch, power model all zero: RunDesign must default them.
+	res, err := pcstall.RunDesign("comd", pcstall.StaticDesign(1700), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective != "ED2P" {
+		t.Fatalf("default objective %s", res.Objective)
+	}
+}
+
+func TestObjectiveSelection(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Objective = pcstall.FixedPerf(0.05)
+	res, err := pcstall.RunApp("comd", "CRISP", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective != "Energy@5%" {
+		t.Fatalf("objective label %q", res.Objective)
+	}
+}
+
+func TestFixedPerfSavesEnergyWithinBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full runs")
+	}
+	cfg := smallCfg()
+	cfg.Objective = pcstall.FixedPerf(0.10)
+	base, err := pcstall.RunApp("xsbench", "STATIC-2200", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dvfsRun, err := pcstall.RunApp("xsbench", "ORACLE", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dvfsRun.Totals.EnergyJ >= base.Totals.EnergyJ {
+		t.Fatalf("fixed-perf oracle saved no energy on a memory-bound app: %g vs %g",
+			dvfsRun.Totals.EnergyJ, base.Totals.EnergyJ)
+	}
+	// Memory-bound: downclocking must cost little time. Allow 20%.
+	if dvfsRun.Totals.TimeS > base.Totals.TimeS*1.2 {
+		t.Fatalf("slowdown %.2fx far exceeds the 10%% target",
+			dvfsRun.Totals.TimeS/base.Totals.TimeS)
+	}
+}
+
+func TestNewGPUDirectDriving(t *testing.T) {
+	cfg := smallCfg()
+	g, err := pcstall.NewGPU("dgemm", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.RunUntil(5 * pcstall.Microsecond)
+	if g.TotalCommitted == 0 {
+		t.Fatal("direct-driven GPU made no progress")
+	}
+}
+
+func TestExtensionDesignsViaFacade(t *testing.T) {
+	for _, name := range []string{"HIST", "QLEARN"} {
+		res, err := pcstall.RunApp("comd", name, smallCfg())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Truncated || res.Totals.Committed == 0 {
+			t.Fatalf("%s run degenerate: %+v", name, res.Totals)
+		}
+	}
+}
+
+func TestTracePlumbing(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := smallCfg()
+	cfg.Trace = pcstall.NewJSONLTrace(&buf)
+	res, err := pcstall.RunApp("comd", "STATIC-1700", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != res.Epochs {
+		t.Fatalf("%d trace events for %d epochs", len(events), res.Epochs)
+	}
+	var total float64
+	for _, e := range events {
+		for _, d := range e.Domains {
+			total += d.ActualI
+		}
+	}
+	if int64(total) != res.Totals.Committed {
+		t.Fatalf("trace actuals %d != committed %d", int64(total), res.Totals.Committed)
+	}
+}
+
+func TestThermalAccounting(t *testing.T) {
+	base, err := pcstall.RunApp("dgemm", "STATIC-2200", smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallCfg()
+	th := power.DefaultThermal()
+	cfg.Thermal = &th
+	hot, err := pcstall.RunApp("dgemm", "STATIC-2200", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.FinalTempC == nil {
+		t.Fatal("thermal run reported no temperatures")
+	}
+	for d, temp := range hot.FinalTempC {
+		if temp <= th.AmbientC {
+			t.Fatalf("domain %d never heated above ambient (%g)", d, temp)
+		}
+	}
+	// Same schedule, but leakage follows temperature: the totals differ
+	// from the nominal-temperature accounting.
+	if hot.Totals.EnergyJ == base.Totals.EnergyJ {
+		t.Fatal("thermal accounting had no effect on energy")
+	}
+	if hot.Totals.TimeS != base.Totals.TimeS {
+		t.Fatal("thermal accounting changed timing (it must not)")
+	}
+}
+
+func TestQoSObjectiveViaFacade(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Objective = pcstall.QoSTarget(50)
+	res, err := pcstall.RunApp("comd", "PCSTALL", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective != "QoS@50" {
+		t.Fatalf("objective label %q", res.Objective)
+	}
+}
