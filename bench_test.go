@@ -16,6 +16,7 @@ package pcstall_test
 
 import (
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -90,3 +91,34 @@ func BenchmarkAblationEpochMode(b *testing.B)     { runArtifact(b, suite().AblEp
 // --- Extensions (related-work predictor families, §2.4) ---
 
 func BenchmarkExtensionFamilies(b *testing.B) { runArtifact(b, suite().Extensions) }
+
+// --- Orchestrated full sweep (internal/orchestrate) ---
+
+// fullSweep cold-regenerates the evaluation figures on a fresh suite each
+// iteration, so the measured time is end-to-end wall clock for the given
+// worker count — nothing carries over from previous iterations. The
+// serial/parallel pair records the orchestrator's speedup
+// (BENCH_orchestrate.json); on an N-core machine the parallel variant
+// should approach min(independent runs, N)x.
+func fullSweep(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		cfg := exp.DefaultConfig()
+		cfg.CUs = 2
+		cfg.Scale = 0.25
+		cfg.TraceEpochs = 12
+		cfg.Apps = []string{"comd", "xsbench"}
+		cfg.Workers = workers
+		s := exp.NewSuite(cfg)
+		s.Figure14()
+		s.Figure15()
+		s.Figure16()
+		s.Figure17()
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFullSweepSerial(b *testing.B)   { fullSweep(b, 1) }
+func BenchmarkFullSweepParallel(b *testing.B) { fullSweep(b, runtime.NumCPU()) }

@@ -6,17 +6,25 @@
 //
 // Each id is a figure or table identifier: 1a 1b 5 6 7a 7b 8 10 11a 11b
 // t1 t2 t3 14 15 16 17 18a 18b, or "all". With no ids it prints the list.
+//
+// Independent simulation runs are sharded across -j workers (default:
+// all CPUs) and cached: with -cache-dir, results persist as JSONL and a
+// rerun skips every already-computed cell; a run manifest recording the
+// job list, hashes, timings, and cache hits is written alongside.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"pcstall/internal/clock"
 	"pcstall/internal/exp"
+	"pcstall/internal/orchestrate"
 )
 
 func main() {
@@ -28,6 +36,11 @@ func main() {
 	traceEpochs := flag.Int("trace-epochs", cfg.TraceEpochs, "epochs sampled per characterization trace")
 	maxMs := flag.Int64("max-ms", int64(cfg.MaxTime/clock.Millisecond), "per-run simulated time cap (ms)")
 	timing := flag.Bool("time", false, "print wall-clock time per experiment")
+	workers := flag.Int("j", runtime.NumCPU(), "parallel simulation workers (1 = serial; results are identical)")
+	cacheDir := flag.String("cache-dir", "", "directory for the persistent result cache (JSONL; reruns skip cached cells)")
+	noCache := flag.Bool("no-cache", false, "ignore the disk cache: neither read nor write it")
+	manifest := flag.String("manifest", "", "run-manifest output path (default: <cache-dir>/manifest.json when -cache-dir is set)")
+	progress := flag.Bool("progress", false, "print a periodic orchestration progress line to stderr")
 	flag.Parse()
 
 	cfg.CUs = *cus
@@ -38,7 +51,22 @@ func main() {
 	if *apps != "" {
 		cfg.Apps = strings.Split(*apps, ",")
 	}
+	cfg.Workers = *workers
+	cfg.NoCache = *noCache
+	if *cacheDir != "" {
+		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "pcstall-exp: cache dir: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.CacheDir = *cacheDir
+	}
+	if *progress {
+		cfg.Progress = func(st orchestrate.Stats) {
+			fmt.Fprintf(os.Stderr, "%s\n", st)
+		}
+	}
 	s := exp.NewSuite(cfg)
+	defer s.Close()
 
 	type entry struct {
 		id  string
@@ -80,6 +108,7 @@ func main() {
 		}
 		want[strings.ToLower(id)] = true
 	}
+	start := time.Now()
 	ran := 0
 	for _, e := range entries {
 		isAbl := strings.HasPrefix(e.id, "a") && e.id != "all"
@@ -87,16 +116,33 @@ func main() {
 		if !include {
 			continue
 		}
-		start := time.Now()
+		t0 := time.Now()
 		t := e.run()
 		t.Fprint(os.Stdout)
 		if *timing {
-			fmt.Fprintf(os.Stderr, "[%s took %v]\n", e.id, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(os.Stderr, "[%s took %v]\n", e.id, time.Since(t0).Round(time.Millisecond))
 		}
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "pcstall-exp: no experiment matched %v\n", ids)
 		os.Exit(1)
+	}
+	mpath := *manifest
+	if mpath == "" && cfg.CacheDir != "" {
+		mpath = filepath.Join(cfg.CacheDir, "manifest.json")
+	}
+	if mpath != "" {
+		if err := s.WriteManifest(mpath); err != nil {
+			fmt.Fprintf(os.Stderr, "pcstall-exp: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *timing || *progress {
+		st := s.Stats()
+		fmt.Fprintf(os.Stderr, "[total %v] %s\n", time.Since(start).Round(time.Millisecond), st)
+		if mpath != "" {
+			fmt.Fprintf(os.Stderr, "[manifest written to %s]\n", mpath)
+		}
 	}
 }

@@ -1,6 +1,8 @@
 package dvfs
 
 import (
+	"sort"
+
 	"pcstall/internal/clock"
 	"pcstall/internal/estimate"
 	"pcstall/internal/oracle"
@@ -406,8 +408,19 @@ func (p *AccPC) Decide(ctx *Context, elapsed *sim.EpochSample, obj Objective, pr
 	if ctx.PrevTruth != nil && ctx.PrevTruth.WF != nil {
 		for cu := range ctx.PrevTruth.WF {
 			tbl := p.table(ctx, cu)
-			for _, wt := range ctx.PrevTruth.WF[cu] {
-				tbl.Update(wt.StartPC, wt.WFEstimateTrue(grid))
+			// Update in ascending wave order, not map order: table
+			// entries are EWMAs, so the update sequence is
+			// order-sensitive when waves share an entry, and runs must
+			// be deterministic (DESIGN.md §3) for caching and for the
+			// serial-vs-parallel golden test.
+			waves := ctx.PrevTruth.WF[cu]
+			ids := make([]int64, 0, len(waves))
+			for id := range waves {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+			for _, id := range ids {
+				tbl.Update(waves[id].StartPC, waves[id].WFEstimateTrue(grid))
 			}
 		}
 	}

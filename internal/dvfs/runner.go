@@ -82,6 +82,19 @@ type Result struct {
 	Records []EpochRecord
 }
 
+// RunJob is the job-shaped entry point batch orchestration uses: both
+// the GPU and the policy are constructed inside the call, so a job can
+// be described by pure factories and executed on any worker goroutine
+// without the caller pre-building (and accidentally sharing) mutable
+// simulator or policy state across jobs.
+func RunJob(build func() (*sim.GPU, error), newPol func() Policy, cfg RunConfig) (Result, error) {
+	g, err := build()
+	if err != nil {
+		return Result{}, fmt.Errorf("dvfs: building GPU: %w", err)
+	}
+	return Run(g, newPol(), cfg)
+}
+
 // Run executes the application loaded in g to completion under the given
 // policy. g must be freshly constructed; it is consumed by the run.
 func Run(g *sim.GPU, pol Policy, cfg RunConfig) (Result, error) {

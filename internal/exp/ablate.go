@@ -35,8 +35,21 @@ func (s *Suite) ablApps() []string {
 	return out
 }
 
-// runCustom runs one app under a custom-configured policy. Uncached:
-// callers read learned state (hit ratios) off the policy afterwards.
+// prefetchBase batches the STATIC-1700 normalization runs the ablation
+// rows divide by, so they compute in parallel before the (serial,
+// policy-state-reading) custom runs start.
+func (s *Suite) prefetchBase(apps []string) {
+	cells := make([]cell, len(apps))
+	for i, app := range apps {
+		cells[i] = cell{app, "STATIC-1700", clock.Microsecond, "ED2P", 1, 0}
+	}
+	s.prefetch(cells)
+}
+
+// runCustom runs one app under a custom-configured policy. Uncached and
+// deliberately outside the orchestrator: callers read learned state (hit
+// ratios) off the policy afterwards, so the run cannot be keyed by a
+// design name or shared.
 func (s *Suite) runCustom(_, app string, pol func() dvfs.Policy) *dvfs.Result {
 	g := s.gpu(app, 1)
 	res, err := dvfs.Run(g, pol(), dvfs.RunConfig{
@@ -53,6 +66,7 @@ func (s *Suite) runCustom(_, app string, pol func() dvfs.Policy) *dvfs.Result {
 
 func (s *Suite) ablRow(t *Table, label string, pol func() *dvfs.PCStall) {
 	apps := s.ablApps()
+	s.prefetchBase(apps)
 	var acc, ed []float64
 	var hit float64
 	for _, app := range apps {
@@ -183,27 +197,21 @@ func (s *Suite) AblOracleSamples() *Table {
 		Header: []string{"samples", "accuracy", "norm ED2P"},
 	}
 	apps := s.ablApps()
-	for _, n := range []int{1, 2, 3, 5, 10} {
+	sampleCounts := []int{1, 2, 3, 5, 10}
+	var cells []cell
+	for _, n := range sampleCounts {
+		for _, app := range apps {
+			cells = append(cells, cell{app, "ORACLE", clock.Microsecond, "ED2P", 1, n})
+		}
+	}
+	for _, app := range apps {
+		cells = append(cells, cell{app, "STATIC-1700", clock.Microsecond, "ED2P", 1, 0})
+	}
+	s.prefetch(cells)
+	for _, n := range sampleCounts {
 		var acc, ed []float64
 		for _, app := range apps {
-			key := runKey{app, fmt.Sprintf("custom:oracle-smp%d", n), clock.Microsecond, "ED2P", 1}
-			r, ok := s.runs[key]
-			if !ok {
-				g := s.gpu(app, 1)
-				d, _ := core.DesignByName("ORACLE")
-				res, err := dvfs.Run(g, d.New(), dvfs.RunConfig{
-					Epoch:         clock.Microsecond,
-					Obj:           dvfs.ED2P,
-					PM:            &s.PM,
-					MaxTime:       s.Cfg.MaxTime,
-					OracleSamples: n,
-				})
-				if err != nil {
-					panic(err)
-				}
-				s.runs[key] = &res
-				r = &res
-			}
+			r := s.runSampled(app, "ORACLE", clock.Microsecond, dvfs.ED2P, 1, n)
 			acc = append(acc, r.Accuracy)
 			base := s.run(app, "STATIC-1700", clock.Microsecond, dvfs.ED2P, 1).Totals.ED2P()
 			ed = append(ed, r.Totals.ED2P()/base)
@@ -225,6 +233,13 @@ func (s *Suite) AblEstimators() *Table {
 		Header: []string{"design", "accuracy", "norm ED2P"},
 	}
 	apps := s.ablApps()
+	var cells []cell
+	for _, d := range []string{"STALL", "LEAD", "CRIT", "CRISP", "PCSTALL", "STATIC-1700"} {
+		for _, app := range apps {
+			cells = append(cells, cell{app, d, clock.Microsecond, "ED2P", 1, 0})
+		}
+	}
+	s.prefetch(cells)
 	addNamed := func(name string) {
 		var acc, ed []float64
 		for _, app := range apps {
@@ -261,7 +276,15 @@ func (s *Suite) Extensions() *Table {
 		Header: []string{"design", "accuracy", "norm ED2P"},
 	}
 	apps := s.ablApps()
-	for _, name := range []string{"CRISP", "HIST", "QLEARN", "PCSTALL", "ORACLE"} {
+	names := []string{"CRISP", "HIST", "QLEARN", "PCSTALL", "ORACLE"}
+	var cells []cell
+	for _, d := range append([]string{"STATIC-1700"}, names...) {
+		for _, app := range apps {
+			cells = append(cells, cell{app, d, clock.Microsecond, "ED2P", 1, 0})
+		}
+	}
+	s.prefetch(cells)
+	for _, name := range names {
 		var acc, ed []float64
 		for _, app := range apps {
 			r := s.run(app, name, clock.Microsecond, dvfs.ED2P, 1)
@@ -288,6 +311,13 @@ func (s *Suite) AblEpochMode() *Table {
 	if err != nil {
 		panic(err)
 	}
+	var cells []cell
+	for _, app := range s.ablApps() {
+		cells = append(cells,
+			cell{app, "STATIC-1700", clock.Microsecond, "ED2P", 1, 0},
+			cell{app, "PCSTALL", clock.Microsecond, "ED2P", 1, 0})
+	}
+	s.prefetch(cells)
 	for _, app := range s.ablApps() {
 		base := s.run(app, "STATIC-1700", clock.Microsecond, dvfs.ED2P, 1).Totals.ED2P()
 		timeRun := s.run(app, "PCSTALL", clock.Microsecond, dvfs.ED2P, 1)

@@ -19,6 +19,15 @@ var evalDesigns = []string{"STALL", "LEAD", "CRIT", "CRISP", "ACCREAC", "PCSTALL
 // CRISP, PCSTALL, and ORACLE.
 func (s *Suite) Figure1a() *Table {
 	designs := []string{"CRISP", "PCSTALL", "ORACLE"}
+	var cells []cell
+	for _, e := range epochSweep {
+		for _, d := range append([]string{"STATIC-1700"}, designs...) {
+			for _, app := range s.apps() {
+				cells = append(cells, cell{app, d, e, "ED2P", 1, 0})
+			}
+		}
+	}
+	s.prefetch(cells)
 	t := &Table{
 		ID:     "Figure 1a",
 		Title:  "Geomean normalized ED2P vs DVFS epoch duration",
@@ -40,6 +49,15 @@ func (s *Suite) Figure1a() *Table {
 // and PCSTALL.
 func (s *Suite) Figure1b() *Table {
 	designs := []string{"CRISP", "ACCREAC", "PCSTALL"}
+	var cells []cell
+	for _, e := range epochSweep {
+		for _, d := range designs {
+			for _, app := range s.apps() {
+				cells = append(cells, cell{app, d, e, "ED2P", 1, 0})
+			}
+		}
+	}
+	s.prefetch(cells)
 	t := &Table{
 		ID:     "Figure 1b",
 		Title:  "Mean prediction accuracy vs DVFS epoch duration",
@@ -60,6 +78,13 @@ func (s *Suite) Figure1b() *Table {
 // Figure14 reproduces the per-workload prediction accuracy of every
 // design at 1µs epochs (ORACLE is 100% by construction and omitted).
 func (s *Suite) Figure14() *Table {
+	var cells []cell
+	for _, d := range evalDesigns {
+		for _, app := range s.apps() {
+			cells = append(cells, cell{app, d, clock.Microsecond, "ED2P", 1, 0})
+		}
+	}
+	s.prefetch(cells)
 	t := &Table{
 		ID:     "Figure 14",
 		Title:  "Prediction accuracy at 1us epochs",
@@ -85,6 +110,13 @@ func (s *Suite) Figure14() *Table {
 // static 1.7 GHz operation.
 func (s *Suite) Figure15() *Table {
 	designs := []string{"STATIC-1300", "STATIC-2200", "CRISP", "ACCREAC", "PCSTALL", "ACCPC", "ORACLE"}
+	var cells []cell
+	for _, d := range append([]string{"STATIC-1700"}, designs...) {
+		for _, app := range s.apps() {
+			cells = append(cells, cell{app, d, clock.Microsecond, "ED2P", 1, 0})
+		}
+	}
+	s.prefetch(cells)
 	t := &Table{
 		ID:     "Figure 15",
 		Title:  "ED2P normalized to static 1.7GHz (1us epochs)",
@@ -110,6 +142,11 @@ func (s *Suite) Figure15() *Table {
 // Figure16 reproduces the frequency residency of PCSTALL optimizing ED²P
 // at 1µs: the share of domain-time spent at each V/f state, per workload.
 func (s *Suite) Figure16() *Table {
+	var cells []cell
+	for _, app := range s.apps() {
+		cells = append(cells, cell{app, "PCSTALL", clock.Microsecond, "ED2P", 1, 0})
+	}
+	s.prefetch(cells)
 	grid := clock.DefaultGrid()
 	t := &Table{
 		ID:     "Figure 16",
@@ -130,6 +167,15 @@ func (s *Suite) Figure16() *Table {
 // 1.7 GHz vs epoch duration.
 func (s *Suite) Figure17() *Table {
 	designs := []string{"CRISP", "PCSTALL", "ORACLE"}
+	var cells []cell
+	for _, e := range epochSweep {
+		for _, d := range append([]string{"STATIC-1700"}, designs...) {
+			for _, app := range s.apps() {
+				cells = append(cells, cell{app, d, e, "EDP", 1, 0})
+			}
+		}
+	}
+	s.prefetch(cells)
 	t := &Table{
 		ID:     "Figure 17",
 		Title:  "Geomean normalized EDP vs DVFS epoch duration",
@@ -154,6 +200,16 @@ func (s *Suite) Figure17() *Table {
 // degrade performance by at most 5% / 10%.
 func (s *Suite) Figure18a() *Table {
 	designs := []string{"CRISP", "PCSTALL", "ORACLE"}
+	var cells []cell
+	for _, limit := range []float64{0.05, 0.10} {
+		obj := dvfs.FixedPerf{Limit: limit}.Name()
+		for _, d := range append([]string{"STATIC-2200"}, designs...) {
+			for _, app := range s.apps() {
+				cells = append(cells, cell{app, d, clock.Microsecond, obj, 1, 0})
+			}
+		}
+	}
+	s.prefetch(cells)
 	t := &Table{
 		ID:     "Figure 18a",
 		Title:  "Energy savings (%) vs static 2.2GHz under perf-degradation limits (1us)",
@@ -178,6 +234,15 @@ func (s *Suite) Figure18a() *Table {
 // normalized ED²P as domains grow from one CU to half the GPU.
 func (s *Suite) Figure18b() *Table {
 	designs := []string{"CRISP", "PCSTALL", "ORACLE"}
+	var cells []cell
+	for g := 1; g <= s.Cfg.CUs/2; g *= 2 {
+		for _, d := range append([]string{"STATIC-1700"}, designs...) {
+			for _, app := range s.apps() {
+				cells = append(cells, cell{app, d, clock.Microsecond, "ED2P", g, 0})
+			}
+		}
+	}
+	s.prefetch(cells)
 	t := &Table{
 		ID:     "Figure 18b",
 		Title:  "Geomean normalized ED2P vs V/f domain granularity (1us)",

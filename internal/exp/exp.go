@@ -13,6 +13,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"pcstall/internal/clock"
 	"pcstall/internal/core"
@@ -20,6 +21,7 @@ import (
 	"pcstall/internal/estimate"
 	"pcstall/internal/metrics"
 	"pcstall/internal/oracle"
+	"pcstall/internal/orchestrate"
 	"pcstall/internal/power"
 	"pcstall/internal/sim"
 	"pcstall/internal/workload"
@@ -42,6 +44,20 @@ type Config struct {
 	TraceEpochs int
 	// MaxTime caps each run's simulated time.
 	MaxTime clock.Time
+	// Workers bounds concurrently executing simulation jobs (0 =
+	// runtime.NumCPU(), 1 = strictly serial). Results are deterministic
+	// and byte-identical at any worker count: every job is a pure
+	// function of its description, and tables aggregate in job order.
+	Workers int
+	// CacheDir persists run results as JSONL so re-running the harness
+	// skips already-computed cells ("" = in-memory sharing only).
+	CacheDir string
+	// NoCache disables the disk cache (in-process run sharing stays on).
+	NoCache bool
+	// Progress, when non-nil, receives periodic orchestrator snapshots.
+	Progress func(orchestrate.Stats)
+	// ProgressEvery sets the snapshot period (default 2s).
+	ProgressEvery time.Duration
 }
 
 // DefaultConfig returns the default scaled platform.
@@ -124,20 +140,36 @@ func (t *Table) Fprint(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
-// Suite runs experiments with caching. Create with NewSuite; methods are
-// not safe for concurrent use.
+// Suite runs experiments with caching. Create with NewSuite. Suite
+// methods are not safe for concurrent use (call figures from one
+// goroutine); internally each figure shards its runs across the
+// orchestrator's worker pool, and everything a worker touches — the
+// job executor, the power model, the design/workload registries — is
+// either immutable after construction or owned by the job.
 type Suite struct {
 	Cfg Config
-	PM  power.Model
+	// PM is the shared power model. It is read-only during runs: worker
+	// goroutines call its pure methods concurrently.
+	PM power.Model
 
-	runs   map[runKey]*dvfs.Result
+	orch *orchestrate.Orchestrator
+	// traces is main-goroutine-only memoization for the characterization
+	// substrate (Figures 5-11); traced sampling stays serial.
 	traces map[traceKey]*trace
 }
 
-// NewSuite builds a Suite for the configuration.
+// NewSuite builds a Suite for the configuration. It panics if the cache
+// directory cannot be created (callers with fallible setups should
+// pre-create Config.CacheDir).
 func NewSuite(cfg Config) *Suite {
 	if cfg.CUs == 0 {
-		cfg = DefaultConfig()
+		// Adopt the default platform but keep the caller's orchestration
+		// knobs — a zero-CUs config with Workers/CacheDir set must not
+		// silently lose them.
+		d := DefaultConfig()
+		d.Workers, d.CacheDir, d.NoCache = cfg.Workers, cfg.CacheDir, cfg.NoCache
+		d.Progress, d.ProgressEvery = cfg.Progress, cfg.ProgressEvery
+		cfg = d
 	}
 	if len(cfg.Apps) == 0 {
 		cfg.Apps = workload.Names()
@@ -151,13 +183,36 @@ func NewSuite(cfg Config) *Suite {
 	if cfg.Scale == 0 {
 		cfg.Scale = 1
 	}
-	return &Suite{
+	s := &Suite{
 		Cfg:    cfg,
 		PM:     power.DefaultModelFor(cfg.CUs),
-		runs:   map[runKey]*dvfs.Result{},
 		traces: map[traceKey]*trace{},
 	}
+	orch, err := orchestrate.New(orchestrate.Config{
+		Workers:       cfg.Workers,
+		CacheDir:      cfg.CacheDir,
+		NoCache:       cfg.NoCache,
+		Run:           s.execJob,
+		Progress:      cfg.Progress,
+		ProgressEvery: cfg.ProgressEvery,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("exp: orchestrator: %v", err))
+	}
+	s.orch = orch
+	return s
 }
+
+// Close flushes the result cache and stops the progress loop. The Suite
+// remains usable for in-memory work afterwards.
+func (s *Suite) Close() error { return s.orch.Close() }
+
+// Stats snapshots orchestration progress and cache accounting.
+func (s *Suite) Stats() orchestrate.Stats { return s.orch.Stats() }
+
+// WriteManifest writes the campaign's run manifest (job list, hashes,
+// timings, cache hits/misses, worker count) as JSON to path.
+func (s *Suite) WriteManifest(path string) error { return s.orch.WriteManifest(path) }
 
 func (s *Suite) gpu(app string, cusPerDomain int) *sim.GPU {
 	return s.gpuScaled(app, cusPerDomain, s.Cfg.Scale)
@@ -166,12 +221,18 @@ func (s *Suite) gpu(app string, cusPerDomain int) *sim.GPU {
 // gpuScaled builds a GPU with an explicit workload duration scale
 // (long-epoch traces need apps that outlive the sampled window).
 func (s *Suite) gpuScaled(app string, cusPerDomain int, scale float64) *sim.GPU {
-	cfg := sim.DefaultConfig(s.Cfg.CUs)
-	cfg.Seed = s.Cfg.Seed
+	return buildGPU(app, s.Cfg.CUs, cusPerDomain, s.Cfg.Seed, scale)
+}
+
+// buildGPU constructs a fresh simulator purely from scalar parameters,
+// so job executors on worker goroutines share no state with the Suite.
+func buildGPU(app string, cus, cusPerDomain int, seed uint64, scale float64) *sim.GPU {
+	cfg := sim.DefaultConfig(cus)
+	cfg.Seed = seed
 	cfg.Domains.CUsPerDomain = cusPerDomain
-	gen := workload.DefaultGenConfig(s.Cfg.CUs)
+	gen := workload.DefaultGenConfig(cus)
 	gen.Scale = scale
-	gen.Seed = s.Cfg.Seed + 6
+	gen.Seed = seed + 6
 	a := workload.MustBuild(app, gen)
 	g, err := sim.New(cfg, a.Kernels, a.Launches)
 	if err != nil {
@@ -180,47 +241,130 @@ func (s *Suite) gpuScaled(app string, cusPerDomain int, scale float64) *sim.GPU 
 	return g
 }
 
-type runKey struct {
-	app    string
-	design string
-	epoch  clock.Time
-	obj    string
-	cusDom int
+// cell identifies one run a figure needs: the in-repo shorthand that
+// expands to an orchestrate.Job on the Suite's platform.
+type cell struct {
+	app, design string
+	epoch       clock.Time
+	obj         string
+	cusDom      int
+	samples     int
 }
 
-// run executes (and caches) one app × design × epoch × objective run.
-func (s *Suite) run(app, design string, epoch clock.Time, obj dvfs.Objective, cusPerDomain int) *dvfs.Result {
-	key := runKey{app, design, epoch, obj.Name(), cusPerDomain}
-	if r, ok := s.runs[key]; ok {
-		return r
+// job expands a cell with the Suite's platform parameters.
+func (s *Suite) job(c cell) orchestrate.Job {
+	return orchestrate.Job{
+		App:           c.app,
+		Design:        c.design,
+		EpochPs:       int64(c.epoch),
+		Objective:     c.obj,
+		CUsPerDomain:  c.cusDom,
+		CUs:           s.Cfg.CUs,
+		Scale:         s.Cfg.Scale,
+		Seed:          s.Cfg.Seed,
+		MaxTimePs:     int64(s.Cfg.MaxTime),
+		OracleSamples: c.samples,
+		SimVersion:    orchestrate.SimVersion,
 	}
-	d, err := core.DesignByName(design)
-	if err != nil {
+}
+
+// prefetch computes a batch of cells across the worker pool. Later
+// Suite.run calls for the same cells are in-memory hits, so figure
+// construction keeps its original (deterministic, serial) shape while
+// the simulations themselves run in parallel.
+func (s *Suite) prefetch(cells []cell) {
+	if len(cells) == 0 {
+		return
+	}
+	jobs := make([]orchestrate.Job, len(cells))
+	for i, c := range cells {
+		jobs[i] = s.job(c)
+	}
+	if _, err := s.orch.RunJobs(jobs); err != nil {
 		panic(err)
 	}
+}
+
+// execJob is the orchestrator's RunFunc: a pure function of the job
+// (plus the read-only power model), safe on any worker goroutine.
+func (s *Suite) execJob(j orchestrate.Job) (*dvfs.Result, error) {
+	d, err := core.DesignByName(j.Design)
+	if err != nil {
+		return nil, err
+	}
+	obj, err := objectiveByName(j.Objective)
+	if err != nil {
+		return nil, err
+	}
+	epoch := clock.Time(j.EpochPs)
 	// Long-epoch runs need long apps: at 100µs epochs an unscaled app
 	// finishes in a couple of decisions, telling us nothing about the
 	// policy. The paper's apps run far longer than the largest epoch;
-	// the boost is capped to keep oracle-sampled sweeps tractable.
-	scale := s.Cfg.Scale
+	// the boost is capped to keep oracle-sampled sweeps tractable. The
+	// boost is derived from the job alone, so cached results stay valid.
+	scale := j.Scale
 	if boost := float64(epoch) / float64(8*clock.Microsecond); boost > 1 {
 		if boost > 12 {
 			boost = 12
 		}
 		scale *= boost
 	}
-	g := s.gpuScaled(app, cusPerDomain, scale)
-	res, err := dvfs.Run(g, d.New(), dvfs.RunConfig{
-		Epoch:   epoch,
-		Obj:     obj,
-		PM:      &s.PM,
-		MaxTime: s.Cfg.MaxTime,
+	res, err := dvfs.RunJob(func() (*sim.GPU, error) {
+		return buildGPU(j.App, j.CUs, j.CUsPerDomain, j.Seed, scale), nil
+	}, d.New, dvfs.RunConfig{
+		Epoch:         epoch,
+		Obj:           obj,
+		PM:            &s.PM,
+		MaxTime:       clock.Time(j.MaxTimePs),
+		OracleSamples: j.OracleSamples,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// objectiveByName inverts Objective.Name for the objectives the harness
+// uses (job descriptions carry objectives as canonical strings so they
+// can be hashed and persisted).
+func objectiveByName(name string) (dvfs.Objective, error) {
+	switch name {
+	case "EDP":
+		return dvfs.EDP, nil
+	case "ED2P":
+		return dvfs.ED2P, nil
+	}
+	var n int
+	if c, err := fmt.Sscanf(name, "ED%dP", &n); c == 1 && err == nil {
+		return dvfs.EDnP{N: n}, nil
+	}
+	var pct float64
+	if c, err := fmt.Sscanf(name, "Energy@%f%%", &pct); c == 1 && err == nil {
+		// Only round-percent limits (the paper's 5%/10%) survive the
+		// Name() round-trip; FixedPerf formats with %.0f.
+		return dvfs.FixedPerf{Limit: pct / 100}, nil
+	}
+	var floor float64
+	if c, err := fmt.Sscanf(name, "QoS@%f", &floor); c == 1 && err == nil {
+		return dvfs.QoSTarget{InstrPerEpoch: floor}, nil
+	}
+	return nil, fmt.Errorf("exp: unknown objective %q", name)
+}
+
+// run executes (and caches) one app × design × epoch × objective run.
+func (s *Suite) run(app, design string, epoch clock.Time, obj dvfs.Objective, cusPerDomain int) *dvfs.Result {
+	return s.runSampled(app, design, epoch, obj, cusPerDomain, 0)
+}
+
+// runSampled is run with an explicit oracle fork-sample override.
+func (s *Suite) runSampled(app, design string, epoch clock.Time, obj dvfs.Objective, cusPerDomain, samples int) *dvfs.Result {
+	rs, err := s.orch.RunJobs([]orchestrate.Job{
+		s.job(cell{app, design, epoch, obj.Name(), cusPerDomain, samples}),
 	})
 	if err != nil {
 		panic(err)
 	}
-	s.runs[key] = &res
-	return &res
+	return rs[0]
 }
 
 // normED returns design's EDⁿP normalized to the static mid-frequency

@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// goldenRender regenerates a small figure pair on a fresh tiny suite and
+// returns the formatted table bytes. Figure 7a exercises the (serial)
+// trace substrate of DESIGN.md §3's determinism promise; Figure 15 the
+// orchestrated run path across every design.
+func goldenRender(t *testing.T, workers int, cacheDir string) (string, *Suite) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.CUs = 2
+	cfg.Scale = 0.25
+	cfg.TraceEpochs = 12
+	cfg.Apps = []string{"comd", "xsbench"}
+	cfg.Workers = workers
+	cfg.CacheDir = cacheDir
+	s := NewSuite(cfg)
+	var sb strings.Builder
+	s.Figure7a().Fprint(&sb)
+	s.Figure15().Fprint(&sb)
+	return sb.String(), s
+}
+
+// TestGoldenSerialVsParallel is the determinism gate for the
+// orchestrator: a parallel (-j 8) regeneration must be byte-identical to
+// the serial one — same seeds, same tie-breaks, same formatting — no
+// matter how completion order interleaves.
+func TestGoldenSerialVsParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every Figure 15 design twice")
+	}
+	serial, s1 := goldenRender(t, 1, "")
+	defer s1.Close()
+	parallel, s2 := goldenRender(t, 8, "")
+	defer s2.Close()
+	if serial != parallel {
+		t.Fatalf("parallel output diverges from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+	if serial == "" || !strings.Contains(serial, "Figure 15") {
+		t.Fatalf("golden render incomplete:\n%s", serial)
+	}
+}
+
+// TestGoldenWarmCacheRerun proves the disk cache round-trips exactly: a
+// rerun in a fresh process-equivalent (new Suite, same cache dir) must
+// reproduce byte-identical tables from ≥90% cached cells.
+func TestGoldenWarmCacheRerun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every Figure 15 design")
+	}
+	dir := t.TempDir()
+	cold, s1 := goldenRender(t, 8, dir)
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	coldStats := s1.Stats()
+	if coldStats.Misses == 0 {
+		t.Fatal("cold run computed nothing")
+	}
+
+	warm, s2 := goldenRender(t, 8, dir)
+	defer s2.Close()
+	if warm != cold {
+		t.Fatalf("warm-cache output diverges:\n--- cold ---\n%s\n--- warm ---\n%s", cold, warm)
+	}
+	m := s2.orch.Manifest()
+	if m.Misses != 0 {
+		t.Fatalf("warm rerun recomputed %d cells", m.Misses)
+	}
+	if rate := m.HitRate(); rate < 0.9 {
+		t.Fatalf("warm hit rate %.2f < 0.90 (mem %d disk %d miss %d)", rate, m.MemHits, m.DiskHits, m.Misses)
+	}
+}

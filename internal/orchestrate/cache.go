@@ -1,0 +1,115 @@
+package orchestrate
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"pcstall/internal/dvfs"
+)
+
+// cacheEntry is one JSONL line of the on-disk result cache.
+type cacheEntry struct {
+	Key    string       `json:"key"`
+	Job    Job          `json:"job"`
+	Result *dvfs.Result `json:"result"`
+}
+
+// Cache is the content-addressed disk layer: one append-only JSON Lines
+// file of (key, job, result) records under a cache directory. The whole
+// file is loaded on open, so lookups are memory-speed; writes append one
+// line per computed result. Keys embed SimVersion, so entries written by
+// an older simulator silently miss (and are left in place) after a bump.
+//
+// A Cache is safe for concurrent use by multiple goroutines within one
+// process. Concurrent processes appending to the same directory do not
+// corrupt each other's lines (single-line appends), but may duplicate
+// work; last-loaded wins on duplicate keys.
+type Cache struct {
+	mu   sync.Mutex
+	mem  map[string]*dvfs.Result
+	file *os.File
+	enc  *json.Encoder
+}
+
+// ResultsFile is the JSONL file name used inside a cache directory.
+const ResultsFile = "results.jsonl"
+
+// OpenCache opens (creating if needed) the cache under dir and loads any
+// existing results. Corrupt trailing lines (a previously killed process)
+// are skipped, not fatal.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("orchestrate: creating cache dir: %w", err)
+	}
+	path := filepath.Join(dir, ResultsFile)
+	c := &Cache{mem: map[string]*dvfs.Result{}}
+	if f, err := os.Open(path); err == nil {
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+		for sc.Scan() {
+			var e cacheEntry
+			if err := json.Unmarshal(sc.Bytes(), &e); err != nil || e.Key == "" || e.Result == nil {
+				continue // tolerate torn/corrupt lines
+			}
+			c.mem[e.Key] = e.Result
+		}
+		f.Close()
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("orchestrate: reading %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("orchestrate: opening %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("orchestrate: appending to %s: %w", path, err)
+	}
+	c.file = f
+	c.enc = json.NewEncoder(f)
+	return c, nil
+}
+
+// Get returns the cached result for key, if present.
+func (c *Cache) Get(key string) (*dvfs.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.mem[key]
+	return r, ok
+}
+
+// Len reports the number of loaded entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.mem)
+}
+
+// Put stores a computed result and appends it to the results file.
+func (c *Cache) Put(key string, j Job, r *dvfs.Result) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mem[key] = r
+	if c.enc == nil {
+		return nil
+	}
+	if err := c.enc.Encode(cacheEntry{Key: key, Job: j, Result: r}); err != nil {
+		return fmt.Errorf("orchestrate: persisting %s: %w", key, err)
+	}
+	return nil
+}
+
+// Close releases the append handle. Get/Put remain usable in-memory.
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.file == nil {
+		return nil
+	}
+	err := c.file.Close()
+	c.file, c.enc = nil, nil
+	return err
+}

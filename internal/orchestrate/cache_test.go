@@ -1,0 +1,94 @@
+package orchestrate
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pcstall/internal/dvfs"
+	"pcstall/internal/metrics"
+)
+
+func TestCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := testJob(3)
+	r := &dvfs.Result{
+		Policy:    "PCSTALL",
+		Objective: "ED2P",
+		Totals:    metrics.RunTotals{EnergyJ: 0.1234567890123456, TimeS: 3.3e-5, Committed: 987654321},
+		Accuracy:  0.87654321,
+		AccuracyN: 12345,
+		Residency: []float64{0.1, 0.2, 0.7},
+		Epochs:    33,
+	}
+	if err := c.Put(j.Key(), j, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	got, ok := c2.Get(j.Key())
+	if !ok {
+		t.Fatal("entry lost across close/open")
+	}
+	// Floats must round-trip exactly (JSON shortest-repr), or warm-cache
+	// reruns would not be byte-identical to cold runs.
+	if got.Totals != r.Totals || got.Accuracy != r.Accuracy || got.AccuracyN != r.AccuracyN {
+		t.Fatalf("lossy round-trip: %+v vs %+v", got, r)
+	}
+	for i := range r.Residency {
+		if got.Residency[i] != r.Residency[i] {
+			t.Fatalf("residency[%d] %v != %v", i, got.Residency[i], r.Residency[i])
+		}
+	}
+	if c2.Len() != 1 {
+		t.Fatalf("len %d", c2.Len())
+	}
+}
+
+func TestCacheToleratesCorruptLines(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := testJob(1)
+	if err := c.Put(j.Key(), j, &dvfs.Result{Policy: "X"}); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	// Simulate a torn append from a killed process.
+	f, err := os.OpenFile(filepath.Join(dir, ResultsFile), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"key":"deadbeef","job":{"app":"tru`)
+	f.Close()
+
+	c2, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, ok := c2.Get(j.Key()); !ok {
+		t.Fatal("valid entry lost to corrupt neighbour")
+	}
+	if c2.Len() != 1 {
+		t.Fatalf("corrupt line loaded: len %d", c2.Len())
+	}
+	// And the cache stays appendable after recovery.
+	j2 := testJob(2)
+	if err := c2.Put(j2.Key(), j2, &dvfs.Result{Policy: "Y"}); err != nil {
+		t.Fatal(err)
+	}
+}

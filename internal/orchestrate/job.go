@@ -1,0 +1,105 @@
+// Package orchestrate is the experiment sweep engine: it shards
+// independent, deterministic simulation jobs across a bounded worker
+// pool, memoizes results in-process, persists them to a content-addressed
+// JSONL cache on disk, and writes a run manifest per campaign so sweeps
+// are reproducible and auditable.
+//
+// The paper's evaluation (Figs. 14-18) is an embarrassingly parallel
+// sweep of 16 workloads × 8 designs; every cell is a pure function of its
+// Job description. The orchestrator exploits exactly that: results are
+// returned in deterministic job order regardless of completion order, and
+// two jobs with equal keys are computed at most once per process (and at
+// most once per cache directory across processes).
+package orchestrate
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+)
+
+// SimVersion names the simulator behaviour the disk cache keys against.
+// It participates in every Job key, so bumping it invalidates all
+// previously cached results. Bump it whenever a change anywhere in the
+// simulation stack (sim, mem, power, estimate, predict, dvfs, workload)
+// alters run outcomes; config-only changes (more workers, new cache dir)
+// need no bump because the config is part of the key already.
+const SimVersion = "pcstall-sim-v1"
+
+// Job identifies one simulation cell: an (app × design × epoch ×
+// objective × domain-granularity) run on a platform of CUs compute units
+// at the given workload scale and seed. Two Jobs with equal fields are
+// the same computation; Key canonicalizes and hashes the fields so the
+// cache and the in-process memo can treat results as content-addressed.
+type Job struct {
+	// App is the TABLE II workload name.
+	App string `json:"app"`
+	// Design is the TABLE III design name (or a STATIC-xxxx baseline).
+	Design string `json:"design"`
+	// EpochPs is the DVFS epoch in picoseconds.
+	EpochPs int64 `json:"epoch_ps"`
+	// Objective is the objective's canonical Name() ("ED2P", "EDP",
+	// "Energy@5%", ...).
+	Objective string `json:"objective"`
+	// CUsPerDomain is the V/f domain granularity.
+	CUsPerDomain int `json:"cus_per_domain"`
+	// CUs is the GPU size.
+	CUs int `json:"cus"`
+	// Scale multiplies workload durations (pre-boost; executors may
+	// derive epoch-dependent boosts from EpochPs deterministically).
+	Scale float64 `json:"scale"`
+	// Seed drives workload synthesis and simulation randomness.
+	Seed uint64 `json:"seed"`
+	// MaxTimePs caps simulated time.
+	MaxTimePs int64 `json:"max_time_ps"`
+	// OracleSamples overrides the oracle's fork count (0 = default).
+	OracleSamples int `json:"oracle_samples,omitempty"`
+	// SimVersion must be orchestrate.SimVersion for freshly built jobs;
+	// it rides in the key so stale cache entries miss after a bump.
+	SimVersion string `json:"sim_version"`
+}
+
+// Canonical returns the stable, human-readable canonical form of the job
+// — the exact byte string the key hashes. Field order is fixed; floats
+// use the shortest round-trip representation, so equal Jobs always
+// canonicalize identically.
+func (j Job) Canonical() string {
+	var b strings.Builder
+	b.WriteString("v=")
+	b.WriteString(j.SimVersion)
+	b.WriteString("|app=")
+	b.WriteString(j.App)
+	b.WriteString("|design=")
+	b.WriteString(j.Design)
+	b.WriteString("|epoch=")
+	b.WriteString(strconv.FormatInt(j.EpochPs, 10))
+	b.WriteString("|obj=")
+	b.WriteString(j.Objective)
+	b.WriteString("|cusdom=")
+	b.WriteString(strconv.Itoa(j.CUsPerDomain))
+	b.WriteString("|cus=")
+	b.WriteString(strconv.Itoa(j.CUs))
+	b.WriteString("|scale=")
+	b.WriteString(strconv.FormatFloat(j.Scale, 'g', -1, 64))
+	b.WriteString("|seed=")
+	b.WriteString(strconv.FormatUint(j.Seed, 10))
+	b.WriteString("|max=")
+	b.WriteString(strconv.FormatInt(j.MaxTimePs, 10))
+	b.WriteString("|smp=")
+	b.WriteString(strconv.Itoa(j.OracleSamples))
+	return b.String()
+}
+
+// Key returns the 16-hex-digit FNV-64a digest of Canonical — the job's
+// content address in the memo, the disk cache, and the manifest.
+func (j Job) Key() string {
+	h := fnv.New64a()
+	h.Write([]byte(j.Canonical()))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// String abbreviates the job for progress lines and errors.
+func (j Job) String() string {
+	return fmt.Sprintf("%s/%s@%dps %s %dCU/dom", j.App, j.Design, j.EpochPs, j.Objective, j.CUsPerDomain)
+}

@@ -1,0 +1,264 @@
+package orchestrate
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"pcstall/internal/dvfs"
+)
+
+// RunFunc computes one job. It must be a pure function of the Job (given
+// a fixed simulator version): the orchestrator calls it from worker
+// goroutines and caches what it returns. It must not retain or mutate
+// shared state.
+type RunFunc func(Job) (*dvfs.Result, error)
+
+// Config shapes an Orchestrator.
+type Config struct {
+	// Workers bounds concurrently executing simulations; <= 0 selects
+	// runtime.NumCPU(). Workers == 1 reproduces strictly serial behaviour
+	// (identical results either way; jobs are deterministic).
+	Workers int
+	// CacheDir enables the persistent result cache ("" = in-memory only).
+	CacheDir string
+	// NoCache disables the disk layer entirely: nothing is read from or
+	// written to CacheDir. The in-process memo stays on — figures that
+	// share runs (Fig. 15/16/17 all run PCSTALL@1µs) rely on it, and it
+	// cannot go stale within one process.
+	NoCache bool
+	// Run executes one job; required.
+	Run RunFunc
+	// Progress, when non-nil, receives a Stats snapshot every
+	// ProgressEvery (default 2s) while jobs are in flight, and once more
+	// on Close.
+	Progress      func(Stats)
+	ProgressEvery time.Duration
+}
+
+// Stats is a point-in-time snapshot of campaign progress.
+type Stats struct {
+	// Workers is the pool bound.
+	Workers int
+	// Unique counts distinct jobs owned by the memo; Completed of those
+	// are settled and Running hold a worker slot now. Queued jobs are
+	// scheduled but waiting (for a slot or for the disk-cache check).
+	Unique, Completed, Running, Queued int
+	// Submissions counts every submission including memo-answered
+	// duplicates; MemHits + DiskHits + Misses accounts for all settled
+	// lookups.
+	Submissions, MemHits, DiskHits, Misses int
+	// JobTime is summed per-job compute time; Elapsed is wall time since
+	// the orchestrator was created. JobTime/Elapsed ≈ realized speedup.
+	JobTime, Elapsed time.Duration
+}
+
+// String renders the periodic progress line.
+func (s Stats) String() string {
+	return fmt.Sprintf("orchestrate: %d/%d jobs done (%d running, %d queued), cache %d mem + %d disk hits / %d misses, %d workers, %s elapsed",
+		s.Completed, s.Unique, s.Running, s.Queued,
+		s.MemHits, s.DiskHits, s.Misses, s.Workers,
+		s.Elapsed.Round(time.Millisecond))
+}
+
+// future is one in-flight or settled job computation.
+type future struct {
+	done chan struct{}
+	res  *dvfs.Result
+	err  error
+}
+
+// Orchestrator shards jobs across a bounded worker pool with a
+// content-addressed result cache. Methods are safe for concurrent use.
+type Orchestrator struct {
+	run     RunFunc
+	workers int
+	noCache bool
+	cache   *Cache
+	sem     chan struct{}
+	created time.Time
+
+	mu          sync.Mutex
+	memo        map[string]*future
+	entries     []ManifestEntry
+	submissions int
+	completed   int
+	running     int
+	memHits     int
+	diskHits    int
+	misses      int
+	jobTime     time.Duration
+
+	progressStop chan struct{}
+	progressDone chan struct{}
+	closeOnce    sync.Once
+	closeErr     error
+}
+
+// New builds an Orchestrator. The caller owns it and must Close it to
+// flush the cache append handle and stop the progress loop.
+func New(cfg Config) (*Orchestrator, error) {
+	if cfg.Run == nil {
+		return nil, fmt.Errorf("orchestrate: Config.Run is required")
+	}
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	o := &Orchestrator{
+		run:     cfg.Run,
+		workers: w,
+		noCache: cfg.NoCache,
+		sem:     make(chan struct{}, w),
+		created: time.Now(),
+		memo:    map[string]*future{},
+	}
+	if cfg.CacheDir != "" && !cfg.NoCache {
+		c, err := OpenCache(cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		o.cache = c
+	}
+	if cfg.Progress != nil {
+		every := cfg.ProgressEvery
+		if every <= 0 {
+			every = 2 * time.Second
+		}
+		o.progressStop = make(chan struct{})
+		o.progressDone = make(chan struct{})
+		go func() {
+			t := time.NewTicker(every)
+			defer t.Stop()
+			defer close(o.progressDone)
+			for {
+				select {
+				case <-t.C:
+					cfg.Progress(o.Stats())
+				case <-o.progressStop:
+					cfg.Progress(o.Stats())
+					return
+				}
+			}
+		}()
+	}
+	return o, nil
+}
+
+// Stats snapshots campaign progress.
+func (o *Orchestrator) Stats() Stats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return Stats{
+		Workers:     o.workers,
+		Unique:      len(o.memo),
+		Completed:   o.completed,
+		Running:     o.running,
+		Queued:      len(o.memo) - o.completed - o.running,
+		Submissions: o.submissions,
+		MemHits:     o.memHits,
+		DiskHits:    o.diskHits,
+		Misses:      o.misses,
+		JobTime:     o.jobTime,
+		Elapsed:     time.Since(o.created),
+	}
+}
+
+// RunJobs executes jobs through the pool and returns results in job
+// order regardless of completion order. Duplicate keys — within the
+// batch or across earlier calls — are computed once and shared. On
+// error, the first failing job (in job order) is reported after every
+// job has settled, so no goroutines are left running.
+func (o *Orchestrator) RunJobs(jobs []Job) ([]*dvfs.Result, error) {
+	futs := make([]*future, len(jobs))
+	for i, j := range jobs {
+		futs[i] = o.submit(j)
+	}
+	out := make([]*dvfs.Result, len(jobs))
+	var firstErr error
+	for i, f := range futs {
+		<-f.done
+		if f.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("orchestrate: job %s: %w", jobs[i].String(), f.err)
+		}
+		out[i] = f.res
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// submit routes one job to its future, creating (and scheduling) it on
+// first sight of the key.
+func (o *Orchestrator) submit(j Job) *future {
+	key := j.Key()
+	o.mu.Lock()
+	o.submissions++
+	if f, ok := o.memo[key]; ok {
+		o.memHits++
+		o.mu.Unlock()
+		return f
+	}
+	f := &future{done: make(chan struct{})}
+	o.memo[key] = f
+	o.mu.Unlock()
+	go o.exec(j, key, f)
+	return f
+}
+
+// exec settles one future: disk-cache lookup, else a pooled run.
+func (o *Orchestrator) exec(j Job, key string, f *future) {
+	defer close(f.done)
+	if o.cache != nil {
+		if r, ok := o.cache.Get(key); ok {
+			f.res = r
+			o.mu.Lock()
+			o.diskHits++
+			o.completed++
+			o.entries = append(o.entries, ManifestEntry{Key: key, Job: j, Source: "disk"})
+			o.mu.Unlock()
+			return
+		}
+	}
+	o.sem <- struct{}{}
+	o.mu.Lock()
+	o.running++
+	o.mu.Unlock()
+	start := time.Now()
+	r, err := o.run(j)
+	dur := time.Since(start)
+	<-o.sem
+	if err == nil && o.cache != nil {
+		if perr := o.cache.Put(key, j, r); perr != nil {
+			err = perr
+		}
+	}
+	f.res, f.err = r, err
+	o.mu.Lock()
+	o.running--
+	o.completed++
+	o.misses++
+	o.jobTime += dur
+	o.entries = append(o.entries, ManifestEntry{
+		Key: key, Job: j, Source: "run",
+		DurationMS: float64(dur) / float64(time.Millisecond),
+	})
+	o.mu.Unlock()
+}
+
+// Close stops the progress loop and releases the cache append handle.
+// The orchestrator remains usable for in-memory work afterwards.
+func (o *Orchestrator) Close() error {
+	o.closeOnce.Do(func() {
+		if o.progressStop != nil {
+			close(o.progressStop)
+			<-o.progressDone
+		}
+		if o.cache != nil {
+			o.closeErr = o.cache.Close()
+		}
+	})
+	return o.closeErr
+}

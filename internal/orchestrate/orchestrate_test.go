@@ -1,0 +1,328 @@
+package orchestrate
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pcstall/internal/dvfs"
+	"pcstall/internal/metrics"
+)
+
+// testJob builds a distinct job per index.
+func testJob(i int) Job {
+	return Job{
+		App: fmt.Sprintf("app%d", i), Design: "PCSTALL", EpochPs: 1e6,
+		Objective: "ED2P", CUsPerDomain: 1, CUs: 4, Scale: 1, Seed: 1,
+		MaxTimePs: 1e9, SimVersion: SimVersion,
+	}
+}
+
+// countingRun returns a RunFunc that fabricates a result encoding the
+// job's identity, plus the number of real executions.
+func countingRun() (RunFunc, *int64) {
+	var n int64
+	return func(j Job) (*dvfs.Result, error) {
+		atomic.AddInt64(&n, 1)
+		return &dvfs.Result{
+			Policy:    j.Design,
+			Objective: j.Objective,
+			Totals:    metrics.RunTotals{EnergyJ: float64(len(j.App)), TimeS: 1, Committed: 42},
+			Residency: []float64{0.25, 0.75},
+		}, nil
+	}, &n
+}
+
+func TestKeyStability(t *testing.T) {
+	a, b := testJob(1), testJob(1)
+	if a.Key() != b.Key() {
+		t.Fatal("equal jobs hash differently")
+	}
+	b.Seed = 2
+	if a.Key() == b.Key() {
+		t.Fatal("different seeds share a key")
+	}
+	c := testJob(1)
+	c.SimVersion = "other"
+	if a.Key() == c.Key() {
+		t.Fatal("sim version not part of the key")
+	}
+	if a.Canonical() == "" || len(a.Key()) != 16 {
+		t.Fatalf("bad canonical/key %q/%q", a.Canonical(), a.Key())
+	}
+}
+
+func TestRunJobsDeterministicOrder(t *testing.T) {
+	run, n := countingRun()
+	o, err := New(Config{Workers: 8, Run: run})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	jobs := make([]Job, 32)
+	for i := range jobs {
+		jobs[i] = testJob(i)
+	}
+	res, err := o.RunJobs(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Totals.EnergyJ != float64(len(jobs[i].App)) {
+			t.Fatalf("result %d out of order: %v", i, r.Totals)
+		}
+	}
+	if *n != 32 {
+		t.Fatalf("executed %d times, want 32", *n)
+	}
+}
+
+func TestMemoDeduplicates(t *testing.T) {
+	run, n := countingRun()
+	o, err := New(Config{Workers: 4, Run: run})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	jobs := []Job{testJob(0), testJob(1), testJob(0), testJob(1), testJob(0)}
+	res, err := o.RunJobs(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *n != 2 {
+		t.Fatalf("executed %d times, want 2 (3 duplicates)", *n)
+	}
+	if res[0] != res[2] || res[0] != res[4] || res[1] != res[3] {
+		t.Fatal("duplicate jobs did not share a result pointer")
+	}
+	// A later batch reuses earlier results.
+	if _, err := o.RunJobs([]Job{testJob(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if *n != 2 {
+		t.Fatalf("cross-batch memo miss: %d executions", *n)
+	}
+	st := o.Stats()
+	if st.MemHits != 4 || st.Misses != 2 || st.Submissions != 6 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestErrorPropagatesAfterSettling(t *testing.T) {
+	o, err := New(Config{Workers: 2, Run: func(j Job) (*dvfs.Result, error) {
+		if j.App == "app1" {
+			return nil, fmt.Errorf("boom")
+		}
+		return &dvfs.Result{}, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	_, err = o.RunJobs([]Job{testJob(0), testJob(1), testJob(2)})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	st := o.Stats()
+	if st.Completed != 3 || st.Running != 0 {
+		t.Fatalf("jobs not settled: %+v", st)
+	}
+}
+
+func TestWorkerBoundRespected(t *testing.T) {
+	var cur, peak int64
+	o, err := New(Config{Workers: 3, Run: func(Job) (*dvfs.Result, error) {
+		c := atomic.AddInt64(&cur, 1)
+		for {
+			p := atomic.LoadInt64(&peak)
+			if c <= p || atomic.CompareAndSwapInt64(&peak, p, c) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		atomic.AddInt64(&cur, -1)
+		return &dvfs.Result{}, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	jobs := make([]Job, 24)
+	for i := range jobs {
+		jobs[i] = testJob(i)
+	}
+	if _, err := o.RunJobs(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if p := atomic.LoadInt64(&peak); p > 3 {
+		t.Fatalf("concurrency peaked at %d, bound 3", p)
+	}
+}
+
+func TestDiskCacheWarmRerun(t *testing.T) {
+	dir := t.TempDir()
+	run, n := countingRun()
+	jobs := make([]Job, 20)
+	for i := range jobs {
+		jobs[i] = testJob(i)
+	}
+
+	o, err := New(Config{Workers: 4, CacheDir: dir, Run: run})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := o.RunJobs(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if *n != 20 {
+		t.Fatalf("cold run executed %d, want 20", *n)
+	}
+
+	// Warm rerun in a fresh orchestrator: everything from disk.
+	o2, err := New(Config{Workers: 4, CacheDir: dir, Run: run})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o2.Close()
+	warm, err := o2.RunJobs(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *n != 20 {
+		t.Fatalf("warm run recomputed: %d executions", *n)
+	}
+	for i := range warm {
+		if warm[i].Totals != cold[i].Totals || warm[i].Policy != cold[i].Policy {
+			t.Fatalf("cached result %d differs: %+v vs %+v", i, warm[i], cold[i])
+		}
+		if len(warm[i].Residency) != len(cold[i].Residency) {
+			t.Fatalf("residency shape lost in round-trip")
+		}
+	}
+	m := o2.Manifest()
+	if m.DiskHits != 20 || m.Misses != 0 {
+		t.Fatalf("manifest hits %d/%d misses, want 20/0", m.DiskHits, m.Misses)
+	}
+	if rate := m.HitRate(); rate < 0.9 {
+		t.Fatalf("warm hit rate %.2f < 0.90", rate)
+	}
+
+	// A sim-version bump must miss every stale entry.
+	var n3 int64
+	o3, err := New(Config{Workers: 4, CacheDir: dir, Run: func(j Job) (*dvfs.Result, error) {
+		atomic.AddInt64(&n3, 1)
+		return &dvfs.Result{}, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o3.Close()
+	bumped := make([]Job, len(jobs))
+	copy(bumped, jobs)
+	for i := range bumped {
+		bumped[i].SimVersion = "pcstall-sim-v2-test"
+	}
+	if _, err := o3.RunJobs(bumped); err != nil {
+		t.Fatal(err)
+	}
+	if n3 != 20 {
+		t.Fatalf("stale cache served a bumped version: %d executions", n3)
+	}
+}
+
+func TestNoCacheSkipsDisk(t *testing.T) {
+	dir := t.TempDir()
+	run, _ := countingRun()
+	o, err := New(Config{Workers: 2, CacheDir: dir, NoCache: true, Run: run})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	if _, err := o.RunJobs([]Job{testJob(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := filepath.Glob(filepath.Join(dir, "*")); err != nil {
+		t.Fatal(err)
+	}
+	if files, _ := filepath.Glob(filepath.Join(dir, "*")); len(files) != 0 {
+		t.Fatalf("NoCache wrote files: %v", files)
+	}
+}
+
+func TestManifestShape(t *testing.T) {
+	dir := t.TempDir()
+	run, _ := countingRun()
+	o, err := New(Config{Workers: 2, CacheDir: dir, Run: run})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	if _, err := o.RunJobs([]Job{testJob(0), testJob(1), testJob(0)}); err != nil {
+		t.Fatal(err)
+	}
+	m := o.Manifest()
+	if m.UniqueJobs != 2 || m.Submissions != 3 || m.MemHits != 1 || m.Misses != 2 {
+		t.Fatalf("manifest accounting %+v", m)
+	}
+	if m.Workers != 2 || m.SimVersion != SimVersion || len(m.Jobs) != 2 {
+		t.Fatalf("manifest metadata %+v", m)
+	}
+	if m.Jobs[0].Key >= m.Jobs[1].Key {
+		t.Fatal("manifest jobs not sorted by key")
+	}
+	path := filepath.Join(dir, "manifest.json")
+	if err := o.WriteManifest(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	var calls int64
+	run, _ := countingRun()
+	o, err := New(Config{
+		Workers: 2, Run: run,
+		Progress:      func(Stats) { atomic.AddInt64(&calls, 1) },
+		ProgressEvery: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = testJob(i)
+	}
+	if _, err := o.RunJobs(jobs); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt64(&calls) == 0 {
+		t.Fatal("progress callback never fired")
+	}
+	s := o.Stats()
+	if s.String() == "" || s.Workers != 2 {
+		t.Fatalf("bad stats %+v", s)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("missing RunFunc accepted")
+	}
+	o, err := New(Config{Run: func(Job) (*dvfs.Result, error) { return nil, nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	if o.Stats().Workers < 1 {
+		t.Fatal("default workers < 1")
+	}
+}

@@ -2,6 +2,14 @@
 // formats (JSON Lines and CSV) so runs can be inspected, diffed, and
 // plotted outside the simulator. The dvfs runner emits one EpochEvent per
 // epoch when a Recorder is attached.
+//
+// Concurrency contract: runs may execute in parallel (the orchestrated
+// experiment sweeps), so the JSONL and CSV recorders serialize Epoch
+// calls with an internal mutex — each event is written atomically, and
+// sharing one recorder across concurrent runs is safe, though events
+// from different runs interleave. For per-run files, attach one recorder
+// per run instead. Custom Recorder implementations attached to parallel
+// runs must provide their own synchronization.
 package trace
 
 import (
@@ -10,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"sync"
 )
 
 // DomainEvent is one V/f domain's slice of an epoch.
@@ -39,13 +48,17 @@ type EpochEvent struct {
 }
 
 // Recorder receives epoch events during a run. Implementations must
-// tolerate being called once per epoch for the full run.
+// tolerate being called once per epoch for the full run, and must be
+// safe for concurrent use if attached to runs that execute in parallel
+// (the package-provided recorders are).
 type Recorder interface {
 	Epoch(e EpochEvent) error
 }
 
-// JSONL writes one JSON object per epoch per line.
+// JSONL writes one JSON object per epoch per line. Safe for concurrent
+// use: each event is encoded and written atomically under a mutex.
 type JSONL struct {
+	mu  sync.Mutex
 	enc *json.Encoder
 }
 
@@ -55,7 +68,11 @@ func NewJSONL(w io.Writer) *JSONL {
 }
 
 // Epoch implements Recorder.
-func (j *JSONL) Epoch(e EpochEvent) error { return j.enc.Encode(e) }
+func (j *JSONL) Epoch(e EpochEvent) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.enc.Encode(e)
+}
 
 // ReadJSONL decodes a JSON Lines trace back into events (for tooling and
 // tests).
@@ -73,8 +90,11 @@ func ReadJSONL(r io.Reader) ([]EpochEvent, error) {
 	}
 }
 
-// CSV writes a flat table: one row per (epoch, domain).
+// CSV writes a flat table: one row per (epoch, domain). Safe for
+// concurrent use: an epoch's rows are written and flushed atomically
+// under a mutex (rows of one event never interleave with another's).
 type CSV struct {
+	mu     sync.Mutex
 	w      *csv.Writer
 	header bool
 }
@@ -86,6 +106,8 @@ func NewCSV(w io.Writer) *CSV {
 
 // Epoch implements Recorder.
 func (c *CSV) Epoch(e EpochEvent) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if !c.header {
 		c.header = true
 		if err := c.w.Write([]string{

@@ -2,7 +2,9 @@ package trace
 
 import (
 	"bytes"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -86,5 +88,89 @@ func TestMultiFansOut(t *testing.T) {
 	}
 	if a.Len() == 0 || a.String() != b.String() {
 		t.Fatal("multi recorder did not fan out identically")
+	}
+}
+
+// TestJSONLConcurrentWriters asserts the documented contract: many runs
+// may share one recorder, every event lands intact on its own line.
+func TestJSONLConcurrentWriters(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewJSONL(&buf)
+	const writers, perWriter = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := rec.Epoch(EpochEvent{
+					Index:   w*perWriter + i,
+					StartPs: int64(i) * 1000,
+					EndPs:   int64(i+1) * 1000,
+					Domains: []DomainEvent{{Domain: w, FreqMHz: 1300}},
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("interleaved write corrupted the stream: %v", err)
+	}
+	if len(got) != writers*perWriter {
+		t.Fatalf("%d events, want %d", len(got), writers*perWriter)
+	}
+	seen := map[int]bool{}
+	for _, e := range got {
+		if seen[e.Index] {
+			t.Fatalf("event %d duplicated", e.Index)
+		}
+		seen[e.Index] = true
+		if len(e.Domains) != 1 {
+			t.Fatalf("event %d torn: %+v", e.Index, e)
+		}
+	}
+}
+
+// TestCSVConcurrentWriters asserts rows of one event never interleave
+// with another event's rows.
+func TestCSVConcurrentWriters(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewCSV(&buf)
+	const writers, perWriter, domains = 6, 25, 3
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				ev := EpochEvent{Index: w*perWriter + i}
+				for d := 0; d < domains; d++ {
+					ev.Domains = append(ev.Domains, DomainEvent{Domain: d, FreqMHz: 1300})
+				}
+				if err := rec.Epoch(ev); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+writers*perWriter*domains {
+		t.Fatalf("%d lines, want %d", len(lines), 1+writers*perWriter*domains)
+	}
+	// Each epoch's rows must be contiguous with domains in order 0..2.
+	for i := 1; i < len(lines); i += domains {
+		epoch := strings.Split(lines[i], ",")[0]
+		for d := 0; d < domains; d++ {
+			f := strings.Split(lines[i+d], ",")
+			if f[0] != epoch || f[3] != strconv.Itoa(d) {
+				t.Fatalf("rows interleaved at line %d: %q", i+d, lines[i+d])
+			}
+		}
 	}
 }

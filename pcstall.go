@@ -197,6 +197,15 @@ func NewCSVTrace(w io.Writer) trace.Recorder { return trace.NewCSV(w) }
 // Experiments exposes the paper-figure regeneration harness.
 type Experiments = exp.Suite
 
+// ExperimentsConfig configures the harness: the platform (CUs, Scale,
+// Seed, Apps) plus the orchestration knobs — Workers shards independent
+// simulation runs across a bounded pool (0 = NumCPU, 1 = serial; results
+// are byte-identical at any worker count), CacheDir persists results as
+// JSONL so reruns skip already-computed cells, and NoCache forces
+// recomputation. Call Experiments.Close when done to flush the cache,
+// and Experiments.WriteManifest for the campaign's audit record.
+type ExperimentsConfig = exp.Config
+
 // NewExperiments builds the harness; zero-value config selects the scaled
-// default platform (exp.DefaultConfig).
-func NewExperiments(cfg exp.Config) *Experiments { return exp.NewSuite(cfg) }
+// default platform (exp.DefaultConfig) with NumCPU parallel workers.
+func NewExperiments(cfg ExperimentsConfig) *Experiments { return exp.NewSuite(cfg) }

@@ -1,0 +1,31 @@
+#!/bin/sh
+# CI gate: formatting, vet, build, tests, and race coverage for the
+# packages that execute concurrently (orchestrate workers, parallel exp
+# sweeps, shared trace recorders). Run from the repo root:
+#
+#	./scripts/ci.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go build"
+go build ./...
+
+echo "==> go test"
+go test ./...
+
+echo "==> go test -race (concurrent packages)"
+go test -race ./internal/orchestrate ./internal/trace ./internal/exp
+
+echo "CI OK"
