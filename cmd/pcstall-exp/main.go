@@ -25,6 +25,8 @@ import (
 	"pcstall/internal/clock"
 	"pcstall/internal/exp"
 	"pcstall/internal/orchestrate"
+	"pcstall/internal/telemetry"
+	"pcstall/internal/version"
 )
 
 func main() {
@@ -41,7 +43,14 @@ func main() {
 	noCache := flag.Bool("no-cache", false, "ignore the disk cache: neither read nor write it")
 	manifest := flag.String("manifest", "", "run-manifest output path (default: <cache-dir>/manifest.json when -cache-dir is set)")
 	progress := flag.Bool("progress", false, "print a periodic orchestration progress line to stderr")
+	metricsAddr := flag.String("metrics-addr", "", "serve live campaign telemetry on this address: Prometheus text at /metrics, expvar at /debug/vars, profiles at /debug/pprof/")
+	showVersion := flag.Bool("version", false, "print the simulator version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
 
 	cfg.CUs = *cus
 	cfg.Scale = *scale
@@ -64,6 +73,17 @@ func main() {
 		cfg.Progress = func(st orchestrate.Stats) {
 			fmt.Fprintf(os.Stderr, "%s\n", st)
 		}
+	}
+	if *metricsAddr != "" {
+		reg := telemetry.New()
+		cfg.Metrics = reg
+		srv, addr, err := telemetry.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcstall-exp: metrics endpoint: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "pcstall-exp: serving metrics at http://%s/metrics (pprof at /debug/pprof/)\n", addr)
 	}
 	s := exp.NewSuite(cfg)
 	defer s.Close()

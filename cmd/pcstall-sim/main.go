@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -29,7 +30,14 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	verbose := flag.Bool("v", false, "print per-epoch records")
 	traceOut := flag.String("trace", "", "write a per-epoch trace to this file (.jsonl or .csv)")
+	stats := flag.Bool("stats", false, "print the run's telemetry summary (cycles, stalls, cache hits, prediction error)")
+	showVersion := flag.Bool("version", false, "print the simulator version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(pcstall.Version())
+		return
+	}
 
 	cfg := pcstall.DefaultConfig(*cus)
 	cfg.GPU.Domains.CUsPerDomain = *cusPerDomain
@@ -53,22 +61,44 @@ func main() {
 		fatalf("unknown objective %q (EDP, ED2P, PERF<pct>)", *objective)
 	}
 
+	var traceClose func() error
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		defer f.Close()
 		if strings.HasSuffix(*traceOut, ".csv") {
 			cfg.Trace = pcstall.NewCSVTrace(f)
 		} else {
 			cfg.Trace = pcstall.NewJSONLTrace(f)
 		}
+		traceClose = func() error {
+			// The recorder buffers; flush it before the file so a failed
+			// final flush is reported, not silently dropped.
+			if c, ok := cfg.Trace.(io.Closer); ok {
+				if err := c.Close(); err != nil {
+					f.Close()
+					return err
+				}
+			}
+			return f.Close()
+		}
+	}
+
+	var reg *pcstall.Metrics
+	if *stats {
+		reg = pcstall.NewMetrics()
+		cfg.Metrics = reg
 	}
 
 	res, err := pcstall.RunApp(*app, *design, cfg)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if traceClose != nil {
+		if err := traceClose(); err != nil {
+			fatalf("trace %s: %v", *traceOut, err)
+		}
 	}
 
 	fmt.Printf("app        %s\n", *app)
@@ -97,6 +127,12 @@ func main() {
 			fmt.Printf("epoch %4d  d0 f=%v pred=%.0f actual=%.0f energy=%.3guJ\n",
 				i, r.Freq[0], r.PredI[0], r.ActualI[0], r.EnergyJ*1e6)
 		}
+	}
+
+	if *stats {
+		fmt.Println()
+		fmt.Println("telemetry:")
+		reg.Snapshot().Fprint(os.Stdout)
 	}
 }
 

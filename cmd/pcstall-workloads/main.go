@@ -10,6 +10,7 @@ import (
 
 	"pcstall/internal/clock"
 	"pcstall/internal/sim"
+	"pcstall/internal/version"
 	"pcstall/internal/workload"
 )
 
@@ -18,7 +19,13 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload duration scale")
 	kernels := flag.Bool("kernels", false, "print per-kernel static mixes")
 	profile := flag.Bool("profile", false, "run each app briefly and print dynamic stats")
+	showVersion := flag.Bool("version", false, "print the simulator version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
 
 	gen := workload.DefaultGenConfig(*cus)
 	gen.Scale = *scale

@@ -8,6 +8,7 @@ import (
 	"pcstall/internal/oracle"
 	"pcstall/internal/predict"
 	"pcstall/internal/sim"
+	"pcstall/internal/telemetry"
 )
 
 // Context is everything a policy may consult at an epoch boundary.
@@ -28,6 +29,9 @@ type Context struct {
 	// instruction, in cycles (from the elapsed epoch); it bounds how
 	// many instructions a predicted curve may promise.
 	OccPerInstr []float64
+	// ObjEvals, when non-nil, counts objective Choose evaluations (one
+	// per domain decision); the runner wires it from RunConfig.Metrics.
+	ObjEvals *telemetry.Counter
 }
 
 // TruthNeed states whether a policy consumes oracle sampling.
@@ -84,6 +88,7 @@ func chooseAll(ctx *Context, obj Objective, pred [][]float64, choice []int) {
 			predE[s] = ctx.PredictE(d, states[s], pred[d][s])
 		}
 		choice[d] = obj.Choose(states, pred[d], predE)
+		ctx.ObjEvals.Inc()
 	}
 }
 
@@ -239,6 +244,9 @@ func (p *PCStall) table(ctx *Context, cu int) *predict.PCTable {
 	}
 	return p.tables[idx]
 }
+
+// Tables exposes the policy's PC-table instances for telemetry.
+func (p *PCStall) Tables() []*predict.PCTable { return p.tables }
 
 // HitRatio returns the average hit ratio across table instances.
 func (p *PCStall) HitRatio() float64 {
@@ -401,6 +409,9 @@ func (p *AccPC) table(ctx *Context, cu int) *predict.PCTable {
 	return p.tables[idx]
 }
 
+// Tables exposes the policy's PC-table instances for telemetry.
+func (p *AccPC) Tables() []*predict.PCTable { return p.tables }
+
 // Decide implements Policy.
 func (p *AccPC) Decide(ctx *Context, elapsed *sim.EpochSample, obj Objective, pred [][]float64, choice []int) {
 	grid := ctx.Grid
@@ -481,5 +492,6 @@ func (p *Oracle) Decide(ctx *Context, _ *sim.EpochSample, obj Objective, pred []
 		}
 		copy(pred[d], ctx.NextTruth.I[d])
 		choice[d] = obj.Choose(states, ctx.NextTruth.I[d], ctx.NextTruth.E[d])
+		ctx.ObjEvals.Inc()
 	}
 }

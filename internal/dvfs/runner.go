@@ -8,6 +8,7 @@ import (
 	"pcstall/internal/oracle"
 	"pcstall/internal/power"
 	"pcstall/internal/sim"
+	"pcstall/internal/telemetry"
 	"pcstall/internal/trace"
 )
 
@@ -41,6 +42,11 @@ type RunConfig struct {
 	// each domain carries a lumped-RC temperature that power feeds and
 	// leakage reads. Nil disables it (leakage at nominal temperature).
 	Thermal *power.Thermal
+	// Metrics, when non-nil, receives run telemetry (epoch counters,
+	// stall accounting, prediction error, oracle fork costs — see
+	// internal/telemetry). Recording never alters run results; with a
+	// nil registry the instrumentation reduces to per-epoch nil checks.
+	Metrics *telemetry.Registry
 }
 
 // EpochRecord is one epoch's outcome (kept when RunConfig.Record is set).
@@ -130,6 +136,11 @@ func Run(g *sim.GPU, pol Policy, cfg RunConfig) (Result, error) {
 		},
 	}
 
+	tm := newRunTelemetry(cfg.Metrics)
+	if tm != nil {
+		ctx.ObjEvals = tm.objEvals
+	}
+
 	var sampler *oracle.Sampler
 	if pol.Truth() != NoTruth {
 		sampler = &oracle.Sampler{
@@ -137,6 +148,9 @@ func Run(g *sim.GPU, pol Policy, cfg RunConfig) (Result, error) {
 			PM:        cfg.PM,
 			CollectWF: pol.Truth() == WFTruth,
 			Samples:   cfg.OracleSamples,
+		}
+		if tm != nil {
+			sampler.Metrics = tm.oracleBundle
 		}
 	}
 
@@ -192,6 +206,7 @@ func Run(g *sim.GPU, pol Policy, cfg RunConfig) (Result, error) {
 		}
 		g.CollectEpoch(&sampleBuf)
 		elapsed = &sampleBuf
+		tm.recordEpoch(&sampleBuf)
 		dur := sampleBuf.End - sampleBuf.Start
 		partial := g.Finished && dur < cfg.Epoch && cfg.InstrWindow == 0
 		if cfg.InstrWindow > 0 {
@@ -244,9 +259,11 @@ func Run(g *sim.GPU, pol Policy, cfg RunConfig) (Result, error) {
 			domTime += float64(dur)
 			// Idle domains (no work and none predicted) are excluded:
 			// a trivially correct 0≈0 would dilute the metric.
-			if pol.Predicts() && res.Epochs > 0 && !partial &&
-				(committed > 0 || pred[d][choice[d]] >= 1) {
-				acc.Add(metrics.PredAccuracy(pred[d][choice[d]], float64(committed)))
+			if pol.Predicts() && res.Epochs > 0 && !partial {
+				if committed > 0 || pred[d][choice[d]] >= 1 {
+					acc.Add(metrics.PredAccuracy(pred[d][choice[d]], float64(committed)))
+				}
+				tm.recordPrediction(pred[d][choice[d]], float64(committed))
 			}
 			if rec != nil {
 				rec.Freq[d] = grid.State(choice[d])
@@ -287,6 +304,7 @@ func Run(g *sim.GPU, pol Policy, cfg RunConfig) (Result, error) {
 	res.Accuracy = acc.Mean
 	res.AccuracyN = acc.N
 	res.FinalTempC = temps
+	tm.recordRunEnd(g, pol, res.Transitions)
 	if domTime > 0 {
 		for i := range res.Residency {
 			res.Residency[i] /= domTime

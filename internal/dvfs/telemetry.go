@@ -1,0 +1,114 @@
+package dvfs
+
+import (
+	"pcstall/internal/oracle"
+	"pcstall/internal/predict"
+	"pcstall/internal/sim"
+	"pcstall/internal/telemetry"
+)
+
+// runTelemetry is the runner's metric bundle: controller-level counters
+// (epochs, transitions, objective evaluations), prediction-quality
+// instrumentation (mispredict magnitude and direction), and the nested
+// sim/predict/oracle bundles. Built once per run when RunConfig.Metrics
+// is set; every method is nil-receiver-safe so the uninstrumented path
+// costs one nil check per epoch.
+type runTelemetry struct {
+	sim     *sim.Telemetry
+	predict *predict.Telemetry
+
+	runs        *telemetry.Counter
+	epochs      *telemetry.Counter
+	transitions *telemetry.Counter
+	objEvals    *telemetry.Counter
+
+	predOver     *telemetry.Counter
+	predUnder    *telemetry.Counter
+	mispredMag   *telemetry.Histogram
+	epochSpanPs  *telemetry.Histogram
+	oracleBundle *oracle.Telemetry
+}
+
+// newRunTelemetry builds the bundle on r (nil r yields nil).
+func newRunTelemetry(r *telemetry.Registry) *runTelemetry {
+	if r == nil {
+		return nil
+	}
+	return &runTelemetry{
+		sim:          sim.NewTelemetry(r),
+		predict:      predict.NewTelemetry(r),
+		runs:         r.Counter("dvfs_runs_total", "completed application runs"),
+		epochs:       r.Counter("dvfs_epochs_total", "DVFS control epochs executed"),
+		transitions:  r.Counter("dvfs_transitions_total", "V/f transitions applied across domains"),
+		objEvals:     r.Counter("dvfs_objective_evals_total", "objective Choose evaluations (one per domain decision)"),
+		predOver:     r.Counter("predict_over_total", "domain-epochs where the prediction exceeded reality"),
+		predUnder:    r.Counter("predict_under_total", "domain-epochs where the prediction fell short of reality"),
+		mispredMag:   r.Histogram("predict_mispredict_rel_error", "relative mispredict magnitude |pred-actual|/max(actual,1) per domain-epoch", telemetry.RatioBuckets),
+		epochSpanPs:  r.Histogram("dvfs_epoch_span_ps", "realized epoch spans, picoseconds", epochSpanBuckets),
+		oracleBundle: oracle.NewTelemetry(r),
+	}
+}
+
+// epochSpanBuckets cover 0.1µs .. 1ms in picoseconds.
+var epochSpanBuckets = []float64{
+	1e5, 2.5e5, 5e5, 1e6, 2.5e6, 5e6, 1e7, 2.5e7, 5e7, 1e8, 2.5e8, 5e8, 1e9,
+}
+
+// recordEpoch folds one executed epoch into the bundle.
+func (m *runTelemetry) recordEpoch(es *sim.EpochSample) {
+	if m == nil {
+		return
+	}
+	m.epochs.Inc()
+	m.epochSpanPs.Observe(float64(es.End - es.Start))
+	m.sim.RecordEpoch(es)
+}
+
+// recordPrediction scores one domain-epoch's prediction. Idle
+// domain-epochs (nothing committed, nothing predicted) are skipped, the
+// same exclusion the accuracy metric applies.
+func (m *runTelemetry) recordPrediction(pred, actual float64) {
+	if m == nil {
+		return
+	}
+	if actual <= 0 && pred < 1 {
+		return
+	}
+	den := actual
+	if den < 1 {
+		den = 1
+	}
+	switch {
+	case pred > actual:
+		m.predOver.Inc()
+	case pred < actual:
+		m.predUnder.Inc()
+	}
+	diff := pred - actual
+	if diff < 0 {
+		diff = -diff
+	}
+	m.mispredMag.Observe(diff / den)
+}
+
+// pcTabler is implemented by policies built on PC-indexed tables.
+type pcTabler interface {
+	Tables() []*predict.PCTable
+}
+
+// recordRunEnd folds run-cumulative state into the bundle: transition
+// counts, the L2's lifetime stats, and — for PC-table policies — the
+// tables' lifetime hit/eviction accounting.
+func (m *runTelemetry) recordRunEnd(g *sim.GPU, pol Policy, transitions int64) {
+	if m == nil {
+		return
+	}
+	m.runs.Inc()
+	m.transitions.Add(transitions)
+	m.sim.RecordRunEnd(g)
+	if pt, ok := pol.(pcTabler); ok {
+		for _, t := range pt.Tables() {
+			m.predict.RecordTable(t)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package dvfs_test
+
+import (
+	"testing"
+
+	"pcstall/internal/clock"
+	"pcstall/internal/core"
+	"pcstall/internal/dvfs"
+	"pcstall/internal/power"
+	"pcstall/internal/sim"
+	"pcstall/internal/telemetry"
+	"pcstall/internal/workload"
+)
+
+// benchRun executes one comd/PCSTALL run — the telemetry-overhead probe
+// workload shared by BENCH_telemetry.json's before/after entries.
+func benchRun(b *testing.B, cfg dvfs.RunConfig) {
+	b.Helper()
+	simCfg := sim.DefaultConfig(4)
+	gen := workload.DefaultGenConfig(4)
+	gen.Scale = 0.25
+	app := workload.MustBuild("comd", gen)
+	d, err := core.DesignByName("PCSTALL")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pm := power.DefaultModelFor(4)
+	cfg.Epoch = clock.Microsecond
+	cfg.Obj = dvfs.ED2P
+	cfg.PM = &pm
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, err := sim.New(simCfg, app.Kernels, app.Launches)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dvfs.Run(g, d.New(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunTelemetryOff measures the instrumented runner with no
+// registry attached — the path that must stay within 2% of the
+// pre-telemetry baseline.
+func BenchmarkRunTelemetryOff(b *testing.B) {
+	benchRun(b, dvfs.RunConfig{})
+}
+
+// BenchmarkRunTelemetryOn measures the same run with a live registry
+// (the per-epoch fold plus run-end accounting).
+func BenchmarkRunTelemetryOn(b *testing.B) {
+	benchRun(b, dvfs.RunConfig{Metrics: telemetry.New()})
+}

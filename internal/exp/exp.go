@@ -24,6 +24,7 @@ import (
 	"pcstall/internal/orchestrate"
 	"pcstall/internal/power"
 	"pcstall/internal/sim"
+	"pcstall/internal/telemetry"
 	"pcstall/internal/workload"
 )
 
@@ -58,6 +59,11 @@ type Config struct {
 	Progress func(orchestrate.Stats)
 	// ProgressEvery sets the snapshot period (default 2s).
 	ProgressEvery time.Duration
+	// Metrics, when non-nil, turns on campaign telemetry (see
+	// internal/telemetry): live orchestration counters land here, each
+	// job's private snapshot is merged in when it settles, and manifests
+	// carry per-job metric snapshots. Recording never alters results.
+	Metrics *telemetry.Registry
 }
 
 // DefaultConfig returns the default scaled platform.
@@ -169,6 +175,7 @@ func NewSuite(cfg Config) *Suite {
 		d := DefaultConfig()
 		d.Workers, d.CacheDir, d.NoCache = cfg.Workers, cfg.CacheDir, cfg.NoCache
 		d.Progress, d.ProgressEvery = cfg.Progress, cfg.ProgressEvery
+		d.Metrics = cfg.Metrics
 		cfg = d
 	}
 	if len(cfg.Apps) == 0 {
@@ -195,6 +202,7 @@ func NewSuite(cfg Config) *Suite {
 		Run:           s.execJob,
 		Progress:      cfg.Progress,
 		ProgressEvery: cfg.ProgressEvery,
+		Metrics:       cfg.Metrics,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("exp: orchestrator: %v", err))
@@ -286,8 +294,10 @@ func (s *Suite) prefetch(cells []cell) {
 }
 
 // execJob is the orchestrator's RunFunc: a pure function of the job
-// (plus the read-only power model), safe on any worker goroutine.
-func (s *Suite) execJob(j orchestrate.Job) (*dvfs.Result, error) {
+// (plus the read-only power model), safe on any worker goroutine. reg
+// is the job's private telemetry sink (nil when telemetry is off);
+// recording into it never changes the result.
+func (s *Suite) execJob(j orchestrate.Job, reg *telemetry.Registry) (*dvfs.Result, error) {
 	d, err := core.DesignByName(j.Design)
 	if err != nil {
 		return nil, err
@@ -317,6 +327,7 @@ func (s *Suite) execJob(j orchestrate.Job) (*dvfs.Result, error) {
 		PM:            &s.PM,
 		MaxTime:       clock.Time(j.MaxTimePs),
 		OracleSamples: j.OracleSamples,
+		Metrics:       reg,
 	})
 	if err != nil {
 		return nil, err

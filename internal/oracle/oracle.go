@@ -18,7 +18,34 @@ import (
 	"pcstall/internal/metrics"
 	"pcstall/internal/power"
 	"pcstall/internal/sim"
+	"pcstall/internal/telemetry"
 )
+
+// Telemetry is the sampler's metric bundle: how many simulator forks the
+// fork-pre-execute methodology spawned and how much simulated time those
+// forks pre-executed — the oracle's methodological cost (§5.1). A nil
+// *Telemetry ignores recording.
+type Telemetry struct {
+	// Forks counts cloned simulators (one per sample).
+	Forks *telemetry.Counter
+	// PreExecPs counts simulated picoseconds executed inside forks.
+	PreExecPs *telemetry.Counter
+	// Interpolated counts (domain, state) cells filled by interpolation
+	// rather than direct sampling (sample-count ablations).
+	Interpolated *telemetry.Counter
+}
+
+// NewTelemetry builds the bundle on r (nil r yields nil).
+func NewTelemetry(r *telemetry.Registry) *Telemetry {
+	if r == nil {
+		return nil
+	}
+	return &Telemetry{
+		Forks:        r.Counter("oracle_forks_total", "simulator clones forked for pre-execution sampling"),
+		PreExecPs:    r.Counter("oracle_preexec_ps_total", "simulated time pre-executed inside oracle forks, picoseconds"),
+		Interpolated: r.Counter("oracle_interpolated_cells_total", "truth cells filled by interpolation instead of sampling"),
+	}
+}
 
 // WFTruth is one wavefront's sampled behaviour across all V/f states.
 type WFTruth struct {
@@ -86,6 +113,8 @@ type Sampler struct {
 	// some (domain, state) cells estimated by linear interpolation —
 	// used by the sample-count ablation.
 	Samples int
+	// Metrics, when non-nil, receives fork/pre-execute accounting.
+	Metrics *Telemetry
 
 	scratch sim.EpochSample
 }
@@ -136,6 +165,10 @@ func (s *Sampler) SampleNext(g *sim.GPU, epoch clock.Time) *Truth {
 		c.CollectEpoch(&s.scratch)
 		es := &s.scratch
 		dur := es.End - es.Start
+		if s.Metrics != nil {
+			s.Metrics.Forks.Inc()
+			s.Metrics.PreExecPs.Add(int64(dur))
+		}
 		for d := 0; d < nd; d++ {
 			st := (d + smp) % k
 			var committed, issue int64
@@ -154,6 +187,9 @@ func (s *Sampler) SampleNext(g *sim.GPU, epoch clock.Time) *Truth {
 		}
 	}
 	if nSamples < k {
+		if s.Metrics != nil {
+			s.Metrics.Interpolated.Add(int64(nd * (k - nSamples)))
+		}
 		interpolate(t, filled)
 	}
 	return t

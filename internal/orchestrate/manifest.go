@@ -6,6 +6,8 @@ import (
 	"os"
 	"sort"
 	"time"
+
+	"pcstall/internal/telemetry"
 )
 
 // ManifestEntry records one unique job of a campaign: its content
@@ -20,6 +22,10 @@ type ManifestEntry struct {
 	Source string `json:"source"`
 	// DurationMS is the job's wall-clock compute time (0 when cached).
 	DurationMS float64 `json:"duration_ms"`
+	// Metrics is the job's private telemetry snapshot (simulation
+	// counters, prediction error, oracle fork costs), present only for
+	// computed jobs in campaigns with Config.Metrics attached.
+	Metrics *telemetry.Snapshot `json:"metrics,omitempty"`
 }
 
 // Manifest is the auditable record of one campaign (one Orchestrator
@@ -46,6 +52,10 @@ type Manifest struct {
 	WallMS    float64 `json:"wall_ms"`
 	// Jobs lists unique jobs sorted by key for stable diffs.
 	Jobs []ManifestEntry `json:"jobs"`
+	// Metrics is the campaign-global registry snapshot at manifest time
+	// (merged per-job snapshots plus live pool metrics), present when
+	// the orchestrator was built with Config.Metrics.
+	Metrics *telemetry.Snapshot `json:"metrics,omitempty"`
 }
 
 // HitRate returns the fraction of submissions answered by either cache
@@ -76,6 +86,10 @@ func (o *Orchestrator) Manifest() *Manifest {
 		Jobs:        append([]ManifestEntry(nil), o.entries...),
 	}
 	sort.Slice(m.Jobs, func(a, b int) bool { return m.Jobs[a].Key < m.Jobs[b].Key })
+	if o.tele != nil {
+		snap := o.tele.reg.Snapshot()
+		m.Metrics = &snap
+	}
 	return m
 }
 

@@ -7,13 +7,17 @@ import (
 	"time"
 
 	"pcstall/internal/dvfs"
+	"pcstall/internal/telemetry"
 )
 
 // RunFunc computes one job. It must be a pure function of the Job (given
 // a fixed simulator version): the orchestrator calls it from worker
 // goroutines and caches what it returns. It must not retain or mutate
-// shared state.
-type RunFunc func(Job) (*dvfs.Result, error)
+// shared state. The registry is the job's private telemetry sink (nil
+// when Config.Metrics is unset); executors thread it into the run so
+// per-job metric snapshots land on the manifest — recording into it must
+// never change the returned result.
+type RunFunc func(Job, *telemetry.Registry) (*dvfs.Result, error)
 
 // Config shapes an Orchestrator.
 type Config struct {
@@ -35,6 +39,12 @@ type Config struct {
 	// on Close.
 	Progress      func(Stats)
 	ProgressEvery time.Duration
+	// Metrics, when non-nil, turns on campaign telemetry: live pool
+	// counters/gauges and phase spans are recorded here, each executed
+	// job gets a private child registry whose snapshot is merged in on
+	// settle and attached to the job's manifest entry. Nil disables all
+	// of it (jobs then run with a nil registry).
+	Metrics *telemetry.Registry
 }
 
 // Stats is a point-in-time snapshot of campaign progress.
@@ -78,6 +88,7 @@ type Orchestrator struct {
 	cache   *Cache
 	sem     chan struct{}
 	created time.Time
+	tele    *orchTelemetry
 
 	mu          sync.Mutex
 	memo        map[string]*future
@@ -113,6 +124,7 @@ func New(cfg Config) (*Orchestrator, error) {
 		sem:     make(chan struct{}, w),
 		created: time.Now(),
 		memo:    map[string]*future{},
+		tele:    newOrchTelemetry(cfg.Metrics),
 	}
 	if cfg.CacheDir != "" && !cfg.NoCache {
 		c, err := OpenCache(cfg.CacheDir)
@@ -199,10 +211,14 @@ func (o *Orchestrator) submit(j Job) *future {
 	if f, ok := o.memo[key]; ok {
 		o.memHits++
 		o.mu.Unlock()
+		if o.tele != nil {
+			o.tele.memHits.Inc()
+		}
 		return f
 	}
 	f := &future{done: make(chan struct{})}
 	o.memo[key] = f
+	o.updateGauges()
 	o.mu.Unlock()
 	go o.exec(j, key, f)
 	return f
@@ -212,39 +228,83 @@ func (o *Orchestrator) submit(j Job) *future {
 func (o *Orchestrator) exec(j Job, key string, f *future) {
 	defer close(f.done)
 	if o.cache != nil {
-		if r, ok := o.cache.Get(key); ok {
+		var getSpan telemetry.Span
+		if o.tele != nil {
+			getSpan = telemetry.StartSpan(o.tele.cacheGet)
+		}
+		r, ok := o.cache.Get(key)
+		getSpan.End()
+		if ok {
 			f.res = r
 			o.mu.Lock()
 			o.diskHits++
 			o.completed++
 			o.entries = append(o.entries, ManifestEntry{Key: key, Job: j, Source: "disk"})
+			o.updateGauges()
 			o.mu.Unlock()
+			if o.tele != nil {
+				o.tele.diskHits.Inc()
+				o.tele.jobsCompleted.Inc()
+			}
 			return
 		}
 	}
+	var queueSpan telemetry.Span
+	if o.tele != nil {
+		queueSpan = telemetry.StartSpan(o.tele.queueWait)
+	}
 	o.sem <- struct{}{}
+	queueSpan.End()
 	o.mu.Lock()
 	o.running++
+	o.updateGauges()
 	o.mu.Unlock()
+	// Each executed job records into a private registry so parallel jobs
+	// never confound each other's snapshots; the snapshot is merged into
+	// the campaign registry once the job settles.
+	var jobReg *telemetry.Registry
+	var runSpan telemetry.Span
+	if o.tele != nil {
+		jobReg = telemetry.New()
+		runSpan = telemetry.StartSpan(o.tele.runPhase)
+	}
 	start := time.Now()
-	r, err := o.run(j)
+	r, err := o.run(j, jobReg)
 	dur := time.Since(start)
+	runSpan.End()
 	<-o.sem
 	if err == nil && o.cache != nil {
+		var putSpan telemetry.Span
+		if o.tele != nil {
+			putSpan = telemetry.StartSpan(o.tele.cachePut)
+		}
 		if perr := o.cache.Put(key, j, r); perr != nil {
 			err = perr
 		}
+		putSpan.End()
 	}
 	f.res, f.err = r, err
+	entry := ManifestEntry{
+		Key: key, Job: j, Source: "run",
+		DurationMS: float64(dur) / float64(time.Millisecond),
+	}
+	if o.tele != nil {
+		snap := jobReg.Snapshot()
+		o.tele.reg.Merge(snap)
+		entry.Metrics = &snap
+		o.tele.misses.Inc()
+		o.tele.jobsCompleted.Inc()
+		if err != nil {
+			o.tele.errors.Inc()
+		}
+	}
 	o.mu.Lock()
 	o.running--
 	o.completed++
 	o.misses++
 	o.jobTime += dur
-	o.entries = append(o.entries, ManifestEntry{
-		Key: key, Job: j, Source: "run",
-		DurationMS: float64(dur) / float64(time.Millisecond),
-	})
+	o.entries = append(o.entries, entry)
+	o.updateGauges()
 	o.mu.Unlock()
 }
 

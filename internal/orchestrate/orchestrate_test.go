@@ -9,6 +9,7 @@ import (
 
 	"pcstall/internal/dvfs"
 	"pcstall/internal/metrics"
+	"pcstall/internal/telemetry"
 )
 
 // testJob builds a distinct job per index.
@@ -24,8 +25,9 @@ func testJob(i int) Job {
 // job's identity, plus the number of real executions.
 func countingRun() (RunFunc, *int64) {
 	var n int64
-	return func(j Job) (*dvfs.Result, error) {
+	return func(j Job, reg *telemetry.Registry) (*dvfs.Result, error) {
 		atomic.AddInt64(&n, 1)
+		reg.Counter("test_runs_total", "runs executed by the fake").Inc()
 		return &dvfs.Result{
 			Policy:    j.Design,
 			Objective: j.Objective,
@@ -111,7 +113,7 @@ func TestMemoDeduplicates(t *testing.T) {
 }
 
 func TestErrorPropagatesAfterSettling(t *testing.T) {
-	o, err := New(Config{Workers: 2, Run: func(j Job) (*dvfs.Result, error) {
+	o, err := New(Config{Workers: 2, Run: func(j Job, _ *telemetry.Registry) (*dvfs.Result, error) {
 		if j.App == "app1" {
 			return nil, fmt.Errorf("boom")
 		}
@@ -133,7 +135,7 @@ func TestErrorPropagatesAfterSettling(t *testing.T) {
 
 func TestWorkerBoundRespected(t *testing.T) {
 	var cur, peak int64
-	o, err := New(Config{Workers: 3, Run: func(Job) (*dvfs.Result, error) {
+	o, err := New(Config{Workers: 3, Run: func(Job, *telemetry.Registry) (*dvfs.Result, error) {
 		c := atomic.AddInt64(&cur, 1)
 		for {
 			p := atomic.LoadInt64(&peak)
@@ -215,7 +217,7 @@ func TestDiskCacheWarmRerun(t *testing.T) {
 
 	// A sim-version bump must miss every stale entry.
 	var n3 int64
-	o3, err := New(Config{Workers: 4, CacheDir: dir, Run: func(j Job) (*dvfs.Result, error) {
+	o3, err := New(Config{Workers: 4, CacheDir: dir, Run: func(j Job, _ *telemetry.Registry) (*dvfs.Result, error) {
 		atomic.AddInt64(&n3, 1)
 		return &dvfs.Result{}, nil
 	}})
@@ -317,7 +319,7 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Fatal("missing RunFunc accepted")
 	}
-	o, err := New(Config{Run: func(Job) (*dvfs.Result, error) { return nil, nil }})
+	o, err := New(Config{Run: func(Job, *telemetry.Registry) (*dvfs.Result, error) { return nil, nil }})
 	if err != nil {
 		t.Fatal(err)
 	}

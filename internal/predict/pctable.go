@@ -56,8 +56,9 @@ type PCTable struct {
 	est   []estimate.WFEstimate
 	valid []bool
 
-	lookups int64
-	hits    int64
+	lookups   int64
+	hits      int64
+	evictions int64
 }
 
 // NewPCTable builds a table.
@@ -89,6 +90,9 @@ func (t *PCTable) Update(pc uint64, e estimate.WFEstimate) {
 		t.est[i].Slope = a*e.Slope + (1-a)*t.est[i].Slope
 		return
 	}
+	if t.valid[i] {
+		t.evictions++
+	}
 	t.tags[i] = key
 	t.est[i] = e
 	t.valid[i] = true
@@ -118,12 +122,19 @@ func (t *PCTable) HitRatio() float64 {
 // Lookups returns the lifetime lookup count.
 func (t *PCTable) Lookups() int64 { return t.lookups }
 
+// Hits returns the lifetime lookup hit count.
+func (t *PCTable) Hits() int64 { return t.hits }
+
+// Evictions returns how many valid entries were displaced by a
+// different key (conflict evictions; capacity pressure signal).
+func (t *PCTable) Evictions() int64 { return t.evictions }
+
 // Reset invalidates all entries (used at application boundaries).
 func (t *PCTable) Reset() {
 	for i := range t.valid {
 		t.valid[i] = false
 	}
-	t.lookups, t.hits = 0, 0
+	t.lookups, t.hits, t.evictions = 0, 0, 0
 }
 
 // InstrSpan returns how many instructions the table covers end to end

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"pcstall/internal/estimate"
+	"pcstall/internal/telemetry"
 	"pcstall/internal/xrand"
 )
 
@@ -190,4 +191,48 @@ func TestHighHitRatioOnLoopedPCs(t *testing.T) {
 	if tb.HitRatio() < 0.85 {
 		t.Fatalf("hit ratio %.3f too low for a %d-instruction loop", tb.HitRatio(), loopInstrs)
 	}
+}
+
+func TestEvictionAccounting(t *testing.T) {
+	cfg := PCTableConfig{Entries: 16, OffsetBits: 4, Alpha: 1}
+	tb := NewPCTable(cfg)
+	tb.Update(0x0000, estimate.WFEstimate{IRef: 1})
+	if tb.Evictions() != 0 {
+		t.Fatalf("first fill counted as eviction: %d", tb.Evictions())
+	}
+	// Same window again: blend, not an eviction.
+	tb.Update(0x0004, estimate.WFEstimate{IRef: 2})
+	if tb.Evictions() != 0 {
+		t.Fatalf("in-place update counted as eviction: %d", tb.Evictions())
+	}
+	// Aliasing key (16 entries * 16 bytes apart) displaces the entry.
+	tb.Update(0x0100, estimate.WFEstimate{IRef: 3})
+	if tb.Evictions() != 1 {
+		t.Fatalf("conflict eviction not counted: %d", tb.Evictions())
+	}
+	tb.Reset()
+	if tb.Evictions() != 0 {
+		t.Fatal("eviction count survived reset")
+	}
+}
+
+func TestTelemetryRecordTable(t *testing.T) {
+	reg := telemetry.New()
+	m := NewTelemetry(reg)
+	tb := NewPCTable(PCTableConfig{Entries: 16, OffsetBits: 4, Alpha: 1})
+	tb.Update(0x0000, estimate.WFEstimate{IRef: 1})
+	tb.Update(0x0100, estimate.WFEstimate{IRef: 2}) // evicts
+	tb.Lookup(0x0100)                               // hit
+	tb.Lookup(0x0000)                               // miss
+	m.RecordTable(tb)
+	s := reg.Snapshot()
+	if s.Counters["predict_pc_table_lookups_total"] != 2 ||
+		s.Counters["predict_pc_table_hits_total"] != 1 ||
+		s.Counters["predict_pc_table_evictions_total"] != 1 {
+		t.Fatalf("recorded counts %+v", s.Counters)
+	}
+	// Nil bundle and nil table are inert.
+	var nilM *Telemetry
+	nilM.RecordTable(tb)
+	m.RecordTable(nil)
 }

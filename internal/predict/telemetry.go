@@ -1,0 +1,35 @@
+package predict
+
+import "pcstall/internal/telemetry"
+
+// Telemetry is the predictor's metric bundle. Tables count lookups,
+// hits, and evictions internally with plain int64s (the lookup path is
+// hot); RecordTable folds the lifetime totals into the registry once per
+// run, so table instrumentation costs nothing during the run itself.
+type Telemetry struct {
+	Lookups   *telemetry.Counter
+	Hits      *telemetry.Counter
+	Evictions *telemetry.Counter
+}
+
+// NewTelemetry builds the bundle on r (nil r yields nil).
+func NewTelemetry(r *telemetry.Registry) *Telemetry {
+	if r == nil {
+		return nil
+	}
+	return &Telemetry{
+		Lookups:   r.Counter("predict_pc_table_lookups_total", "PC-table lookups"),
+		Hits:      r.Counter("predict_pc_table_hits_total", "PC-table lookup hits"),
+		Evictions: r.Counter("predict_pc_table_evictions_total", "PC-table conflict evictions"),
+	}
+}
+
+// RecordTable folds one table's lifetime counts into the bundle.
+func (m *Telemetry) RecordTable(t *PCTable) {
+	if m == nil || t == nil {
+		return
+	}
+	m.Lookups.Add(t.Lookups())
+	m.Hits.Add(t.Hits())
+	m.Evictions.Add(t.Evictions())
+}

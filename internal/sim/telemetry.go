@@ -1,0 +1,95 @@
+package sim
+
+import "pcstall/internal/telemetry"
+
+// Telemetry is the simulator's metric bundle. The hot event loop never
+// touches it: per-epoch counters already accumulate in CUCounters, and
+// RecordEpoch folds each collected EpochSample into the registry at the
+// epoch boundary, so instrumentation cost is O(CUs) per epoch when a
+// registry is attached and a nil check when not. A nil *Telemetry
+// ignores all recording.
+type Telemetry struct {
+	// SimulatedPs counts simulated picoseconds (epoch spans).
+	SimulatedPs *telemetry.Counter
+	// Cycles counts domain-cycles actually clocked (epoch span × the
+	// frequency each domain ran).
+	Cycles *telemetry.Counter
+	// Committed and IssueSlots mirror the CUCounters work signals.
+	Committed  *telemetry.Counter
+	IssueSlots *telemetry.Counter
+	// Wavefront stall time by cause (§3.2 stall accounting).
+	StallMemPs     *telemetry.Counter
+	StallStorePs   *telemetry.Counter
+	StallBarrierPs *telemetry.Counter
+	// Cache probe outcomes.
+	L1Hits   *telemetry.Counter
+	L1Misses *telemetry.Counter
+	L2Hits   *telemetry.Counter
+	L2Misses *telemetry.Counter
+}
+
+// NewTelemetry builds the bundle on r (nil r yields nil, the disabled
+// bundle).
+func NewTelemetry(r *telemetry.Registry) *Telemetry {
+	if r == nil {
+		return nil
+	}
+	return &Telemetry{
+		SimulatedPs:    r.Counter("sim_simulated_ps_total", "simulated time covered by collected epochs, picoseconds"),
+		Cycles:         r.Counter("sim_domain_cycles_total", "domain-cycles clocked across all V/f domains"),
+		Committed:      r.Counter("sim_instructions_committed_total", "instructions committed by all wavefronts"),
+		IssueSlots:     r.Counter("sim_issue_slots_total", "SIMD issue events"),
+		StallMemPs:     r.Counter("sim_stall_mem_ps_total", "CU time stalled on s_waitcnt memory waits, picoseconds"),
+		StallStorePs:   r.Counter("sim_stall_store_ps_total", "portion of memory stall waiting on outstanding stores, picoseconds"),
+		StallBarrierPs: r.Counter("sim_stall_barrier_ps_total", "CU time stalled on workgroup barriers only, picoseconds"),
+		L1Hits:         r.Counter("sim_l1_hits_total", "vector L1 probe hits"),
+		L1Misses:       r.Counter("sim_l1_misses_total", "vector L1 probe misses"),
+		L2Hits:         r.Counter("sim_l2_hits_total", "shared L2 probe hits"),
+		L2Misses:       r.Counter("sim_l2_misses_total", "shared L2 probe misses"),
+	}
+}
+
+// RecordEpoch folds one collected epoch sample into the bundle.
+func (m *Telemetry) RecordEpoch(es *EpochSample) {
+	if m == nil {
+		return
+	}
+	dur := int64(es.End - es.Start)
+	m.SimulatedPs.Add(dur)
+	var cycles int64
+	for _, f := range es.Freqs {
+		// dur ps × f MHz = dur×f×1e-6 cycles.
+		cycles += dur * int64(f) / 1e6
+	}
+	m.Cycles.Add(cycles)
+	var committed, issue, mem, store, barrier, l1h, l1m int64
+	for i := range es.CUs {
+		c := &es.CUs[i].C
+		committed += c.Committed
+		issue += c.IssueSlots
+		mem += c.MemBlockedPs
+		store += c.StoreStallPs
+		barrier += c.BarrierOnlyPs
+		l1h += c.L1Hits
+		l1m += c.L1Misses
+	}
+	m.Committed.Add(committed)
+	m.IssueSlots.Add(issue)
+	m.StallMemPs.Add(mem)
+	m.StallStorePs.Add(store)
+	m.StallBarrierPs.Add(barrier)
+	m.L1Hits.Add(l1h)
+	m.L1Misses.Add(l1m)
+}
+
+// RecordRunEnd folds run-cumulative state (the shared L2's lifetime
+// probe outcomes) into the bundle. Call once, after the run's final
+// epoch, on a GPU that was freshly constructed for the run.
+func (m *Telemetry) RecordRunEnd(g *GPU) {
+	if m == nil {
+		return
+	}
+	st := g.Msys.Stats()
+	m.L2Hits.Add(st.L2Hits)
+	m.L2Misses.Add(st.L2Misses)
+}

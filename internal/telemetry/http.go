@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// expvarReg backs the process-wide "telemetry" expvar: the registry most
+// recently wrapped in a Handler. expvar.Publish is global and panics on
+// duplicate names, so the Func is published once and indirects here.
+var (
+	expvarReg  atomic.Pointer[Registry]
+	expvarOnce sync.Once
+)
+
+// Handler serves the registry over HTTP:
+//
+//	/metrics       Prometheus text exposition
+//	/debug/vars    expvar JSON (includes the registry under "telemetry")
+//	/debug/pprof/  live profiling (CPU, heap, goroutine, trace, ...)
+//
+// The root path lists the endpoints. Reads are safe concurrent with
+// metric writers, so the handler can be served while a campaign runs.
+func Handler(r *Registry) http.Handler {
+	expvarReg.Store(r)
+	expvarOnce.Do(func() {
+		expvar.Publish("telemetry", expvar.Func(func() any {
+			return expvarReg.Load().Snapshot()
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "pcstall telemetry\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Serve listens on addr and serves Handler(r) in a background goroutine.
+// It returns once the listener is bound (so scrapes cannot race startup)
+// with the server and its resolved address; callers stop it with
+// srv.Close or srv.Shutdown.
+func Serve(addr string, r *Registry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

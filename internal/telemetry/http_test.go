@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, h http.Handler, path string) (*http.Response, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	res := rec.Result()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, string(body)
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	r := New()
+	r.Counter("sim_cycles_total", "core cycles").Add(7)
+	h := Handler(r)
+
+	res, body := get(t, h, "/metrics")
+	if res.StatusCode != 200 {
+		t.Fatalf("/metrics status %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	if !strings.Contains(body, "sim_cycles_total 7") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+
+	res, body = get(t, h, "/debug/vars")
+	if res.StatusCode != 200 {
+		t.Fatalf("/debug/vars status %d", res.StatusCode)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(vars["telemetry"], &snap); err != nil {
+		t.Fatalf("telemetry expvar: %v", err)
+	}
+	if snap.Counters["sim_cycles_total"] != 7 {
+		t.Fatalf("expvar snapshot %+v", snap)
+	}
+
+	if res, _ := get(t, h, "/debug/pprof/"); res.StatusCode != 200 {
+		t.Fatalf("/debug/pprof/ status %d", res.StatusCode)
+	}
+	if res, body := get(t, h, "/"); res.StatusCode != 200 || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index status %d body %q", res.StatusCode, body)
+	}
+	if res, _ := get(t, h, "/nope"); res.StatusCode != 404 {
+		t.Fatalf("unknown path status %d, want 404", res.StatusCode)
+	}
+}
+
+// TestHandlerRebindsExpvar checks the process-global expvar tracks the
+// most recent Handler registry instead of panicking on re-publish.
+func TestHandlerRebindsExpvar(t *testing.T) {
+	a := New()
+	a.Counter("x", "").Add(1)
+	_ = Handler(a)
+	b := New()
+	b.Counter("x", "").Add(2)
+	h := Handler(b)
+	_, body := get(t, h, "/debug/vars")
+	if !strings.Contains(body, `"x":2`) && !strings.Contains(body, `"x": 2`) {
+		t.Fatalf("expvar still bound to the old registry:\n%s", body)
+	}
+}
+
+func TestServe(t *testing.T) {
+	r := New()
+	r.Counter("live_total", "").Add(3)
+	srv, addr, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	res, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	body, _ := io.ReadAll(res.Body)
+	if !strings.Contains(string(body), "live_total 3") {
+		t.Fatalf("live scrape missing counter:\n%s", body)
+	}
+}

@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Counter("a_total", "alpha").Add(3)
+	r.Gauge("g", "gee").Set(2.5)
+	h := r.Histogram("h", "aitch", []float64{1, 2})
+	for _, v := range []float64{0.5, 1.5, 3} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP a_total alpha
+# TYPE a_total counter
+a_total 3
+# HELP g gee
+# TYPE g gauge
+g 2.5
+# HELP h aitch
+# TYPE h histogram
+h_bucket{le="1"} 1
+h_bucket{le="2"} 2
+h_bucket{le="+Inf"} 3
+h_sum 5
+h_count 3
+`
+	if b.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+func TestWritePrometheusNil(t *testing.T) {
+	var r *Registry
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil || b.Len() != 0 {
+		t.Fatalf("nil registry wrote %q, err %v", b.String(), err)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"ok_name_total": "ok_name_total",
+		"bad name!":     "bad_name_",
+		"1x":            "_x",
+		"":              "_",
+		"a:b":           "a:b",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Fatalf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package telemetry
+
+import "time"
+
+// Span measures one phase of work into a duration histogram. Spans are
+// values: StartSpan captures the start time, End records the elapsed
+// seconds. A span over a nil histogram is free on both ends (no clock
+// read), so phase instrumentation costs nothing when telemetry is off.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartSpan begins a span that End will record into h.
+func StartSpan(h *Histogram) Span {
+	if h == nil {
+		return Span{}
+	}
+	return Span{h: h, start: time.Now()}
+}
+
+// End records the span's wall-clock duration. Safe on the zero Span.
+func (s Span) End() {
+	if s.h == nil {
+		return
+	}
+	s.h.Observe(time.Since(s.start).Seconds())
+}
+
+// Phase returns (creating on first use) the named phase-span histogram
+// with the standard duration buckets. Use with StartSpan:
+//
+//	defer telemetry.StartSpan(reg.Phase("orchestrate_job_run")).End()
+func (r *Registry) Phase(name string) *Histogram {
+	return r.Histogram(name+"_seconds", "wall-clock seconds spent in the "+name+" phase", DurationBuckets)
+}

@@ -1,0 +1,220 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if v := c.Value(); v != 42 {
+		t.Fatalf("counter value %d, want 42", v)
+	}
+}
+
+func TestNilMetricsAreInert(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter read nonzero")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge read nonzero")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Bounds() != nil {
+		t.Fatal("nil histogram has bounds")
+	}
+	var r *Registry
+	if r.Counter("x", "") != nil || r.Gauge("x", "") != nil ||
+		r.Histogram("x", "", RatioBuckets) != nil || r.Phase("x") != nil {
+		t.Fatal("nil registry built a metric")
+	}
+	if s := r.Snapshot(); s.Counters != nil || s.Gauges != nil || s.Histograms != nil {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	if r.Names() != nil {
+		t.Fatal("nil registry has names")
+	}
+	r.Merge(Snapshot{Counters: map[string]int64{"x": 1}})
+	var sp Span
+	sp.End() // zero span must not panic
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge %g, want 2.5", g.Value())
+	}
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge %g, want 1.5", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{2, 1}) // unsorted on purpose
+	for _, v := range []float64{0.5, 1, 1.5, 3} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if want := []float64{1, 2}; s.Bounds[0] != want[0] || s.Bounds[1] != want[1] {
+		t.Fatalf("bounds not sorted: %v", s.Bounds)
+	}
+	// v <= bound lands in the bucket: {0.5, 1} -> le=1, {1.5} -> le=2,
+	// {3} -> overflow.
+	if s.Counts[0] != 2 || s.Counts[1] != 1 || s.Counts[2] != 1 {
+		t.Fatalf("counts %v", s.Counts)
+	}
+	if s.Count != 4 || s.Sum != 6 {
+		t.Fatalf("count=%d sum=%g", s.Count, s.Sum)
+	}
+	if m := s.Mean(); m != 1.5 {
+		t.Fatalf("mean %g", m)
+	}
+	if (HistogramSnapshot{}).Mean() != 0 {
+		t.Fatal("empty mean not 0")
+	}
+}
+
+func TestRegistryReturnsSameMetric(t *testing.T) {
+	r := New()
+	if r.Counter("c", "one") != r.Counter("c", "two") {
+		t.Fatal("same counter name built two counters")
+	}
+	if r.Gauge("g", "") != r.Gauge("g", "") {
+		t.Fatal("same gauge name built two gauges")
+	}
+	h := r.Histogram("h", "", []float64{1, 2})
+	if h != r.Histogram("h", "", []float64{5}) {
+		t.Fatal("same histogram name built two histograms")
+	}
+	if len(h.Bounds()) != 2 {
+		t.Fatal("later bounds overwrote the first creation")
+	}
+	names := r.Names()
+	if len(names) != 3 || names[0] != "c" || names[1] != "g" || names[2] != "h" {
+		t.Fatalf("names %v", names)
+	}
+}
+
+func TestSnapshotAndMerge(t *testing.T) {
+	a := New()
+	a.Counter("runs", "").Add(5)
+	a.Gauge("depth", "").Set(2.5)
+	h := a.Histogram("err", "", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(3)
+
+	s := a.Snapshot()
+	if s.Counters["runs"] != 5 || s.Gauges["depth"] != 2.5 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	if hs := s.Histograms["err"]; hs.Count != 2 || hs.Sum != 3.5 {
+		t.Fatalf("histogram snapshot %+v", hs)
+	}
+
+	b := New()
+	b.Merge(s)
+	b.Merge(s)
+	bs := b.Snapshot()
+	if bs.Counters["runs"] != 10 {
+		t.Fatalf("merged counter %d, want 10", bs.Counters["runs"])
+	}
+	if bs.Gauges["depth"] != 2.5 {
+		t.Fatalf("merged gauge %g, want 2.5 (set, not add)", bs.Gauges["depth"])
+	}
+	if hs := bs.Histograms["err"]; hs.Count != 4 || hs.Sum != 7 {
+		t.Fatalf("merged histogram %+v", hs)
+	}
+
+	// Mismatched bounds must be skipped, not corrupt the histogram.
+	c := New()
+	c.Histogram("err", "", []float64{9}).Observe(1)
+	c.Merge(s)
+	if hs := c.Snapshot().Histograms["err"]; hs.Count != 1 {
+		t.Fatalf("mismatched-bounds merge altered histogram: %+v", hs)
+	}
+}
+
+func TestSnapshotFprint(t *testing.T) {
+	r := New()
+	r.Counter("sim_cycles_total", "").Add(100)
+	r.Gauge("queue_depth", "").Set(3)
+	r.Histogram("err", "", []float64{1}).Observe(0.5)
+	var b strings.Builder
+	r.Snapshot().Fprint(&b)
+	out := b.String()
+	for _, want := range []string{
+		"err               count=1 sum=0.5 mean=0.5\n",
+		"queue_depth       3\n",
+		"sim_cycles_total  100\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPhaseAndSpan(t *testing.T) {
+	r := New()
+	h := r.Phase("job_run")
+	sp := StartSpan(h)
+	sp.End()
+	hs := r.Snapshot().Histograms["job_run_seconds"]
+	if hs.Count != 1 {
+		t.Fatalf("span not recorded: %+v", hs)
+	}
+	if hs.Sum < 0 {
+		t.Fatalf("negative duration %g", hs.Sum)
+	}
+}
+
+// TestConcurrentWritesAndSnapshots exercises the registry under -race:
+// writers on all metric kinds racing snapshot readers and merges.
+func TestConcurrentWritesAndSnapshots(t *testing.T) {
+	r := New()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", RatioBuckets)
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i%10) / 10)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		other := New()
+		for i := 0; i < 200; i++ {
+			s := r.Snapshot()
+			other.Merge(s)
+			_ = r.Names()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if v := c.Value(); v != workers*iters {
+		t.Fatalf("counter %d, want %d", v, workers*iters)
+	}
+	if hs := r.Snapshot().Histograms["h"]; hs.Count != workers*iters {
+		t.Fatalf("histogram count %d, want %d", hs.Count, workers*iters)
+	}
+}

@@ -74,6 +74,14 @@ func (j *JSONL) Epoch(e EpochEvent) error {
 	return j.enc.Encode(e)
 }
 
+// Close reports any write error the encoder deferred. JSONL writes are
+// unbuffered, so there is nothing to flush; the method exists so callers
+// can finalize any package recorder uniformly before closing the
+// underlying file.
+func (j *JSONL) Close() error {
+	return nil
+}
+
 // ReadJSONL decodes a JSON Lines trace back into events (for tooling and
 // tests).
 func ReadJSONL(r io.Reader) ([]EpochEvent, error) {
@@ -136,6 +144,17 @@ func (c *CSV) Epoch(e EpochEvent) error {
 	return c.w.Error()
 }
 
+// Close flushes buffered rows and reports any write error csv.Writer
+// deferred (Flush never returns one itself). Callers writing to a file
+// must Close the recorder before closing the file, or a failed final
+// flush is silently lost.
+func (c *CSV) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.w.Flush()
+	return c.w.Error()
+}
+
 // Multi fans one event out to several recorders.
 type Multi []Recorder
 
@@ -147,4 +166,18 @@ func (m Multi) Epoch(e EpochEvent) error {
 		}
 	}
 	return nil
+}
+
+// Close closes every member that implements io.Closer, returning the
+// first error.
+func (m Multi) Close() error {
+	var first error
+	for _, r := range m {
+		if c, ok := r.(io.Closer); ok {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
 }

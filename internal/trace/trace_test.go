@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"strconv"
 	"strings"
 	"sync"
@@ -172,5 +173,70 @@ func TestCSVConcurrentWriters(t *testing.T) {
 				t.Fatalf("rows interleaved at line %d: %q", i+d, lines[i+d])
 			}
 		}
+	}
+}
+
+// failAfter fails every write past the first n bytes — a disk-full stand-in.
+type failAfter struct {
+	n       int
+	written int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.written+len(p) > f.n {
+		return 0, errors.New("disk full")
+	}
+	f.written += len(p)
+	return len(p), nil
+}
+
+func TestCSVCloseSurfacesWriteError(t *testing.T) {
+	// Room for nothing: csv.Writer buffers, so Epoch may succeed locally
+	// and the error only surfaces on flush.
+	c := NewCSV(&failAfter{n: 10})
+	err := c.Epoch(events(1, 1)[0])
+	if err == nil {
+		err = c.Close()
+	}
+	if err == nil {
+		t.Fatal("write error swallowed by Epoch+Close")
+	}
+	// Close keeps reporting the sticky error.
+	if c.Close() == nil {
+		t.Fatal("sticky error lost on second Close")
+	}
+}
+
+func TestCSVCloseCleanOnHealthyWriter(t *testing.T) {
+	var b bytes.Buffer
+	c := NewCSV(&b)
+	if err := c.Epoch(events(1, 1)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() == 0 {
+		t.Fatal("nothing flushed")
+	}
+}
+
+func TestJSONLClose(t *testing.T) {
+	var b bytes.Buffer
+	j := NewJSONL(&b)
+	if err := j.Epoch(events(1, 1)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiClose(t *testing.T) {
+	var b bytes.Buffer
+	m := Multi{NewJSONL(&b), NewCSV(&failAfter{n: 0})}
+	_ = m.Epoch(events(1, 1)[0]) // CSV member errors; JSONL still writes
+	if m.Close() == nil {
+		t.Fatal("Multi.Close dropped the failing member's error")
 	}
 }

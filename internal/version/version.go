@@ -1,0 +1,48 @@
+// Package version renders the build's identity: the simulator version
+// string that keys the result cache (orchestrate.SimVersion) plus the
+// VCS revision stamped into the binary by the Go toolchain. Every CLI
+// exposes it behind a -version flag so campaign artifacts (manifests,
+// traces, metric dumps) can be tied back to the exact build that
+// produced them.
+package version
+
+import (
+	"runtime/debug"
+
+	"pcstall/internal/orchestrate"
+)
+
+// String returns "pcstall-sim-v1 (abcdef123456)" when the binary was
+// built inside a VCS checkout, with a "+dirty" suffix for modified
+// trees, and the bare simulator version otherwise (e.g. `go test`
+// binaries, which the toolchain does not stamp).
+func String() string {
+	rev, modified := vcsInfo()
+	if rev == "" {
+		return orchestrate.SimVersion
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if modified {
+		rev += "+dirty"
+	}
+	return orchestrate.SimVersion + " (" + rev + ")"
+}
+
+// vcsInfo extracts the VCS revision and dirty bit from the build info.
+func vcsInfo() (rev string, modified bool) {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "", false
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value == "true"
+		}
+	}
+	return rev, modified
+}

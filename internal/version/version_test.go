@@ -1,0 +1,22 @@
+package version
+
+import (
+	"strings"
+	"testing"
+
+	"pcstall/internal/orchestrate"
+)
+
+func TestStringCarriesSimVersion(t *testing.T) {
+	s := String()
+	if !strings.HasPrefix(s, orchestrate.SimVersion) {
+		t.Fatalf("version %q does not start with %q", s, orchestrate.SimVersion)
+	}
+	// Test binaries are unstamped, so the suffix is optional; when
+	// present it must be a short parenthesized revision.
+	if rest := strings.TrimPrefix(s, orchestrate.SimVersion); rest != "" {
+		if !strings.HasPrefix(rest, " (") || !strings.HasSuffix(rest, ")") {
+			t.Fatalf("malformed revision suffix %q", rest)
+		}
+	}
+}

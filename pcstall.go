@@ -22,6 +22,7 @@ package pcstall
 import (
 	"fmt"
 	"io"
+	"net/http"
 
 	"pcstall/internal/clock"
 	"pcstall/internal/core"
@@ -29,7 +30,9 @@ import (
 	"pcstall/internal/exp"
 	"pcstall/internal/power"
 	"pcstall/internal/sim"
+	"pcstall/internal/telemetry"
 	"pcstall/internal/trace"
+	"pcstall/internal/version"
 	"pcstall/internal/workload"
 )
 
@@ -97,6 +100,10 @@ type Config struct {
 	// Thermal enables temperature-dependent leakage (§5); nil keeps
 	// leakage at the nominal temperature.
 	Thermal *power.Thermal
+	// Metrics, when non-nil, receives run telemetry (epoch counters,
+	// stall accounting, prediction error — see internal/telemetry).
+	// Recording never alters results; nil costs nothing on hot paths.
+	Metrics *Metrics
 }
 
 // DefaultConfig returns a platform with numCUs compute units, per-CU V/f
@@ -171,6 +178,7 @@ func RunDesign(app string, d Design, cfg Config) (Result, error) {
 		Record:  cfg.Record,
 		Trace:   cfg.Trace,
 		Thermal: cfg.Thermal,
+		Metrics: cfg.Metrics,
 	})
 }
 
@@ -193,6 +201,23 @@ func NewJSONLTrace(w io.Writer) trace.Recorder { return trace.NewJSONL(w) }
 
 // NewCSVTrace returns a recorder writing one CSV row per (epoch, domain).
 func NewCSVTrace(w io.Writer) trace.Recorder { return trace.NewCSV(w) }
+
+// Metrics is a telemetry registry: counters, gauges, and histograms that
+// runs record into when attached via Config.Metrics (or
+// ExperimentsConfig.Metrics for whole campaigns). Snapshot it for
+// machine-readable values, or serve it live with MetricsHandler.
+type Metrics = telemetry.Registry
+
+// NewMetrics builds an empty telemetry registry.
+func NewMetrics() *Metrics { return telemetry.New() }
+
+// MetricsHandler serves the registry over HTTP: Prometheus text at
+// /metrics, expvar JSON at /debug/vars, and pprof under /debug/pprof/.
+func MetricsHandler(m *Metrics) http.Handler { return telemetry.Handler(m) }
+
+// Version reports the simulator version (the string that keys the
+// result cache) plus the VCS revision stamped into the binary.
+func Version() string { return version.String() }
 
 // Experiments exposes the paper-figure regeneration harness.
 type Experiments = exp.Suite

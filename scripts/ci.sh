@@ -26,6 +26,31 @@ echo "==> go test"
 go test ./...
 
 echo "==> go test -race (concurrent packages)"
-go test -race ./internal/orchestrate ./internal/trace ./internal/exp
+go test -race ./internal/telemetry ./internal/orchestrate ./internal/trace ./internal/exp
+
+echo "==> bench smoke (telemetry-off runner vs BENCH_telemetry.json)"
+# The disabled-telemetry path is the one every simulation pays. Absolute
+# ns/op is useless on this shared box (machine speed drifts 30% between
+# sessions), so the gate is load-invariant: the Off/On ratio, measured
+# in one invocation (machine speed cancels) with best-of-3 per variant
+# to filter transient neighbor load, must not regress >10% against the
+# ratio recorded in BENCH_telemetry.json. The strict (2%) absolute
+# comparison lives in that file's interleaved-worktree protocol.
+ref_off=$(sed -n 's/.*"run_telemetry_off_ns_per_op": \([0-9]*\).*/\1/p' BENCH_telemetry.json)
+ref_on=$(sed -n 's/.*"run_telemetry_on_ns_per_op": \([0-9]*\).*/\1/p' BENCH_telemetry.json)
+bench_out=$(go test -run '^$' -bench 'BenchmarkRunTelemetry(Off|On)$' -benchtime 5x -count 3 ./internal/dvfs/)
+got_off=$(echo "$bench_out" | awk '/BenchmarkRunTelemetryOff/ {v = int($3); if (min == 0 || v < min) min = v} END {print min}')
+got_on=$(echo "$bench_out" | awk '/BenchmarkRunTelemetryOn/ {v = int($3); if (min == 0 || v < min) min = v} END {print min}')
+if [ -z "$ref_off" ] || [ -z "$ref_on" ] || [ -z "$got_off" ] || [ -z "$got_on" ]; then
+	echo "bench smoke: missing reference (${ref_off:-?}/${ref_on:-?}) or measurement (${got_off:-?}/${got_on:-?})" >&2
+	exit 1
+fi
+echo "    reference off/on ${ref_off}/${ref_on} ns/op, measured ${got_off}/${got_on} ns/op"
+# got_off/got_on <= (ref_off/ref_on) * 1.10, cross-multiplied to stay integral.
+if ! awk -v go="$got_off" -v gn="$got_on" -v ro="$ref_off" -v rn="$ref_on" \
+	'BEGIN { exit !(go * rn * 100 <= gn * ro * 110) }'; then
+	echo "bench smoke: disabled-telemetry path regressed >10% relative to enabled (off/on $got_off/$got_on vs reference $ref_off/$ref_on)" >&2
+	exit 1
+fi
 
 echo "CI OK"
