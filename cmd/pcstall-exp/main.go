@@ -11,15 +11,26 @@
 // all CPUs) and cached: with -cache-dir, results persist as JSONL and a
 // rerun skips every already-computed cell; a run manifest recording the
 // job list, hashes, timings, and cache hits is written alongside.
+//
+// Campaigns are interruption-safe: SIGINT/SIGTERM triggers a graceful
+// drain — in-flight simulations wind down at their next epoch boundary,
+// completed results are already on disk, and the manifest is flushed —
+// after which rerunning with -resume completes only the missing jobs
+// and produces byte-identical figure output. A second signal aborts
+// immediately. -timeout and -retries bound individual jobs.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"pcstall/internal/clock"
@@ -44,6 +55,9 @@ func main() {
 	manifest := flag.String("manifest", "", "run-manifest output path (default: <cache-dir>/manifest.json when -cache-dir is set)")
 	progress := flag.Bool("progress", false, "print a periodic orchestration progress line to stderr")
 	metricsAddr := flag.String("metrics-addr", "", "serve live campaign telemetry on this address: Prometheus text at /metrics, expvar at /debug/vars, profiles at /debug/pprof/")
+	jobTimeout := flag.Duration("timeout", 0, "per-job timeout (e.g. 5m); a hung simulation fails instead of stalling the campaign (0 = none)")
+	retries := flag.Int("retries", 0, "retries per failed job (transient faults, with doubling backoff; panics are never retried)")
+	resume := flag.Bool("resume", false, "resume an interrupted campaign from -cache-dir: only jobs missing from the result cache are recomputed")
 	showVersion := flag.Bool("version", false, "print the simulator version and exit")
 	flag.Parse()
 
@@ -62,6 +76,18 @@ func main() {
 	}
 	cfg.Workers = *workers
 	cfg.NoCache = *noCache
+	cfg.JobTimeout = *jobTimeout
+	cfg.Retries = *retries
+	if *resume {
+		if *cacheDir == "" {
+			fmt.Fprintln(os.Stderr, "pcstall-exp: -resume requires -cache-dir (resume replays the interrupted campaign's result cache)")
+			os.Exit(2)
+		}
+		if _, err := os.Stat(filepath.Join(*cacheDir, orchestrate.ResultsFile)); err != nil {
+			fmt.Fprintf(os.Stderr, "pcstall-exp: -resume: no result cache under %s: %v\n", *cacheDir, err)
+			os.Exit(2)
+		}
+	}
 	if *cacheDir != "" {
 		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "pcstall-exp: cache dir: %v\n", err)
@@ -85,8 +111,56 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "pcstall-exp: serving metrics at http://%s/metrics (pprof at /debug/pprof/)\n", addr)
 	}
+
+	// Campaign cancellation: the first SIGINT/SIGTERM starts a graceful
+	// drain (queued jobs abandoned, in-flight ones wind down at the next
+	// epoch boundary, manifest and cache flushed); a second aborts hard.
+	ctx, cancelCampaign := context.WithCancel(context.Background())
+	defer cancelCampaign()
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "pcstall-exp: %v: draining campaign (completed results are safe; a second signal aborts immediately)\n", s)
+		cancelCampaign()
+		<-sig
+		os.Exit(130)
+	}()
+	cfg.Ctx = ctx
+
 	s := exp.NewSuite(cfg)
 	defer s.Close()
+
+	mpath := *manifest
+	if mpath == "" && cfg.CacheDir != "" {
+		mpath = filepath.Join(cfg.CacheDir, "manifest.json")
+	}
+	// drain flushes everything a later -resume needs: the manifest of
+	// completed jobs and the cache append handle.
+	drain := func() {
+		if mpath != "" {
+			if err := s.WriteManifest(mpath); err != nil {
+				fmt.Fprintf(os.Stderr, "pcstall-exp: %v\n", err)
+			}
+		}
+		if err := s.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "pcstall-exp: %v\n", err)
+		}
+	}
+	// runEntry converts a figure method's error panic (the harness
+	// fail-fast path) back into an error; genuine bugs keep panicking.
+	runEntry := func(run func() *exp.Table) (t *exp.Table, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				if e, ok := p.(error); ok {
+					err = e
+					return
+				}
+				panic(p)
+			}
+		}()
+		return run(), nil
+	}
 
 	type entry struct {
 		id  string
@@ -137,7 +211,18 @@ func main() {
 			continue
 		}
 		t0 := time.Now()
-		t := e.run()
+		t, err := runEntry(e.run)
+		if err != nil {
+			drain()
+			st := s.Stats()
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "pcstall-exp: interrupted during %s (%d jobs completed, %d cancelled); resume with the same flags plus -resume\n",
+					e.id, st.Completed, st.Cancelled)
+				os.Exit(130)
+			}
+			fmt.Fprintf(os.Stderr, "pcstall-exp: %s failed: %v\n", e.id, err)
+			os.Exit(1)
+		}
 		t.Fprint(os.Stdout)
 		if *timing {
 			fmt.Fprintf(os.Stderr, "[%s took %v]\n", e.id, time.Since(t0).Round(time.Millisecond))
@@ -147,10 +232,6 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "pcstall-exp: no experiment matched %v\n", ids)
 		os.Exit(1)
-	}
-	mpath := *manifest
-	if mpath == "" && cfg.CacheDir != "" {
-		mpath = filepath.Join(cfg.CacheDir, "manifest.json")
 	}
 	if mpath != "" {
 		if err := s.WriteManifest(mpath); err != nil {

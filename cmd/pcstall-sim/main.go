@@ -10,11 +10,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"pcstall"
 )
@@ -91,8 +95,23 @@ func main() {
 		cfg.Metrics = reg
 	}
 
+	// SIGINT/SIGTERM stops the run at the next epoch boundary instead of
+	// killing the process mid-write (the trace recorder still flushes).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cfg.Ctx = ctx
+
 	res, err := pcstall.RunApp(*app, *design, cfg)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			if traceClose != nil {
+				if cerr := traceClose(); cerr != nil {
+					fmt.Fprintf(os.Stderr, "pcstall-sim: trace %s: %v\n", *traceOut, cerr)
+				}
+			}
+			fmt.Fprintf(os.Stderr, "pcstall-sim: interrupted after %d epochs\n", res.Epochs)
+			os.Exit(130)
+		}
 		fatalf("%v", err)
 	}
 	if traceClose != nil {

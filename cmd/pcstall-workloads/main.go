@@ -4,9 +4,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"pcstall/internal/clock"
 	"pcstall/internal/sim"
@@ -30,6 +33,11 @@ func main() {
 	gen := workload.DefaultGenConfig(*cus)
 	gen.Scale = *scale
 
+	// With -profile each app runs a short simulation; honour Ctrl-C
+	// between apps so the sweep stops at a clean table row.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	fmt.Printf("%-8s %-4s %7s %8s", "app", "cls", "kernels", "launches")
 	if *profile {
 		fmt.Printf(" %10s %12s %8s %7s", "sim time", "instructions", "IPC/CU", "L2 hit")
@@ -37,6 +45,10 @@ func main() {
 	fmt.Println()
 
 	for _, name := range workload.Names() {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "pcstall-workloads: interrupted")
+			os.Exit(130)
+		}
 		app, err := workload.Build(name, gen)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pcstall-workloads: %v\n", err)

@@ -1,0 +1,109 @@
+package dvfs_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"pcstall/internal/clock"
+	"pcstall/internal/core"
+	"pcstall/internal/dvfs"
+	"pcstall/internal/power"
+	"pcstall/internal/sim"
+	"pcstall/internal/trace"
+	"pcstall/internal/workload"
+)
+
+func cancelRunSetup(t *testing.T) (*sim.GPU, dvfs.Policy, dvfs.RunConfig) {
+	t.Helper()
+	const cus = 4
+	cfg := sim.DefaultConfig(cus)
+	gen := workload.DefaultGenConfig(cus)
+	gen.Scale = 0.5
+	app := workload.MustBuild("comd", gen)
+	g, err := sim.New(cfg, app.Kernels, app.Launches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.DesignByName("PCSTALL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := power.DefaultModelFor(cus)
+	return g, d.New(), dvfs.RunConfig{Epoch: clock.Microsecond, Obj: dvfs.ED2P, PM: &pm}
+}
+
+// cancelAtEpoch is a trace recorder that cancels a context when the
+// epoch with the given index completes, making mid-run cancellation
+// deterministic (the runner checks the context at the next loop top).
+type cancelAtEpoch struct {
+	index  int
+	cancel context.CancelFunc
+}
+
+func (c *cancelAtEpoch) Epoch(e trace.EpochEvent) error {
+	if e.Index == c.index {
+		c.cancel()
+	}
+	return nil
+}
+
+func TestRunCancelledMidRun(t *testing.T) {
+	g, pol, cfg := cancelRunSetup(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg.Ctx = ctx
+	cfg.Trace = &cancelAtEpoch{index: 2, cancel: cancel}
+
+	res, err := dvfs.Run(g, pol, cfg)
+	if err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled in chain, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "cancelled after 3 epochs") {
+		t.Fatalf("epoch count lost from error: %v", err)
+	}
+	// The partial result is still returned so callers can report progress.
+	if res.Epochs != 3 || !res.Truncated {
+		t.Fatalf("partial result wrong: epochs=%d truncated=%v", res.Epochs, res.Truncated)
+	}
+}
+
+func TestRunJobCancelledBeforeStart(t *testing.T) {
+	g, pol, cfg := cancelRunSetup(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg.Ctx = ctx
+
+	built := false
+	_, err := dvfs.RunJob(func() (*sim.GPU, error) {
+		built = true
+		return g, nil
+	}, func() dvfs.Policy { return pol }, cfg)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "cancelled before start") {
+		t.Fatalf("pre-start cancellation not labelled: %v", err)
+	}
+	// A cancelled job must not pay for GPU construction.
+	if built {
+		t.Fatal("GPU built despite pre-start cancellation")
+	}
+}
+
+// TestRunNilContextCompletes pins the zero-cost default: RunConfig.Ctx
+// left nil behaves exactly as before the field existed.
+func TestRunNilContextCompletes(t *testing.T) {
+	g, pol, cfg := cancelRunSetup(t)
+	res, err := dvfs.Run(g, pol, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated || res.Epochs == 0 {
+		t.Fatalf("run did not complete: epochs=%d truncated=%v", res.Epochs, res.Truncated)
+	}
+}

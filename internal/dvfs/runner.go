@@ -1,6 +1,7 @@
 package dvfs
 
 import (
+	"context"
 	"fmt"
 
 	"pcstall/internal/clock"
@@ -47,6 +48,13 @@ type RunConfig struct {
 	// internal/telemetry). Recording never alters run results; with a
 	// nil registry the instrumentation reduces to per-epoch nil checks.
 	Metrics *telemetry.Registry
+	// Ctx, when non-nil, is polled at every epoch boundary: once it is
+	// cancelled the run stops and returns the partial Result together
+	// with the context's error. This is how batch orchestration winds
+	// down in-flight simulations on fail-fast, per-job timeout, or
+	// SIGINT without waiting out the epoch sweep; a nil Ctx costs one
+	// nil check per epoch.
+	Ctx context.Context
 }
 
 // EpochRecord is one epoch's outcome (kept when RunConfig.Record is set).
@@ -94,6 +102,11 @@ type Result struct {
 // without the caller pre-building (and accidentally sharing) mutable
 // simulator or policy state across jobs.
 func RunJob(build func() (*sim.GPU, error), newPol func() Policy, cfg RunConfig) (Result, error) {
+	if cfg.Ctx != nil {
+		if err := cfg.Ctx.Err(); err != nil {
+			return Result{}, fmt.Errorf("dvfs: job cancelled before start: %w", err)
+		}
+	}
 	g, err := build()
 	if err != nil {
 		return Result{}, fmt.Errorf("dvfs: building GPU: %w", err)
@@ -182,6 +195,14 @@ func Run(g *sim.GPU, pol Policy, cfg RunConfig) (Result, error) {
 	)
 
 	for !g.Finished && g.Now < maxTime {
+		if cfg.Ctx != nil {
+			select {
+			case <-cfg.Ctx.Done():
+				res.Truncated = true
+				return res, fmt.Errorf("dvfs: run cancelled after %d epochs: %w", res.Epochs, cfg.Ctx.Err())
+			default:
+			}
+		}
 		if sampler != nil {
 			ctx.NextTruth = sampler.SampleNext(g, cfg.Epoch)
 		}

@@ -9,6 +9,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -59,6 +60,18 @@ type Config struct {
 	Progress func(orchestrate.Stats)
 	// ProgressEvery sets the snapshot period (default 2s).
 	ProgressEvery time.Duration
+	// Ctx, when non-nil, is the campaign's cancellation signal: once it
+	// is cancelled, queued simulation jobs are abandoned and in-flight
+	// ones wind down at their next epoch boundary. Figure methods then
+	// surface the cancellation by panicking with an error satisfying
+	// errors.Is(err, context.Canceled) — the CLI recovers it, drains,
+	// and flushes the manifest so -resume can finish the campaign.
+	Ctx context.Context
+	// JobTimeout bounds each simulation attempt (0 = no bound).
+	JobTimeout time.Duration
+	// Retries retries failed simulation attempts (transient faults) with
+	// doubling backoff; panics and cancellations are never retried.
+	Retries int
 	// Metrics, when non-nil, turns on campaign telemetry (see
 	// internal/telemetry): live orchestration counters land here, each
 	// job's private snapshot is merged in when it settles, and manifests
@@ -159,6 +172,9 @@ type Suite struct {
 	PM power.Model
 
 	orch *orchestrate.Orchestrator
+	// ctx is the campaign context every RunJobs batch runs under
+	// (Config.Ctx, defaulted to Background).
+	ctx context.Context
 	// traces is main-goroutine-only memoization for the characterization
 	// substrate (Figures 5-11); traced sampling stays serial.
 	traces map[traceKey]*trace
@@ -176,6 +192,7 @@ func NewSuite(cfg Config) *Suite {
 		d.Workers, d.CacheDir, d.NoCache = cfg.Workers, cfg.CacheDir, cfg.NoCache
 		d.Progress, d.ProgressEvery = cfg.Progress, cfg.ProgressEvery
 		d.Metrics = cfg.Metrics
+		d.Ctx, d.JobTimeout, d.Retries = cfg.Ctx, cfg.JobTimeout, cfg.Retries
 		cfg = d
 	}
 	if len(cfg.Apps) == 0 {
@@ -193,13 +210,19 @@ func NewSuite(cfg Config) *Suite {
 	s := &Suite{
 		Cfg:    cfg,
 		PM:     power.DefaultModelFor(cfg.CUs),
+		ctx:    cfg.Ctx,
 		traces: map[traceKey]*trace{},
+	}
+	if s.ctx == nil {
+		s.ctx = context.Background()
 	}
 	orch, err := orchestrate.New(orchestrate.Config{
 		Workers:       cfg.Workers,
 		CacheDir:      cfg.CacheDir,
 		NoCache:       cfg.NoCache,
 		Run:           s.execJob,
+		JobTimeout:    cfg.JobTimeout,
+		Retries:       cfg.Retries,
 		Progress:      cfg.Progress,
 		ProgressEvery: cfg.ProgressEvery,
 		Metrics:       cfg.Metrics,
@@ -288,16 +311,17 @@ func (s *Suite) prefetch(cells []cell) {
 	for i, c := range cells {
 		jobs[i] = s.job(c)
 	}
-	if _, err := s.orch.RunJobs(jobs); err != nil {
+	if _, err := s.orch.RunJobs(s.ctx, jobs); err != nil {
 		panic(err)
 	}
 }
 
 // execJob is the orchestrator's RunFunc: a pure function of the job
-// (plus the read-only power model), safe on any worker goroutine. reg
-// is the job's private telemetry sink (nil when telemetry is off);
-// recording into it never changes the result.
-func (s *Suite) execJob(j orchestrate.Job, reg *telemetry.Registry) (*dvfs.Result, error) {
+// (plus the read-only power model), safe on any worker goroutine. ctx
+// is the job's cancellation signal, checked at every epoch boundary of
+// the run. reg is the job's private telemetry sink (nil when telemetry
+// is off); recording into it never changes the result.
+func (s *Suite) execJob(ctx context.Context, j orchestrate.Job, reg *telemetry.Registry) (*dvfs.Result, error) {
 	d, err := core.DesignByName(j.Design)
 	if err != nil {
 		return nil, err
@@ -328,6 +352,7 @@ func (s *Suite) execJob(j orchestrate.Job, reg *telemetry.Registry) (*dvfs.Resul
 		MaxTime:       clock.Time(j.MaxTimePs),
 		OracleSamples: j.OracleSamples,
 		Metrics:       reg,
+		Ctx:           ctx,
 	})
 	if err != nil {
 		return nil, err
@@ -369,7 +394,7 @@ func (s *Suite) run(app, design string, epoch clock.Time, obj dvfs.Objective, cu
 
 // runSampled is run with an explicit oracle fork-sample override.
 func (s *Suite) runSampled(app, design string, epoch clock.Time, obj dvfs.Objective, cusPerDomain, samples int) *dvfs.Result {
-	rs, err := s.orch.RunJobs([]orchestrate.Job{
+	rs, err := s.orch.RunJobs(s.ctx, []orchestrate.Job{
 		s.job(cell{app, design, epoch, obj.Name(), cusPerDomain, samples}),
 	})
 	if err != nil {

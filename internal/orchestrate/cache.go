@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 
 	"pcstall/internal/dvfs"
@@ -24,29 +25,41 @@ type cacheEntry struct {
 // line per computed result. Keys embed SimVersion, so entries written by
 // an older simulator silently miss (and are left in place) after a bump.
 //
+// The disk layer is best-effort in both directions. On load, corrupt
+// lines — a torn append from a killed process, even one longer than the
+// scanner buffer — cost only themselves: everything readable before them
+// is kept, and a corrupt tail is truncate-repaired in place (the file is
+// atomically rewritten from the surviving entries). On store, the first
+// write failure (disk full, revoked handle) disables further disk writes
+// for the run; results keep flowing through the in-memory layer and the
+// failure is surfaced once to the caller.
+//
 // A Cache is safe for concurrent use by multiple goroutines within one
 // process. Concurrent processes appending to the same directory do not
 // corrupt each other's lines (single-line appends), but may duplicate
 // work; last-loaded wins on duplicate keys.
 type Cache struct {
-	mu   sync.Mutex
-	mem  map[string]*dvfs.Result
-	file *os.File
-	enc  *json.Encoder
+	mu       sync.Mutex
+	mem      map[string]cacheEntry
+	file     *os.File
+	enc      *json.Encoder
+	repaired bool
+	writeErr error
 }
 
 // ResultsFile is the JSONL file name used inside a cache directory.
 const ResultsFile = "results.jsonl"
 
 // OpenCache opens (creating if needed) the cache under dir and loads any
-// existing results. Corrupt trailing lines (a previously killed process)
-// are skipped, not fatal.
+// existing results. Corrupt lines (a previously killed process) are
+// skipped, not fatal; a corrupt tail that breaks the scanner itself
+// triggers an in-place repair that keeps every entry loaded so far.
 func OpenCache(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("orchestrate: creating cache dir: %w", err)
 	}
 	path := filepath.Join(dir, ResultsFile)
-	c := &Cache{mem: map[string]*dvfs.Result{}}
+	c := &Cache{mem: map[string]cacheEntry{}}
 	if f, err := os.Open(path); err == nil {
 		sc := bufio.NewScanner(f)
 		sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
@@ -55,11 +68,19 @@ func OpenCache(dir string) (*Cache, error) {
 			if err := json.Unmarshal(sc.Bytes(), &e); err != nil || e.Key == "" || e.Result == nil {
 				continue // tolerate torn/corrupt lines
 			}
-			c.mem[e.Key] = e.Result
+			c.mem[e.Key] = e
 		}
+		scanErr := sc.Err()
 		f.Close()
-		if err := sc.Err(); err != nil {
-			return nil, fmt.Errorf("orchestrate: reading %s: %w", path, err)
+		if scanErr != nil {
+			// A scanner error (most likely a torn final line longer than
+			// the buffer) means the tail is unreadable, not that the cache
+			// is lost: keep what loaded and rewrite the file from it so
+			// the directory is healthy again for this and future runs.
+			if rerr := c.repair(path); rerr != nil {
+				return nil, fmt.Errorf("orchestrate: repairing %s after corrupt tail (%v): %w", path, scanErr, rerr)
+			}
+			c.repaired = true
 		}
 	} else if !os.IsNotExist(err) {
 		return nil, fmt.Errorf("orchestrate: opening %s: %w", path, err)
@@ -73,12 +94,55 @@ func OpenCache(dir string) (*Cache, error) {
 	return c, nil
 }
 
+// repair atomically rewrites the results file from the loaded entries
+// (sorted by key for stable diffs), discarding the unreadable tail.
+func (c *Cache) repair(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ResultsFile+".repair-*")
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(tmp)
+	keys := make([]string, 0, len(c.mem))
+	for k := range c.mem {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := enc.Encode(c.mem[k]); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return err
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Repaired reports whether OpenCache had to truncate-repair a corrupt
+// tail.
+func (c *Cache) Repaired() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.repaired
+}
+
+// WriteErr returns the persistence failure that disabled disk writes,
+// if one occurred.
+func (c *Cache) WriteErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writeErr
+}
+
 // Get returns the cached result for key, if present.
 func (c *Cache) Get(key string) (*dvfs.Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	r, ok := c.mem[key]
-	return r, ok
+	e, ok := c.mem[key]
+	return e.Result, ok
 }
 
 // Len reports the number of loaded entries.
@@ -88,16 +152,23 @@ func (c *Cache) Len() int {
 	return len(c.mem)
 }
 
-// Put stores a computed result and appends it to the results file.
+// Put stores a computed result in memory and appends it to the results
+// file. A persistence error is returned once and disables further disk
+// writes for the run — the in-memory layer keeps serving, so the caller
+// should degrade (count the failure), not fail the job. A partially
+// appended line from the failed write is tolerated (and repaired) by the
+// next OpenCache.
 func (c *Cache) Put(key string, j Job, r *dvfs.Result) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.mem[key] = r
+	c.mem[key] = cacheEntry{Key: key, Job: j, Result: r}
 	if c.enc == nil {
 		return nil
 	}
 	if err := c.enc.Encode(cacheEntry{Key: key, Job: j, Result: r}); err != nil {
-		return fmt.Errorf("orchestrate: persisting %s: %w", key, err)
+		c.writeErr = fmt.Errorf("orchestrate: persisting %s (disk writes disabled for this run): %w", key, err)
+		c.enc = nil
+		return c.writeErr
 	}
 	return nil
 }

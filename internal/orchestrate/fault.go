@@ -1,0 +1,66 @@
+package orchestrate
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"pcstall/internal/dvfs"
+	"pcstall/internal/telemetry"
+)
+
+// Fault injection: composable RunFunc wrappers that reproduce the
+// failure modes a real campaign hits — a job that panics (a simulator
+// bug), a job that hangs (a pathological workload), and a job that
+// fails transiently (I/O flakiness). The robustness tests and the CI
+// kill–resume smoke are built from these; they are exported so any
+// executor (including exp's) can be wrapped without re-implementing the
+// bookkeeping.
+
+// PanicOn wraps run so that jobs matching match panic instead of
+// computing. The orchestrator recovers the panic into a *PanicError
+// carrying this message and the stack; the process survives.
+func PanicOn(run RunFunc, match func(Job) bool) RunFunc {
+	return func(ctx context.Context, j Job, reg *telemetry.Registry) (*dvfs.Result, error) {
+		if match(j) {
+			panic(fmt.Sprintf("orchestrate: injected panic for job %s", j))
+		}
+		return run(ctx, j, reg)
+	}
+}
+
+// HangOn wraps run so that jobs matching match block until their
+// context is cancelled (fail-fast, per-job timeout, or interrupt), then
+// return the context's error — the behaviour of a well-behaved executor
+// stuck in an endless simulation. Pair with Config.JobTimeout to model
+// a hung job that the campaign must cut loose.
+func HangOn(run RunFunc, match func(Job) bool) RunFunc {
+	return func(ctx context.Context, j Job, reg *telemetry.Registry) (*dvfs.Result, error) {
+		if match(j) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		return run(ctx, j, reg)
+	}
+}
+
+// FlakyOn wraps run so that each matching job fails its first failures
+// attempts with a distinct transient error, then computes normally —
+// the shape retry-with-backoff exists for. Attempt counting is per job
+// key and safe for concurrent workers.
+func FlakyOn(run RunFunc, match func(Job) bool, failures int) RunFunc {
+	var mu sync.Mutex
+	attempts := map[string]int{}
+	return func(ctx context.Context, j Job, reg *telemetry.Registry) (*dvfs.Result, error) {
+		if match(j) {
+			mu.Lock()
+			n := attempts[j.Key()]
+			attempts[j.Key()] = n + 1
+			mu.Unlock()
+			if n < failures {
+				return nil, fmt.Errorf("orchestrate: injected transient failure %d/%d for job %s", n+1, failures, j)
+			}
+		}
+		return run(ctx, j, reg)
+	}
+}

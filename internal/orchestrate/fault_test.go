@@ -1,0 +1,282 @@
+package orchestrate
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pcstall/internal/dvfs"
+	"pcstall/internal/telemetry"
+)
+
+// matchApp matches jobs by workload name.
+func matchApp(name string) func(Job) bool {
+	return func(j Job) bool { return j.App == name }
+}
+
+// settleGoroutines waits for the goroutine count to drop back to base,
+// failing the test if it does not within two seconds.
+func settleGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d now, %d at baseline", runtime.NumGoroutine(), base)
+}
+
+// TestPanicIsolatedAndSlotReleased pins the panic contract: a panicking
+// job settles as an error carrying the stack instead of crashing the
+// process, and — with a single worker — the pool stays usable
+// afterwards, proving the slot was released on the panic path.
+func TestPanicIsolatedAndSlotReleased(t *testing.T) {
+	run, n := countingRun()
+	o, err := New(Config{Workers: 1, Run: PanicOn(run, matchApp("app1"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	_, err = o.RunJobs(context.Background(), []Job{testJob(1)})
+	if err == nil {
+		t.Fatal("panic swallowed")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %T: %v", err, err)
+	}
+	if !strings.Contains(string(pe.Stack), "goroutine") || !strings.Contains(err.Error(), "injected panic") {
+		t.Fatalf("panic error lost its stack or message: %v", err)
+	}
+	// The single worker slot must have been released by the deferred
+	// semaphore release; otherwise this batch deadlocks.
+	if _, err := o.RunJobs(context.Background(), []Job{testJob(2), testJob(3)}); err != nil {
+		t.Fatalf("pool unusable after panic: %v", err)
+	}
+	if *n != 2 {
+		t.Fatalf("executed %d jobs after the panic, want 2", *n)
+	}
+	st := o.Stats()
+	if st.Panics != 1 || st.Running != 0 {
+		t.Fatalf("stats after panic: %+v", st)
+	}
+}
+
+// TestHangingJobTimesOut pins the per-job timeout: a job that never
+// returns is cut loose after JobTimeout and settles as a deadline
+// error; the campaign fails fast instead of hanging forever.
+func TestHangingJobTimesOut(t *testing.T) {
+	base := runtime.NumGoroutine()
+	run, _ := countingRun()
+	o, err := New(Config{
+		Workers:    2,
+		JobTimeout: 30 * time.Millisecond,
+		Run:        HangOn(run, matchApp("app1")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	start := time.Now()
+	_, err = o.RunJobs(context.Background(), []Job{testJob(0), testJob(1), testJob(2)})
+	if err == nil {
+		t.Fatal("hung job settled without error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("want timeout error, got %v", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("campaign took %v despite 30ms job timeout", d)
+	}
+	st := o.Stats()
+	if st.Running != 0 || st.Completed+st.Cancelled != 3 {
+		t.Fatalf("jobs not settled: %+v", st)
+	}
+	settleGoroutines(t, base)
+}
+
+// TestCancelledJobsLeaveTheMemo pins resume semantics: a job abandoned
+// by campaign cancellation is forgotten, so a later submission of the
+// same key recomputes it instead of replaying the cancellation error.
+func TestCancelledJobsLeaveTheMemo(t *testing.T) {
+	base := runtime.NumGoroutine()
+	var hang atomic.Bool
+	hang.Store(true)
+	run, n := countingRun()
+	o, err := New(Config{Workers: 2, Run: HangOn(run, func(j Job) bool {
+		return j.App == "app1" && hang.Load()
+	})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, err = o.RunJobs(ctx, []Job{testJob(0), testJob(1)})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want cancellation, got %v", err)
+	}
+	st := o.Stats()
+	if st.Cancelled == 0 {
+		t.Fatalf("no job counted as cancelled: %+v", st)
+	}
+	// Resubmit with the hang cleared: the cancelled job must run afresh.
+	hang.Store(false)
+	before := *n
+	res, err := o.RunJobs(context.Background(), []Job{testJob(1)})
+	if err != nil {
+		t.Fatalf("cancelled job stayed poisoned in the memo: %v", err)
+	}
+	if res[0] == nil || *n != before+1 {
+		t.Fatalf("resubmitted job not recomputed (executions %d -> %d)", before, *n)
+	}
+	settleGoroutines(t, base)
+}
+
+// TestFlakyJobRetriesThenSucceeds pins retry-with-backoff: transient
+// failures are retried up to Config.Retries times and the campaign
+// still produces the result.
+func TestFlakyJobRetriesThenSucceeds(t *testing.T) {
+	run, n := countingRun()
+	o, err := New(Config{
+		Workers:      2,
+		Retries:      3,
+		RetryBackoff: time.Millisecond,
+		Run:          FlakyOn(run, matchApp("app1"), 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	res, err := o.RunJobs(context.Background(), []Job{testJob(0), testJob(1)})
+	if err != nil {
+		t.Fatalf("flaky job not retried to success: %v", err)
+	}
+	if res[1] == nil || res[1].Totals.Committed != 42 {
+		t.Fatalf("flaky job result wrong: %+v", res[1])
+	}
+	if *n != 2 {
+		t.Fatalf("real executions %d, want 2 (failures are injected before the run)", *n)
+	}
+	if st := o.Stats(); st.Retries != 2 {
+		t.Fatalf("retries counted %d, want 2: %+v", st.Retries, st)
+	}
+}
+
+// TestFlakyJobExhaustsRetries pins the retry bound: a job that keeps
+// failing settles with its error, annotated with the attempt count.
+func TestFlakyJobExhaustsRetries(t *testing.T) {
+	run, _ := countingRun()
+	o, err := New(Config{
+		Workers:      1,
+		Retries:      1,
+		RetryBackoff: time.Millisecond,
+		Run:          FlakyOn(run, matchApp("app0"), 100),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	_, err = o.RunJobs(context.Background(), []Job{testJob(0)})
+	if err == nil {
+		t.Fatal("permanently failing job settled clean")
+	}
+	if !strings.Contains(err.Error(), "after 2 attempts") || !strings.Contains(err.Error(), "injected transient failure") {
+		t.Fatalf("want attempt-annotated transient error, got %v", err)
+	}
+	if st := o.Stats(); st.Retries != 1 {
+		t.Fatalf("retries counted %d, want 1", st.Retries)
+	}
+}
+
+// TestFailFastCancelsInFlightAndQueued pins the tentpole behaviour: one
+// failing job aborts the whole batch promptly — hanging peers are wound
+// down through their context and queued peers never start — instead of
+// the batch waiting for every straggler. The first job to reach a
+// worker slot fails; every other job hangs until cancelled, so without
+// fail-fast this test would block forever.
+func TestFailFastCancelsInFlightAndQueued(t *testing.T) {
+	base := runtime.NumGoroutine()
+	var started int64
+	o, err := New(Config{Workers: 2, Run: func(ctx context.Context, j Job, _ *telemetry.Registry) (*dvfs.Result, error) {
+		if atomic.AddInt64(&started, 1) == 1 {
+			return nil, errors.New("boom: first job to run fails")
+		}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	jobs := make([]Job, 12)
+	for i := range jobs {
+		jobs[i] = testJob(i)
+	}
+	start := time.Now()
+	_, err = o.RunJobs(context.Background(), jobs)
+	if err == nil {
+		t.Fatal("batch settled clean")
+	}
+	if !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("root cause not reported: %v", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("fail-fast took %v", d)
+	}
+	st := o.Stats()
+	if st.Running != 0 {
+		t.Fatalf("workers still marked running: %+v", st)
+	}
+	// Exactly one job completed (the failure); everything else — the
+	// hanging peer(s) in flight and the whole queue — was cancelled.
+	if st.Completed != 1 || st.Cancelled != 11 {
+		t.Fatalf("settled %d completed + %d cancelled of 12: %+v", st.Completed, st.Cancelled, st)
+	}
+	settleGoroutines(t, base)
+}
+
+// TestFaultTelemetryCounters checks the robustness counters land on the
+// campaign registry alongside the existing pool metrics.
+func TestFaultTelemetryCounters(t *testing.T) {
+	reg := telemetry.New()
+	run, _ := countingRun()
+	o, err := New(Config{
+		Workers:      2,
+		Retries:      2,
+		RetryBackoff: time.Millisecond,
+		Metrics:      reg,
+		Run:          FlakyOn(PanicOn(run, matchApp("app2")), matchApp("app1"), 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	if _, err := o.RunJobs(context.Background(), []Job{testJob(0), testJob(1)}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = o.RunJobs(context.Background(), []Job{testJob(2)})
+	if err == nil {
+		t.Fatal("panic swallowed")
+	}
+	s := reg.Snapshot()
+	if s.Counters["orchestrate_job_retries_total"] != 1 {
+		t.Fatalf("retry counter %d, want 1", s.Counters["orchestrate_job_retries_total"])
+	}
+	if s.Counters["orchestrate_job_panics_total"] != 1 {
+		t.Fatalf("panic counter %d, want 1", s.Counters["orchestrate_job_panics_total"])
+	}
+	if s.Counters["orchestrate_job_errors_total"] != 1 {
+		t.Fatalf("error counter %d, want 1", s.Counters["orchestrate_job_errors_total"])
+	}
+}

@@ -22,6 +22,11 @@ type ManifestEntry struct {
 	Source string `json:"source"`
 	// DurationMS is the job's wall-clock compute time (0 when cached).
 	DurationMS float64 `json:"duration_ms"`
+	// Error records why a computed job settled without a result (timeout,
+	// recovered panic, exhausted retries). Cancelled jobs never appear in
+	// the manifest at all: they are forgotten so a resumed campaign
+	// recomputes them.
+	Error string `json:"error,omitempty"`
 	// Metrics is the job's private telemetry snapshot (simulation
 	// counters, prediction error, oracle fork costs), present only for
 	// computed jobs in campaigns with Config.Metrics attached.

@@ -1,8 +1,11 @@
 package orchestrate
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -13,11 +16,29 @@ import (
 // RunFunc computes one job. It must be a pure function of the Job (given
 // a fixed simulator version): the orchestrator calls it from worker
 // goroutines and caches what it returns. It must not retain or mutate
-// shared state. The registry is the job's private telemetry sink (nil
-// when Config.Metrics is unset); executors thread it into the run so
-// per-job metric snapshots land on the manifest — recording into it must
-// never change the returned result.
-type RunFunc func(Job, *telemetry.Registry) (*dvfs.Result, error)
+// shared state. The context is the job's cancellation signal — it is
+// cancelled when the campaign fails fast, times out this job, or is
+// interrupted — and well-behaved executors check it at every epoch
+// boundary (dvfs.RunConfig.Ctx) and return ctx.Err() promptly. The
+// registry is the job's private telemetry sink (nil when Config.Metrics
+// is unset); executors thread it into the run so per-job metric
+// snapshots land on the manifest — recording into it must never change
+// the returned result.
+type RunFunc func(ctx context.Context, j Job, reg *telemetry.Registry) (*dvfs.Result, error)
+
+// PanicError is what a job that panicked settles with: the recovered
+// value plus the goroutine stack at the panic site. Panics are never
+// retried (a panic is a bug, not a transient fault) and never crash the
+// campaign process; they fail the job and, through fail-fast, cancel the
+// rest of the batch.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("job panicked: %v\n%s", e.Value, e.Stack)
+}
 
 // Config shapes an Orchestrator.
 type Config struct {
@@ -34,6 +55,22 @@ type Config struct {
 	NoCache bool
 	// Run executes one job; required.
 	Run RunFunc
+	// JobTimeout bounds each attempt of each executed job (0 = no
+	// bound). A cooperative RunFunc (one that honours its context)
+	// returns promptly when the deadline fires; a RunFunc that ignores
+	// its context is abandoned — its goroutine keeps running until it
+	// returns, but the job settles with a timeout error and the worker
+	// slot is handed to the next job.
+	JobTimeout time.Duration
+	// Retries is how many times a failed attempt is retried before the
+	// job settles with its error. Retries target transient faults (disk
+	// hiccups, injected flakiness); panics and campaign cancellation are
+	// never retried. 0 disables retry.
+	Retries int
+	// RetryBackoff is the delay before the first retry, doubling each
+	// subsequent one (default 100ms). The backoff sleep aborts early if
+	// the campaign is cancelled.
+	RetryBackoff time.Duration
 	// Progress, when non-nil, receives a Stats snapshot every
 	// ProgressEvery (default 2s) while jobs are in flight, and once more
 	// on Close.
@@ -59,6 +96,11 @@ type Stats struct {
 	// duplicates; MemHits + DiskHits + Misses accounts for all settled
 	// lookups.
 	Submissions, MemHits, DiskHits, Misses int
+	// Retries counts retried attempts, Panics jobs that settled with a
+	// recovered panic, and Cancelled jobs abandoned by fail-fast or an
+	// interrupted campaign (cancelled jobs leave the memo so a resumed
+	// campaign recomputes them).
+	Retries, Panics, Cancelled int
 	// JobTime is summed per-job compute time; Elapsed is wall time since
 	// the orchestrator was created. JobTime/Elapsed ≈ realized speedup.
 	JobTime, Elapsed time.Duration
@@ -66,10 +108,14 @@ type Stats struct {
 
 // String renders the periodic progress line.
 func (s Stats) String() string {
-	return fmt.Sprintf("orchestrate: %d/%d jobs done (%d running, %d queued), cache %d mem + %d disk hits / %d misses, %d workers, %s elapsed",
+	line := fmt.Sprintf("orchestrate: %d/%d jobs done (%d running, %d queued), cache %d mem + %d disk hits / %d misses, %d workers, %s elapsed",
 		s.Completed, s.Unique, s.Running, s.Queued,
 		s.MemHits, s.DiskHits, s.Misses, s.Workers,
 		s.Elapsed.Round(time.Millisecond))
+	if s.Retries > 0 || s.Panics > 0 || s.Cancelled > 0 {
+		line += fmt.Sprintf(", %d retries, %d panics, %d cancelled", s.Retries, s.Panics, s.Cancelled)
+	}
+	return line
 }
 
 // future is one in-flight or settled job computation.
@@ -82,13 +128,16 @@ type future struct {
 // Orchestrator shards jobs across a bounded worker pool with a
 // content-addressed result cache. Methods are safe for concurrent use.
 type Orchestrator struct {
-	run     RunFunc
-	workers int
-	noCache bool
-	cache   *Cache
-	sem     chan struct{}
-	created time.Time
-	tele    *orchTelemetry
+	run          RunFunc
+	workers      int
+	noCache      bool
+	cache        *Cache
+	sem          chan struct{}
+	created      time.Time
+	tele         *orchTelemetry
+	jobTimeout   time.Duration
+	retries      int
+	retryBackoff time.Duration
 
 	mu          sync.Mutex
 	memo        map[string]*future
@@ -99,6 +148,9 @@ type Orchestrator struct {
 	memHits     int
 	diskHits    int
 	misses      int
+	retried     int
+	panicked    int
+	cancelled   int
 	jobTime     time.Duration
 
 	progressStop chan struct{}
@@ -117,14 +169,21 @@ func New(cfg Config) (*Orchestrator, error) {
 	if w <= 0 {
 		w = runtime.NumCPU()
 	}
+	backoff := cfg.RetryBackoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
 	o := &Orchestrator{
-		run:     cfg.Run,
-		workers: w,
-		noCache: cfg.NoCache,
-		sem:     make(chan struct{}, w),
-		created: time.Now(),
-		memo:    map[string]*future{},
-		tele:    newOrchTelemetry(cfg.Metrics),
+		run:          cfg.Run,
+		workers:      w,
+		noCache:      cfg.NoCache,
+		sem:          make(chan struct{}, w),
+		created:      time.Now(),
+		memo:         map[string]*future{},
+		tele:         newOrchTelemetry(cfg.Metrics),
+		jobTimeout:   cfg.JobTimeout,
+		retries:      cfg.Retries,
+		retryBackoff: backoff,
 	}
 	if cfg.CacheDir != "" && !cfg.NoCache {
 		c, err := OpenCache(cfg.CacheDir)
@@ -132,6 +191,9 @@ func New(cfg Config) (*Orchestrator, error) {
 			return nil, err
 		}
 		o.cache = c
+		if c.Repaired() && o.tele != nil {
+			o.tele.cacheRepairs.Inc()
+		}
 	}
 	if cfg.Progress != nil {
 		every := cfg.ProgressEvery
@@ -172,29 +234,75 @@ func (o *Orchestrator) Stats() Stats {
 		MemHits:     o.memHits,
 		DiskHits:    o.diskHits,
 		Misses:      o.misses,
+		Retries:     o.retried,
+		Panics:      o.panicked,
+		Cancelled:   o.cancelled,
 		JobTime:     o.jobTime,
 		Elapsed:     time.Since(o.created),
 	}
 }
 
+// isCancellation reports whether err is campaign cancellation (as
+// opposed to a job failing on its own).
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled)
+}
+
 // RunJobs executes jobs through the pool and returns results in job
 // order regardless of completion order. Duplicate keys — within the
-// batch or across earlier calls — are computed once and shared. On
-// error, the first failing job (in job order) is reported after every
-// job has settled, so no goroutines are left running.
-func (o *Orchestrator) RunJobs(jobs []Job) ([]*dvfs.Result, error) {
+// batch or across earlier calls — are computed once and shared.
+//
+// Failure is fail-fast: the first job to settle with an error cancels
+// the batch context, which aborts queued jobs and (through the
+// per-epoch check in dvfs.Run) winds down in-flight ones; RunJobs still
+// waits for every job to settle before returning, so no goroutines are
+// left running. The reported error is the first non-cancellation error
+// in job order (the root cause, not the collateral cancellations).
+// Jobs cancelled this way — or by ctx — are removed from the memo and
+// never written to the cache or manifest, so a later call (or a resumed
+// campaign) recomputes exactly the missing work.
+func (o *Orchestrator) RunJobs(ctx context.Context, jobs []Job) ([]*dvfs.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	futs := make([]*future, len(jobs))
 	for i, j := range jobs {
-		futs[i] = o.submit(j)
+		futs[i] = o.submit(bctx, j)
+	}
+	// Fail-fast watchers: duplicates share futures, watch each once.
+	watched := make(map[*future]bool, len(futs))
+	for _, f := range futs {
+		if watched[f] {
+			continue
+		}
+		watched[f] = true
+		go func(f *future) {
+			<-f.done
+			if f.err != nil {
+				cancel()
+			}
+		}(f)
 	}
 	out := make([]*dvfs.Result, len(jobs))
-	var firstErr error
+	var firstErr, firstCancel error
 	for i, f := range futs {
 		<-f.done
-		if f.err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("orchestrate: job %s: %w", jobs[i].String(), f.err)
+		if f.err != nil {
+			wrapped := fmt.Errorf("orchestrate: job %s: %w", jobs[i].String(), f.err)
+			if isCancellation(f.err) {
+				if firstCancel == nil {
+					firstCancel = wrapped
+				}
+			} else if firstErr == nil {
+				firstErr = wrapped
+			}
 		}
 		out[i] = f.res
+	}
+	if firstErr == nil {
+		firstErr = firstCancel
 	}
 	if firstErr != nil {
 		return nil, firstErr
@@ -204,7 +312,7 @@ func (o *Orchestrator) RunJobs(jobs []Job) ([]*dvfs.Result, error) {
 
 // submit routes one job to its future, creating (and scheduling) it on
 // first sight of the key.
-func (o *Orchestrator) submit(j Job) *future {
+func (o *Orchestrator) submit(ctx context.Context, j Job) *future {
 	key := j.Key()
 	o.mu.Lock()
 	o.submissions++
@@ -220,12 +328,34 @@ func (o *Orchestrator) submit(j Job) *future {
 	o.memo[key] = f
 	o.updateGauges()
 	o.mu.Unlock()
-	go o.exec(j, key, f)
+	go o.exec(ctx, j, key, f)
 	return f
 }
 
+// settleCancelled records a job abandoned by cancellation: it settles
+// the future with err but forgets the key, so a later submission (or a
+// resumed campaign reading the disk cache) recomputes it. Cancelled
+// jobs never reach the cache or the manifest. Callers must not hold
+// o.mu; close(f.done) remains the caller's (deferred) responsibility.
+func (o *Orchestrator) settleCancelled(key string, f *future, err error, wasRunning bool) {
+	f.err = err
+	o.mu.Lock()
+	if o.memo[key] == f {
+		delete(o.memo, key)
+	}
+	if wasRunning {
+		o.running--
+	}
+	o.cancelled++
+	o.updateGauges()
+	o.mu.Unlock()
+	if o.tele != nil {
+		o.tele.cancellations.Inc()
+	}
+}
+
 // exec settles one future: disk-cache lookup, else a pooled run.
-func (o *Orchestrator) exec(j Job, key string, f *future) {
+func (o *Orchestrator) exec(ctx context.Context, j Job, key string, f *future) {
 	defer close(f.done)
 	if o.cache != nil {
 		var getSpan telemetry.Span
@@ -253,8 +383,22 @@ func (o *Orchestrator) exec(j Job, key string, f *future) {
 	if o.tele != nil {
 		queueSpan = telemetry.StartSpan(o.tele.queueWait)
 	}
-	o.sem <- struct{}{}
+	// Acquire a worker slot — or give up if the campaign is cancelled
+	// while this job is still queued.
+	select {
+	case o.sem <- struct{}{}:
+	case <-ctx.Done():
+		queueSpan.End()
+		o.settleCancelled(key, f, ctx.Err(), false)
+		return
+	}
 	queueSpan.End()
+	// The slot is released via defer so that no path out of the attempt
+	// loop — error, cancellation, or a recovered panic — can shrink the
+	// pool. (The release now covers the cache write too; that write is
+	// memory-speed next to a simulation, so holding the slot over it is
+	// immaterial.)
+	defer func() { <-o.sem }()
 	o.mu.Lock()
 	o.running++
 	o.updateGauges()
@@ -263,23 +407,30 @@ func (o *Orchestrator) exec(j Job, key string, f *future) {
 	// never confound each other's snapshots; the snapshot is merged into
 	// the campaign registry once the job settles.
 	var jobReg *telemetry.Registry
-	var runSpan telemetry.Span
 	if o.tele != nil {
 		jobReg = telemetry.New()
-		runSpan = telemetry.StartSpan(o.tele.runPhase)
 	}
 	start := time.Now()
-	r, err := o.run(j, jobReg)
+	r, err := o.runAttempts(ctx, j, jobReg)
 	dur := time.Since(start)
-	runSpan.End()
-	<-o.sem
+	if err != nil && isCancellation(err) && ctx.Err() != nil {
+		// Cancelled out from under the job (fail-fast or interrupt), not
+		// a failure of the job itself.
+		o.settleCancelled(key, f, err, true)
+		return
+	}
 	if err == nil && o.cache != nil {
 		var putSpan telemetry.Span
 		if o.tele != nil {
 			putSpan = telemetry.StartSpan(o.tele.cachePut)
 		}
 		if perr := o.cache.Put(key, j, r); perr != nil {
-			err = perr
+			// Persistence is best-effort: the computed result stands, the
+			// failure is counted, and the cache has disabled further disk
+			// writes for this run (the in-memory layer stays warm).
+			if o.tele != nil {
+				o.tele.cacheWriteFails.Inc()
+			}
 		}
 		putSpan.End()
 	}
@@ -287,6 +438,9 @@ func (o *Orchestrator) exec(j Job, key string, f *future) {
 	entry := ManifestEntry{
 		Key: key, Job: j, Source: "run",
 		DurationMS: float64(dur) / float64(time.Millisecond),
+	}
+	if err != nil {
+		entry.Error = err.Error()
 	}
 	if o.tele != nil {
 		snap := jobReg.Snapshot()
@@ -306,6 +460,100 @@ func (o *Orchestrator) exec(j Job, key string, f *future) {
 	o.entries = append(o.entries, entry)
 	o.updateGauges()
 	o.mu.Unlock()
+}
+
+// runAttempts drives the retry loop around runOnce: transient failures
+// are retried up to Config.Retries times with doubling backoff; panics
+// and campaign cancellation settle immediately.
+func (o *Orchestrator) runAttempts(ctx context.Context, j Job, reg *telemetry.Registry) (*dvfs.Result, error) {
+	backoff := o.retryBackoff
+	for attempt := 0; ; attempt++ {
+		r, err := o.runOnce(ctx, j, reg)
+		if err == nil {
+			return r, nil
+		}
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			o.mu.Lock()
+			o.panicked++
+			o.mu.Unlock()
+			if o.tele != nil {
+				o.tele.panics.Inc()
+			}
+			return nil, err
+		}
+		if isCancellation(err) && ctx.Err() != nil {
+			return nil, err
+		}
+		if attempt >= o.retries || ctx.Err() != nil {
+			if attempt > 0 {
+				err = fmt.Errorf("after %d attempts: %w", attempt+1, err)
+			}
+			return nil, err
+		}
+		o.mu.Lock()
+		o.retried++
+		o.mu.Unlock()
+		if o.tele != nil {
+			o.tele.retries.Inc()
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		backoff *= 2
+	}
+}
+
+// runOnce executes one attempt of the job under the per-job timeout,
+// with panic isolation. The RunFunc runs on its own goroutine: a panic
+// there is recovered into a *PanicError (stack attached) instead of
+// crashing the process, and an attempt that outlives its deadline is
+// abandoned — the buffered channel lets the stray goroutine deliver its
+// ignored outcome and exit, so a cooperative RunFunc leaks nothing.
+func (o *Orchestrator) runOnce(ctx context.Context, j Job, reg *telemetry.Registry) (*dvfs.Result, error) {
+	actx := ctx
+	if o.jobTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, o.jobTimeout)
+		defer cancel()
+	}
+	type outcome struct {
+		r   *dvfs.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- outcome{err: &PanicError{Value: p, Stack: debug.Stack()}}
+			}
+		}()
+		r, err := o.run(actx, j, reg)
+		ch <- outcome{r, err}
+	}()
+	var runSpan telemetry.Span
+	if o.tele != nil {
+		runSpan = telemetry.StartSpan(o.tele.runPhase)
+	}
+	select {
+	case out := <-ch:
+		runSpan.End()
+		// A cooperative RunFunc surfaces the attempt deadline itself;
+		// normalize it to the same shape as the abandoned-attempt path.
+		if out.err != nil && errors.Is(out.err, context.DeadlineExceeded) && actx.Err() != nil && ctx.Err() == nil {
+			return nil, fmt.Errorf("timed out after %v: %w", o.jobTimeout, out.err)
+		}
+		return out.r, out.err
+	case <-actx.Done():
+		runSpan.End()
+		err := actx.Err()
+		if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+			return nil, fmt.Errorf("timed out after %v: %w", o.jobTimeout, err)
+		}
+		return nil, err
+	}
 }
 
 // Close stops the progress loop and releases the cache append handle.

@@ -1,8 +1,10 @@
 package orchestrate
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -25,7 +27,7 @@ func testJob(i int) Job {
 // job's identity, plus the number of real executions.
 func countingRun() (RunFunc, *int64) {
 	var n int64
-	return func(j Job, reg *telemetry.Registry) (*dvfs.Result, error) {
+	return func(_ context.Context, j Job, reg *telemetry.Registry) (*dvfs.Result, error) {
 		atomic.AddInt64(&n, 1)
 		reg.Counter("test_runs_total", "runs executed by the fake").Inc()
 		return &dvfs.Result{
@@ -67,7 +69,7 @@ func TestRunJobsDeterministicOrder(t *testing.T) {
 	for i := range jobs {
 		jobs[i] = testJob(i)
 	}
-	res, err := o.RunJobs(jobs)
+	res, err := o.RunJobs(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +91,7 @@ func TestMemoDeduplicates(t *testing.T) {
 	}
 	defer o.Close()
 	jobs := []Job{testJob(0), testJob(1), testJob(0), testJob(1), testJob(0)}
-	res, err := o.RunJobs(jobs)
+	res, err := o.RunJobs(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +102,7 @@ func TestMemoDeduplicates(t *testing.T) {
 		t.Fatal("duplicate jobs did not share a result pointer")
 	}
 	// A later batch reuses earlier results.
-	if _, err := o.RunJobs([]Job{testJob(0)}); err != nil {
+	if _, err := o.RunJobs(context.Background(), []Job{testJob(0)}); err != nil {
 		t.Fatal(err)
 	}
 	if *n != 2 {
@@ -113,7 +115,7 @@ func TestMemoDeduplicates(t *testing.T) {
 }
 
 func TestErrorPropagatesAfterSettling(t *testing.T) {
-	o, err := New(Config{Workers: 2, Run: func(j Job, _ *telemetry.Registry) (*dvfs.Result, error) {
+	o, err := New(Config{Workers: 2, Run: func(_ context.Context, j Job, _ *telemetry.Registry) (*dvfs.Result, error) {
 		if j.App == "app1" {
 			return nil, fmt.Errorf("boom")
 		}
@@ -123,19 +125,25 @@ func TestErrorPropagatesAfterSettling(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer o.Close()
-	_, err = o.RunJobs([]Job{testJob(0), testJob(1), testJob(2)})
+	_, err = o.RunJobs(context.Background(), []Job{testJob(0), testJob(1), testJob(2)})
 	if err == nil {
 		t.Fatal("error swallowed")
 	}
+	// The root cause is reported, not a collateral fail-fast cancellation.
+	if got := err.Error(); !strings.Contains(got, "boom") {
+		t.Fatalf("want root-cause error, got %v", err)
+	}
+	// Every job settled: computed, failed, or cancelled by fail-fast (a
+	// cancelled job leaves the memo so a retry recomputes it).
 	st := o.Stats()
-	if st.Completed != 3 || st.Running != 0 {
+	if st.Running != 0 || st.Completed+st.Cancelled != 3 {
 		t.Fatalf("jobs not settled: %+v", st)
 	}
 }
 
 func TestWorkerBoundRespected(t *testing.T) {
 	var cur, peak int64
-	o, err := New(Config{Workers: 3, Run: func(Job, *telemetry.Registry) (*dvfs.Result, error) {
+	o, err := New(Config{Workers: 3, Run: func(context.Context, Job, *telemetry.Registry) (*dvfs.Result, error) {
 		c := atomic.AddInt64(&cur, 1)
 		for {
 			p := atomic.LoadInt64(&peak)
@@ -155,7 +163,7 @@ func TestWorkerBoundRespected(t *testing.T) {
 	for i := range jobs {
 		jobs[i] = testJob(i)
 	}
-	if _, err := o.RunJobs(jobs); err != nil {
+	if _, err := o.RunJobs(context.Background(), jobs); err != nil {
 		t.Fatal(err)
 	}
 	if p := atomic.LoadInt64(&peak); p > 3 {
@@ -175,7 +183,7 @@ func TestDiskCacheWarmRerun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cold, err := o.RunJobs(jobs)
+	cold, err := o.RunJobs(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +200,7 @@ func TestDiskCacheWarmRerun(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer o2.Close()
-	warm, err := o2.RunJobs(jobs)
+	warm, err := o2.RunJobs(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +225,7 @@ func TestDiskCacheWarmRerun(t *testing.T) {
 
 	// A sim-version bump must miss every stale entry.
 	var n3 int64
-	o3, err := New(Config{Workers: 4, CacheDir: dir, Run: func(j Job, _ *telemetry.Registry) (*dvfs.Result, error) {
+	o3, err := New(Config{Workers: 4, CacheDir: dir, Run: func(_ context.Context, j Job, _ *telemetry.Registry) (*dvfs.Result, error) {
 		atomic.AddInt64(&n3, 1)
 		return &dvfs.Result{}, nil
 	}})
@@ -230,7 +238,7 @@ func TestDiskCacheWarmRerun(t *testing.T) {
 	for i := range bumped {
 		bumped[i].SimVersion = "pcstall-sim-v2-test"
 	}
-	if _, err := o3.RunJobs(bumped); err != nil {
+	if _, err := o3.RunJobs(context.Background(), bumped); err != nil {
 		t.Fatal(err)
 	}
 	if n3 != 20 {
@@ -246,7 +254,7 @@ func TestNoCacheSkipsDisk(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer o.Close()
-	if _, err := o.RunJobs([]Job{testJob(0)}); err != nil {
+	if _, err := o.RunJobs(context.Background(), []Job{testJob(0)}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := filepath.Glob(filepath.Join(dir, "*")); err != nil {
@@ -265,7 +273,7 @@ func TestManifestShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer o.Close()
-	if _, err := o.RunJobs([]Job{testJob(0), testJob(1), testJob(0)}); err != nil {
+	if _, err := o.RunJobs(context.Background(), []Job{testJob(0), testJob(1), testJob(0)}); err != nil {
 		t.Fatal(err)
 	}
 	m := o.Manifest()
@@ -299,7 +307,7 @@ func TestProgressCallback(t *testing.T) {
 	for i := range jobs {
 		jobs[i] = testJob(i)
 	}
-	if _, err := o.RunJobs(jobs); err != nil {
+	if _, err := o.RunJobs(context.Background(), jobs); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(5 * time.Millisecond)
@@ -319,7 +327,7 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Fatal("missing RunFunc accepted")
 	}
-	o, err := New(Config{Run: func(Job, *telemetry.Registry) (*dvfs.Result, error) { return nil, nil }})
+	o, err := New(Config{Run: func(context.Context, Job, *telemetry.Registry) (*dvfs.Result, error) { return nil, nil }})
 	if err != nil {
 		t.Fatal(err)
 	}

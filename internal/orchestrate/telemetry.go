@@ -17,6 +17,12 @@ type orchTelemetry struct {
 	misses        *telemetry.Counter
 	errors        *telemetry.Counter
 
+	retries         *telemetry.Counter
+	panics          *telemetry.Counter
+	cancellations   *telemetry.Counter
+	cacheWriteFails *telemetry.Counter
+	cacheRepairs    *telemetry.Counter
+
 	running    *telemetry.Gauge
 	queueDepth *telemetry.Gauge
 
@@ -38,12 +44,18 @@ func newOrchTelemetry(r *telemetry.Registry) *orchTelemetry {
 		diskHits:      r.Counter("orchestrate_cache_disk_hits_total", "submissions answered by the cache directory"),
 		misses:        r.Counter("orchestrate_cache_misses_total", "submissions that ran a simulation"),
 		errors:        r.Counter("orchestrate_job_errors_total", "jobs that settled with an error"),
-		running:       r.Gauge("orchestrate_jobs_running", "jobs holding a worker slot now"),
-		queueDepth:    r.Gauge("orchestrate_queue_depth", "jobs scheduled but not yet running or settled"),
-		queueWait:     r.Phase("orchestrate_job_queue_wait"),
-		runPhase:      r.Phase("orchestrate_job_run"),
-		cacheGet:      r.Phase("orchestrate_cache_get"),
-		cachePut:      r.Phase("orchestrate_cache_put"),
+		retries:       r.Counter("orchestrate_job_retries_total", "job attempts retried after a transient failure"),
+		panics:        r.Counter("orchestrate_job_panics_total", "jobs that settled with a recovered panic"),
+		cancellations: r.Counter("orchestrate_jobs_cancelled_total", "jobs abandoned by fail-fast or campaign interruption"),
+		cacheWriteFails: r.Counter("orchestrate_cache_write_failures_total",
+			"result-cache persistence failures (disk writes disabled for the rest of the run)"),
+		cacheRepairs: r.Counter("orchestrate_cache_repairs_total", "cache files truncate-repaired after a corrupt tail"),
+		running:      r.Gauge("orchestrate_jobs_running", "jobs holding a worker slot now"),
+		queueDepth:   r.Gauge("orchestrate_queue_depth", "jobs scheduled but not yet running or settled"),
+		queueWait:    r.Phase("orchestrate_job_queue_wait"),
+		runPhase:     r.Phase("orchestrate_job_run"),
+		cacheGet:     r.Phase("orchestrate_cache_get"),
+		cachePut:     r.Phase("orchestrate_cache_put"),
 	}
 }
 

@@ -1,6 +1,7 @@
 package orchestrate
 
 import (
+	"context"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -40,7 +41,7 @@ func TestProgressFinalFiresOnceOnClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := o.RunJobs([]Job{testJob(0), testJob(1)}); err != nil {
+	if _, err := o.RunJobs(context.Background(), []Job{testJob(0), testJob(1)}); err != nil {
 		t.Fatal(err)
 	}
 	if n := atomic.LoadInt64(&calls); n != 0 {
@@ -73,7 +74,7 @@ func TestCloseStopsProgressGoroutine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := o.RunJobs([]Job{testJob(0)}); err != nil {
+	if _, err := o.RunJobs(context.Background(), []Job{testJob(0)}); err != nil {
 		t.Fatal(err)
 	}
 	if err := o.Close(); err != nil {
@@ -97,7 +98,7 @@ func TestCampaignTelemetry(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer o.Close()
-	if _, err := o.RunJobs([]Job{testJob(0), testJob(1), testJob(0)}); err != nil {
+	if _, err := o.RunJobs(context.Background(), []Job{testJob(0), testJob(1), testJob(0)}); err != nil {
 		t.Fatal(err)
 	}
 	s := reg.Snapshot()
@@ -139,7 +140,7 @@ func TestCampaignTelemetryDiskHits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := o.RunJobs([]Job{testJob(0), testJob(1)}); err != nil {
+	if _, err := o.RunJobs(context.Background(), []Job{testJob(0), testJob(1)}); err != nil {
 		t.Fatal(err)
 	}
 	if err := o.Close(); err != nil {
@@ -152,7 +153,7 @@ func TestCampaignTelemetryDiskHits(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer o2.Close()
-	if _, err := o2.RunJobs([]Job{testJob(0), testJob(1)}); err != nil {
+	if _, err := o2.RunJobs(context.Background(), []Job{testJob(0), testJob(1)}); err != nil {
 		t.Fatal(err)
 	}
 	s := reg.Snapshot()
@@ -180,7 +181,7 @@ func TestTelemetryDisabledLeavesNoTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer o.Close()
-	if _, err := o.RunJobs([]Job{testJob(0)}); err != nil {
+	if _, err := o.RunJobs(context.Background(), []Job{testJob(0)}); err != nil {
 		t.Fatal(err)
 	}
 	m := o.Manifest()

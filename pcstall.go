@@ -20,6 +20,7 @@
 package pcstall
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -104,6 +105,10 @@ type Config struct {
 	// stall accounting, prediction error — see internal/telemetry).
 	// Recording never alters results; nil costs nothing on hot paths.
 	Metrics *Metrics
+	// Ctx, when non-nil, cancels the run at the next epoch boundary: the
+	// run returns its partial Result (Truncated set) and a wrapped
+	// context error. nil means the run cannot be interrupted.
+	Ctx context.Context
 }
 
 // DefaultConfig returns a platform with numCUs compute units, per-CU V/f
@@ -179,6 +184,7 @@ func RunDesign(app string, d Design, cfg Config) (Result, error) {
 		Trace:   cfg.Trace,
 		Thermal: cfg.Thermal,
 		Metrics: cfg.Metrics,
+		Ctx:     cfg.Ctx,
 	})
 }
 

@@ -28,6 +28,42 @@ go test ./...
 echo "==> go test -race (concurrent packages)"
 go test -race ./internal/telemetry ./internal/orchestrate ./internal/trace ./internal/exp
 
+echo "==> kill-resume smoke (SIGINT mid-campaign, -resume, byte-identical output)"
+# A campaign killed mid-flight must drain gracefully (completed results
+# flushed to the cache, cancelled jobs excluded) and a -resume rerun must
+# recompute only the missing jobs and print byte-identical figures.
+smoke=$(mktemp -d)
+trap 'rm -rf "$smoke"' EXIT
+go build -o "$smoke/pcstall-exp" ./cmd/pcstall-exp
+smoke_flags="-cus 4 -scale 0.3 -apps comd,hpgmg -j 2"
+# Reference: the same campaign run cold to completion.
+"$smoke/pcstall-exp" $smoke_flags -cache-dir "$smoke/ref" 1a > "$smoke/ref.out" 2> "$smoke/ref.err"
+# Interrupted run: fresh cache dir, SIGINT one second in.
+"$smoke/pcstall-exp" $smoke_flags -cache-dir "$smoke/kill" 1a > "$smoke/kill.out" 2> "$smoke/kill.err" &
+kill_pid=$!
+sleep 1
+kill -INT "$kill_pid" 2>/dev/null || true
+kill_status=0
+wait "$kill_pid" || kill_status=$?
+if [ "$kill_status" = 130 ]; then
+	if [ ! -s "$smoke/kill/results.jsonl" ]; then
+		echo "kill-resume smoke: drain flushed no completed results" >&2
+		cat "$smoke/kill.err" >&2
+		exit 1
+	fi
+else
+	# The campaign outran the signal on this machine; the resume below
+	# then just replays a complete cache, which must still be identical.
+	echo "    note: campaign finished before SIGINT landed (status $kill_status)"
+fi
+"$smoke/pcstall-exp" $smoke_flags -cache-dir "$smoke/kill" -resume 1a > "$smoke/resume.out" 2> "$smoke/resume.err"
+if ! cmp -s "$smoke/ref.out" "$smoke/resume.out"; then
+	echo "kill-resume smoke: resumed output differs from cold reference" >&2
+	diff "$smoke/ref.out" "$smoke/resume.out" >&2 || true
+	exit 1
+fi
+echo "    resumed campaign output byte-identical to cold run"
+
 echo "==> bench smoke (telemetry-off runner vs BENCH_telemetry.json)"
 # The disabled-telemetry path is the one every simulation pays. Absolute
 # ns/op is useless on this shared box (machine speed drifts 30% between
