@@ -6,6 +6,9 @@
 //
 // Each id is a figure or table identifier: 1a 1b 5 6 7a 7b 8 10 11a 11b
 // t1 t2 t3 14 15 16 17 18a 18b, or "all". With no ids it prints the list.
+// "f1" (the fault-injection robustness sweep) runs only when named
+// explicitly — it is this reproduction's own study, not a paper figure,
+// so "all" keeps producing exactly the paper's artifact set.
 //
 // Independent simulation runs are sharded across -j workers (default:
 // all CPUs) and cached: with -cache-dir, results persist as JSONL and a
@@ -33,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"pcstall/internal/chaos"
 	"pcstall/internal/clock"
 	"pcstall/internal/exp"
 	"pcstall/internal/orchestrate"
@@ -58,6 +62,8 @@ func main() {
 	jobTimeout := flag.Duration("timeout", 0, "per-job timeout (e.g. 5m); a hung simulation fails instead of stalling the campaign (0 = none)")
 	retries := flag.Int("retries", 0, "retries per failed job (transient faults, with doubling backoff; panics are never retried)")
 	resume := flag.Bool("resume", false, "resume an interrupted campaign from -cache-dir: only jobs missing from the result cache are recomputed")
+	chaosSpec := flag.String("chaos", "", "fault-injection spec applied to every job, e.g. 'noise=0.1,seed=7' or 'level=0.2' (participates in cache keys)")
+	maxCycles := flag.Int64("max-cycles", 0, "per-run CU-cycle budget; the watchdog fails runs that exhaust it (0 = unbounded)")
 	showVersion := flag.Bool("version", false, "print the simulator version and exit")
 	flag.Parse()
 
@@ -78,6 +84,16 @@ func main() {
 	cfg.NoCache = *noCache
 	cfg.JobTimeout = *jobTimeout
 	cfg.Retries = *retries
+	cfg.MaxCycles = *maxCycles
+	if *chaosSpec != "" {
+		// Re-canonicalize so equivalent spellings share cache keys.
+		ch, err := chaos.Parse(*chaosSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcstall-exp: -chaos: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Chaos = ch.String()
+	}
 	if *resume {
 		if *cacheDir == "" {
 			fmt.Fprintln(os.Stderr, "pcstall-exp: -resume requires -cache-dir (resume replays the interrupted campaign's result cache)")
@@ -181,6 +197,7 @@ func main() {
 		{"a7", s.AblEstimators},
 		{"a8", s.AblEpochMode},
 		{"e1", s.Extensions},
+		{"f1", s.FigureFaultSweep},
 	}
 
 	ids := flag.Args()
@@ -206,7 +223,10 @@ func main() {
 	ran := 0
 	for _, e := range entries {
 		isAbl := strings.HasPrefix(e.id, "a") && e.id != "all"
-		include := want[e.id] || (all && !isAbl) || (abl && isAbl)
+		// The fault sweep is explicit-only: it is not a paper artifact,
+		// so neither "all" nor "ablations" pulls it in.
+		isExplicitOnly := e.id == "f1"
+		include := want[e.id] || (all && !isAbl && !isExplicitOnly) || (abl && isAbl)
 		if !include {
 			continue
 		}

@@ -35,6 +35,8 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-epoch records")
 	traceOut := flag.String("trace", "", "write a per-epoch trace to this file (.jsonl or .csv)")
 	stats := flag.Bool("stats", false, "print the run's telemetry summary (cycles, stalls, cache hits, prediction error)")
+	chaosSpec := flag.String("chaos", "", "fault-injection spec, e.g. 'noise=0.1,tfail=0.05,seed=7' or 'level=0.2' (empty = no faults)")
+	maxCycles := flag.Int64("max-cycles", 0, "CU-cycle budget; the watchdog stops runs that exhaust it (0 = unbounded)")
 	showVersion := flag.Bool("version", false, "print the simulator version and exit")
 	flag.Parse()
 
@@ -49,6 +51,14 @@ func main() {
 	cfg.Epoch = pcstall.Time(*epochUs) * pcstall.Microsecond
 	cfg.Scale = *scale
 	cfg.Record = *verbose
+	cfg.MaxCycles = *maxCycles
+	if *chaosSpec != "" {
+		ch, err := pcstall.ParseChaos(*chaosSpec)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cfg.Chaos = ch
+	}
 
 	switch {
 	case *objective == "EDP":
@@ -112,6 +122,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "pcstall-sim: interrupted after %d epochs\n", res.Epochs)
 			os.Exit(130)
 		}
+		var de *pcstall.DeadlockError
+		if errors.As(err, &de) {
+			// Print the structured diagnosis plus whatever partial
+			// result exists — a deadlocked run is an answer, not noise.
+			fmt.Fprintf(os.Stderr, "pcstall-sim: watchdog: %v\n", de)
+			fmt.Fprintf(os.Stderr, "pcstall-sim: partial result: %d epochs, %d instructions committed\n",
+				res.Epochs, res.Totals.Committed)
+			os.Exit(3)
+		}
 		fatalf("%v", err)
 	}
 	if traceClose != nil {
@@ -140,6 +159,11 @@ func main() {
 		}
 	}
 	fmt.Println()
+	if res.Chaos != (pcstall.ChaosStats{}) {
+		fmt.Printf("chaos      noisy=%d dropped=%d stale=%d tfail=%d jitter=%dps pcflip=%d\n",
+			res.Chaos.NoisyCounters, res.Chaos.DroppedCUs, res.Chaos.StaleCUs,
+			res.Chaos.FailedTransitions, res.Chaos.JitterPs, res.Chaos.FlippedPCs)
+	}
 
 	if *verbose {
 		for i, r := range res.Records {

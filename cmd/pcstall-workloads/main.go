@@ -22,6 +22,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload duration scale")
 	kernels := flag.Bool("kernels", false, "print per-kernel static mixes")
 	profile := flag.Bool("profile", false, "run each app briefly and print dynamic stats")
+	maxCycles := flag.Int64("max-cycles", 0, "per-app CU-cycle budget for -profile; the watchdog flags apps that exhaust it (0 = unbounded)")
 	showVersion := flag.Bool("version", false, "print the simulator version and exit")
 	flag.Parse()
 
@@ -57,6 +58,7 @@ func main() {
 		fmt.Printf("%-8s %-4s %7d %8d", app.Name, app.Class, app.UniqueKernels(), len(app.Launches))
 		if *profile {
 			cfg := sim.DefaultConfig(*cus)
+			cfg.MaxCycles = *maxCycles
 			g, err := sim.New(cfg, app.Kernels, app.Launches)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "pcstall-workloads: %v\n", err)
@@ -68,7 +70,13 @@ func main() {
 			ipc := float64(g.TotalCommitted) / cycles / float64(*cus)
 			fmt.Printf(" %8.1fus %12d %8.3f %6.1f%%",
 				us, g.TotalCommitted, ipc, g.Msys.L2HitRate()*100)
-			if !g.Finished {
+			switch {
+			case g.Stuck != nil:
+				// The structured diagnosis names the CU/wave/PC, which
+				// is exactly what a workload author debugging a
+				// generator change needs.
+				fmt.Printf(" (STUCK: %v)", g.Stuck)
+			case !g.Finished:
 				fmt.Printf(" (capped)")
 			}
 		}

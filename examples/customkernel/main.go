@@ -48,7 +48,10 @@ func main() {
 	b.WaitAll()
 	b.Barrier()
 	b.EndLoop()
-	prog := b.Build()
+	prog, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	st := prog.Stats()
 	fmt.Printf("kernel %q: %d static instructions (%d compute, %d loads, %d stores, loop depth %d)\n\n",

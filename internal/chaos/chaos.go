@@ -1,0 +1,405 @@
+// Package chaos implements seeded, deterministic fault injection for the
+// simulated DVFS stack: noisy, stale, or dropped per-CU telemetry feeding
+// the governors, failed frequency transitions with settle-latency jitter,
+// and corrupted PC signatures feeding the PC-indexed predictor tables.
+//
+// Faults model imperfect hardware sensing and actuation, not simulator
+// bugs: the timing simulator itself always runs faithfully, and only the
+// *observations* handed to a policy (and the outcome of its actuation
+// requests) are perturbed. All randomness flows from one xrand.State
+// seeded by Config.Seed, so a fault campaign at a fixed seed is exactly
+// reproducible, and a disabled Config is a guaranteed no-op passthrough.
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"pcstall/internal/clock"
+	"pcstall/internal/sim"
+	"pcstall/internal/xrand"
+)
+
+// Config describes a fault-injection campaign. The zero value injects
+// nothing. Config is a plain value: it can be compared, copied, and
+// round-tripped through String/Parse for cache keys and CLI flags.
+type Config struct {
+	// Seed selects the fault stream. Two runs with equal Config (including
+	// Seed) inject byte-identical faults.
+	Seed uint64
+	// CounterNoise is the relative standard deviation of multiplicative
+	// noise applied to every telemetry counter (0.1 = ~10% sensor error).
+	CounterNoise float64
+	// DropProb is the per-CU per-epoch probability that a CU's telemetry
+	// is lost entirely (counters and wavefront records read as zero).
+	DropProb float64
+	// StaleProb is the per-CU per-epoch probability that a CU's telemetry
+	// is replaced by its previous epoch's (un-perturbed) sample.
+	StaleProb float64
+	// TransFailProb is the probability that a requested frequency change
+	// fails: the domain pays the settle stall but stays at its old
+	// frequency.
+	TransFailProb float64
+	// TransJitter scales uniform extra settle latency on transitions:
+	// extra = U[0,1) * TransJitter * nominal.
+	TransJitter float64
+	// PCFlipProb is the per-wavefront per-lookup probability that the PC
+	// handed to the predictor has one low-order address bit flipped.
+	PCFlipProb float64
+}
+
+// Enabled reports whether the config injects any fault at all.
+func (c Config) Enabled() bool {
+	return c.CounterNoise > 0 || c.DropProb > 0 || c.StaleProb > 0 ||
+		c.TransFailProb > 0 || c.TransJitter > 0 || c.PCFlipProb > 0
+}
+
+// Validate checks ranges: probabilities in [0,1], scales non-negative and
+// finite.
+func (c Config) Validate() error {
+	probs := []struct {
+		name string
+		v    float64
+	}{
+		{"drop", c.DropProb}, {"stale", c.StaleProb},
+		{"tfail", c.TransFailProb}, {"pcflip", c.PCFlipProb},
+	}
+	for _, p := range probs {
+		if math.IsNaN(p.v) || p.v < 0 || p.v > 1 {
+			return fmt.Errorf("chaos: %s probability %v out of [0,1]", p.name, p.v)
+		}
+	}
+	scales := []struct {
+		name string
+		v    float64
+	}{{"noise", c.CounterNoise}, {"jitter", c.TransJitter}}
+	for _, s := range scales {
+		if math.IsNaN(s.v) || math.IsInf(s.v, 0) || s.v < 0 {
+			return fmt.Errorf("chaos: %s scale %v must be finite and non-negative", s.name, s.v)
+		}
+	}
+	return nil
+}
+
+// String renders the config as a canonical spec parseable by Parse:
+// fixed field order, only non-default fields, and "" for a config that
+// injects nothing. Equal configs render identically, so the string is
+// safe to embed in content-addressed cache keys.
+func (c Config) String() string {
+	if !c.Enabled() {
+		return ""
+	}
+	var parts []string
+	add := func(k string, v float64) {
+		if v > 0 {
+			parts = append(parts, k+"="+strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	add("noise", c.CounterNoise)
+	add("drop", c.DropProb)
+	add("stale", c.StaleProb)
+	add("tfail", c.TransFailProb)
+	add("jitter", c.TransJitter)
+	add("pcflip", c.PCFlipProb)
+	if c.Seed != 0 {
+		parts = append(parts, "seed="+strconv.FormatUint(c.Seed, 10))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Parse builds a Config from a comma-separated key=value spec, e.g.
+// "noise=0.2,drop=0.05,tfail=0.1,seed=9". Keys: noise, drop, stale,
+// tfail, jitter, pcflip, seed, and level (shorthand expanding to the
+// Level profile). An empty spec is the disabled config.
+func Parse(spec string) (Config, error) {
+	var c Config
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return c, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			return Config{}, fmt.Errorf("chaos: bad field %q (want key=value)", field)
+		}
+		k = strings.TrimSpace(k)
+		v = strings.TrimSpace(v)
+		if k == "seed" {
+			seed, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("chaos: bad seed %q: %v", v, err)
+			}
+			c.Seed = seed
+			continue
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return Config{}, fmt.Errorf("chaos: bad value for %s: %q", k, v)
+		}
+		switch k {
+		case "noise":
+			c.CounterNoise = f
+		case "drop":
+			c.DropProb = f
+		case "stale":
+			c.StaleProb = f
+		case "tfail":
+			c.TransFailProb = f
+		case "jitter":
+			c.TransJitter = f
+		case "pcflip":
+			c.PCFlipProb = f
+		case "level":
+			c = Level(f, c.Seed)
+		default:
+			return Config{}, fmt.Errorf("chaos: unknown field %q", k)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// Level maps one scalar fault intensity l (0 = clean, ~0.4 = heavily
+// degraded sensors) onto a full profile touching every fault class. The
+// fault-sweep experiment uses it so one axis spans the whole surface.
+func Level(l float64, seed uint64) Config {
+	if l <= 0 {
+		return Config{Seed: seed}
+	}
+	clamp1 := func(v float64) float64 {
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+	return Config{
+		Seed:          seed,
+		CounterNoise:  l,
+		DropProb:      clamp1(l / 8),
+		StaleProb:     clamp1(l / 8),
+		TransFailProb: clamp1(l / 4),
+		TransJitter:   l,
+		PCFlipProb:    clamp1(l / 16),
+	}
+}
+
+// Stats counts faults an Engine actually injected.
+type Stats struct {
+	// NoisyCounters is the number of telemetry counters perturbed.
+	NoisyCounters int64
+	// DroppedCUs is the number of per-CU epoch samples zeroed.
+	DroppedCUs int64
+	// StaleCUs is the number of per-CU epoch samples served stale.
+	StaleCUs int64
+	// FailedTransitions is the number of frequency changes that failed.
+	FailedTransitions int64
+	// JitterPs is the total extra settle latency injected.
+	JitterPs int64
+	// FlippedPCs is the number of predictor lookup PCs corrupted.
+	FlippedPCs int64
+}
+
+// Engine injects the faults a Config describes. Create one per run with
+// NewEngine; an Engine is not safe for concurrent use. A nil *Engine is
+// a valid no-op for every method.
+type Engine struct {
+	cfg Config
+	rng xrand.State
+	st  Stats
+	// buf is the perturbed copy handed to policies; prev holds the
+	// previous epoch's real per-CU samples for staleness.
+	buf      sim.EpochSample
+	prev     []sim.CUEpoch
+	prevSet  []bool
+	pcSticky map[int64]uint64
+}
+
+// NewEngine builds an engine for cfg. Call cfg.Validate first; NewEngine
+// assumes a valid config. A disabled config yields a passthrough engine.
+func NewEngine(cfg Config) *Engine {
+	return &Engine{
+		cfg:      cfg,
+		rng:      xrand.New(cfg.Seed ^ 0xc5a0ce5d11ab1e5),
+		pcSticky: map[int64]uint64{},
+	}
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config {
+	if e == nil {
+		return Config{}
+	}
+	return e.cfg
+}
+
+// Stats returns the faults injected so far.
+func (e *Engine) Stats() Stats {
+	if e == nil {
+		return Stats{}
+	}
+	return e.st
+}
+
+func (e *Engine) telemetryFaults() bool {
+	return e.cfg.CounterNoise > 0 || e.cfg.DropProb > 0 || e.cfg.StaleProb > 0
+}
+
+// PerturbEpoch returns the sample a policy should observe for the epoch
+// that really measured s. With no telemetry faults configured it returns
+// s unchanged; otherwise it returns an internally-buffered perturbed deep
+// copy, leaving s (which the runner still uses for ground-truth
+// accounting) untouched. The returned sample is valid until the next
+// PerturbEpoch call.
+func (e *Engine) PerturbEpoch(s *sim.EpochSample) *sim.EpochSample {
+	if e == nil || !e.telemetryFaults() {
+		return s
+	}
+	e.copySample(s)
+	for i := range e.buf.CUs {
+		cu := &e.buf.CUs[i]
+		switch {
+		case e.cfg.StaleProb > 0 && e.rng.Float64() < e.cfg.StaleProb:
+			if i < len(e.prev) && e.prevSet[i] {
+				wfs := cu.WFs[:0]
+				*cu = e.prev[i]
+				cu.WFs = append(wfs, e.prev[i].WFs...)
+			}
+			e.st.StaleCUs++
+		case e.cfg.DropProb > 0 && e.rng.Float64() < e.cfg.DropProb:
+			cu.C = sim.CUCounters{}
+			cu.WFs = cu.WFs[:0]
+			e.st.DroppedCUs++
+		case e.cfg.CounterNoise > 0:
+			e.noiseCU(cu)
+		}
+	}
+	e.rememberReal(s)
+	return &e.buf
+}
+
+// copySample deep-copies s into e.buf, reusing buffers.
+func (e *Engine) copySample(s *sim.EpochSample) {
+	e.buf.Start, e.buf.End, e.buf.Finished = s.Start, s.End, s.Finished
+	e.buf.Freqs = append(e.buf.Freqs[:0], s.Freqs...)
+	if cap(e.buf.CUs) < len(s.CUs) {
+		e.buf.CUs = make([]sim.CUEpoch, len(s.CUs))
+	}
+	e.buf.CUs = e.buf.CUs[:len(s.CUs)]
+	for i := range s.CUs {
+		wfs := e.buf.CUs[i].WFs[:0]
+		e.buf.CUs[i] = s.CUs[i]
+		e.buf.CUs[i].WFs = append(wfs, s.CUs[i].WFs...)
+	}
+}
+
+// rememberReal snapshots the un-perturbed per-CU samples for staleness.
+func (e *Engine) rememberReal(s *sim.EpochSample) {
+	if e.cfg.StaleProb <= 0 {
+		return
+	}
+	if cap(e.prev) < len(s.CUs) {
+		e.prev = make([]sim.CUEpoch, len(s.CUs))
+		e.prevSet = make([]bool, len(s.CUs))
+	}
+	e.prev = e.prev[:len(s.CUs)]
+	e.prevSet = e.prevSet[:len(s.CUs)]
+	for i := range s.CUs {
+		wfs := e.prev[i].WFs[:0]
+		e.prev[i] = s.CUs[i]
+		e.prev[i].WFs = append(wfs, s.CUs[i].WFs...)
+		e.prevSet[i] = true
+	}
+}
+
+// noiseCU applies multiplicative noise to every counter of one CU sample.
+func (e *Engine) noiseCU(cu *sim.CUEpoch) {
+	c := &cu.C
+	for _, p := range []*int64{
+		&c.Committed, &c.MemCommitted, &c.IssueSlots, &c.OccupancyPs,
+		&c.MemBlockedPs, &c.StoreStallPs, &c.BarrierOnlyPs, &c.LeadLatPs,
+		&c.CritLatPs, &c.OverlapPs, &c.L1Hits, &c.L1Misses, &c.LinesIssued,
+	} {
+		*p = e.noisy(*p)
+	}
+	for i := range cu.WFs {
+		wf := &cu.WFs[i]
+		wf.C.Committed = e.noisy(wf.C.Committed)
+		wf.C.StallPs = e.noisy(wf.C.StallPs)
+		wf.C.BarrierPs = e.noisy(wf.C.BarrierPs)
+		wf.C.OccupancyPs = e.noisy(wf.C.OccupancyPs)
+		wf.ResidentPs = e.noisy(wf.ResidentPs)
+	}
+}
+
+func (e *Engine) noisy(v int64) int64 {
+	if v == 0 {
+		return 0
+	}
+	scaled := float64(v) * (1 + e.cfg.CounterNoise*e.rng.NormFloat64())
+	e.st.NoisyCounters++
+	if scaled < 0 {
+		return 0
+	}
+	return int64(scaled + 0.5)
+}
+
+// Transition decides the fate of one requested frequency change: whether
+// it fails (settle stall paid, frequency unchanged) and how much extra
+// settle latency it carries. Call it only for requests that actually
+// change the frequency, so the fault stream is independent of how often
+// a policy re-requests its current operating point.
+func (e *Engine) Transition(nominal clock.Time) (fail bool, extra clock.Time) {
+	if e == nil {
+		return false, 0
+	}
+	if e.cfg.TransJitter > 0 {
+		extra = clock.Time(float64(nominal) * e.cfg.TransJitter * e.rng.Float64())
+		e.st.JitterPs += int64(extra)
+	}
+	if e.cfg.TransFailProb > 0 && e.rng.Float64() < e.cfg.TransFailProb {
+		fail = true
+		e.st.FailedTransitions++
+	}
+	return fail, extra
+}
+
+// CorruptPCs flips a low-order address bit in some of the PC signatures a
+// predictor is about to look up. Corruption is sticky per wavefront while
+// the wave stays at the same PC (a mis-latched signature reads the same
+// way twice), and resolves when the wave moves on. buf is mutated and
+// returned.
+func (e *Engine) CorruptPCs(buf []sim.WavePC) []sim.WavePC {
+	if e == nil || e.cfg.PCFlipProb <= 0 {
+		return buf
+	}
+	for i := range buf {
+		if pc, ok := e.pcSticky[buf[i].GlobalWave]; ok {
+			if pc == buf[i].PC {
+				buf[i].PC ^= e.stickyMask(buf[i].GlobalWave)
+				continue
+			}
+			delete(e.pcSticky, buf[i].GlobalWave)
+		}
+		if e.rng.Float64() < e.cfg.PCFlipProb {
+			e.pcSticky[buf[i].GlobalWave] = buf[i].PC
+			buf[i].PC ^= e.stickyMask(buf[i].GlobalWave)
+			e.st.FlippedPCs++
+		}
+	}
+	return buf
+}
+
+// stickyMask derives a stable single-bit mask in bits [2,9] for a wave,
+// matching the PC-table offset bits the paper's tuning studies.
+func (e *Engine) stickyMask(wave int64) uint64 {
+	h := xrand.New(e.cfg.Seed).Split(uint64(wave))
+	return 1 << uint(2+h.Intn(8))
+}

@@ -127,6 +127,10 @@ type Domain struct {
 	StallUntil Time
 	// Transitions counts frequency changes (for transition energy).
 	Transitions int64
+	// FailedTransitions counts requested changes the regulator aborted
+	// (fault injection): the domain paid the settle stall but kept its
+	// old frequency.
+	FailedTransitions int64
 }
 
 // NewDomain returns a domain running at f from time 0.
@@ -162,7 +166,21 @@ func (d *Domain) NextTickAfter(t Time) Time {
 // frequency the domain stalls for transition and re-anchors its cycle
 // grid at the stall end. Setting the same frequency is free.
 func (d *Domain) SetFreq(f Freq, now, transition Time) {
+	d.SetFreqOutcome(f, now, transition, false)
+}
+
+// SetFreqOutcome is SetFreq with an explicit regulator outcome: when fail
+// is set the attempted change aborts — the domain still pays the settle
+// stall (the regulator ramped and backed off) but keeps its old frequency
+// and cycle grid. Used by fault injection; a same-frequency request stays
+// free either way.
+func (d *Domain) SetFreqOutcome(f Freq, now, transition Time, fail bool) {
 	if f == d.Freq {
+		return
+	}
+	if fail {
+		d.StallUntil = now + transition
+		d.FailedTransitions++
 		return
 	}
 	d.Freq = f

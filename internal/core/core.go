@@ -97,6 +97,21 @@ func DesignByName(name string) (Design, error) {
 			return d, nil
 		}
 	}
+	if name == "PCSTALL-HARD" {
+		// The fault-tolerant variant: PCSTALL wrapped in the hardened
+		// governor with a CRISP reactive fallback. Not a TABLE III row
+		// (the paper models perfect sensing), so it is resolvable by
+		// name for the fault-injection studies without appearing in
+		// Designs().
+		return Design{
+			Name: "PCSTALL-HARD", Estimation: "Stall - Wavefront", Control: "PC-Based + Guard", Practical: true,
+			New: func() dvfs.Policy {
+				h := dvfs.NewHardened(dvfs.NewPCStall(), &dvfs.Reactive{Model: estimate.Crisp{}})
+				h.Label = "PCSTALL-HARD"
+				return h
+			},
+		}, nil
+	}
 	var mhz int
 	if n, err := fmt.Sscanf(name, "STATIC-%d", &mhz); n == 1 && err == nil {
 		f := clock.Freq(mhz)

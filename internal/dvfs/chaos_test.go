@@ -1,0 +1,216 @@
+package dvfs_test
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"pcstall/internal/chaos"
+	"pcstall/internal/clock"
+	"pcstall/internal/core"
+	"pcstall/internal/dvfs"
+	"pcstall/internal/estimate"
+	"pcstall/internal/power"
+	"pcstall/internal/sim"
+	"pcstall/internal/telemetry"
+	"pcstall/internal/workload"
+)
+
+// runWith builds a fresh GPU for appName, resolves design from the
+// registry, applies mut to the run config, and runs. Unlike runPolicy it
+// returns the error so deadlock tests can inspect it.
+func runWith(t *testing.T, appName, design string, cus int, mut func(*dvfs.RunConfig)) (dvfs.Result, error) {
+	t.Helper()
+	d, err := core.DesignByName(design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return runPolicyWith(t, appName, d.New(), cus, mut)
+}
+
+// runPolicyWith is runWith for a caller-constructed policy instance.
+func runPolicyWith(t *testing.T, appName string, pol dvfs.Policy, cus int, mut func(*dvfs.RunConfig)) (dvfs.Result, error) {
+	t.Helper()
+	cfg := sim.DefaultConfig(cus)
+	gen := workload.DefaultGenConfig(cus)
+	gen.Scale = 0.3
+	app := workload.MustBuild(appName, gen)
+	g, err := sim.New(cfg, app.Kernels, app.Launches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := power.DefaultModelFor(cus)
+	rc := dvfs.RunConfig{Epoch: clock.Time(clock.Microsecond), Obj: dvfs.EDP, PM: &pm}
+	if mut != nil {
+		mut(&rc)
+	}
+	return dvfs.Run(g, pol, rc)
+}
+
+// TestChaosOffIsByteIdentical: with a zero chaos config the runner must
+// take the exact pre-chaos path — two runs agree field-for-field and no
+// fault statistics appear.
+func TestChaosOffIsByteIdentical(t *testing.T) {
+	a, err := runWith(t, "comd", "PCSTALL", 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runWith(t, "comd", "PCSTALL", 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("chaos-off runs diverge:\n%+v\n%+v", a, b)
+	}
+	if a.Chaos != (chaos.Stats{}) {
+		t.Fatalf("chaos-off run reported fault stats %+v", a.Chaos)
+	}
+}
+
+// TestChaosOnIsReproducible: the fault stream is a pure function of the
+// seed, so two chaos-on runs at the same seed agree exactly — including
+// the injected-fault accounting — and actually injected something.
+func TestChaosOnIsReproducible(t *testing.T) {
+	mut := func(rc *dvfs.RunConfig) { rc.Chaos = chaos.Level(0.2, 99) }
+	a, err := runWith(t, "comd", "PCSTALL", 2, mut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runWith(t, "comd", "PCSTALL", 2, mut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("chaos-on runs at one seed diverge:\n%+v\n%+v", a, b)
+	}
+	if a.Chaos.NoisyCounters == 0 {
+		t.Fatalf("chaos at level 0.2 injected nothing: %+v", a.Chaos)
+	}
+}
+
+// TestChaosInvalidConfigRejected: the runner validates the chaos config
+// before touching the GPU.
+func TestChaosInvalidConfigRejected(t *testing.T) {
+	_, err := runWith(t, "comd", "PCSTALL", 1, func(rc *dvfs.RunConfig) {
+		rc.Chaos = chaos.Config{DropProb: 2}
+	})
+	if err == nil {
+		t.Fatal("DropProb=2 accepted")
+	}
+}
+
+// garbagePolicy predicts NaN for every state — the worst possible
+// telemetry-poisoned primary. It exercises both the sanity clamp (the
+// NaNs must be floored before anything downstream sees them) and the
+// confidence tracker (a floored prediction scores as a total miss, so
+// the guard must hand over to the fallback).
+type garbagePolicy struct{}
+
+func (garbagePolicy) Name() string          { return "GARBAGE" }
+func (garbagePolicy) Truth() dvfs.TruthNeed { return dvfs.NoTruth }
+func (garbagePolicy) Predicts() bool        { return true }
+func (garbagePolicy) Reset()                {}
+
+func (garbagePolicy) Decide(_ *dvfs.Context, _ *sim.EpochSample, _ dvfs.Objective, pred [][]float64, choice []int) {
+	for d := range pred {
+		for s := range pred[d] {
+			pred[d][s] = math.NaN()
+		}
+		choice[d] = 0
+	}
+}
+
+// TestHardenedFallbackEngages: wrap the garbage primary; the guard must
+// observably engage the fallback, and the guard + sanitizer telemetry
+// must record it.
+func TestHardenedFallbackEngages(t *testing.T) {
+	hard := dvfs.NewHardened(garbagePolicy{}, &dvfs.Reactive{Model: estimate.Crisp{}})
+	reg := telemetry.New()
+	res, err := runPolicyWith(t, "comd", hard, 2, func(rc *dvfs.RunConfig) {
+		rc.Metrics = reg
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs < 8 {
+		t.Fatalf("run too short to exercise the guard: %d epochs", res.Epochs)
+	}
+	if hard.Engagements() == 0 {
+		t.Fatalf("garbage primary never triggered the fallback (ewma err %.3f over %d epochs)",
+			hard.PredictionError(), res.Epochs)
+	}
+	if hard.FallbackEpochs() == 0 {
+		t.Fatal("fallback engaged but decided no epochs")
+	}
+	if !hard.FallbackActive() {
+		t.Error("NaN-spewing primary regained confidence — scoring is broken")
+	}
+	if got := reg.Counter("dvfs_guard_fallback_engagements_total", "").Value(); got != hard.Engagements() {
+		t.Errorf("engagement counter %d != accessor %d", got, hard.Engagements())
+	}
+	if reg.Counter("dvfs_sanitized_predictions_total", "").Value() == 0 {
+		t.Error("no NaN predictions were counted by the sanity clamp")
+	}
+}
+
+// TestHardenedCleanRunStaysOnPrimary: with healthy telemetry a
+// near-perfect primary (the fork-pre-execute oracle) must keep control
+// for the whole run. Practical predictors on tiny warm-up-dominated
+// configurations can legitimately trip the guard, so the competence
+// baseline here is the oracle, not PCSTALL.
+func TestHardenedCleanRunStaysOnPrimary(t *testing.T) {
+	d, err := core.DesignByName("ORACLE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard := dvfs.NewHardened(d.New(), &dvfs.Reactive{Model: estimate.Crisp{}})
+	res, err := runPolicyWith(t, "comd", hard, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs == 0 {
+		t.Fatal("no epochs ran")
+	}
+	if hard.Engagements() != 0 {
+		t.Errorf("oracle-primary run engaged fallback %d times (ewma err %.3f)",
+			hard.Engagements(), hard.PredictionError())
+	}
+}
+
+// TestDeadlockPropagatesThroughRun: the watchdog's structured diagnosis
+// must surface through dvfs.Run as an unwrappable *sim.DeadlockError,
+// with the partial result marked truncated and counted in telemetry.
+func TestDeadlockPropagatesThroughRun(t *testing.T) {
+	reg := telemetry.New()
+	res, err := runWith(t, "comd", "PCSTALL", 1, func(rc *dvfs.RunConfig) {
+		rc.MaxCycles = 2000
+		rc.Metrics = reg
+	})
+	if err == nil {
+		t.Fatal("2000-cycle budget did not stop the run")
+	}
+	var de *sim.DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("error %v does not unwrap as *sim.DeadlockError", err)
+	}
+	if de.Kind != sim.DeadlockCycleLimit {
+		t.Fatalf("Kind = %q, want %q", de.Kind, sim.DeadlockCycleLimit)
+	}
+	if !res.Truncated {
+		t.Error("deadlocked result not marked Truncated")
+	}
+	if reg.Counter("dvfs_run_deadlocks_total", "").Value() != 1 {
+		t.Error("deadlock not counted in telemetry")
+	}
+}
+
+// TestRunRejectsNegativeMaxCycles: config validation.
+func TestRunRejectsNegativeMaxCycles(t *testing.T) {
+	_, err := runWith(t, "comd", "PCSTALL", 1, func(rc *dvfs.RunConfig) {
+		rc.MaxCycles = -1
+	})
+	if err == nil {
+		t.Fatal("negative MaxCycles accepted")
+	}
+}

@@ -1,0 +1,308 @@
+package dvfs
+
+import (
+	"math"
+
+	"pcstall/internal/sim"
+	"pcstall/internal/telemetry"
+)
+
+// GuardConfig tunes the Hardened policy's degradation machinery.
+type GuardConfig struct {
+	// ErrWindow is the effective window of the prediction-error EWMA
+	// (alpha = 2/(ErrWindow+1)).
+	ErrWindow int
+	// Engage is the EWMA relative error above which the fallback policy
+	// takes over; Recover is the error below which the primary resumes.
+	// Engage > Recover gives the switch its own hysteresis.
+	Engage  float64
+	Recover float64
+	// MinEpochs is how many scored epochs must elapse before the guard
+	// may engage (the primary needs warm-up to populate its tables).
+	MinEpochs int
+	// Hold is the hysteresis guard band: after a domain changes state,
+	// further changes are suppressed for Hold epochs, so noise-driven
+	// decision flapping cannot pay a transition stall every epoch.
+	Hold int
+	// PerfMargin scales the performance watchdog's floor: under a
+	// FixedPerf objective, realized work below (1-Limit)*PerfMargin of
+	// the last predicted top-state work forces the domain back to the
+	// top state. <=0 disables the watchdog.
+	PerfMargin float64
+}
+
+// DefaultGuard returns the hardened governor's default tuning.
+func DefaultGuard() GuardConfig {
+	return GuardConfig{
+		ErrWindow:  8,
+		Engage:     0.5,
+		Recover:    0.25,
+		MinEpochs:  4,
+		Hold:       2,
+		PerfMargin: 0.8,
+	}
+}
+
+// perfLimited is implemented by objectives that carry an explicit
+// performance-degradation contract (FixedPerf).
+type perfLimited interface {
+	PerfLimit() float64
+}
+
+// Hardened wraps a primary (predicting) policy with graceful-degradation
+// machinery for faulty telemetry: a confidence tracker that measures the
+// primary's realized prediction error and hands control to a simpler
+// fallback policy while confidence is low, a hysteresis guard band that
+// stops noise-driven frequency flapping, and a performance watchdog that
+// reverts a domain to the top state when a FixedPerf objective's
+// contract is being violated. Both wrapped policies observe every epoch
+// (the primary keeps learning while the fallback drives), and the
+// confidence score is always the primary's, so control returns as soon
+// as the primary's predictions become trustworthy again.
+type Hardened struct {
+	Primary  Policy
+	Fallback Policy
+	Guard    GuardConfig
+	// Label overrides Name (the design registry uses "PCSTALL-HARD").
+	Label string
+
+	priPred, fbPred       [][]float64
+	priChoice, fbChoice   []int
+	prevExecPred          []float64
+	prevTopPred           []float64
+	prevChoice            []int
+	lastChoice            []int
+	holdLeft, revertLeft  []int
+	havePrev, useFallback bool
+	scored                int
+	ewmaErr               float64
+
+	nEngagements, nFallbackEpochs int64
+	nHolds, nReverts              int64
+
+	cEngagements, cFallbackEpochs *telemetry.Counter
+	cHolds, cReverts              *telemetry.Counter
+}
+
+// NewHardened wraps primary with fallback under the default guard.
+func NewHardened(primary, fallback Policy) *Hardened {
+	return &Hardened{Primary: primary, Fallback: fallback, Guard: DefaultGuard()}
+}
+
+// Name implements Policy.
+func (p *Hardened) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return "HARD(" + p.Primary.Name() + ")"
+}
+
+// Truth implements Policy: the union of both wrapped policies' needs.
+func (p *Hardened) Truth() TruthNeed {
+	if t := p.Fallback.Truth(); t > p.Primary.Truth() {
+		return t
+	}
+	return p.Primary.Truth()
+}
+
+// Predicts implements Policy.
+func (p *Hardened) Predicts() bool { return true }
+
+// Reset implements Policy.
+func (p *Hardened) Reset() {
+	p.Primary.Reset()
+	p.Fallback.Reset()
+	p.priPred, p.fbPred = nil, nil
+	p.priChoice, p.fbChoice = nil, nil
+	p.prevExecPred, p.prevTopPred = nil, nil
+	p.prevChoice, p.lastChoice = nil, nil
+	p.holdLeft, p.revertLeft = nil, nil
+	p.havePrev, p.useFallback = false, false
+	p.scored, p.ewmaErr = 0, 0
+	p.nEngagements, p.nFallbackEpochs = 0, 0
+	p.nHolds, p.nReverts = 0, 0
+}
+
+// bindTelemetry attaches the guard counters to a registry (nil is a
+// no-op); the runner calls it once per run.
+func (p *Hardened) bindTelemetry(r *telemetry.Registry) {
+	if r == nil {
+		return
+	}
+	p.cEngagements = r.Counter("dvfs_guard_fallback_engagements_total", "times the hardened governor handed control to its fallback policy")
+	p.cFallbackEpochs = r.Counter("dvfs_guard_fallback_epochs_total", "epochs decided by the fallback policy")
+	p.cHolds = r.Counter("dvfs_guard_hysteresis_holds_total", "domain decisions suppressed by the hysteresis guard band")
+	p.cReverts = r.Counter("dvfs_guard_watchdog_reverts_total", "domains forced to the top state by the performance watchdog")
+}
+
+// FallbackActive reports whether the fallback currently drives.
+func (p *Hardened) FallbackActive() bool { return p.useFallback }
+
+// Engagements returns how many times the fallback took over.
+func (p *Hardened) Engagements() int64 { return p.nEngagements }
+
+// FallbackEpochs returns how many epochs the fallback decided.
+func (p *Hardened) FallbackEpochs() int64 { return p.nFallbackEpochs }
+
+// HysteresisHolds returns how many domain decisions the guard band
+// suppressed.
+func (p *Hardened) HysteresisHolds() int64 { return p.nHolds }
+
+// WatchdogReverts returns how many domain-epochs the performance
+// watchdog forced back to the top state.
+func (p *Hardened) WatchdogReverts() int64 { return p.nReverts }
+
+// PredictionError returns the current EWMA relative prediction error of
+// the primary policy.
+func (p *Hardened) PredictionError() float64 { return p.ewmaErr }
+
+func finiteOrZero(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return 0
+	}
+	return v
+}
+
+func (p *Hardened) alloc(nd, k int) {
+	if p.priPred != nil {
+		return
+	}
+	p.priPred = make([][]float64, nd)
+	p.fbPred = make([][]float64, nd)
+	for d := 0; d < nd; d++ {
+		p.priPred[d] = make([]float64, k)
+		p.fbPred[d] = make([]float64, k)
+	}
+	p.priChoice = make([]int, nd)
+	p.fbChoice = make([]int, nd)
+	p.prevExecPred = make([]float64, nd)
+	p.prevTopPred = make([]float64, nd)
+	p.prevChoice = make([]int, nd)
+	p.lastChoice = make([]int, nd)
+	p.holdLeft = make([]int, nd)
+	p.revertLeft = make([]int, nd)
+}
+
+// Decide implements Policy.
+func (p *Hardened) Decide(ctx *Context, elapsed *sim.EpochSample, obj Objective, pred [][]float64, choice []int) {
+	nd := len(choice)
+	k := ctx.Grid.Count()
+	top := k - 1
+	p.alloc(nd, k)
+
+	// 1. Score the primary's previous prediction against what really
+	// committed. The score is always the primary's — even while the
+	// fallback drives — so recovery is possible.
+	if p.havePrev && elapsed != nil {
+		var sum float64
+		for d := 0; d < nd; d++ {
+			actual := float64(elapsed.DomainCommitted(ctx.DMap, d))
+			den := actual
+			if den < 1 {
+				den = 1
+			}
+			diff := p.prevExecPred[d] - actual
+			if diff < 0 {
+				diff = -diff
+			}
+			sum += diff / den
+		}
+		relErr := sum / float64(nd)
+		alpha := 2.0 / (float64(p.Guard.ErrWindow) + 1)
+		if p.scored == 0 {
+			p.ewmaErr = relErr
+		} else {
+			p.ewmaErr = alpha*relErr + (1-alpha)*p.ewmaErr
+		}
+		p.scored++
+	}
+
+	// 2. Confidence switch with its own hysteresis band.
+	if !p.useFallback && p.scored >= p.Guard.MinEpochs && p.ewmaErr > p.Guard.Engage {
+		p.useFallback = true
+		p.nEngagements++
+		p.cEngagements.Inc()
+	} else if p.useFallback && p.ewmaErr < p.Guard.Recover {
+		p.useFallback = false
+	}
+
+	// 3. Step both policies every epoch into private buffers, so the
+	// bench policy keeps learning and its accuracy keeps being scored.
+	p.Primary.Decide(ctx, elapsed, obj, p.priPred, p.priChoice)
+	p.Fallback.Decide(ctx, elapsed, obj, p.fbPred, p.fbChoice)
+
+	activePred, activeChoice := p.priPred, p.priChoice
+	if p.useFallback {
+		activePred, activeChoice = p.fbPred, p.fbChoice
+		p.nFallbackEpochs++
+		p.cFallbackEpochs.Inc()
+	}
+	for d := 0; d < nd; d++ {
+		for s := 0; s < k; s++ {
+			v := activePred[d][s]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+				ctx.Sanitized.Inc()
+			} else if v < 0 {
+				v = 0
+			}
+			pred[d][s] = v
+		}
+		choice[d] = activeChoice[d]
+	}
+
+	// 4. Hysteresis guard band: a fresh move locks the domain's state
+	// for Hold epochs.
+	if p.Guard.Hold > 0 && p.havePrev {
+		for d := 0; d < nd; d++ {
+			if p.holdLeft[d] > 0 {
+				p.holdLeft[d]--
+				if choice[d] != p.lastChoice[d] {
+					choice[d] = p.lastChoice[d]
+					p.nHolds++
+					p.cHolds.Inc()
+				}
+			} else if choice[d] != p.lastChoice[d] {
+				p.holdLeft[d] = p.Guard.Hold
+			}
+		}
+	}
+
+	// 5. Performance watchdog: under an explicit performance contract,
+	// a downclocked domain whose realized work fell beyond the allowed
+	// slowdown (with margin) is forced back to the top state and pinned
+	// there for Hold epochs.
+	if pl, ok := obj.(perfLimited); ok && p.Guard.PerfMargin > 0 && p.havePrev && elapsed != nil {
+		floor := (1 - pl.PerfLimit()) * p.Guard.PerfMargin
+		for d := 0; d < nd; d++ {
+			if p.revertLeft[d] > 0 {
+				p.revertLeft[d]--
+				choice[d] = top
+				continue
+			}
+			if p.prevChoice[d] >= top || p.prevTopPred[d] < 1 {
+				continue
+			}
+			actual := float64(elapsed.DomainCommitted(ctx.DMap, d))
+			if actual < floor*p.prevTopPred[d] && choice[d] < top {
+				choice[d] = top
+				p.revertLeft[d] = p.Guard.Hold
+				p.holdLeft[d] = 0
+				p.nReverts++
+				p.cReverts.Inc()
+			}
+		}
+	}
+
+	// 6. Remember this epoch's decision state for the next boundary. A
+	// non-finite prediction is stored as 0 — a pure miss — so a primary
+	// emitting garbage scores maximal error instead of poisoning the
+	// EWMA with NaN (which would freeze the confidence switch).
+	for d := 0; d < nd; d++ {
+		p.prevExecPred[d] = finiteOrZero(p.priPred[d][choice[d]])
+		p.prevTopPred[d] = finiteOrZero(activePred[d][top])
+		p.prevChoice[d] = choice[d]
+		p.lastChoice[d] = choice[d]
+	}
+	p.havePrev = true
+}

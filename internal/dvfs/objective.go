@@ -83,6 +83,11 @@ type FixedPerf struct {
 // Name implements Objective.
 func (o FixedPerf) Name() string { return fmt.Sprintf("Energy@%.0f%%", o.Limit*100) }
 
+// PerfLimit exposes the allowed slowdown so the hardened governor's
+// performance watchdog can check realized work against the objective's
+// own contract.
+func (o FixedPerf) PerfLimit() float64 { return o.Limit }
+
 // Choose implements Objective.
 func (o FixedPerf) Choose(states []clock.Freq, predI, predE []float64) int {
 	top := predI[len(predI)-1]

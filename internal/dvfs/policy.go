@@ -1,8 +1,10 @@
 package dvfs
 
 import (
+	"math"
 	"sort"
 
+	"pcstall/internal/chaos"
 	"pcstall/internal/clock"
 	"pcstall/internal/estimate"
 	"pcstall/internal/oracle"
@@ -32,6 +34,21 @@ type Context struct {
 	// ObjEvals, when non-nil, counts objective Choose evaluations (one
 	// per domain decision); the runner wires it from RunConfig.Metrics.
 	ObjEvals *telemetry.Counter
+	// Sanitized, when non-nil, counts non-finite predictions floored by
+	// chooseAll's sanity clamp.
+	Sanitized *telemetry.Counter
+	// Chaos, when non-nil, is the run's fault injector. Policies must
+	// read PC signatures through Context.ActivePCs (not G.ActivePCs) so
+	// signature corruption applies uniformly.
+	Chaos *chaos.Engine
+}
+
+// ActivePCs returns the PC signatures of domain d's resident wavefronts
+// as the policy should observe them: the simulator's true PCs, passed
+// through the fault injector when one is active.
+func (c *Context) ActivePCs(d int, buf []sim.WavePC) []sim.WavePC {
+	buf = c.G.ActivePCs(d, buf)
+	return c.Chaos.CorruptPCs(buf)
 }
 
 // TruthNeed states whether a policy consumes oracle sampling.
@@ -82,6 +99,16 @@ func chooseAll(ctx *Context, obj Objective, pred [][]float64, choice []int) {
 		for s := 0; s < k; s++ {
 			cycles := float64(ctx.Epoch) * float64(states[s]) / 1e6
 			cap := cycles * float64(simds*cus) / occ
+			// NaN compares false against cap, so a poisoned prediction
+			// (possible under injected telemetry faults) would sail
+			// through the bandwidth clamp and then corrupt the
+			// objective's scoring; floor non-finite and negative values.
+			if v := pred[d][s]; math.IsNaN(v) || math.IsInf(v, 0) {
+				pred[d][s] = 0
+				ctx.Sanitized.Inc()
+			} else if v < 0 {
+				pred[d][s] = 0
+			}
 			if pred[d][s] > cap {
 				pred[d][s] = cap
 			}
@@ -306,7 +333,7 @@ func (p *PCStall) Decide(ctx *Context, elapsed *sim.EpochSample, obj Objective, 
 		for s := range pred[d] {
 			pred[d][s] = 0
 		}
-		p.pcBuf = ctx.G.ActivePCs(d, p.pcBuf[:0])
+		p.pcBuf = ctx.ActivePCs(d, p.pcBuf[:0])
 		for _, wp := range p.pcBuf {
 			tbl := p.table(ctx, int(wp.CU))
 			e, ok := tbl.Lookup(wp.PC)
@@ -439,7 +466,7 @@ func (p *AccPC) Decide(ctx *Context, elapsed *sim.EpochSample, obj Objective, pr
 		for s := range pred[d] {
 			pred[d][s] = 0
 		}
-		p.pcBuf = ctx.G.ActivePCs(d, p.pcBuf[:0])
+		p.pcBuf = ctx.ActivePCs(d, p.pcBuf[:0])
 		for _, wp := range p.pcBuf {
 			e, ok := p.table(ctx, int(wp.CU)).Lookup(wp.PC)
 			if !ok {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"pcstall/internal/chaos"
 	"pcstall/internal/clock"
 	"pcstall/internal/metrics"
 	"pcstall/internal/oracle"
@@ -55,6 +56,16 @@ type RunConfig struct {
 	// SIGINT without waiting out the epoch sweep; a nil Ctx costs one
 	// nil check per epoch.
 	Ctx context.Context
+	// Chaos configures deterministic fault injection (sensor noise and
+	// drops, transition failures and jitter, PC-signature corruption)
+	// for this run. The zero value injects nothing and leaves the run
+	// byte-identical to an un-instrumented one.
+	Chaos chaos.Config
+	// MaxCycles bounds the run's total CU cycle events as a cooperative
+	// watchdog (0 = unbounded). A run that exhausts the budget — or
+	// stops making progress entirely — terminates with a wrapped
+	// *sim.DeadlockError instead of hanging.
+	MaxCycles int64
 }
 
 // EpochRecord is one epoch's outcome (kept when RunConfig.Record is set).
@@ -92,6 +103,9 @@ type Result struct {
 	// FinalTempC holds the per-domain node temperatures at run end when
 	// thermal accounting is enabled (nil otherwise).
 	FinalTempC []float64
+	// Chaos reports the faults injected during the run (zero when fault
+	// injection is disabled).
+	Chaos chaos.Stats
 	// Records holds per-epoch detail when requested.
 	Records []EpochRecord
 }
@@ -123,6 +137,15 @@ func Run(g *sim.GPU, pol Policy, cfg RunConfig) (Result, error) {
 	if cfg.Obj == nil || cfg.PM == nil {
 		return Result{}, fmt.Errorf("dvfs: objective and power model are required")
 	}
+	if err := cfg.Chaos.Validate(); err != nil {
+		return Result{}, fmt.Errorf("dvfs: %w", err)
+	}
+	if cfg.MaxCycles < 0 {
+		return Result{}, fmt.Errorf("dvfs: max cycles %d < 0", cfg.MaxCycles)
+	}
+	if cfg.MaxCycles > 0 {
+		g.Cfg.MaxCycles = cfg.MaxCycles
+	}
 	maxTime := cfg.MaxTime
 	if maxTime == 0 {
 		maxTime = 100 * clock.Millisecond
@@ -152,6 +175,15 @@ func Run(g *sim.GPU, pol Policy, cfg RunConfig) (Result, error) {
 	tm := newRunTelemetry(cfg.Metrics)
 	if tm != nil {
 		ctx.ObjEvals = tm.objEvals
+		ctx.Sanitized = tm.sanitized
+	}
+	var ch *chaos.Engine
+	if cfg.Chaos.Enabled() {
+		ch = chaos.NewEngine(cfg.Chaos)
+		ctx.Chaos = ch
+	}
+	if hp, ok := pol.(*Hardened); ok {
+		hp.bindTelemetry(cfg.Metrics)
 	}
 
 	var sampler *oracle.Sampler
@@ -207,9 +239,24 @@ func Run(g *sim.GPU, pol Policy, cfg RunConfig) (Result, error) {
 			ctx.NextTruth = sampler.SampleNext(g, cfg.Epoch)
 		}
 		ctx.PrevTruth = prevTruth
-		pol.Decide(ctx, elapsed, cfg.Obj, pred, choice)
+		// Policies observe the elapsed epoch through the fault injector;
+		// the runner's own accounting below stays on the real sample.
+		observed := elapsed
+		if ch != nil && elapsed != nil {
+			observed = ch.PerturbEpoch(elapsed)
+		}
+		pol.Decide(ctx, observed, cfg.Obj, pred, choice)
 		for d := 0; d < nd; d++ {
-			g.SetDomainFreq(d, grid.State(choice[d]), trans)
+			f := grid.State(choice[d])
+			if ch != nil && f != g.Domains[d].Freq {
+				// Draw actuation faults only for real changes, so the
+				// fault stream does not depend on how often a policy
+				// re-requests its current operating point.
+				fail, extra := ch.Transition(trans)
+				g.SetDomainFreqOutcome(d, f, trans+extra, fail)
+			} else {
+				g.SetDomainFreq(d, f, trans)
+			}
 		}
 
 		if cfg.InstrWindow > 0 {
@@ -219,11 +266,18 @@ func Run(g *sim.GPU, pol Policy, cfg RunConfig) (Result, error) {
 			if step < 1 {
 				step = 1
 			}
-			for !g.Finished && g.TotalCommitted < target && g.Now < guard && g.Now < maxTime {
+			for !g.Finished && g.Stuck == nil && g.TotalCommitted < target && g.Now < guard && g.Now < maxTime {
 				g.RunUntil(g.Now + step)
 			}
 		} else {
 			g.RunUntil(g.Now + cfg.Epoch)
+		}
+		if g.Stuck != nil {
+			res.Truncated = true
+			res.Chaos = ch.Stats()
+			tm.recordDeadlock()
+			tm.recordChaos(res.Chaos)
+			return res, fmt.Errorf("dvfs: run stuck after %d epochs: %w", res.Epochs, g.Stuck)
 		}
 		g.CollectEpoch(&sampleBuf)
 		elapsed = &sampleBuf
@@ -325,7 +379,9 @@ func Run(g *sim.GPU, pol Policy, cfg RunConfig) (Result, error) {
 	res.Accuracy = acc.Mean
 	res.AccuracyN = acc.N
 	res.FinalTempC = temps
+	res.Chaos = ch.Stats()
 	tm.recordRunEnd(g, pol, res.Transitions)
+	tm.recordChaos(res.Chaos)
 	if domTime > 0 {
 		for i := range res.Residency {
 			res.Residency[i] /= domTime

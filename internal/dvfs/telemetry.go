@@ -1,6 +1,7 @@
 package dvfs
 
 import (
+	"pcstall/internal/chaos"
 	"pcstall/internal/oracle"
 	"pcstall/internal/predict"
 	"pcstall/internal/sim"
@@ -27,6 +28,16 @@ type runTelemetry struct {
 	mispredMag   *telemetry.Histogram
 	epochSpanPs  *telemetry.Histogram
 	oracleBundle *oracle.Telemetry
+
+	deadlocks *telemetry.Counter
+	sanitized *telemetry.Counter
+
+	chaosNoisy     *telemetry.Counter
+	chaosDropped   *telemetry.Counter
+	chaosStale     *telemetry.Counter
+	chaosTransFail *telemetry.Counter
+	chaosJitterPs  *telemetry.Counter
+	chaosFlipped   *telemetry.Counter
 }
 
 // newRunTelemetry builds the bundle on r (nil r yields nil).
@@ -46,6 +57,16 @@ func newRunTelemetry(r *telemetry.Registry) *runTelemetry {
 		mispredMag:   r.Histogram("predict_mispredict_rel_error", "relative mispredict magnitude |pred-actual|/max(actual,1) per domain-epoch", telemetry.RatioBuckets),
 		epochSpanPs:  r.Histogram("dvfs_epoch_span_ps", "realized epoch spans, picoseconds", epochSpanBuckets),
 		oracleBundle: oracle.NewTelemetry(r),
+
+		deadlocks: r.Counter("dvfs_run_deadlocks_total", "runs terminated by the simulation watchdog (deadlock or cycle budget)"),
+		sanitized: r.Counter("dvfs_sanitized_predictions_total", "non-finite per-state predictions floored by the sanity clamp"),
+
+		chaosNoisy:     r.Counter("chaos_noisy_counters_total", "telemetry counters perturbed by injected sensor noise"),
+		chaosDropped:   r.Counter("chaos_dropped_cus_total", "per-CU epoch samples dropped by fault injection"),
+		chaosStale:     r.Counter("chaos_stale_cus_total", "per-CU epoch samples served stale by fault injection"),
+		chaosTransFail: r.Counter("chaos_failed_transitions_total", "V/f transitions failed by fault injection"),
+		chaosJitterPs:  r.Counter("chaos_transition_jitter_ps_total", "extra settle latency injected into transitions, picoseconds"),
+		chaosFlipped:   r.Counter("chaos_flipped_pcs_total", "predictor lookup PCs corrupted by fault injection"),
 	}
 }
 
@@ -89,6 +110,27 @@ func (m *runTelemetry) recordPrediction(pred, actual float64) {
 		diff = -diff
 	}
 	m.mispredMag.Observe(diff / den)
+}
+
+// recordDeadlock marks a run stopped by the simulation watchdog.
+func (m *runTelemetry) recordDeadlock() {
+	if m == nil {
+		return
+	}
+	m.deadlocks.Inc()
+}
+
+// recordChaos folds one run's injected-fault totals into the bundle.
+func (m *runTelemetry) recordChaos(st chaos.Stats) {
+	if m == nil {
+		return
+	}
+	m.chaosNoisy.Add(st.NoisyCounters)
+	m.chaosDropped.Add(st.DroppedCUs)
+	m.chaosStale.Add(st.StaleCUs)
+	m.chaosTransFail.Add(st.FailedTransitions)
+	m.chaosJitterPs.Add(st.JitterPs)
+	m.chaosFlipped.Add(st.FlippedPCs)
 }
 
 // pcTabler is implemented by policies built on PC-indexed tables.

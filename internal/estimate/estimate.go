@@ -16,6 +16,8 @@
 package estimate
 
 import (
+	"math"
+
 	"pcstall/internal/clock"
 	"pcstall/internal/sim"
 )
@@ -119,6 +121,15 @@ type WFEstimate struct {
 	Slope float64
 }
 
+// Sane reports whether both model terms are finite. Estimates built from
+// corrupted telemetry can carry NaN or Inf; consumers (the PC table, the
+// hardened governor) drop insane estimates rather than letting them
+// poison every later prediction they blend into.
+func (e WFEstimate) Sane() bool {
+	return !math.IsNaN(e.IRef) && !math.IsInf(e.IRef, 0) &&
+		!math.IsNaN(e.Slope) && !math.IsInf(e.Slope, 0)
+}
+
 // Eval returns the estimated instructions at frequency f (never below 0).
 func (e WFEstimate) Eval(f, fRef clock.Freq) float64 {
 	v := e.IRef + e.Slope*float64(f-fRef)
@@ -158,6 +169,9 @@ func BarrierStallFrac(recs []sim.WFRecord) float64 {
 	if f > 1 {
 		f = 1
 	}
+	if f < 0 {
+		f = 0
+	}
 	return f
 }
 
@@ -177,6 +191,9 @@ func (c WFStallConfig) EstimateWF(rec *sim.WFRecord, epochPs int64, ran clock.Fr
 	async := rec.C.StallPs + int64(barrierFrac*float64(rec.C.BarrierPs))
 	if async > total {
 		async = total
+	}
+	if async < 0 {
+		async = 0
 	}
 	tCore := float64(total - async)
 	i1 := float64(rec.C.Committed)

@@ -246,3 +246,28 @@ func TestPredictCUUsesModel(t *testing.T) {
 		t.Fatal("stall-aware prediction should scale less than pure-core prediction")
 	}
 }
+
+func TestWFEstimateSane(t *testing.T) {
+	sane := []WFEstimate{{}, {IRef: 1, Slope: -0.5}}
+	for _, e := range sane {
+		if !e.Sane() {
+			t.Errorf("finite estimate %+v reported insane", e)
+		}
+	}
+	insane := []WFEstimate{
+		{IRef: math.NaN()}, {Slope: math.NaN()},
+		{IRef: math.Inf(1)}, {Slope: math.Inf(-1)},
+	}
+	for _, e := range insane {
+		if e.Sane() {
+			t.Errorf("non-finite estimate %+v reported sane", e)
+		}
+	}
+}
+
+func TestBarrierStallFracClamped(t *testing.T) {
+	recs := []sim.WFRecord{{ResidentPs: 1000, C: sim.WFCounters{StallPs: -500}}}
+	if f := BarrierStallFrac(recs); f < 0 || f > 1 {
+		t.Fatalf("BarrierStallFrac = %v outside [0,1]", f)
+	}
+}

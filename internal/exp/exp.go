@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"pcstall/internal/chaos"
 	"pcstall/internal/clock"
 	"pcstall/internal/core"
 	"pcstall/internal/dvfs"
@@ -77,6 +78,14 @@ type Config struct {
 	// job's private snapshot is merged in when it settles, and manifests
 	// carry per-job metric snapshots. Recording never alters results.
 	Metrics *telemetry.Registry
+	// Chaos, when non-empty, is a canonical fault-injection spec
+	// (chaos.Parse syntax) applied to every job of the campaign. Chaos
+	// participates in job keys, so faulty and fault-free results never
+	// share cache entries.
+	Chaos string
+	// MaxCycles bounds each run's CU cycles; the watchdog stops runs
+	// that exhaust it (0 = unbounded).
+	MaxCycles int64
 }
 
 // DefaultConfig returns the default scaled platform.
@@ -193,6 +202,7 @@ func NewSuite(cfg Config) *Suite {
 		d.Progress, d.ProgressEvery = cfg.Progress, cfg.ProgressEvery
 		d.Metrics = cfg.Metrics
 		d.Ctx, d.JobTimeout, d.Retries = cfg.Ctx, cfg.JobTimeout, cfg.Retries
+		d.Chaos, d.MaxCycles = cfg.Chaos, cfg.MaxCycles
 		cfg = d
 	}
 	if len(cfg.Apps) == 0 {
@@ -295,6 +305,8 @@ func (s *Suite) job(c cell) orchestrate.Job {
 		Seed:          s.Cfg.Seed,
 		MaxTimePs:     int64(s.Cfg.MaxTime),
 		OracleSamples: c.samples,
+		Chaos:         s.Cfg.Chaos,
+		MaxCycles:     s.Cfg.MaxCycles,
 		SimVersion:    orchestrate.SimVersion,
 	}
 }
@@ -330,6 +342,10 @@ func (s *Suite) execJob(ctx context.Context, j orchestrate.Job, reg *telemetry.R
 	if err != nil {
 		return nil, err
 	}
+	chaosCfg, err := chaos.Parse(j.Chaos)
+	if err != nil {
+		return nil, err
+	}
 	epoch := clock.Time(j.EpochPs)
 	// Long-epoch runs need long apps: at 100µs epochs an unscaled app
 	// finishes in a couple of decisions, telling us nothing about the
@@ -351,6 +367,8 @@ func (s *Suite) execJob(ctx context.Context, j orchestrate.Job, reg *telemetry.R
 		PM:            &s.PM,
 		MaxTime:       clock.Time(j.MaxTimePs),
 		OracleSamples: j.OracleSamples,
+		Chaos:         chaosCfg,
+		MaxCycles:     j.MaxCycles,
 		Metrics:       reg,
 		Ctx:           ctx,
 	})
@@ -501,7 +519,7 @@ func (s *Suite) trace(app string, epoch clock.Time, nEpochs int, withWF bool) *t
 	smp := &oracle.Sampler{Grid: grid, PM: &s.PM}
 	tr := &trace{epoch: epoch}
 	const keepCurves = 8
-	for e := 0; e < nEpochs && !g.Finished && g.Now < s.Cfg.MaxTime; e++ {
+	for e := 0; e < nEpochs && !g.Finished && g.Stuck == nil && g.Now < s.Cfg.MaxTime; e++ {
 		truth := smp.SampleNext(g, epoch)
 		nd := len(truth.I)
 		sens := make([]float64, nd)

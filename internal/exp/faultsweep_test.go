@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFaultSweepSmoke regenerates the robustness figure at a tiny scale:
+// the level-0 row must be exactly 1.0 for every design (each design is
+// normalized to its own clean run), every cell must be finite and
+// positive, and faulty rows must actually differ from the clean row for
+// at least one design (the injection must be observable end to end).
+func TestFaultSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a 5-level x 3-design sweep")
+	}
+	s := tinySuite("comd", "xsbench")
+	tb := s.FigureFaultSweep()
+	if len(tb.Rows) != len(faultLevels) {
+		t.Fatalf("rows = %d, want %d", len(tb.Rows), len(faultLevels))
+	}
+	for j, v := range tb.Data[0] {
+		if v != 1 {
+			t.Errorf("level-0 %s = %g, want exactly 1", faultDesigns[j], v)
+		}
+	}
+	for i, row := range tb.Data {
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+				t.Errorf("row %d col %d (%s): bad value %g", i, j, faultDesigns[j], v)
+			}
+		}
+	}
+	changed := false
+	for _, row := range tb.Data[1:] {
+		for _, v := range row {
+			if v != 1 {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Error("no design's EDP moved at any fault level — injection not reaching runs")
+	}
+}
+
+// TestCampaignChaosFlowsIntoJobs: a Suite-wide chaos spec and cycle
+// budget must land on every job it creates (and therefore in its keys).
+func TestCampaignChaosFlowsIntoJobs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CUs = 2
+	cfg.Chaos = "noise=0.1,seed=3"
+	cfg.MaxCycles = 1 << 40
+	s := NewSuite(cfg)
+	j := s.job(cell{"comd", "PCSTALL", 1000, "EDP", 1, 0})
+	if j.Chaos != cfg.Chaos || j.MaxCycles != cfg.MaxCycles {
+		t.Fatalf("job lost campaign knobs: %+v", j)
+	}
+	clean := s.job(cell{"comd", "PCSTALL", 1000, "EDP", 1, 0})
+	clean.Chaos, clean.MaxCycles = "", 0
+	if clean.Key() == j.Key() {
+		t.Fatal("chaos/max-cycles do not change the job key")
+	}
+
+	// Zero-CUs configs adopt defaults but must keep the chaos knobs.
+	s2 := NewSuite(Config{Chaos: "noise=0.2", MaxCycles: 7})
+	if s2.Cfg.Chaos != "noise=0.2" || s2.Cfg.MaxCycles != 7 {
+		t.Fatalf("zero-CUs NewSuite dropped chaos knobs: %+v", s2.Cfg)
+	}
+}

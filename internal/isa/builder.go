@@ -1,10 +1,15 @@
 package isa
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
-// Builder assembles a Program with structured loops. It panics on misuse
-// (unclosed loops, loops closed without opening) — builder errors are
-// programming errors in workload generators, not runtime conditions.
+// Builder assembles a Program with structured loops. Misuse (unclosed
+// loops, loops closed without opening) and validation failures are
+// accumulated and reported by Build as a *BuildError; the chainable
+// emit methods never fail mid-sequence. Static workload generators,
+// where a bad program is a bug rather than input, use MustBuild.
 type Builder struct {
 	name      string
 	base      uint64
@@ -13,6 +18,21 @@ type Builder struct {
 	trips     []int32
 	tripVars  []int32
 	slots     int
+	issues    []string
+	built     bool
+}
+
+// BuildError reports everything wrong with a program a Builder was asked
+// to finalize: structural misuse recorded while emitting plus any
+// Program.Validate failure.
+type BuildError struct {
+	Program string
+	Issues  []string
+}
+
+// Error implements error.
+func (e *BuildError) Error() string {
+	return fmt.Sprintf("isa: program %q cannot be built: %s", e.Program, strings.Join(e.Issues, "; "))
 }
 
 // NewBuilder starts a program named name whose first instruction will live
@@ -95,11 +115,13 @@ func (b *Builder) Loop(trip, tripVar int32) *Builder {
 }
 
 // EndLoop closes the innermost open loop by emitting its backward branch.
-// A loop with an empty body is elided entirely.
+// A loop with an empty body is elided entirely. Closing a loop that was
+// never opened records an issue that Build will report.
 func (b *Builder) EndLoop() *Builder {
 	n := len(b.loopStack)
 	if n == 0 {
-		panic(fmt.Sprintf("isa: EndLoop without Loop in %q", b.name))
+		b.issues = append(b.issues, "EndLoop without Loop")
+		return b
 	}
 	head := b.loopStack[n-1]
 	trip := b.trips[n-1]
@@ -123,15 +145,35 @@ func (b *Builder) EndLoop() *Builder {
 }
 
 // Build terminates the program with s_endpgm, validates it, and returns
-// it. Build panics if loops are unclosed or validation fails: workload
-// generators are static code, so a bad program is a bug, not input error.
-func (b *Builder) Build() Program {
-	if len(b.loopStack) != 0 {
-		panic(fmt.Sprintf("isa: program %q has %d unclosed loops", b.name, len(b.loopStack)))
+// it. Structural misuse (unclosed loops, stray EndLoop) and validation
+// failures are returned as a *BuildError instead of panicking, so callers
+// assembling programs from untrusted or generated descriptions can
+// recover. A Builder finalizes once; a second Build reports an issue.
+func (b *Builder) Build() (Program, error) {
+	issues := append([]string(nil), b.issues...)
+	if b.built {
+		issues = append(issues, "Build called twice")
 	}
+	if n := len(b.loopStack); n != 0 {
+		issues = append(issues, fmt.Sprintf("%d unclosed loops", n))
+	}
+	if len(issues) > 0 {
+		return Program{}, &BuildError{Program: b.name, Issues: issues}
+	}
+	b.built = true
 	b.Emit(Instruction{Kind: EndPgm, Latency: 1})
 	p := Program{Name: b.name, Code: b.code, BranchSlots: b.slots, Base: b.base}
 	if err := p.Validate(); err != nil {
+		return Program{}, &BuildError{Program: b.name, Issues: []string{err.Error()}}
+	}
+	return p, nil
+}
+
+// MustBuild is Build for static generators, where a malformed program is
+// a programming error: it panics on failure.
+func (b *Builder) MustBuild() Program {
+	p, err := b.Build()
+	if err != nil {
 		panic(err)
 	}
 	return p

@@ -1,0 +1,97 @@
+package isa_test
+
+import (
+	"errors"
+	"testing"
+
+	"pcstall/internal/isa"
+)
+
+// FuzzProgramBuilder drives the Builder with an arbitrary op stream
+// decoded from the fuzz input. The invariants under test: Build never
+// panics regardless of the op sequence (stray EndLoops, unclosed loops,
+// raw instructions with out-of-range kinds), every failure is a typed
+// *isa.BuildError, and any program Build accepts passes Validate — the
+// Builder cannot silently hand the simulator a malformed program.
+func FuzzProgramBuilder(f *testing.F) {
+	f.Add([]byte{0, 4, 4})                      // plain VALU block
+	f.Add([]byte{8, 10, 2, 3, 0, 9})            // loop around a load
+	f.Add([]byte{9, 9, 8, 1, 8, 1})             // stray EndLoop + unclosed loops
+	f.Add([]byte{8, 5, 1, 7, 9})                // barrier inside a loop
+	f.Add([]byte{10, 200, 3, 4, 5, 6, 10, 8})   // raw instructions, junk kinds
+	f.Add([]byte{3, 2, 1, 1, 1, 1, 1, 5, 6, 9}) // load + waits
+	f.Fuzz(func(t *testing.T, data []byte) {
+		i := 0
+		next := func() byte {
+			if i >= len(data) {
+				return 0
+			}
+			v := data[i]
+			i++
+			return v
+		}
+		b := isa.NewBuilder("fuzz", uint64(next())<<12)
+		for i < len(data) {
+			switch next() % 11 {
+			case 0:
+				b.VALUBlock(int(next()%8)+1, next())
+			case 1:
+				b.SALU()
+			case 2:
+				b.LDSBlock(int(next()%4)+1, next())
+			case 3:
+				b.Load(fuzzPattern(next))
+			case 4:
+				b.Store(fuzzPattern(next))
+			case 5:
+				b.WaitAll()
+			case 6:
+				b.Wait(int32(next()) - 8) // negative thresholds included
+			case 7:
+				b.Barrier()
+			case 8:
+				b.Loop(int32(next())-4, int32(next())-4)
+			case 9:
+				b.EndLoop()
+			case 10:
+				// Raw emit: arbitrary kind/latency/imm, including kinds
+				// the Builder never produces (Branch, EndPgm, garbage).
+				b.Emit(isa.Instruction{
+					Kind:    isa.Kind(next()),
+					Latency: next(),
+					Imm:     int32(next()) - 8,
+					Trip:    int32(next()) - 4,
+				})
+			}
+		}
+		p, err := b.Build()
+		if err != nil {
+			var be *isa.BuildError
+			if !errors.As(err, &be) {
+				t.Fatalf("Build error %v is not a *isa.BuildError", err)
+			}
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("Build accepted a program that fails Validate: %v", verr)
+		}
+		if p.Len() == 0 {
+			t.Fatal("accepted program has no instructions")
+		}
+		if _, err := b.Build(); err == nil {
+			t.Fatal("second Build on a finalized builder succeeded")
+		}
+	})
+}
+
+// fuzzPattern decodes an access pattern, deliberately including
+// out-of-range pattern kinds and zero-valued geometry.
+func fuzzPattern(next func() byte) isa.AccessPattern {
+	return isa.AccessPattern{
+		Kind:       isa.PatternKind(next() % 6), // one past PatShared
+		Base:       uint64(next()) << 20,
+		WorkingSet: uint64(next()) << 10,
+		Stride:     uint32(next()),
+		Lines:      next(),
+	}
+}

@@ -218,6 +218,13 @@ func (p *Program) Validate() error {
 			if i != len(p.Code)-1 {
 				return fmt.Errorf("isa: program %q: s_endpgm at %d before program end", p.Name, i)
 			}
+		case VALU, SALU, LDS, Barrier:
+			// No structural constraints.
+		default:
+			// An out-of-range kind would otherwise surface as a runtime
+			// dispatch failure deep inside the simulator; reject it here
+			// so sim.New refuses the kernel up front.
+			return fmt.Errorf("isa: program %q: unknown instruction kind %d at %d", p.Name, uint8(in.Kind), i)
 		}
 	}
 	if slots != p.BranchSlots {

@@ -1,6 +1,7 @@
 package isa
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -19,7 +20,7 @@ func TestBuilderBasicProgram(t *testing.T) {
 		WaitAll().
 		Store(pat()).
 		WaitAll().
-		Build()
+		MustBuild()
 	if err := p.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestBuilderLoopNesting(t *testing.T) {
 		SALU().
 		EndLoop().
 		EndLoop().
-		Build()
+		MustBuild()
 	st := p.Stats()
 	if st.Branches != 2 {
 		t.Fatalf("want 2 branches, got %d", st.Branches)
@@ -60,22 +61,45 @@ func TestBuilderLoopNesting(t *testing.T) {
 	}
 }
 
-func TestBuilderUnclosedLoopPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Build with unclosed loop did not panic")
-		}
-	}()
-	NewBuilder("bad", 0).Loop(3, 0).SALU().Build()
+func TestBuilderUnclosedLoopErrors(t *testing.T) {
+	_, err := NewBuilder("bad", 0).Loop(3, 0).SALU().Build()
+	var be *BuildError
+	if !errors.As(err, &be) {
+		t.Fatalf("Build with unclosed loop: got %v, want *BuildError", err)
+	}
+	if be.Program != "bad" || !strings.Contains(be.Error(), "unclosed") {
+		t.Fatalf("unexpected BuildError: %v", be)
+	}
 }
 
-func TestBuilderEndLoopWithoutLoopPanics(t *testing.T) {
+func TestBuilderEndLoopWithoutLoopErrors(t *testing.T) {
+	_, err := NewBuilder("bad", 0).SALU().EndLoop().Build()
+	var be *BuildError
+	if !errors.As(err, &be) {
+		t.Fatalf("stray EndLoop: got %v, want *BuildError", err)
+	}
+	if !strings.Contains(be.Error(), "EndLoop without Loop") {
+		t.Fatalf("unexpected BuildError: %v", be)
+	}
+}
+
+func TestBuilderMustBuildPanicsOnError(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("EndLoop without Loop did not panic")
+			t.Fatal("MustBuild on a bad program did not panic")
 		}
 	}()
-	NewBuilder("bad", 0).SALU().EndLoop()
+	NewBuilder("bad", 0).Loop(3, 0).SALU().MustBuild()
+}
+
+func TestBuilderBuildTwiceErrors(t *testing.T) {
+	b := NewBuilder("twice", 0).SALU()
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build(); err == nil {
+		t.Fatal("second Build did not error")
+	}
 }
 
 func TestBuilderClampsTripVariation(t *testing.T) {
@@ -83,7 +107,7 @@ func TestBuilderClampsTripVariation(t *testing.T) {
 		Loop(3, 99). // variation larger than trip must be clamped
 		SALU().
 		EndLoop().
-		Build()
+		MustBuild()
 	for _, in := range p.Code {
 		if in.Kind == Branch && in.TripVar >= in.Trip {
 			t.Fatalf("trip variation %d not clamped below trip %d", in.TripVar, in.Trip)
@@ -92,30 +116,17 @@ func TestBuilderClampsTripVariation(t *testing.T) {
 }
 
 func TestValidateRejectsBarrierInVariableLoop(t *testing.T) {
-	p := NewBuilder("deadlock", 0).
+	_, err := NewBuilder("deadlock", 0).
 		Loop(10, 3).
 		Barrier().
-		EndLoop()
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("barrier inside variable-trip loop not rejected")
-		}
-		if !strings.Contains(toString(r), "barrier") {
-			t.Fatalf("unexpected panic: %v", r)
-		}
-	}()
-	p.Build()
-}
-
-func toString(v any) string {
-	if err, ok := v.(error); ok {
-		return err.Error()
+		EndLoop().
+		Build()
+	if err == nil {
+		t.Fatal("barrier inside variable-trip loop not rejected")
 	}
-	if s, ok := v.(string); ok {
-		return s
+	if !strings.Contains(err.Error(), "barrier") {
+		t.Fatalf("unexpected error: %v", err)
 	}
-	return ""
 }
 
 func TestValidateRejectsStructuralErrors(t *testing.T) {
@@ -151,7 +162,7 @@ func TestValidateRejectsStructuralErrors(t *testing.T) {
 }
 
 func TestPCArithmetic(t *testing.T) {
-	p := NewBuilder("pc", 0x4000).VALUBlock(2, 4).Build()
+	p := NewBuilder("pc", 0x4000).VALUBlock(2, 4).MustBuild()
 	if p.PC(0) != 0x4000 {
 		t.Fatalf("PC(0) = %#x", p.PC(0))
 	}
@@ -161,7 +172,7 @@ func TestPCArithmetic(t *testing.T) {
 }
 
 func TestKernelValidate(t *testing.T) {
-	p := NewBuilder("k", 0).SALU().Build()
+	p := NewBuilder("k", 0).SALU().MustBuild()
 	good := Kernel{Program: p, Workgroups: 2, WavesPerWG: 4}
 	if err := good.Validate(); err != nil {
 		t.Fatal(err)
@@ -238,11 +249,15 @@ func TestRandomProgramsValidate(t *testing.T) {
 			b.EndLoop()
 			varStack = varStack[:len(varStack)-1]
 		}
-		return b.Build(), false
+		p, err := b.Build()
+		if err != nil {
+			return Program{}, true
+		}
+		return p, false
 	}
 	err := quick.Check(func(seed uint64) bool {
-		p, panicked := build(seed)
-		if panicked {
+		p, failed := build(seed)
+		if failed {
 			return false
 		}
 		return p.Validate() == nil

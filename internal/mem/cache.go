@@ -9,6 +9,8 @@
 // the uncore frequency, and are fully deterministic.
 package mem
 
+import "fmt"
+
 // Cache is a set-associative cache with true-LRU replacement. It models
 // tags only — the simulator never materializes data — and is a value type
 // whose Clone copies the full tag state.
@@ -26,14 +28,23 @@ type Cache struct {
 	hits, misses int64
 }
 
+// GeometryError reports an invalid cache shape passed to NewCache.
+type GeometryError struct {
+	Sets, Ways, LineBytes int
+}
+
+// Error implements error.
+func (e *GeometryError) Error() string {
+	return fmt.Sprintf("mem: invalid cache geometry (%d sets, %d ways, %d-byte lines): sets and ways must be positive and the line size a power of two",
+		e.Sets, e.Ways, e.LineBytes)
+}
+
 // NewCache builds a cache with the given geometry. sets and ways must be
-// positive; lineBytes must be a power of two.
-func NewCache(sets, ways, lineBytes int) Cache {
-	if sets < 1 || ways < 1 {
-		panic("mem: cache needs at least one set and one way")
-	}
-	if lineBytes <= 0 || lineBytes&(lineBytes-1) != 0 {
-		panic("mem: line size must be a power of two")
+// positive; lineBytes must be a power of two. Invalid shapes return a
+// *GeometryError.
+func NewCache(sets, ways, lineBytes int) (Cache, error) {
+	if sets < 1 || ways < 1 || lineBytes <= 0 || lineBytes&(lineBytes-1) != 0 {
+		return Cache{}, &GeometryError{Sets: sets, Ways: ways, LineBytes: lineBytes}
 	}
 	shift := uint32(0)
 	for 1<<shift != lineBytes {
@@ -46,7 +57,16 @@ func NewCache(sets, ways, lineBytes int) Cache {
 		lineShift: shift,
 		tags:      make([]uint64, n),
 		stamp:     make([]uint64, n),
+	}, nil
+}
+
+// mustCache is NewCache for geometries already vetted by Config.Validate.
+func mustCache(sets, ways, lineBytes int) Cache {
+	c, err := NewCache(sets, ways, lineBytes)
+	if err != nil {
+		panic(err)
 	}
+	return c
 }
 
 // LineBytes returns the cache line size.

@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -8,7 +9,7 @@ import (
 )
 
 func TestCacheHitAfterFill(t *testing.T) {
-	c := NewCache(4, 2, 64)
+	c := mustCache(4, 2, 64)
 	if c.Probe(0x1000) {
 		t.Fatal("hit in empty cache")
 	}
@@ -26,7 +27,7 @@ func TestCacheHitAfterFill(t *testing.T) {
 
 func TestCacheLRUEviction(t *testing.T) {
 	// Direct-mapped-per-set behaviour with 1 set, 2 ways.
-	c := NewCache(1, 2, 64)
+	c := mustCache(1, 2, 64)
 	c.Fill(0x000)
 	c.Fill(0x040)
 	c.Probe(0x000) // make 0x000 most recent
@@ -40,7 +41,7 @@ func TestCacheLRUEviction(t *testing.T) {
 }
 
 func TestCacheFillRefreshesLRU(t *testing.T) {
-	c := NewCache(1, 2, 64)
+	c := mustCache(1, 2, 64)
 	c.Fill(0x000)
 	c.Fill(0x040)
 	// Refill 0x000: no eviction, and it becomes most recent.
@@ -54,7 +55,7 @@ func TestCacheFillRefreshesLRU(t *testing.T) {
 }
 
 func TestCacheContainsDoesNotTouch(t *testing.T) {
-	c := NewCache(1, 2, 64)
+	c := mustCache(1, 2, 64)
 	c.Fill(0x000)
 	c.Fill(0x040)
 	h, m := c.Hits(), c.Misses()
@@ -69,7 +70,7 @@ func TestCacheContainsDoesNotTouch(t *testing.T) {
 }
 
 func TestCacheSetIsolation(t *testing.T) {
-	c := NewCache(8, 1, 64)
+	c := mustCache(8, 1, 64)
 	// Lines mapping to different sets must not evict each other.
 	for i := uint64(0); i < 8; i++ {
 		c.Fill(i * 64)
@@ -82,7 +83,7 @@ func TestCacheSetIsolation(t *testing.T) {
 }
 
 func TestCacheFlush(t *testing.T) {
-	c := NewCache(4, 2, 64)
+	c := mustCache(4, 2, 64)
 	c.Fill(0x1000)
 	c.Probe(0x1000)
 	c.Flush()
@@ -92,7 +93,7 @@ func TestCacheFlush(t *testing.T) {
 }
 
 func TestCacheGeometry(t *testing.T) {
-	c := NewCache(64, 4, 64)
+	c := mustCache(64, 4, 64)
 	if c.CapacityBytes() != 16*1024 {
 		t.Fatalf("capacity %d", c.CapacityBytes())
 	}
@@ -101,21 +102,16 @@ func TestCacheGeometry(t *testing.T) {
 	}
 }
 
-func TestCacheConstructorPanics(t *testing.T) {
-	for _, f := range []func(){
-		func() { NewCache(0, 1, 64) },
-		func() { NewCache(1, 0, 64) },
-		func() { NewCache(1, 1, 63) },
-		func() { NewCache(1, 1, 0) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("bad geometry accepted")
-				}
-			}()
-			f()
-		}()
+func TestCacheConstructorRejectsBadGeometry(t *testing.T) {
+	for _, g := range [][3]int{{0, 1, 64}, {1, 0, 64}, {1, 1, 63}, {1, 1, 0}, {-1, 1, 64}} {
+		_, err := NewCache(g[0], g[1], g[2])
+		var ge *GeometryError
+		if !errors.As(err, &ge) {
+			t.Errorf("geometry %v: got %v, want *GeometryError", g, err)
+		}
+	}
+	if _, err := NewCache(4, 2, 64); err != nil {
+		t.Fatalf("valid geometry rejected: %v", err)
 	}
 }
 
@@ -162,7 +158,7 @@ func TestCacheMatchesReferenceModel(t *testing.T) {
 		rng := xrand.New(seed)
 		sets := 1 << rng.Intn(4) // 1..8
 		ways := 1 + rng.Intn(4)
-		c := NewCache(sets, ways, 64)
+		c := mustCache(sets, ways, 64)
 		ref := newRefLRU(sets, ways)
 		for op := 0; op < 500; op++ {
 			line := uint64(rng.Intn(sets * ways * 3))
@@ -186,7 +182,7 @@ func TestCacheMatchesReferenceModel(t *testing.T) {
 }
 
 func TestCacheCloneIndependence(t *testing.T) {
-	c := NewCache(4, 2, 64)
+	c := mustCache(4, 2, 64)
 	c.Fill(0x1000)
 	cp := c.Clone()
 	cp.Fill(0x2000)

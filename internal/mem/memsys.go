@@ -82,7 +82,7 @@ func (c Config) Validate() error {
 }
 
 // NewL1 builds one CU's L1 cache per the config.
-func (c Config) NewL1() Cache { return NewCache(c.L1Sets, c.L1Ways, c.LineBytes) }
+func (c Config) NewL1() Cache { return mustCache(c.L1Sets, c.L1Ways, c.LineBytes) }
 
 // queue is a FIFO of requests with O(1) amortized push/pop.
 type queue struct {
@@ -198,7 +198,7 @@ func NewMemSys(cfg Config) *MemSys {
 		period: cfg.UncoreFreq.PeriodPs(),
 	}
 	for i := range m.l2 {
-		m.l2[i] = NewCache(cfg.L2Sets, cfg.L2Ways, cfg.LineBytes)
+		m.l2[i] = mustCache(cfg.L2Sets, cfg.L2Ways, cfg.LineBytes)
 	}
 	return m
 }

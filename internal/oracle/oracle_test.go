@@ -16,7 +16,7 @@ func computeGPU(t *testing.T, cus int) *sim.GPU {
 		Loop(100000, 0).
 		VALUBlock(8, 4).
 		EndLoop().
-		Build()
+		MustBuild()
 	k := isa.Kernel{Program: p, Workgroups: cus, WavesPerWG: 4}
 	g, err := sim.New(sim.DefaultConfig(cus), []isa.Kernel{k}, []int32{0})
 	if err != nil {
@@ -34,7 +34,7 @@ func memGPU(t *testing.T, cus int) *sim.GPU {
 		WaitAll().
 		VALUBlock(1, 4).
 		EndLoop().
-		Build()
+		MustBuild()
 	k := isa.Kernel{Program: p, Workgroups: cus, WavesPerWG: 8}
 	g, err := sim.New(sim.DefaultConfig(cus), []isa.Kernel{k}, []int32{0})
 	if err != nil {

@@ -55,6 +55,12 @@ type Job struct {
 	MaxTimePs int64 `json:"max_time_ps"`
 	// OracleSamples overrides the oracle's fork count (0 = default).
 	OracleSamples int `json:"oracle_samples,omitempty"`
+	// Chaos is the canonical fault-injection spec (chaos.Config.String);
+	// empty means no faults.
+	Chaos string `json:"chaos,omitempty"`
+	// MaxCycles bounds CU cycles before the watchdog stops the run
+	// (0 = unbounded).
+	MaxCycles int64 `json:"max_cycles,omitempty"`
 	// SimVersion must be orchestrate.SimVersion for freshly built jobs;
 	// it rides in the key so stale cache entries miss after a bump.
 	SimVersion string `json:"sim_version"`
@@ -88,6 +94,16 @@ func (j Job) Canonical() string {
 	b.WriteString(strconv.FormatInt(j.MaxTimePs, 10))
 	b.WriteString("|smp=")
 	b.WriteString(strconv.Itoa(j.OracleSamples))
+	// Appended only when set, so pre-existing cached keys stay valid for
+	// the (default) fault-free, unbounded jobs.
+	if j.Chaos != "" {
+		b.WriteString("|chaos=")
+		b.WriteString(j.Chaos)
+	}
+	if j.MaxCycles != 0 {
+		b.WriteString("|maxcyc=")
+		b.WriteString(strconv.FormatInt(j.MaxCycles, 10))
+	}
 	return b.String()
 }
 

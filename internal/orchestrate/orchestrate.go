@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"pcstall/internal/dvfs"
+	"pcstall/internal/sim"
 	"pcstall/internal/telemetry"
 )
 
@@ -450,6 +451,10 @@ func (o *Orchestrator) exec(ctx context.Context, j Job, key string, f *future) {
 		o.tele.jobsCompleted.Inc()
 		if err != nil {
 			o.tele.errors.Inc()
+			var de *sim.DeadlockError
+			if errors.As(err, &de) {
+				o.tele.deadlocks.Inc()
+			}
 		}
 	}
 	o.mu.Lock()

@@ -17,6 +17,7 @@ type orchTelemetry struct {
 	misses        *telemetry.Counter
 	errors        *telemetry.Counter
 
+	deadlocks       *telemetry.Counter
 	retries         *telemetry.Counter
 	panics          *telemetry.Counter
 	cancellations   *telemetry.Counter
@@ -44,6 +45,7 @@ func newOrchTelemetry(r *telemetry.Registry) *orchTelemetry {
 		diskHits:      r.Counter("orchestrate_cache_disk_hits_total", "submissions answered by the cache directory"),
 		misses:        r.Counter("orchestrate_cache_misses_total", "submissions that ran a simulation"),
 		errors:        r.Counter("orchestrate_job_errors_total", "jobs that settled with an error"),
+		deadlocks:     r.Counter("orchestrate_job_deadlocks_total", "jobs stopped by the simulation watchdog (deadlock or cycle budget)"),
 		retries:       r.Counter("orchestrate_job_retries_total", "job attempts retried after a transient failure"),
 		panics:        r.Counter("orchestrate_job_panics_total", "jobs that settled with a recovered panic"),
 		cancellations: r.Counter("orchestrate_jobs_cancelled_total", "jobs abandoned by fail-fast or campaign interruption"),

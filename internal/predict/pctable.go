@@ -59,6 +59,7 @@ type PCTable struct {
 	lookups   int64
 	hits      int64
 	evictions int64
+	rejected  int64
 }
 
 // NewPCTable builds a table.
@@ -83,6 +84,13 @@ func (t *PCTable) index(pc uint64) (int, uint64) {
 // began at byte address pc — the paper's update mechanism, run off the
 // critical path after each epoch.
 func (t *PCTable) Update(pc uint64, e estimate.WFEstimate) {
+	if !e.Sane() {
+		// A NaN/Inf estimate (corrupted telemetry) blended into an entry
+		// would propagate through every later Alpha-weighted update and
+		// poison the entry forever; drop it instead.
+		t.rejected++
+		return
+	}
 	i, key := t.index(pc)
 	if t.valid[i] && t.tags[i] == key {
 		a := t.cfg.Alpha
@@ -129,12 +137,16 @@ func (t *PCTable) Hits() int64 { return t.hits }
 // different key (conflict evictions; capacity pressure signal).
 func (t *PCTable) Evictions() int64 { return t.evictions }
 
+// Rejected returns how many updates were dropped for carrying
+// non-finite estimates.
+func (t *PCTable) Rejected() int64 { return t.rejected }
+
 // Reset invalidates all entries (used at application boundaries).
 func (t *PCTable) Reset() {
 	for i := range t.valid {
 		t.valid[i] = false
 	}
-	t.lookups, t.hits, t.evictions = 0, 0, 0
+	t.lookups, t.hits, t.evictions, t.rejected = 0, 0, 0, 0
 }
 
 // InstrSpan returns how many instructions the table covers end to end

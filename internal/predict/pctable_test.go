@@ -236,3 +236,23 @@ func TestTelemetryRecordTable(t *testing.T) {
 	nilM.RecordTable(tb)
 	m.RecordTable(nil)
 }
+
+func TestUpdateRejectsNonFiniteEstimates(t *testing.T) {
+	tb := NewPCTable(DefaultPCTable())
+	tb.Update(0x100, estimate.WFEstimate{IRef: math.NaN(), Slope: 1})
+	tb.Update(0x100, estimate.WFEstimate{IRef: 1, Slope: math.Inf(1)})
+	if _, ok := tb.Lookup(0x100); ok {
+		t.Fatal("non-finite estimate was stored")
+	}
+	if tb.Rejected() != 2 {
+		t.Fatalf("Rejected = %d, want 2", tb.Rejected())
+	}
+	tb.Update(0x100, estimate.WFEstimate{IRef: 5, Slope: 0.1})
+	if e, ok := tb.Lookup(0x100); !ok || e.IRef != 5 {
+		t.Fatal("sane estimate after rejects not stored")
+	}
+	tb.Reset()
+	if tb.Rejected() != 0 {
+		t.Fatal("Reset did not clear rejected counter")
+	}
+}

@@ -269,7 +269,15 @@ func (cu *CU) exec(g *GPU, w, s int, now clock.Time, period clock.Time) execOutc
 		return outIssued
 
 	default:
-		panic("sim: unknown instruction kind")
+		// Unreachable for kernels validated by New (Program.Validate
+		// rejects unknown kinds); a program corrupted in flight degrades
+		// to a structured watchdog stop instead of a panic.
+		g.Stuck = &DeadlockError{
+			Kind: DeadlockBadInstr, CU: cu.ID, Slot: int32(w),
+			WG: wf.WG, GlobalWave: wf.GlobalWave, PC: prog.PC(wf.PC),
+			Now: now, Cycles: g.Cycles, Waiting: g.residentWaves(),
+		}
+		return outBlocked
 	}
 }
 

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"fmt"
+
+	"pcstall/internal/clock"
+)
+
+// DeadlockKind classifies why the cooperative watchdog stopped a run.
+type DeadlockKind string
+
+const (
+	// DeadlockBarrier: wavefronts parked at a workgroup barrier that can
+	// never be satisfied (e.g. corrupted workgroup membership).
+	DeadlockBarrier DeadlockKind = "barrier"
+	// DeadlockWaitCnt: an s_waitcnt waiting on memory counters that no
+	// in-flight request will ever decrement.
+	DeadlockWaitCnt DeadlockKind = "waitcnt"
+	// DeadlockThrottle: every wave is MSHR-throttled with no miss in
+	// flight to release one (a memory request wider than the MSHR file).
+	DeadlockThrottle DeadlockKind = "mshr-throttle"
+	// DeadlockBadInstr: a corrupted in-flight program reached an unknown
+	// instruction kind (unreachable for kernels validated by New).
+	DeadlockBadInstr DeadlockKind = "bad-instruction"
+	// DeadlockCycleLimit: the Config.MaxCycles event budget ran out.
+	DeadlockCycleLimit DeadlockKind = "cycle-limit"
+	// DeadlockNoProgress: no event can ever fire again and no blocked
+	// wave explains why (defensive catch-all).
+	DeadlockNoProgress DeadlockKind = "no-progress"
+)
+
+// DeadlockError is the structured diagnostic the watchdog produces when
+// the simulation can make no further progress: the event loop went
+// all-idle with the application unfinished, or the cycle budget ran out.
+// It names the oldest stuck wavefront so the failure is attributable.
+type DeadlockError struct {
+	Kind DeadlockKind
+	// CU and Slot locate the oldest blocked wavefront; WG, GlobalWave,
+	// and PC identify it (PC is the byte program counter it is parked
+	// at). All are zero for DeadlockCycleLimit, which has no single
+	// culprit.
+	CU         int32
+	Slot       int32
+	WG         int64
+	GlobalWave int64
+	PC         uint64
+	// Now is the simulated time progress stopped; Cycles the CU cycle
+	// events executed by then; Waiting the blocked wavefronts GPU-wide.
+	Now     clock.Time
+	Cycles  int64
+	Waiting int
+}
+
+// Error implements error.
+func (e *DeadlockError) Error() string {
+	if e.Kind == DeadlockCycleLimit {
+		return fmt.Sprintf("sim: cycle budget exhausted: %d CU cycles at t=%dps with %d wavefronts still resident",
+			e.Cycles, e.Now, e.Waiting)
+	}
+	return fmt.Sprintf("sim: %s deadlock at t=%dps: CU %d slot %d (wave %d, workgroup %d) blocked at PC 0x%x; %d wavefronts waiting",
+		e.Kind, e.Now, e.CU, e.Slot, e.GlobalWave, e.WG, e.PC, e.Waiting)
+}
+
+// diagnoseStall builds the deadlock diagnostic for an event loop that has
+// gone all-idle while the application is unfinished. The oldest blocked
+// wavefront (lowest GlobalWave) is named: under oldest-first scheduling
+// it is the one everything else is transitively waiting behind.
+func (g *GPU) diagnoseStall() *DeadlockError {
+	de := &DeadlockError{Kind: DeadlockNoProgress, Now: g.Now, Cycles: g.Cycles, GlobalWave: -1}
+	for ci := range g.CUs {
+		cu := &g.CUs[ci]
+		for i := range cu.WFs {
+			wf := &cu.WFs[i]
+			if wf.State == WFFree || wf.State == WFRunning {
+				continue
+			}
+			de.Waiting++
+			if de.GlobalWave >= 0 && wf.GlobalWave >= de.GlobalWave {
+				continue
+			}
+			de.CU = int32(ci)
+			de.Slot = int32(i)
+			de.WG = wf.WG
+			de.GlobalWave = wf.GlobalWave
+			de.PC = g.Kernels[wf.Kernel].Program.PC(wf.PC)
+			switch wf.State {
+			case WFBarrier:
+				de.Kind = DeadlockBarrier
+			case WFWaitCnt:
+				de.Kind = DeadlockWaitCnt
+			case WFThrottled:
+				de.Kind = DeadlockThrottle
+			}
+		}
+	}
+	return de
+}

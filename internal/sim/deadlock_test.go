@@ -1,0 +1,166 @@
+package sim_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pcstall/internal/clock"
+	"pcstall/internal/isa"
+	"pcstall/internal/sim"
+)
+
+// TestBarrierDeadlockDetected corrupts one wave's workgroup ID after
+// dispatch (modelling a hardware fault in barrier bookkeeping): its real
+// workgroup can then never fully arrive, and the watchdog must stop the
+// run with a structured barrier diagnosis instead of spinning forever.
+func TestBarrierDeadlockDetected(t *testing.T) {
+	p := isa.NewBuilder("barrier-dl", 0x1000).
+		VALUBlock(2, 4).
+		Barrier().
+		VALUBlock(2, 4).
+		MustBuild()
+	g := singleKernelGPU(t, p, 1, 2, 1)
+	if g.CUs[0].WFs[1].State == sim.WFFree {
+		t.Fatal("wave 1 not resident after New")
+	}
+	g.CUs[0].WFs[1].WG = 1 << 40 // orphan: no other wave shares this WG
+
+	g.RunUntil(clock.Millisecond)
+
+	if g.Finished {
+		t.Fatal("corrupted dispatch finished")
+	}
+	if g.Stuck == nil {
+		t.Fatal("watchdog did not diagnose the barrier deadlock")
+	}
+	if g.Stuck.Kind != sim.DeadlockBarrier {
+		t.Fatalf("Kind = %q, want %q", g.Stuck.Kind, sim.DeadlockBarrier)
+	}
+	if g.Stuck.CU != 0 {
+		t.Fatalf("CU = %d, want 0", g.Stuck.CU)
+	}
+	if g.Stuck.Waiting != 2 {
+		t.Fatalf("Waiting = %d, want 2", g.Stuck.Waiting)
+	}
+	if !strings.Contains(g.Stuck.Error(), "barrier") {
+		t.Fatalf("diagnostic %q does not name the barrier", g.Stuck.Error())
+	}
+	// The PC must point into the program (at or before the barrier).
+	if g.Stuck.PC < 0x1000 || g.Stuck.PC >= p.PC(int32(p.Len())) {
+		t.Fatalf("diagnosed PC %#x outside program", g.Stuck.PC)
+	}
+	// A stuck GPU still advances Now so caller loops terminate.
+	if g.Now < clock.Millisecond {
+		t.Fatalf("stuck GPU left Now at %d", g.Now)
+	}
+}
+
+// TestWaitcntStarvationDetected injects a phantom outstanding load
+// (modelling a lost memory response): the wave's s_waitcnt 0 can never
+// be satisfied, and the watchdog must name the stuck wave.
+func TestWaitcntStarvationDetected(t *testing.T) {
+	p := isa.NewBuilder("waitcnt-dl", 0x2000).
+		Load(pat(1<<20, 2)).
+		WaitAll().
+		VALUBlock(4, 4).
+		MustBuild()
+	g := singleKernelGPU(t, p, 1, 2, 1)
+	g.CUs[0].WFs[0].OutLoads++ // phantom line with no response in flight
+
+	g.RunUntil(clock.Millisecond)
+
+	if g.Stuck == nil {
+		t.Fatal("watchdog did not diagnose the waitcnt starvation")
+	}
+	if g.Stuck.Kind != sim.DeadlockWaitCnt {
+		t.Fatalf("Kind = %q, want %q", g.Stuck.Kind, sim.DeadlockWaitCnt)
+	}
+	if g.Stuck.CU != 0 || g.Stuck.Slot != 0 {
+		t.Fatalf("diagnosed CU %d slot %d, want CU 0 slot 0", g.Stuck.CU, g.Stuck.Slot)
+	}
+	if g.Stuck.GlobalWave != g.CUs[0].WFs[0].GlobalWave {
+		t.Fatalf("diagnosed wave %d, want %d", g.Stuck.GlobalWave, g.CUs[0].WFs[0].GlobalWave)
+	}
+}
+
+// TestMSHRStarvationDetected runs a valid program whose single load
+// needs more MSHRs than the L1 has: every wave throttles with nothing
+// in flight, a genuine configuration-induced deadlock requiring no
+// state corruption.
+func TestMSHRStarvationDetected(t *testing.T) {
+	wide := isa.AccessPattern{
+		Kind: isa.PatStream, Base: 1 << 30, WorkingSet: 1 << 24,
+		Stride: 256, Lines: 64, // > default 32 L1 MSHRs
+	}
+	p := isa.NewBuilder("mshr-dl", 0x3000).
+		Load(wide).
+		WaitAll().
+		MustBuild()
+	g := singleKernelGPU(t, p, 1, 2, 1)
+
+	g.RunUntil(clock.Millisecond)
+
+	if g.Stuck == nil {
+		t.Fatal("watchdog did not diagnose the MSHR starvation")
+	}
+	if g.Stuck.Kind != sim.DeadlockThrottle {
+		t.Fatalf("Kind = %q, want %q", g.Stuck.Kind, sim.DeadlockThrottle)
+	}
+}
+
+// TestCycleBudgetExhaustion bounds a long-running (but live) program
+// with MaxCycles and expects the structured cycle-limit stop.
+func TestCycleBudgetExhaustion(t *testing.T) {
+	p := isa.NewBuilder("spin", 0).
+		Loop(1_000_000, 0).
+		VALUBlock(4, 4).
+		EndLoop().
+		MustBuild()
+	cfg := sim.DefaultConfig(1)
+	cfg.MaxCycles = 2000
+	g, err := sim.New(cfg, []isa.Kernel{{Program: p, Workgroups: 1, WavesPerWG: 2}}, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.RunUntil(clock.Millisecond)
+	if g.Stuck == nil {
+		t.Fatal("cycle budget did not trip")
+	}
+	if g.Stuck.Kind != sim.DeadlockCycleLimit {
+		t.Fatalf("Kind = %q, want %q", g.Stuck.Kind, sim.DeadlockCycleLimit)
+	}
+	if g.Stuck.Cycles < 2000 {
+		t.Fatalf("tripped at %d cycles, budget 2000", g.Stuck.Cycles)
+	}
+	if !strings.Contains(g.Stuck.Error(), "cycle budget") {
+		t.Fatalf("diagnostic %q does not name the budget", g.Stuck.Error())
+	}
+	var de *sim.DeadlockError
+	if !errors.As(error(g.Stuck), &de) {
+		t.Fatal("Stuck does not unwrap as *DeadlockError")
+	}
+}
+
+// TestHealthyRunNeverTripsWatchdog: a normal workload under a generous
+// budget finishes without a diagnosis, and Cycles accounts its work.
+func TestHealthyRunNeverTripsWatchdog(t *testing.T) {
+	p := isa.NewBuilder("healthy", 0).
+		Loop(20, 0).
+		VALUBlock(4, 4).
+		EndLoop().
+		MustBuild()
+	cfg := sim.DefaultConfig(1)
+	cfg.MaxCycles = 1 << 40
+	g, err := sim.New(cfg, []isa.Kernel{{Program: p, Workgroups: 1, WavesPerWG: 2}}, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.RunUntil(clock.Millisecond)
+	if !g.Finished || g.Stuck != nil {
+		t.Fatalf("healthy run: Finished=%v Stuck=%v", g.Finished, g.Stuck)
+	}
+	if g.Cycles == 0 {
+		t.Fatal("no CU cycles accounted")
+	}
+}

@@ -1,0 +1,61 @@
+package sim_test
+
+import (
+	"testing"
+
+	"pcstall/internal/clock"
+	"pcstall/internal/isa"
+	"pcstall/internal/sim"
+)
+
+// FuzzConfigValidate throws arbitrary geometry at sim.Config.Validate
+// (which folds in mem.Config and the clock map/grid checks). The
+// invariants: Validate never panics, and any configuration it accepts
+// within a bounded-allocation envelope must actually construct — a
+// validated config that panics in sim.New would mean the validation is
+// incomplete.
+func FuzzConfigValidate(f *testing.F) {
+	f.Add(4, 40, 4, 4, 1, 64, 64, 4, 32, 16, 256, 16, 2, 1600, int64(0))
+	f.Add(0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, int64(-1))             // all-degenerate
+	f.Add(-3, 40, 4, -3, 1, 63, 64, 4, 32, 16, 256, 16, 2, 1600, int64(0)) // non-pow2 line
+	f.Add(8, 1, 1, 8, 2, 64, 1, 1, 1, 1, 1, 1, 1, 1, int64(1))             // minimal live config
+	f.Add(4, 40, 4, 2, 1, 64, 64, 4, 32, 16, 256, 16, 2, 1600, int64(0))   // domain/CU mismatch
+	f.Fuzz(func(t *testing.T, numCUs, maxWaves, simds, domCUs, cusPerDom,
+		lineBytes, l1Sets, l1Ways, l1MSHRs, l2Banks, l2Sets, l2Ways,
+		dramWidth, uncore int, maxCycles int64) {
+
+		cfg := sim.DefaultConfig(4)
+		cfg.NumCUs = numCUs
+		cfg.MaxWavesPerCU = maxWaves
+		cfg.SIMDsPerCU = simds
+		cfg.Domains = clock.Map{NumCUs: domCUs, CUsPerDomain: cusPerDom}
+		cfg.MaxCycles = maxCycles
+		cfg.Mem.LineBytes = lineBytes
+		cfg.Mem.L1Sets = l1Sets
+		cfg.Mem.L1Ways = l1Ways
+		cfg.Mem.L1MSHRs = l1MSHRs
+		cfg.Mem.L2Banks = l2Banks
+		cfg.Mem.L2Sets = l2Sets
+		cfg.Mem.L2Ways = l2Ways
+		cfg.Mem.DRAMWidth = dramWidth
+		cfg.Mem.UncoreFreq = clock.Freq(uncore)
+
+		if err := cfg.Validate(); err != nil {
+			return // rejection is fine; not panicking is the property
+		}
+
+		// Accepted configs must construct — but only exercise the ones
+		// whose allocations are small enough for a fuzz iteration.
+		if numCUs > 8 || maxWaves > 64 || simds > 8 ||
+			lineBytes > 4096 || l1Sets > 256 || l1Ways > 16 ||
+			l2Banks > 32 || l2Sets > 512 || l2Ways > 32 {
+			return
+		}
+		p := isa.NewBuilder("fuzz-cfg", 0).VALUBlock(2, 4).MustBuild()
+		g, err := sim.New(cfg, []isa.Kernel{{Program: p, Workgroups: 1, WavesPerWG: 1}}, []int32{0})
+		if err != nil {
+			t.Fatalf("validated config rejected by sim.New: %v", err)
+		}
+		g.RunUntil(10 * clock.Microsecond)
+	})
+}

@@ -27,6 +27,10 @@ type Config struct {
 	InitFreq clock.Freq
 	// Seed drives all workload randomness.
 	Seed uint64
+	// MaxCycles bounds the total CU cycle events the simulation may
+	// execute; when the budget runs out RunUntil stops with a
+	// DeadlockCycleLimit diagnostic in GPU.Stuck. 0 means unbounded.
+	MaxCycles int64
 }
 
 // DefaultConfig returns the paper's platform scaled by numCUs: per-CU V/f
@@ -69,6 +73,9 @@ func (c Config) Validate() error {
 	if c.Grid.Index(c.InitFreq) < 0 {
 		return fmt.Errorf("sim: initial frequency %v not on grid", c.InitFreq)
 	}
+	if c.MaxCycles < 0 {
+		return fmt.Errorf("sim: negative cycle budget %d", c.MaxCycles)
+	}
 	return nil
 }
 
@@ -91,8 +98,14 @@ type GPU struct {
 	EpochStart clock.Time
 	// Finished is set once every launch has completed.
 	Finished bool
+	// Stuck is set by the cooperative watchdog when the simulation can
+	// make no further progress (deadlocked workload or exhausted
+	// Config.MaxCycles budget). Once set, RunUntil only advances Now.
+	Stuck *DeadlockError
 	// TotalCommitted counts instructions committed since time zero.
 	TotalCommitted int64
+	// Cycles counts CU cycle events executed (the MaxCycles budget).
+	Cycles int64
 
 	// Dispatch state.
 	LaunchIdx      int32
@@ -331,14 +344,27 @@ func (g *GPU) applyCompletion(r mem.Request, now clock.Time) {
 // RunUntil advances simulated time to limit (or until the application
 // finishes, whichever comes first). On return g.Now is the limit, or the
 // finish time if the workload completed earlier.
+//
+// RunUntil is also the cooperative watchdog: if every event source goes
+// quiet (no CU tick, no uncore tick, no pending response) while the
+// application is unfinished, nothing can ever wake the GPU again — events
+// are only created by events — so instead of silently idling to the limit
+// it records a structured DeadlockError in g.Stuck. The same happens when
+// the Config.MaxCycles event budget runs out. A stuck GPU stays
+// navigable: further RunUntil calls just advance Now so callers' epoch
+// loops terminate instead of spinning.
 func (g *GPU) RunUntil(limit clock.Time) {
-	for !g.Finished {
+	for !g.Finished && g.Stuck == nil {
 		_, t := g.heap.min()
 		if g.memTickAt < t {
 			t = g.memTickAt
 		}
 		if dt, ok := g.Msys.NextDone(); ok && dt < t {
 			t = dt
+		}
+		if t == InfTime {
+			g.Stuck = g.diagnoseStall()
+			break
 		}
 		if t > limit {
 			break
@@ -371,7 +397,14 @@ func (g *GPU) RunUntil(limit clock.Time) {
 				break
 			}
 			g.CUs[i].tick(g, t)
-			if g.Finished {
+			g.Cycles++
+			if g.Cfg.MaxCycles > 0 && g.Cycles >= g.Cfg.MaxCycles && !g.Finished && g.Stuck == nil {
+				g.Stuck = &DeadlockError{
+					Kind: DeadlockCycleLimit, Now: t, Cycles: g.Cycles,
+					Waiting: g.residentWaves(),
+				}
+			}
+			if g.Finished || g.Stuck != nil {
 				break
 			}
 		}
@@ -379,6 +412,15 @@ func (g *GPU) RunUntil(limit clock.Time) {
 	if !g.Finished && g.Now < limit {
 		g.Now = limit
 	}
+}
+
+// residentWaves counts occupied wavefront slots GPU-wide.
+func (g *GPU) residentWaves() int {
+	n := 0
+	for i := range g.CUs {
+		n += int(g.CUs[i].ActiveWaves)
+	}
+	return n
 }
 
 // CollectEpoch finalizes the epoch ending now and fills out with the
@@ -412,11 +454,19 @@ func (g *GPU) CollectEpoch(out *EpochSample) {
 // stalling the domain for the given transition latency if f differs from
 // its current frequency.
 func (g *GPU) SetDomainFreq(d int, f clock.Freq, transition clock.Time) {
+	g.SetDomainFreqOutcome(d, f, transition, false)
+}
+
+// SetDomainFreqOutcome is SetDomainFreq with an explicit regulator
+// outcome (fault injection): a failed attempt pays the transition stall
+// but keeps the old frequency. The domain's CUs are rescheduled either
+// way because the stall moved their next tick.
+func (g *GPU) SetDomainFreqOutcome(d int, f clock.Freq, transition clock.Time, fail bool) {
 	dom := &g.Domains[d]
 	if f == dom.Freq {
 		return
 	}
-	dom.SetFreq(f, g.Now, transition)
+	dom.SetFreqOutcome(f, g.Now, transition, fail)
 	lo, hi := g.Cfg.Domains.CUs(d)
 	for cu := lo; cu < hi; cu++ {
 		g.scheduleCU(&g.CUs[cu], g.Now)

@@ -43,7 +43,7 @@ func TestInstructionCountExact(t *testing.T) {
 		Loop(trips, 0).
 		VALUBlock(body, 4).
 		EndLoop().
-		Build()
+		MustBuild()
 	// Dynamic instructions per wave: trips*(body+branch) + endpgm.
 	perWave := int64(trips*(body+1) + 1)
 	const waves = 8
@@ -64,7 +64,7 @@ func TestWaitcntStallAccounting(t *testing.T) {
 		Load(pat(1<<20, 1)).
 		WaitAll().
 		VALUBlock(1, 4).
-		Build()
+		MustBuild()
 	g := singleKernelGPU(t, p, 1, 1, 1)
 	g.RunUntil(clock.Millisecond)
 	if !g.Finished {
@@ -95,7 +95,7 @@ func TestBarrierSynchronizes(t *testing.T) {
 		VALUBlock(6, 4).
 		Barrier().
 		EndLoop().
-		Build()
+		MustBuild()
 	g := singleKernelGPU(t, p, 1, 8, 1)
 	g.RunUntil(10 * clock.Millisecond)
 	if !g.Finished {
@@ -118,7 +118,7 @@ func TestBarrierDoesNotCrossWorkgroups(t *testing.T) {
 		VALUBlock(4, 4).
 		Barrier().
 		VALUBlock(4, 4).
-		Build()
+		MustBuild()
 	g := singleKernelGPU(t, p, 2, 4, 1) // both WGs land on CU 0
 	g.RunUntil(clock.Millisecond)
 	if !g.Finished {
@@ -187,7 +187,7 @@ func TestDispatchBalance(t *testing.T) {
 		Loop(50, 0).
 		VALUBlock(4, 4).
 		EndLoop().
-		Build()
+		MustBuild()
 	g := singleKernelGPU(t, p, 4, 4, 4)
 	g.RunUntil(2 * clock.Microsecond)
 	es := collect(g)
@@ -201,10 +201,10 @@ func TestDispatchBalance(t *testing.T) {
 // TestLaunchOrdering: kernel N+1 must not start before kernel N fully
 // completes (full-GPU sync between launches).
 func TestLaunchOrdering(t *testing.T) {
-	fast := isa.NewBuilder("fast", 0x1000).VALUBlock(2, 4).Build()
+	fast := isa.NewBuilder("fast", 0x1000).VALUBlock(2, 4).MustBuild()
 	slow := isa.NewBuilder("slow", 0x2000).
 		Loop(100, 0).VALUBlock(8, 4).EndLoop().
-		Build()
+		MustBuild()
 	cfg := sim.DefaultConfig(2)
 	kernels := []isa.Kernel{
 		{Program: slow, Workgroups: 2, WavesPerWG: 4},
@@ -239,7 +239,7 @@ func TestLaunchOrdering(t *testing.T) {
 func TestTransitionStallsDomain(t *testing.T) {
 	p := isa.NewBuilder("trans", 0).
 		Loop(10000, 0).VALUBlock(4, 1).EndLoop().
-		Build()
+		MustBuild()
 	g := singleKernelGPU(t, p, 1, 1, 1)
 	g.RunUntil(2 * clock.Microsecond)
 	collect(g) // reset counters
@@ -290,7 +290,7 @@ func TestMSHRThrottleCountsAsStall(t *testing.T) {
 	b.Wait(4)
 	b.EndLoop()
 	b.WaitAll()
-	k := isa.Kernel{Program: b.Build(), Workgroups: 1, WavesPerWG: 8}
+	k := isa.Kernel{Program: b.MustBuild(), Workgroups: 1, WavesPerWG: 8}
 	g, err := sim.New(cfg, []isa.Kernel{k}, []int32{0})
 	if err != nil {
 		t.Fatal(err)
@@ -361,7 +361,7 @@ func TestRandomProgramsTerminate(t *testing.T) {
 			loops = loops[:len(loops)-1]
 		}
 		b.WaitAll()
-		prog := b.Build()
+		prog := b.MustBuild()
 
 		cfg := sim.DefaultConfig(2)
 		cfg.InitFreq = cfg.Grid.State(int(rng.Intn(cfg.Grid.Count())))
@@ -385,7 +385,7 @@ func TestDomainGranularity(t *testing.T) {
 	cfg := sim.DefaultConfig(4)
 	cfg.Domains.CUsPerDomain = 2
 	appGPU := func() *sim.GPU {
-		p := isa.NewBuilder("g", 0).Loop(200, 0).VALUBlock(4, 4).EndLoop().Build()
+		p := isa.NewBuilder("g", 0).Loop(200, 0).VALUBlock(4, 4).EndLoop().MustBuild()
 		k := isa.Kernel{Program: p, Workgroups: 4, WavesPerWG: 4}
 		g, err := sim.New(cfg, []isa.Kernel{k}, []int32{0})
 		if err != nil {

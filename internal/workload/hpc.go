@@ -61,7 +61,7 @@ func genCoMD(cfg GenConfig) App {
 	wgs, wpw := b.grid(8, 8)
 	return App{
 		Name: "comd", Class: HPC,
-		Kernels:  []isa.Kernel{kernel(p.Build(), wgs, wpw)},
+		Kernels:  []isa.Kernel{kernel(p.MustBuild(), wgs, wpw)},
 		Launches: []int32{0},
 	}
 }
@@ -87,7 +87,7 @@ func genHPGMG(cfg GenConfig) App {
 	wgs, wpw := b.grid(4, 8)
 	return App{
 		Name: "hpgmg", Class: HPC,
-		Kernels:  []isa.Kernel{kernel(p.Build(), wgs, wpw)},
+		Kernels:  []isa.Kernel{kernel(p.MustBuild(), wgs, wpw)},
 		Launches: []int32{0},
 	}
 }
@@ -118,7 +118,7 @@ func genLulesh(cfg GenConfig) App {
 		}
 		p.EndLoop()
 		wgs, wpw := b.grid(4, 6)
-		kernels = append(kernels, kernel(p.Build(), wgs, wpw))
+		kernels = append(kernels, kernel(p.MustBuild(), wgs, wpw))
 	}
 	return App{
 		Name: "lulesh", Class: HPC,
@@ -166,9 +166,9 @@ func genMiniFE(cfg GenConfig) App {
 	return App{
 		Name: "minife", Class: HPC,
 		Kernels: []isa.Kernel{
-			kernel(spmv.Build(), wgs, wpw),
-			kernel(dot.Build(), wgs, wpw),
-			kernel(axpy.Build(), wgs, wpw),
+			kernel(spmv.MustBuild(), wgs, wpw),
+			kernel(dot.MustBuild(), wgs, wpw),
+			kernel(axpy.MustBuild(), wgs, wpw),
 		},
 		Launches: repeatLaunches(3, 4),
 	}
@@ -190,7 +190,7 @@ func genXSBench(cfg GenConfig) App {
 	wgs, wpw := b.grid(4, 8)
 	return App{
 		Name: "xsbench", Class: HPC,
-		Kernels:  []isa.Kernel{kernel(p.Build(), wgs, wpw)},
+		Kernels:  []isa.Kernel{kernel(p.MustBuild(), wgs, wpw)},
 		Launches: []int32{0},
 	}
 }
@@ -228,8 +228,8 @@ func genHACC(cfg GenConfig) App {
 	return App{
 		Name: "hacc", Class: HPC,
 		Kernels: []isa.Kernel{
-			kernel(force.Build(), wgs, wpw),
-			kernel(update.Build(), wgs, wpw),
+			kernel(force.MustBuild(), wgs, wpw),
+			kernel(update.MustBuild(), wgs, wpw),
 		},
 		Launches: repeatLaunches(2, 3),
 	}
@@ -257,7 +257,7 @@ func genQuickS(cfg GenConfig) App {
 	wgs, wpw := b.grid(4, 8)
 	return App{
 		Name: "quickS", Class: HPC,
-		Kernels:  []isa.Kernel{kernel(p.Build(), wgs, wpw)},
+		Kernels:  []isa.Kernel{kernel(p.MustBuild(), wgs, wpw)},
 		Launches: []int32{0},
 	}
 }
@@ -297,7 +297,7 @@ func genPennant(cfg GenConfig) App {
 		p.Store(zones)
 		p.EndLoop()
 		wgs, wpw := b.grid(4, 6)
-		kernels = append(kernels, kernel(p.Build(), wgs, wpw))
+		kernels = append(kernels, kernel(p.MustBuild(), wgs, wpw))
 	}
 	return App{
 		Name: "pennant", Class: HPC,
@@ -326,7 +326,7 @@ func genSNAP(cfg GenConfig) App {
 	wgs, wpw := b.grid(8, 8)
 	return App{
 		Name: "snapc", Class: HPC,
-		Kernels:  []isa.Kernel{kernel(p.Build(), wgs, wpw)},
+		Kernels:  []isa.Kernel{kernel(p.MustBuild(), wgs, wpw)},
 		Launches: []int32{0},
 	}
 }

@@ -44,7 +44,7 @@ func genDGEMM(cfg GenConfig) App {
 	wgs, wpw := b.grid(8, 8)
 	return App{
 		Name: "dgemm", Class: MI,
-		Kernels:  []isa.Kernel{kernel(p.Build(), wgs, wpw)},
+		Kernels:  []isa.Kernel{kernel(p.MustBuild(), wgs, wpw)},
 		Launches: []int32{0},
 	}
 }
@@ -75,7 +75,7 @@ func batchNorm(b *builder, name string, outerTrips int32, compute int) isa.Progr
 	p.WaitAll()
 	p.Barrier()
 	p.EndLoop()
-	return p.Build()
+	return p.MustBuild()
 }
 
 // genBwdBN: batch-norm backward (1 kernel) — pronounced reduce/normalize
@@ -117,7 +117,7 @@ func pool(b *builder, name string, outerTrips int32, compute int) isa.Program {
 	p.Store(out)
 	p.EndLoop()
 	p.WaitAll()
-	return p.Build()
+	return p.MustBuild()
 }
 
 // genBwdPool: pooling backward (1 kernel), constant-rate and balanced.
@@ -165,7 +165,7 @@ func genBwdSoft(cfg GenConfig) App {
 	wgs, wpw := b.grid(8, 8)
 	return App{
 		Name: "BwdSoft", Class: MI,
-		Kernels:  []isa.Kernel{kernel(p.Build(), wgs, wpw)},
+		Kernels:  []isa.Kernel{kernel(p.MustBuild(), wgs, wpw)},
 		Launches: []int32{0},
 	}
 }
@@ -192,7 +192,7 @@ func genFwdSoft(cfg GenConfig) App {
 	wgs, wpw := b.grid(4, 8)
 	return App{
 		Name: "FwdSoft", Class: MI,
-		Kernels:  []isa.Kernel{kernel(p.Build(), wgs, wpw)},
+		Kernels:  []isa.Kernel{kernel(p.MustBuild(), wgs, wpw)},
 		Launches: []int32{0},
 	}
 }

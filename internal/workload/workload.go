@@ -173,15 +173,36 @@ var registry = map[string]struct {
 	gen   Generator
 }{}
 
-func register(name string, class Class, index uint64, gen Generator) {
+// DuplicateAppError reports a registration under a name already taken.
+type DuplicateAppError struct {
+	Name string
+}
+
+// Error implements error.
+func (e *DuplicateAppError) Error() string { return "workload: duplicate app " + e.Name }
+
+// RegisterApp adds a generator to the suite under a unique name; Names
+// orders apps by index. It returns a *DuplicateAppError when the name is
+// taken, letting callers registering apps dynamically (plugins, tests)
+// handle the collision instead of crashing.
+func RegisterApp(name string, class Class, index uint64, gen Generator) error {
 	if _, dup := registry[name]; dup {
-		panic("workload: duplicate app " + name)
+		return &DuplicateAppError{Name: name}
 	}
 	registry[name] = struct {
 		class Class
 		index uint64
 		gen   Generator
 	}{class, index, gen}
+	return nil
+}
+
+// register is the init-path wrapper for the built-in suite, where a
+// duplicate name is a programming error.
+func register(name string, class Class, index uint64, gen Generator) {
+	if err := RegisterApp(name, class, index, gen); err != nil {
+		panic(err)
+	}
 }
 
 // Names returns all registered application names in canonical (paper

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"errors"
 	"reflect"
 	"testing"
 
@@ -217,5 +218,26 @@ func TestRegionsDoNotOverlapWithinApp(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+func TestRegisterAppDuplicateReturnsError(t *testing.T) {
+	const name = "register-app-test"
+	gen := func(cfg GenConfig) App { return App{} }
+	if err := RegisterApp(name, HPC, 1<<40, gen); err != nil {
+		t.Fatalf("fresh registration failed: %v", err)
+	}
+	defer delete(registry, name) // keep the global suite pristine for other tests
+	err := RegisterApp(name, MI, 1<<41, gen)
+	var dup *DuplicateAppError
+	if !errors.As(err, &dup) {
+		t.Fatalf("duplicate registration: got %v, want *DuplicateAppError", err)
+	}
+	if dup.Name != name {
+		t.Fatalf("error names %q, want %q", dup.Name, name)
+	}
+	// The original registration must be untouched.
+	if ClassOf(name) != HPC {
+		t.Fatal("duplicate registration clobbered the original entry")
 	}
 }

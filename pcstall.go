@@ -25,6 +25,7 @@ import (
 	"io"
 	"net/http"
 
+	"pcstall/internal/chaos"
 	"pcstall/internal/clock"
 	"pcstall/internal/core"
 	"pcstall/internal/dvfs"
@@ -50,6 +51,16 @@ type (
 	Freq = clock.Freq
 	// Time is simulated time in picoseconds.
 	Time = clock.Time
+	// ChaosConfig is a deterministic fault-injection profile (noisy,
+	// stale, or dropped telemetry; failed or jittered V/f transitions;
+	// corrupted PC signatures). The zero value injects nothing.
+	ChaosConfig = chaos.Config
+	// ChaosStats counts the faults a run actually injected.
+	ChaosStats = chaos.Stats
+	// DeadlockError is the simulation watchdog's structured diagnosis,
+	// returned (wrapped) by runs that stop making progress or exhaust
+	// their cycle budget. Unwrap with errors.As.
+	DeadlockError = sim.DeadlockError
 )
 
 // Common durations, re-exported for configuration convenience.
@@ -109,6 +120,14 @@ type Config struct {
 	// run returns its partial Result (Truncated set) and a wrapped
 	// context error. nil means the run cannot be interrupted.
 	Ctx context.Context
+	// Chaos injects deterministic sensing/actuation faults into the run
+	// (see ParseChaos / ChaosLevel). The zero value injects nothing and
+	// leaves results byte-identical to a chaos-free build.
+	Chaos ChaosConfig
+	// MaxCycles bounds the run's CU cycles; when exhausted (or when the
+	// workload deadlocks) the run stops with a wrapped *DeadlockError
+	// and a Truncated partial result. 0 = unbounded.
+	MaxCycles int64
 }
 
 // DefaultConfig returns a platform with numCUs compute units, per-CU V/f
@@ -176,15 +195,17 @@ func RunDesign(app string, d Design, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	return dvfs.Run(g, d.New(), dvfs.RunConfig{
-		Epoch:   cfg.Epoch,
-		Obj:     cfg.Objective,
-		PM:      cfg.Power,
-		MaxTime: cfg.MaxTime,
-		Record:  cfg.Record,
-		Trace:   cfg.Trace,
-		Thermal: cfg.Thermal,
-		Metrics: cfg.Metrics,
-		Ctx:     cfg.Ctx,
+		Epoch:     cfg.Epoch,
+		Obj:       cfg.Objective,
+		PM:        cfg.Power,
+		MaxTime:   cfg.MaxTime,
+		Record:    cfg.Record,
+		Trace:     cfg.Trace,
+		Thermal:   cfg.Thermal,
+		Metrics:   cfg.Metrics,
+		Ctx:       cfg.Ctx,
+		Chaos:     cfg.Chaos,
+		MaxCycles: cfg.MaxCycles,
 	})
 }
 
@@ -201,6 +222,16 @@ func Compare(app string, designs []string, cfg Config) (map[string]Result, error
 	}
 	return out, nil
 }
+
+// ParseChaos parses a comma-separated fault-injection spec, e.g.
+// "noise=0.1,tfail=0.05,seed=7" or the shorthand "level=0.2" (which
+// expands to the proportional profile of ChaosLevel). An empty spec
+// yields the zero (disabled) config.
+func ParseChaos(spec string) (ChaosConfig, error) { return chaos.Parse(spec) }
+
+// ChaosLevel returns the proportional fault profile at intensity l
+// (0 = none): noise=l, drop=stale=l/8, tfail=l/4, jitter=l, pcflip=l/16.
+func ChaosLevel(l float64, seed uint64) ChaosConfig { return chaos.Level(l, seed) }
 
 // NewJSONLTrace returns a recorder writing one JSON object per epoch to w.
 func NewJSONLTrace(w io.Writer) trace.Recorder { return trace.NewJSONL(w) }

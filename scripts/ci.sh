@@ -28,6 +28,17 @@ go test ./...
 echo "==> go test -race (concurrent packages)"
 go test -race ./internal/telemetry ./internal/orchestrate ./internal/trace ./internal/exp
 
+echo "==> go test -race (chaos / hardened-governor / watchdog paths)"
+# The fault-injection engine and the watchdog run on the simulation hot
+# path; exercise them under the race detector too.
+go test -race -run 'Chaos|Harden|Deadlock|Watchdog|Stuck' ./internal/chaos ./internal/dvfs ./internal/sim
+
+echo "==> fuzz smoke (15s each: program builder, config validator)"
+# Short deterministic-budget fuzz passes; CI catches crashes and invariant
+# violations, the long exploratory runs stay manual.
+go test -run '^$' -fuzz '^FuzzProgramBuilder$' -fuzztime 15s ./internal/isa
+go test -run '^$' -fuzz '^FuzzConfigValidate$' -fuzztime 15s ./internal/sim
+
 echo "==> kill-resume smoke (SIGINT mid-campaign, -resume, byte-identical output)"
 # A campaign killed mid-flight must drain gracefully (completed results
 # flushed to the cache, cancelled jobs excluded) and a -resume rerun must
@@ -63,6 +74,27 @@ if ! cmp -s "$smoke/ref.out" "$smoke/resume.out"; then
 	exit 1
 fi
 echo "    resumed campaign output byte-identical to cold run"
+
+echo "==> chaos smoke (fixed-seed fault injection is reproducible)"
+# A chaos-on campaign at a fixed seed must print byte-identical figures
+# across runs — fault injection is part of the deterministic replay, not
+# a source of flakiness. -no-cache keeps both runs honest (computed, not
+# replayed from disk).
+# Same platform as the reference run: the only delta is the chaos spec,
+# so chaos1 differing from ref.out isolates the injection itself.
+chaos_flags="$smoke_flags -no-cache -chaos level=0.2"
+"$smoke/pcstall-exp" $chaos_flags 1a > "$smoke/chaos1.out" 2> "$smoke/chaos1.err"
+"$smoke/pcstall-exp" $chaos_flags 1a > "$smoke/chaos2.out" 2> "$smoke/chaos2.err"
+if ! cmp -s "$smoke/chaos1.out" "$smoke/chaos2.out"; then
+	echo "chaos smoke: two fixed-seed chaos runs diverged" >&2
+	diff "$smoke/chaos1.out" "$smoke/chaos2.out" >&2 || true
+	exit 1
+fi
+if cmp -s "$smoke/ref.out" "$smoke/chaos1.out"; then
+	echo "chaos smoke: chaos-on output identical to fault-free reference (injection inert?)" >&2
+	exit 1
+fi
+echo "    chaos-on campaign reproducible and distinct from fault-free run"
 
 echo "==> bench smoke (telemetry-off runner vs BENCH_telemetry.json)"
 # The disabled-telemetry path is the one every simulation pays. Absolute
