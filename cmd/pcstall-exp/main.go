@@ -163,48 +163,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "pcstall-exp: %v\n", err)
 		}
 	}
-	// runEntry converts a figure method's error panic (the harness
-	// fail-fast path) back into an error; genuine bugs keep panicking.
-	runEntry := func(run func() *exp.Table) (t *exp.Table, err error) {
-		defer func() {
-			if p := recover(); p != nil {
-				if e, ok := p.(error); ok {
-					err = e
-					return
-				}
-				panic(p)
-			}
-		}()
-		return run(), nil
-	}
-
-	type entry struct {
-		id  string
-		run func() *exp.Table
-	}
-	entries := []entry{
-		{"1a", s.Figure1a}, {"1b", s.Figure1b},
-		{"5", s.Figure5}, {"6", s.Figure6},
-		{"7a", s.Figure7a}, {"7b", s.Figure7b},
-		{"8", s.Figure8}, {"10", s.Figure10},
-		{"11a", s.Figure11a}, {"11b", s.Figure11b},
-		{"t1", s.Table1}, {"t2", s.Table2}, {"t3", s.Table3},
-		{"14", s.Figure14}, {"15", s.Figure15}, {"16", s.Figure16},
-		{"17", s.Figure17}, {"18a", s.Figure18a}, {"18b", s.Figure18b},
-		{"a1", s.AblTableSize}, {"a2", s.AblOffsetBits},
-		{"a3", s.AblTableScope}, {"a4", s.AblAgeCoef},
-		{"a5", s.AblAlphaFallback}, {"a6", s.AblOracleSamples},
-		{"a7", s.AblEstimators},
-		{"a8", s.AblEpochMode},
-		{"e1", s.Extensions},
-		{"f1", s.FigureFaultSweep},
-	}
+	// The artifact table (ids, ablation grouping, explicit-only studies)
+	// lives on the Suite, shared with the pcstall-serve figure endpoint.
+	artifacts := s.Artifacts()
 
 	ids := flag.Args()
 	if len(ids) == 0 {
 		fmt.Println("pcstall-exp: specify experiment ids, 'all' (figures+tables), or 'ablations'. Available:")
-		for _, e := range entries {
-			fmt.Printf("  %s\n", e.id)
+		for _, a := range artifacts {
+			fmt.Printf("  %s\n", a.ID)
 		}
 		os.Exit(0)
 	}
@@ -221,31 +188,32 @@ func main() {
 	}
 	start := time.Now()
 	ran := 0
-	for _, e := range entries {
-		isAbl := strings.HasPrefix(e.id, "a") && e.id != "all"
-		// The fault sweep is explicit-only: it is not a paper artifact,
-		// so neither "all" nor "ablations" pulls it in.
-		isExplicitOnly := e.id == "f1"
-		include := want[e.id] || (all && !isAbl && !isExplicitOnly) || (abl && isAbl)
+	for _, a := range artifacts {
+		// Explicit-only studies (the fault sweep) are not paper
+		// artifacts, so neither "all" nor "ablations" pulls them in.
+		include := want[a.ID] || (all && !a.Ablation && !a.ExplicitOnly) || (abl && a.Ablation)
 		if !include {
 			continue
 		}
 		t0 := time.Now()
-		t, err := runEntry(e.run)
+		// Figure recovers the figure methods' error panics (the harness
+		// fail-fast path) back into errors; nil ctx keeps the campaign
+		// context configured on the Suite.
+		t, err := s.Figure(nil, a.ID)
 		if err != nil {
 			drain()
 			st := s.Stats()
 			if errors.Is(err, context.Canceled) {
 				fmt.Fprintf(os.Stderr, "pcstall-exp: interrupted during %s (%d jobs completed, %d cancelled); resume with the same flags plus -resume\n",
-					e.id, st.Completed, st.Cancelled)
+					a.ID, st.Completed, st.Cancelled)
 				os.Exit(130)
 			}
-			fmt.Fprintf(os.Stderr, "pcstall-exp: %s failed: %v\n", e.id, err)
+			fmt.Fprintf(os.Stderr, "pcstall-exp: %s failed: %v\n", a.ID, err)
 			os.Exit(1)
 		}
 		t.Fprint(os.Stdout)
 		if *timing {
-			fmt.Fprintf(os.Stderr, "[%s took %v]\n", e.id, time.Since(t0).Round(time.Millisecond))
+			fmt.Fprintf(os.Stderr, "[%s took %v]\n", a.ID, time.Since(t0).Round(time.Millisecond))
 		}
 		ran++
 	}

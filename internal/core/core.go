@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"pcstall/internal/clock"
 	"pcstall/internal/dvfs"
@@ -84,8 +85,27 @@ func ExtensionDesigns() []Design {
 	}
 }
 
+// DesignNames returns every design resolvable by DesignByName: TABLE III
+// in paper order, the extension predictors, and the hardened variant —
+// plus the "STATIC-<MHz>" pattern, listed last as a template since its
+// instances are synthesized on demand. It backs both CLI flag errors and
+// the serving layer's GET /v1/designs listing.
+func DesignNames() []string {
+	names := make([]string, 0, 12)
+	for _, d := range Designs() {
+		names = append(names, d.Name)
+	}
+	for _, d := range ExtensionDesigns() {
+		names = append(names, d.Name)
+	}
+	names = append(names, "PCSTALL-HARD", "STATIC-<MHz>")
+	return names
+}
+
 // DesignByName finds a design (case-sensitive TABLE III name or extension
 // name). Static baselines are synthesized from names like "STATIC-1700".
+// Unknown names fail with the full list of valid ones, so a mistyped
+// -design flag (or API request) is self-correcting.
 func DesignByName(name string) (Design, error) {
 	for _, d := range Designs() {
 		if d.Name == name {
@@ -120,7 +140,7 @@ func DesignByName(name string) (Design, error) {
 			New: func() dvfs.Policy { return &dvfs.Static{F: f} },
 		}, nil
 	}
-	return Design{}, fmt.Errorf("core: unknown design %q", name)
+	return Design{}, fmt.Errorf("core: unknown design %q (available: %s)", name, strings.Join(DesignNames(), ", "))
 }
 
 // StaticDesign returns the static baseline at f.

@@ -338,7 +338,7 @@ func (s *Suite) execJob(ctx context.Context, j orchestrate.Job, reg *telemetry.R
 	if err != nil {
 		return nil, err
 	}
-	obj, err := objectiveByName(j.Objective)
+	obj, err := ObjectiveByName(j.Objective)
 	if err != nil {
 		return nil, err
 	}
@@ -378,10 +378,12 @@ func (s *Suite) execJob(ctx context.Context, j orchestrate.Job, reg *telemetry.R
 	return &res, nil
 }
 
-// objectiveByName inverts Objective.Name for the objectives the harness
+// ObjectiveByName inverts Objective.Name for the objectives the harness
 // uses (job descriptions carry objectives as canonical strings so they
-// can be hashed and persisted).
-func objectiveByName(name string) (dvfs.Objective, error) {
+// can be hashed and persisted). The serving layer validates request
+// objectives through it, so a name that parses here is exactly one the
+// job executor will accept.
+func ObjectiveByName(name string) (dvfs.Objective, error) {
 	switch name {
 	case "EDP":
 		return dvfs.EDP, nil

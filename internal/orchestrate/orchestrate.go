@@ -243,6 +243,46 @@ func (o *Orchestrator) Stats() Stats {
 	}
 }
 
+// Cached returns the already-settled result for key without scheduling
+// any work: the in-process memo answers when the job has completed
+// successfully, else the disk cache. It is the serving layer's
+// short-circuit hook — a hit can be fanned out to callers without
+// consuming a worker slot or queue capacity, and it never perturbs
+// campaign accounting (no hit counters, no manifest entry). In-flight
+// and failed jobs read as misses.
+func (o *Orchestrator) Cached(key string) (*dvfs.Result, bool) {
+	o.mu.Lock()
+	if f, ok := o.memo[key]; ok {
+		select {
+		case <-f.done:
+			if f.err == nil {
+				o.mu.Unlock()
+				return f.res, true
+			}
+		default:
+		}
+	}
+	o.mu.Unlock()
+	if o.cache != nil {
+		if r, ok := o.cache.Get(key); ok {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// RunJob executes a single job through the pool — the serving layer's
+// one-request entry point. Semantics are RunJobs' for a batch of one:
+// duplicates of in-flight or settled keys share the computation, and a
+// cancelled job leaves the memo for recomputation.
+func (o *Orchestrator) RunJob(ctx context.Context, j Job) (*dvfs.Result, error) {
+	rs, err := o.RunJobs(ctx, []Job{j})
+	if err != nil {
+		return nil, err
+	}
+	return rs[0], nil
+}
+
 // isCancellation reports whether err is campaign cancellation (as
 // opposed to a job failing on its own).
 func isCancellation(err error) bool {

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pcstall/internal/exp"
+)
+
+// tinySuite mirrors the exp package's unit-test platform: a small GPU,
+// short workloads, one app.
+func tinySuite(cacheDir string) *exp.Suite {
+	cfg := exp.DefaultConfig()
+	cfg.CUs = 2
+	cfg.Scale = 0.25
+	cfg.TraceEpochs = 12
+	cfg.Apps = []string{"comd"}
+	cfg.CacheDir = cacheDir
+	return exp.NewSuite(cfg)
+}
+
+// TestFigureGolden holds the serving path to the CLI's output: the
+// figure text a server renders must be byte-identical to what the suite
+// (and therefore pcstall-exp) prints for the same figure on the same
+// platform and cache directory. Any divergence means the HTTP layer
+// perturbed the computation.
+func TestFigureGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	const figID = "10"
+	cacheDir := t.TempDir()
+
+	// Direct path: what pcstall-exp would print.
+	direct := tinySuite(cacheDir)
+	tb, err := direct.Figure(nil, figID)
+	if err != nil {
+		t.Fatalf("direct figure: %v", err)
+	}
+	var want strings.Builder
+	tb.Fprint(&want)
+	if err := direct.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Serving path: same platform, same cache dir, through HTTP.
+	suite := tinySuite(cacheDir)
+	defer suite.Close()
+	s, err := New(Config{
+		Backend:   suite,
+		Defaults:  suite.SimDefaults(),
+		FigureIDs: suite.ArtifactIDs(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest("POST", "/v1/figures/"+figID, nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d\nbody: %s", w.Code, w.Body.String())
+	}
+	var resp figureResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Text != want.String() {
+		t.Errorf("served figure %s diverges from the direct rendering:\n--- direct ---\n%s--- served ---\n%s", figID, want.String(), resp.Text)
+	}
+
+	// The shared cache means the served run recomputed nothing.
+	st := suite.Stats()
+	if st.Misses != 0 {
+		t.Errorf("served figure missed the shared cache %d times; keys diverged between CLI and server", st.Misses)
+	}
+}
+
+// TestSimGolden: a POST /v1/sim that sets only app+design computes the
+// same job (same cache key, same result) as the server's default
+// platform run directly through the suite.
+func TestSimGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real simulation")
+	}
+	suite := tinySuite(t.TempDir())
+	defer suite.Close()
+	s, err := New(Config{
+		Backend:   suite,
+		Defaults:  suite.SimDefaults(),
+		FigureIDs: suite.ArtifactIDs(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest("POST", "/v1/sim",
+		strings.NewReader(`{"app":"comd","design":"PCSTALL"}`)))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d\nbody: %s", w.Code, w.Body.String())
+	}
+	var resp simResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result == nil {
+		t.Fatal("sim response carries no result")
+	}
+	// The job the server built must already be settled under the same
+	// key the orchestrator would compute for it.
+	if _, ok := suite.Cached(resp.Job.Key()); !ok {
+		t.Errorf("server job key %s not in the suite cache", resp.Job.Key())
+	}
+	if resp.ID != resp.Job.Key() {
+		t.Errorf("response id %s != job key %s", resp.ID, resp.Job.Key())
+	}
+}

@@ -1,0 +1,724 @@
+// Package serve is the simulation-as-a-service layer: a stdlib-only
+// HTTP front end over the experiment suite and its orchestrator, built
+// for sustained traffic rather than one-shot campaigns.
+//
+// The serving core applies three disciplines in order on every request:
+//
+//  1. Cache short-circuit — a request whose content-addressed job key
+//     (orchestrate.Job.Key, SimVersion included) is already settled in
+//     the orchestrator's memo or disk cache is answered immediately,
+//     consuming neither queue capacity nor a worker slot.
+//  2. Singleflight — N identical concurrent requests collapse onto one
+//     job: the first admission computes, the rest attach as waiters and
+//     receive the identical rendered bytes when it settles.
+//  3. Admission control — genuinely new work enters a bounded queue;
+//     when queued+running reaches the bound, requests are shed with
+//     429 and a Retry-After estimated from observed job times, instead
+//     of queueing unboundedly.
+//
+// Per-request deadlines and client disconnects propagate through the
+// job's context down to the simulation's per-epoch cancellation checks
+// (dvfs.RunConfig.Ctx), so abandoned work winds down at the next epoch
+// boundary. Drain reuses the campaign shutdown discipline: stop
+// admitting, finish or cancel in-flight jobs, and leave the caller to
+// flush cache and manifest.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"pcstall/internal/core"
+	"pcstall/internal/dvfs"
+	"pcstall/internal/exp"
+	"pcstall/internal/orchestrate"
+	"pcstall/internal/telemetry"
+	"pcstall/internal/version"
+	"pcstall/internal/workload"
+)
+
+// Backend is what the serving layer fronts. *exp.Suite implements it;
+// tests substitute stubs to exercise admission, singleflight, and
+// cancellation without running simulations.
+type Backend interface {
+	// RunSim executes one simulation job under ctx. Safe for concurrent
+	// use.
+	RunSim(ctx context.Context, j orchestrate.Job) (*dvfs.Result, error)
+	// Cached peeks for a settled result without scheduling work.
+	Cached(key string) (*dvfs.Result, bool)
+	// Figure regenerates one artifact under ctx. NOT safe for
+	// concurrent use; the server serializes figure jobs.
+	Figure(ctx context.Context, id string) (*exp.Table, error)
+	// Stats snapshots orchestration progress for SSE and Retry-After.
+	Stats() orchestrate.Stats
+}
+
+var _ Backend = (*exp.Suite)(nil)
+
+// Config shapes a Server.
+type Config struct {
+	// Backend fronts the simulations; required.
+	Backend Backend
+	// Defaults fills unset SimRequest fields (exp.Suite.SimDefaults for
+	// suite-backed servers). Its SimVersion is overwritten with the
+	// binary's own.
+	Defaults orchestrate.Job
+	// MaxQueue bounds admitted-but-unsettled jobs (queued + running);
+	// beyond it requests shed with 429. <= 0 selects 64.
+	MaxQueue int
+	// Workers bounds concurrently executing jobs; <= 0 selects
+	// runtime.NumCPU(). (Simulations are additionally bounded by the
+	// orchestrator's own pool.)
+	Workers int
+	// FigureIDs lists the artifact ids POST /v1/figures/{id} accepts
+	// (exp.Suite.ArtifactIDs for suite-backed servers).
+	FigureIDs []string
+	// Metrics, when non-nil, receives serve_* metrics and is expected
+	// to be the same registry the backend records into.
+	Metrics *telemetry.Registry
+	// BaseCtx is the server's lifetime context; every job derives from
+	// it. Nil means Background.
+	BaseCtx context.Context
+	// DefaultTimeout bounds jobs whose request carries no timeout_ms
+	// (0 = none). MaxTimeout caps client-requested timeouts; 0 leaves
+	// them uncapped.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// ProgressEvery is the SSE progress cadence (default 500ms).
+	ProgressEvery time.Duration
+	// Version is stamped on every response (default version.String()).
+	Version string
+}
+
+// job states; stored as strings because they render into responses.
+const (
+	statusQueued    = "queued"
+	statusRunning   = "running"
+	statusDone      = "done"
+	statusError     = "error"
+	statusCancelled = "cancelled"
+)
+
+// runFn computes one admitted job and returns its rendered settlement:
+// an HTTP status code plus the exact response body every attached
+// waiter receives.
+type runFn func(ctx context.Context) (int, []byte)
+
+// job is one unit of admitted (or cache-settled) work, shared by every
+// request that deduplicated onto it.
+type job struct {
+	id   string
+	kind string // "sim" | "figure"
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{} // closed on settle, after body/code are set
+
+	// Guarded by Server.mu:
+	status   string
+	refs     int  // attached waiters; 0 with detached=false cancels
+	detached bool // async jobs run to completion regardless of waiters
+	settled  bool
+
+	// Written once in settle (before close(done)), read-only after:
+	httpStatus int
+	body       []byte
+}
+
+// Server is the serving core. Create with New; it is safe for
+// concurrent use by the HTTP stack.
+type Server struct {
+	cfg       Config
+	defaults  orchestrate.Job
+	ver       string
+	maxQueue  int
+	baseCtx   context.Context
+	tele      *serveTelemetry
+	mux       *http.ServeMux
+	sem       chan struct{}
+	figureMu  sync.Mutex // Backend.Figure is not concurrent-safe
+	figureIDs map[string]bool
+
+	workloads   []string
+	workloadSet map[string]bool
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	doneOrder []string // settled job ids, oldest first, for eviction
+	inflight  int      // admitted, not yet settled
+	draining  bool
+
+	wg sync.WaitGroup // one per admitted job goroutine
+}
+
+// maxSettledJobs bounds how many settled jobs stay pollable before the
+// oldest are evicted.
+const maxSettledJobs = 4096
+
+// New builds a Server and its route table.
+func New(cfg Config) (*Server, error) {
+	if cfg.Backend == nil {
+		return nil, fmt.Errorf("serve: Config.Backend is required")
+	}
+	maxQueue := cfg.MaxQueue
+	if maxQueue <= 0 {
+		maxQueue = 64
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	ver := cfg.Version
+	if ver == "" {
+		ver = version.String()
+	}
+	baseCtx := cfg.BaseCtx
+	if baseCtx == nil {
+		baseCtx = context.Background()
+	}
+	if cfg.ProgressEvery <= 0 {
+		cfg.ProgressEvery = 500 * time.Millisecond
+	}
+	s := &Server{
+		cfg:         cfg,
+		defaults:    cfg.Defaults,
+		ver:         ver,
+		maxQueue:    maxQueue,
+		baseCtx:     baseCtx,
+		tele:        newServeTelemetry(cfg.Metrics),
+		sem:         make(chan struct{}, workers),
+		figureIDs:   make(map[string]bool, len(cfg.FigureIDs)),
+		workloads:   workload.Names(),
+		workloadSet: map[string]bool{},
+		jobs:        map[string]*job{},
+	}
+	s.defaults.SimVersion = orchestrate.SimVersion
+	for _, id := range cfg.FigureIDs {
+		s.figureIDs[id] = true
+	}
+	for _, w := range s.workloads {
+		s.workloadSet[w] = true
+	}
+	s.routes()
+	return s, nil
+}
+
+// routes builds the mux: the /v1 API plus the shared telemetry
+// endpoints (telemetry.Register), all on one listener.
+func (s *Server) routes() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sim", s.instrument("sim", s.handleSim))
+	mux.HandleFunc("POST /v1/figures/{id}", s.instrument("figures", s.handleFigure))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs", s.handleJob))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.instrument("events", s.handleJobEvents))
+	mux.HandleFunc("GET /v1/workloads", s.instrument("workloads", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, listResponse{Version: s.ver, Workloads: s.workloads})
+	}))
+	mux.HandleFunc("GET /v1/designs", s.instrument("designs", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, listResponse{Version: s.ver, Designs: core.DesignNames()})
+	}))
+	mux.HandleFunc("GET /v1/figures", s.instrument("figures_list", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, listResponse{Version: s.ver, Figures: s.cfg.FigureIDs})
+	}))
+	mux.HandleFunc("GET /v1/version", s.instrument("version", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Version string `json:"version"`
+		}{s.ver})
+	}))
+	if s.cfg.Metrics != nil {
+		telemetry.Register(mux, s.cfg.Metrics)
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Pcstall-Version", s.ver)
+		fmt.Fprint(w, "pcstall-serve\n\n"+
+			"POST /v1/sim              run one simulation (JSON config; ?async=1 for 202+poll)\n"+
+			"POST /v1/figures/{id}     regenerate a paper figure\n"+
+			"GET  /v1/jobs/{id}        poll a job\n"+
+			"GET  /v1/jobs/{id}/events stream progress (SSE)\n"+
+			"GET  /v1/workloads        list workloads\n"+
+			"GET  /v1/designs          list designs\n"+
+			"GET  /v1/figures          list figure ids\n"+
+			"GET  /v1/version          simulator version\n"+
+			"GET  /metrics             Prometheus text (also /debug/vars, /debug/pprof/)\n")
+	})
+	s.mux = mux
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// statusWriter captures the response code for request metrics while
+// passing Flush through (SSE needs the flusher).
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument stamps the version header and records request count and
+// handler latency per endpoint.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Pcstall-Version", s.ver)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		span := telemetry.StartSpan(s.tele.handler(endpoint))
+		h(sw, r)
+		span.End()
+		s.tele.request(endpoint, sw.code)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Admission, singleflight, and the job lifecycle
+
+// admit returns the job for id, atomically joining an existing one
+// (singleflight) or admitting a new one that will execute run. The
+// returned flags discriminate the outcome: joined (an existing job
+// answered), shed (queue full), draining (server shutting down). A
+// joined or created sync request holds a reference that the caller
+// must release with detach.
+func (s *Server) admit(id, kind string, run runFn, detached bool, timeout time.Duration) (j *job, joined, shed, draining bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j := s.jobs[id]; j != nil {
+		if !j.settled && !detached {
+			j.refs++
+		}
+		s.tele.singleflightInc()
+		return j, true, false, false
+	}
+	if s.draining {
+		return nil, false, false, true
+	}
+	if s.inflight >= s.maxQueue {
+		if s.tele != nil {
+			s.tele.shed.Inc()
+		}
+		return nil, false, true, false
+	}
+	jctx, cancel := context.WithCancel(s.baseCtx)
+	if timeout > 0 {
+		jctx, cancel = context.WithTimeout(s.baseCtx, timeout)
+	}
+	j = &job{
+		id:       id,
+		kind:     kind,
+		ctx:      jctx,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+		status:   statusQueued,
+		detached: detached,
+	}
+	if !detached {
+		j.refs = 1
+	}
+	s.jobs[id] = j
+	s.inflight++
+	if s.tele != nil {
+		s.tele.jobsTotal.Inc()
+	}
+	s.gaugesLocked()
+	s.wg.Add(1)
+	go s.runJob(j, run)
+	return j, false, false, false
+}
+
+// singleflightInc is split out so admit reads cleanly.
+func (t *serveTelemetry) singleflightInc() {
+	if t != nil {
+		t.singleflight.Inc()
+	}
+}
+
+// runJob drives one admitted job: wait for a worker slot (or abandon if
+// the job is cancelled while queued), execute, settle.
+func (s *Server) runJob(j *job, run runFn) {
+	defer s.wg.Done()
+	span := telemetry.StartSpan(s.tele.queueWaitHist())
+	select {
+	case s.sem <- struct{}{}:
+	case <-j.ctx.Done():
+		span.End()
+		s.settle(j, errCode(j.ctx.Err()), marshalBody(apiError{Version: s.ver, Error: "cancelled while queued: " + j.ctx.Err().Error()}))
+		return
+	}
+	span.End()
+	defer func() { <-s.sem }()
+	s.mu.Lock()
+	j.status = statusRunning
+	s.gaugesLocked()
+	s.mu.Unlock()
+	code, body := run(j.ctx)
+	s.settle(j, code, body)
+}
+
+// queueWaitHist is nil-safe access to the time-in-queue histogram.
+func (t *serveTelemetry) queueWaitHist() *telemetry.Histogram {
+	if t == nil {
+		return nil
+	}
+	return t.queueWait
+}
+
+// settle publishes a job's outcome and releases its queue slot. The
+// body is stored once; every waiter fans the same bytes out.
+func (s *Server) settle(j *job, code int, body []byte) {
+	status := statusDone
+	switch {
+	case code == http.StatusOK:
+	case code == statusClientClosed || code == http.StatusServiceUnavailable || code == http.StatusGatewayTimeout:
+		status = statusCancelled
+	default:
+		status = statusError
+	}
+	s.mu.Lock()
+	j.httpStatus, j.body, j.status, j.settled = code, body, status, true
+	s.inflight--
+	s.doneOrder = append(s.doneOrder, j.id)
+	s.evictLocked()
+	s.gaugesLocked()
+	s.mu.Unlock()
+	j.cancel() // release the deadline timer
+	if s.tele != nil {
+		switch status {
+		case statusError:
+			s.tele.jobErrors.Inc()
+		case statusCancelled:
+			s.tele.jobsCanceled.Inc()
+		}
+	}
+	close(j.done)
+}
+
+// recordSettled registers an already-settled job (a cache
+// short-circuit) so it is pollable like any other, without ever
+// touching queue accounting.
+func (s *Server) recordSettled(id, kind string, body []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.jobs[id] != nil {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	j := &job{
+		id: id, kind: kind, ctx: ctx, cancel: cancel,
+		done: make(chan struct{}), status: statusDone,
+		settled: true, httpStatus: http.StatusOK, body: body,
+		detached: true,
+	}
+	close(j.done)
+	s.jobs[id] = j
+	s.doneOrder = append(s.doneOrder, id)
+	s.evictLocked()
+}
+
+// detach drops one waiter's reference; the last sync waiter leaving an
+// unsettled job cancels it (nobody is listening for the answer).
+// Detaching from a settled job is a no-op — references only gate
+// cancellation of live work.
+func (s *Server) detach(j *job) {
+	s.mu.Lock()
+	if j.settled {
+		s.mu.Unlock()
+		return
+	}
+	j.refs--
+	cancel := j.refs <= 0 && !j.detached
+	s.mu.Unlock()
+	if cancel {
+		j.cancel()
+	}
+}
+
+// evictLocked trims the oldest settled jobs beyond maxSettledJobs.
+// Callers hold s.mu.
+func (s *Server) evictLocked() {
+	for len(s.doneOrder) > maxSettledJobs {
+		id := s.doneOrder[0]
+		s.doneOrder = s.doneOrder[1:]
+		if j := s.jobs[id]; j != nil && j.settled {
+			delete(s.jobs, id)
+		}
+	}
+}
+
+// gaugesLocked publishes queue state; callers hold s.mu.
+func (s *Server) gaugesLocked() {
+	if s.tele == nil {
+		return
+	}
+	running := 0
+	for _, j := range s.jobs {
+		if j.status == statusRunning {
+			running++
+		}
+	}
+	s.tele.running.Set(float64(running))
+	s.tele.queueDepth.Set(float64(s.inflight - running))
+}
+
+// statusClientClosed is nginx's 499 "client closed request": the job
+// was cancelled because every interested client disconnected.
+const statusClientClosed = 499
+
+// errCode maps a job error to the settlement status code.
+func errCode(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosed
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// retryAfterSeconds estimates when shed clients should come back: the
+// backlog's expected drain time from observed mean job cost across the
+// worker pool, clamped to [1s, 10m].
+func (s *Server) retryAfterSeconds() int {
+	st := s.cfg.Backend.Stats()
+	mean := 1.0
+	if st.Misses > 0 {
+		mean = st.JobTime.Seconds() / float64(st.Misses)
+	}
+	s.mu.Lock()
+	backlog := s.inflight
+	s.mu.Unlock()
+	secs := int(math.Ceil(mean * float64(backlog) / float64(cap(s.sem))))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 600 {
+		secs = 600
+	}
+	return secs
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+
+// handleSim admits one simulation request: cache short-circuit, then
+// singleflight join, then bounded admission.
+func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
+	simJob, timeout, err := s.parseSimRequest(r.Body)
+	if err != nil {
+		var reqErr *requestError
+		if errors.As(err, &reqErr) {
+			writeJSON(w, http.StatusBadRequest, apiError{Version: s.ver, Error: reqErr.msg})
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, apiError{Version: s.ver, Error: err.Error()})
+		return
+	}
+	key := simJob.Key()
+	async := isAsync(r)
+
+	// 1. Cache short-circuit: a settled result never queues.
+	if res, ok := s.cfg.Backend.Cached(key); ok {
+		if s.tele != nil {
+			s.tele.cacheHits.Inc()
+		}
+		body := marshalBody(simResponse{
+			Version: s.ver, ID: key, Kind: "sim", Status: statusDone,
+			Job: simJob, Result: res,
+		})
+		s.recordSettled(key, "sim", body)
+		s.writeStored(w, http.StatusOK, body)
+		return
+	}
+
+	run := func(ctx context.Context) (int, []byte) {
+		res, rerr := s.cfg.Backend.RunSim(ctx, simJob)
+		if rerr != nil {
+			return errCode(rerr), marshalBody(apiError{Version: s.ver, Error: rerr.Error()})
+		}
+		return http.StatusOK, marshalBody(simResponse{
+			Version: s.ver, ID: key, Kind: "sim", Status: statusDone,
+			Job: simJob, Result: res,
+		})
+	}
+
+	// 2+3. Singleflight join or bounded admission.
+	j, _, shed, draining := s.admit(key, "sim", run, async, timeout)
+	s.respondAdmitted(w, r, j, shed, draining, async)
+}
+
+// handleFigure admits one figure-regeneration request. Figure jobs
+// flow through the same queue and singleflight as simulations; their
+// id is "fig-<figure>" (the platform is server-fixed, so the figure id
+// is the whole config).
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	figID := r.PathValue("id")
+	if !s.figureIDs[figID] {
+		writeJSON(w, http.StatusNotFound, apiError{
+			Version: s.ver,
+			Error:   fmt.Sprintf("unknown figure %q (available: %v)", figID, s.cfg.FigureIDs),
+		})
+		return
+	}
+	id := "fig-" + figID
+	async := isAsync(r)
+	run := func(ctx context.Context) (int, []byte) {
+		// Backend.Figure (exp.Suite) is not concurrent-safe: figures
+		// serialize against each other, while their inner simulations
+		// still fan out across the orchestrator pool.
+		s.figureMu.Lock()
+		t, ferr := s.cfg.Backend.Figure(ctx, figID)
+		s.figureMu.Unlock()
+		if ferr != nil {
+			return errCode(ferr), marshalBody(apiError{Version: s.ver, Error: ferr.Error()})
+		}
+		var text strings.Builder
+		t.Fprint(&text)
+		return http.StatusOK, marshalBody(figureResponse{
+			Version: s.ver, ID: id, Kind: "figure", Status: statusDone,
+			Figure: figID, Text: text.String(), Table: t,
+		})
+	}
+	j, _, shed, draining := s.admit(id, "figure", run, async, s.cfg.DefaultTimeout)
+	s.respondAdmitted(w, r, j, shed, draining, async)
+}
+
+// respondAdmitted finishes an admission outcome: shed and drain map to
+// 429/503, async maps to 202+Location, sync waits for settlement (or
+// the client leaving) and fans out the stored bytes.
+func (s *Server) respondAdmitted(w http.ResponseWriter, r *http.Request, j *job, shed, draining, async bool) {
+	switch {
+	case draining:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Version: s.ver, Error: "server is draining; no new work is admitted"})
+		return
+	case shed:
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
+		writeJSON(w, http.StatusTooManyRequests, apiError{
+			Version: s.ver,
+			Error:   fmt.Sprintf("job queue full (%d in flight); retry later", s.maxQueue),
+		})
+		return
+	case async:
+		s.mu.Lock()
+		st := j.status
+		s.mu.Unlock()
+		w.Header().Set("Location", "/v1/jobs/"+j.id)
+		writeJSON(w, http.StatusAccepted, jobResponse{Version: s.ver, ID: j.id, Kind: j.kind, Status: st})
+		return
+	}
+	select {
+	case <-j.done:
+		s.detach(j)
+		s.writeStored(w, j.httpStatus, j.body)
+	case <-r.Context().Done():
+		// Client gone: drop our reference — the last one out cancels
+		// the job's context, which the simulation observes at its next
+		// epoch boundary. Nothing useful can be written to a dead
+		// connection.
+		s.detach(j)
+	}
+}
+
+// writeStored writes a settled body verbatim.
+func (s *Server) writeStored(w http.ResponseWriter, code int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(body)
+}
+
+// handleJob reports one job's state, including the settled response
+// body once done.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	var st string
+	if j != nil {
+		st = j.status
+	}
+	s.mu.Unlock()
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Version: s.ver, Error: fmt.Sprintf("unknown job %q", id)})
+		return
+	}
+	resp := jobResponse{Version: s.ver, ID: j.id, Kind: j.kind, Status: st}
+	select {
+	case <-j.done:
+		resp.Status = j.status
+		resp.Response = json.RawMessage(j.body)
+	default:
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// isAsync reports whether the request opted into 202-and-poll.
+func isAsync(r *http.Request) bool {
+	switch r.URL.Query().Get("async") {
+	case "", "0", "false":
+		return false
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Drain
+
+// StopAdmitting puts the server in drain mode: every new admission is
+// answered 503 while in-flight jobs keep running.
+func (s *Server) StopAdmitting() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	if s.tele != nil {
+		s.tele.draining.Set(1)
+	}
+}
+
+// Drain stops admissions and waits for in-flight jobs to settle. If
+// ctx expires first, every unsettled job's context is cancelled — the
+// simulations wind down at their next epoch boundary — and Drain waits
+// for the (now prompt) settlement before returning ctx's error. After
+// Drain returns the caller owns flushing the cache and manifest.
+func (s *Server) Drain(ctx context.Context) error {
+	s.StopAdmitting()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			if !j.settled {
+				j.cancel()
+			}
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}

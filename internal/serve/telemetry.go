@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"fmt"
+
+	"pcstall/internal/telemetry"
+)
+
+// serveTelemetry is the serving layer's metric bundle: request counters
+// by endpoint and status, admission-control accounting (queue depth,
+// sheds), singleflight fan-out hits, and the two latency distributions
+// that matter for capacity planning — time-in-queue and handler
+// latency. Simulation-side metrics (orchestrate_*, sim_*) live in the
+// same registry but are recorded by the layers below.
+type serveTelemetry struct {
+	reg *telemetry.Registry
+
+	singleflight *telemetry.Counter
+	shed         *telemetry.Counter
+	cacheHits    *telemetry.Counter
+	jobsTotal    *telemetry.Counter
+	jobErrors    *telemetry.Counter
+	jobsCanceled *telemetry.Counter
+
+	queueDepth *telemetry.Gauge
+	running    *telemetry.Gauge
+	draining   *telemetry.Gauge
+
+	queueWait *telemetry.Histogram
+}
+
+// newServeTelemetry builds the bundle on r (nil r yields nil, making
+// every record a nil check).
+func newServeTelemetry(r *telemetry.Registry) *serveTelemetry {
+	if r == nil {
+		return nil
+	}
+	return &serveTelemetry{
+		reg:          r,
+		singleflight: r.Counter("serve_singleflight_hits_total", "requests answered by joining an identical in-flight or settled job"),
+		shed:         r.Counter("serve_shed_total", "requests rejected with 429 because the job queue was full"),
+		cacheHits:    r.Counter("serve_cache_short_circuit_total", "requests answered from the result cache without queueing"),
+		jobsTotal:    r.Counter("serve_jobs_total", "jobs admitted to the queue"),
+		jobErrors:    r.Counter("serve_job_errors_total", "admitted jobs that settled with an error"),
+		jobsCanceled: r.Counter("serve_jobs_cancelled_total", "admitted jobs cancelled before completing (client gone, deadline, drain)"),
+		queueDepth:   r.Gauge("serve_queue_depth", "admitted jobs waiting for a worker slot"),
+		running:      r.Gauge("serve_jobs_running", "jobs holding a serving worker slot now"),
+		draining:     r.Gauge("serve_draining", "1 while the server is draining (new work is rejected)"),
+		queueWait:    r.Phase("serve_time_in_queue"),
+	}
+}
+
+// request counts one finished request by endpoint and status code.
+func (t *serveTelemetry) request(endpoint string, code int) {
+	if t == nil {
+		return
+	}
+	t.reg.Counter(
+		fmt.Sprintf("serve_requests_%s_%d_total", endpoint, code),
+		"requests served on the "+endpoint+" endpoint by status code",
+	).Inc()
+}
+
+// handler returns the latency histogram for one endpoint.
+func (t *serveTelemetry) handler(endpoint string) *telemetry.Histogram {
+	if t == nil {
+		return nil
+	}
+	return t.reg.Phase("serve_handler_" + endpoint)
+}

@@ -18,23 +18,24 @@ var (
 	expvarOnce sync.Once
 )
 
-// Handler serves the registry over HTTP:
+// Register mounts the observability endpoints on an existing mux:
 //
 //	/metrics       Prometheus text exposition
 //	/debug/vars    expvar JSON (includes the registry under "telemetry")
 //	/debug/pprof/  live profiling (CPU, heap, goroutine, trace, ...)
 //
-// The root path lists the endpoints. Reads are safe concurrent with
-// metric writers, so the handler can be served while a campaign runs.
-func Handler(r *Registry) http.Handler {
+// It is the single wiring point every binary shares — pcstall-exp's
+// standalone metrics listener and pcstall-serve's API listener mount
+// exactly these routes, so the two cannot drift. Reads are safe
+// concurrent with metric writers, so the endpoints can be served while
+// a campaign runs. The caller owns the root path.
+func Register(mux *http.ServeMux, r *Registry) {
 	expvarReg.Store(r)
 	expvarOnce.Do(func() {
 		expvar.Publish("telemetry", expvar.Func(func() any {
 			return expvarReg.Load().Snapshot()
 		}))
 	})
-
-	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)
@@ -45,6 +46,13 @@ func Handler(r *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Handler serves Register's endpoints plus a root index listing them —
+// the standalone metrics listener (pcstall-exp -metrics-addr).
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	Register(mux, r)
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)

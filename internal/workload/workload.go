@@ -14,6 +14,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"pcstall/internal/isa"
 	"pcstall/internal/xrand"
@@ -225,7 +226,9 @@ func ClassOf(name string) Class { return registry[name].class }
 func Build(name string, cfg GenConfig) (App, error) {
 	e, ok := registry[name]
 	if !ok {
-		return App{}, fmt.Errorf("workload: unknown app %q", name)
+		// List the valid names so a mistyped -workload flag (or API
+		// request) is self-correcting instead of a source-dive.
+		return App{}, fmt.Errorf("workload: unknown app %q (available: %s)", name, strings.Join(Names(), ", "))
 	}
 	app := e.gen(cfg)
 	if err := app.Validate(); err != nil {

@@ -26,7 +26,10 @@ echo "==> go test"
 go test ./...
 
 echo "==> go test -race (concurrent packages)"
-go test -race ./internal/telemetry ./internal/orchestrate ./internal/trace ./internal/exp
+go test -race ./internal/telemetry ./internal/orchestrate ./internal/trace ./internal/exp ./internal/serve
+
+echo "==> go test -shuffle=on (order-independence of the serving/orchestration tests)"
+go test -shuffle=on -count=1 ./internal/serve ./internal/orchestrate ./internal/telemetry
 
 echo "==> go test -race (chaos / hardened-governor / watchdog paths)"
 # The fault-injection engine and the watchdog run on the simulation hot
@@ -95,6 +98,63 @@ if cmp -s "$smoke/ref.out" "$smoke/chaos1.out"; then
 	exit 1
 fi
 echo "    chaos-on campaign reproducible and distinct from fault-free run"
+
+echo "==> server smoke (pcstall-serve: boot, submit over HTTP, poll, drain)"
+# The serving layer must survive a full client round-trip: boot on a
+# random port, admit an async simulation over HTTP, poll the job to
+# completion, then drain cleanly on SIGTERM — exiting 0 with a flushed,
+# non-empty manifest that records the job the client submitted.
+go build -o "$smoke/pcstall-serve" ./cmd/pcstall-serve
+"$smoke/pcstall-serve" -addr 127.0.0.1:0 -cus 4 -scale 0.3 -j 2 \
+	-cache-dir "$smoke/serve-cache" > "$smoke/serve.out" 2> "$smoke/serve.err" &
+serve_pid=$!
+base=""
+for _ in $(seq 1 100); do
+	base=$(sed -n 's#^pcstall-serve: listening on \(http://.*\)$#\1#p' "$smoke/serve.out")
+	[ -n "$base" ] && break
+	sleep 0.1
+done
+if [ -z "$base" ]; then
+	echo "server smoke: server never announced its address" >&2
+	cat "$smoke/serve.err" >&2
+	exit 1
+fi
+job=$(curl -sf -X POST "$base/v1/sim?async=1" \
+	-d '{"app":"comd","design":"PCSTALL"}' | sed -n 's/.*"id": "\([^"]*\)".*/\1/p' | head -n 1)
+if [ -z "$job" ]; then
+	echo "server smoke: async submit returned no job id" >&2
+	cat "$smoke/serve.err" >&2
+	exit 1
+fi
+status=""
+for _ in $(seq 1 150); do
+	status=$(curl -sf "$base/v1/jobs/$job" | sed -n 's/.*"status": "\([a-z]*\)".*/\1/p' | head -n 1)
+	[ "$status" = done ] && break
+	case "$status" in error|cancelled)
+		echo "server smoke: job settled as $status" >&2
+		curl -sf "$base/v1/jobs/$job" >&2 || true
+		exit 1
+	esac
+	sleep 0.2
+done
+if [ "$status" != done ]; then
+	echo "server smoke: job never completed (last status: ${status:-none})" >&2
+	cat "$smoke/serve.err" >&2
+	exit 1
+fi
+kill -TERM "$serve_pid"
+serve_status=0
+wait "$serve_pid" || serve_status=$?
+if [ "$serve_status" != 0 ]; then
+	echo "server smoke: SIGTERM drain exited $serve_status, want 0" >&2
+	cat "$smoke/serve.err" >&2
+	exit 1
+fi
+if [ ! -s "$smoke/serve-cache/manifest.json" ] || ! grep -q "\"$job\"" "$smoke/serve-cache/manifest.json"; then
+	echo "server smoke: drained manifest missing or does not record job $job" >&2
+	exit 1
+fi
+echo "    served job $job completed over HTTP; drain flushed the manifest"
 
 echo "==> bench smoke (telemetry-off runner vs BENCH_telemetry.json)"
 # The disabled-telemetry path is the one every simulation pays. Absolute
