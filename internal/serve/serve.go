@@ -144,7 +144,7 @@ type Server struct {
 	tele      *serveTelemetry
 	mux       *http.ServeMux
 	sem       chan struct{}
-	figureMu  sync.Mutex // Backend.Figure is not concurrent-safe
+	figureSem chan struct{} // single-slot lane: Backend.Figure is not concurrent-safe
 	figureIDs map[string]bool
 
 	workloads   []string
@@ -154,6 +154,7 @@ type Server struct {
 	jobs      map[string]*job
 	doneOrder []string // settled job ids, oldest first, for eviction
 	inflight  int      // admitted, not yet settled
+	running   int      // holding a worker slot now
 	draining  bool
 
 	wg sync.WaitGroup // one per admitted job goroutine
@@ -195,6 +196,7 @@ func New(cfg Config) (*Server, error) {
 		baseCtx:     baseCtx,
 		tele:        newServeTelemetry(cfg.Metrics),
 		sem:         make(chan struct{}, workers),
+		figureSem:   make(chan struct{}, 1),
 		figureIDs:   make(map[string]bool, len(cfg.FigureIDs)),
 		workloads:   workload.Names(),
 		workloadSet: map[string]bool{},
@@ -299,12 +301,25 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 // answered), shed (queue full), draining (server shutting down). A
 // joined or created sync request holds a reference that the caller
 // must release with detach.
+//
+// Joinable jobs are the unsettled (in flight) and the successfully
+// settled. A job that settled with an error or cancellation is NOT
+// joined — replaying a stale failure would poison its key until
+// eviction — it is replaced by a fresh admission, mirroring the
+// orchestrator's contract that cancelled jobs are recomputed on
+// resume.
 func (s *Server) admit(id, kind string, run runFn, detached bool, timeout time.Duration) (j *job, joined, shed, draining bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if j := s.jobs[id]; j != nil {
-		if !j.settled && !detached {
-			j.refs++
+	if j := s.jobs[id]; j != nil && (!j.settled || j.httpStatus == http.StatusOK) {
+		if !j.settled {
+			if detached {
+				// An async client registered interest: the job must
+				// now outlive its sync waiters.
+				j.detached = true
+			} else {
+				j.refs++
+			}
 		}
 		s.tele.singleflightInc()
 		return j, true, false, false
@@ -318,9 +333,17 @@ func (s *Server) admit(id, kind string, run runFn, detached bool, timeout time.D
 		}
 		return nil, false, true, false
 	}
-	jctx, cancel := context.WithCancel(s.baseCtx)
+	if s.jobs[id] != nil {
+		// Settled failure under this key: drop the stale record; the
+		// fresh admission below takes its place.
+		s.dropSettledLocked(id)
+	}
+	var jctx context.Context
+	var cancel context.CancelFunc
 	if timeout > 0 {
 		jctx, cancel = context.WithTimeout(s.baseCtx, timeout)
+	} else {
+		jctx, cancel = context.WithCancel(s.baseCtx)
 	}
 	j = &job{
 		id:       id,
@@ -353,21 +376,29 @@ func (t *serveTelemetry) singleflightInc() {
 }
 
 // runJob drives one admitted job: wait for a worker slot (or abandon if
-// the job is cancelled while queued), execute, settle.
+// the job is cancelled while queued), execute, settle. Figure jobs wait
+// on a dedicated single-slot lane — they serialize against each other
+// anyway (Backend.Figure is not concurrent-safe), so a figure backlog
+// must not occupy sim worker slots it cannot use.
 func (s *Server) runJob(j *job, run runFn) {
 	defer s.wg.Done()
+	lane := s.sem
+	if j.kind == "figure" {
+		lane = s.figureSem
+	}
 	span := telemetry.StartSpan(s.tele.queueWaitHist())
 	select {
-	case s.sem <- struct{}{}:
+	case lane <- struct{}{}:
 	case <-j.ctx.Done():
 		span.End()
 		s.settle(j, errCode(j.ctx.Err()), marshalBody(apiError{Version: s.ver, Error: "cancelled while queued: " + j.ctx.Err().Error()}))
 		return
 	}
 	span.End()
-	defer func() { <-s.sem }()
+	defer func() { <-lane }()
 	s.mu.Lock()
 	j.status = statusRunning
+	s.running++
 	s.gaugesLocked()
 	s.mu.Unlock()
 	code, body := run(j.ctx)
@@ -394,6 +425,9 @@ func (s *Server) settle(j *job, code int, body []byte) {
 		status = statusError
 	}
 	s.mu.Lock()
+	if j.status == statusRunning {
+		s.running--
+	}
 	j.httpStatus, j.body, j.status, j.settled = code, body, status, true
 	s.inflight--
 	s.doneOrder = append(s.doneOrder, j.id)
@@ -418,8 +452,13 @@ func (s *Server) settle(j *job, code int, body []byte) {
 func (s *Server) recordSettled(id, kind string, body []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.jobs[id] != nil {
-		return
+	if j := s.jobs[id]; j != nil {
+		if !j.settled || j.httpStatus == http.StatusOK {
+			return
+		}
+		// A stale failure under this key: the cache now has a good
+		// result, so the fresh done record replaces it.
+		s.dropSettledLocked(id)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
@@ -465,19 +504,27 @@ func (s *Server) evictLocked() {
 	}
 }
 
-// gaugesLocked publishes queue state; callers hold s.mu.
+// dropSettledLocked removes a settled job's record from the map and
+// the eviction order (so the id's later re-settlement is not evicted
+// by the stale entry). Callers hold s.mu.
+func (s *Server) dropSettledLocked(id string) {
+	delete(s.jobs, id)
+	for i, d := range s.doneOrder {
+		if d == id {
+			s.doneOrder = append(s.doneOrder[:i], s.doneOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// gaugesLocked publishes queue state from the running counter
+// maintained at status transitions; callers hold s.mu.
 func (s *Server) gaugesLocked() {
 	if s.tele == nil {
 		return
 	}
-	running := 0
-	for _, j := range s.jobs {
-		if j.status == statusRunning {
-			running++
-		}
-	}
-	s.tele.running.Set(float64(running))
-	s.tele.queueDepth.Set(float64(s.inflight - running))
+	s.tele.running.Set(float64(s.running))
+	s.tele.queueDepth.Set(float64(s.inflight - s.running))
 }
 
 // statusClientClosed is nginx's 499 "client closed request": the job
@@ -583,12 +630,11 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	id := "fig-" + figID
 	async := isAsync(r)
 	run := func(ctx context.Context) (int, []byte) {
-		// Backend.Figure (exp.Suite) is not concurrent-safe: figures
-		// serialize against each other, while their inner simulations
-		// still fan out across the orchestrator pool.
-		s.figureMu.Lock()
+		// Figures serialize against each other on the single-slot
+		// figure lane (Backend.Figure is not concurrent-safe), while
+		// their inner simulations still fan out across the
+		// orchestrator pool.
 		t, ferr := s.cfg.Backend.Figure(ctx, figID)
-		s.figureMu.Unlock()
 		if ferr != nil {
 			return errCode(ferr), marshalBody(apiError{Version: s.ver, Error: ferr.Error()})
 		}

@@ -27,13 +27,18 @@ import (
 type stubBackend struct {
 	mu       sync.Mutex
 	simCalls int32
+	failN    int32         // fail the first N RunSim calls with an error
 	block    chan struct{} // non-nil: RunSim waits for close (or ctx)
+	figBlock chan struct{} // non-nil: Figure waits for close (or ctx)
 	ctxErrs  chan error    // non-nil: RunSim reports why it stopped
 	cached   map[string]*dvfs.Result
 }
 
 func (b *stubBackend) RunSim(ctx context.Context, j orchestrate.Job) (*dvfs.Result, error) {
 	atomic.AddInt32(&b.simCalls, 1)
+	if atomic.AddInt32(&b.failN, -1) >= 0 {
+		return nil, fmt.Errorf("injected backend failure")
+	}
 	if b.block != nil {
 		select {
 		case <-b.block:
@@ -55,6 +60,13 @@ func (b *stubBackend) Cached(key string) (*dvfs.Result, bool) {
 }
 
 func (b *stubBackend) Figure(ctx context.Context, id string) (*exp.Table, error) {
+	if b.figBlock != nil {
+		select {
+		case <-b.figBlock:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
 	return &exp.Table{Title: "stub " + id}, nil
 }
 
@@ -464,6 +476,192 @@ func TestFigureFlow(t *testing.T) {
 	if !strings.Contains(resp.Text, "stub 5") {
 		t.Errorf("figure text missing table rendering: %q", resp.Text)
 	}
+}
+
+// TestFailedJobNotPoisoned: a job that settles with an error must not
+// poison its key — a retry with the same config recomputes instead of
+// replaying the stale failure body until eviction.
+func TestFailedJobNotPoisoned(t *testing.T) {
+	backend := &stubBackend{failN: 1}
+	s, _ := newTestServer(t, backend, nil)
+
+	w := postSim(t, s.Handler(), simBody(11))
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("first attempt: status %d, want 500\nbody: %s", w.Code, w.Body.String())
+	}
+	if e := decodeError(t, w); !strings.Contains(e.Error, "injected") {
+		t.Fatalf("first attempt error = %q, want the injected failure", e.Error)
+	}
+
+	w = postSim(t, s.Handler(), simBody(11))
+	if w.Code != http.StatusOK {
+		t.Fatalf("retry: status %d, want 200 (fresh computation)\nbody: %s", w.Code, w.Body.String())
+	}
+	if got := atomic.LoadInt32(&backend.simCalls); got != 2 {
+		t.Errorf("RunSim called %d times, want 2 (retry must recompute)", got)
+	}
+
+	// A successfully settled job still singleflight-joins.
+	w = postSim(t, s.Handler(), simBody(11))
+	if w.Code != http.StatusOK {
+		t.Fatalf("third attempt: status %d, want 200", w.Code)
+	}
+	if got := atomic.LoadInt32(&backend.simCalls); got != 2 {
+		t.Errorf("RunSim called %d times after success, want still 2 (settled OK joins)", got)
+	}
+}
+
+// TestCancelledJobNotPoisoned: after a client disconnect settles a job
+// as cancelled, a fresh identical request recomputes rather than
+// replaying the 499 body.
+func TestCancelledJobNotPoisoned(t *testing.T) {
+	backend := &stubBackend{
+		block:   make(chan struct{}),
+		ctxErrs: make(chan error, 1),
+	}
+	s, _ := newTestServer(t, backend, nil)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "POST", srv.URL+"/v1/sim", strings.NewReader(simBody(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		resp, rerr := http.DefaultClient.Do(req)
+		if resp != nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		errc <- rerr
+	}()
+	waitFor(t, func() bool { return atomic.LoadInt32(&backend.simCalls) == 1 })
+	cancel()
+	<-errc
+	<-backend.ctxErrs
+	// Wait for the cancelled settlement to land.
+	waitFor(t, func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for _, j := range s.jobs {
+			if j.settled {
+				return true
+			}
+		}
+		return false
+	})
+
+	close(backend.block) // the retry's RunSim returns promptly
+	w := postSim(t, s.Handler(), simBody(12))
+	if w.Code != http.StatusOK {
+		t.Fatalf("retry after cancel: status %d, want 200\nbody: %s", w.Code, w.Body.String())
+	}
+	if got := atomic.LoadInt32(&backend.simCalls); got != 2 {
+		t.Errorf("RunSim called %d times, want 2 (cancelled key must recompute)", got)
+	}
+}
+
+// TestAsyncJoinSurvivesSyncDisconnect: an async request that
+// singleflight-joins a sync-admitted job registers durable interest —
+// the job must run to completion even after the original sync waiter
+// disconnects.
+func TestAsyncJoinSurvivesSyncDisconnect(t *testing.T) {
+	backend := &stubBackend{block: make(chan struct{})}
+	s, reg := newTestServer(t, backend, nil)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "POST", srv.URL+"/v1/sim", strings.NewReader(simBody(13)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		resp, rerr := http.DefaultClient.Do(req)
+		if resp != nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		errc <- rerr
+	}()
+	waitFor(t, func() bool { return atomic.LoadInt32(&backend.simCalls) == 1 })
+
+	// Async client joins the in-flight sync job.
+	areq := httptest.NewRequest("POST", "/v1/sim?async=1", strings.NewReader(simBody(13)))
+	aw := httptest.NewRecorder()
+	s.Handler().ServeHTTP(aw, areq)
+	if aw.Code != http.StatusAccepted {
+		t.Fatalf("async join: status %d, want 202\nbody: %s", aw.Code, aw.Body.String())
+	}
+	loc := aw.Header().Get("Location")
+	id := strings.TrimPrefix(loc, "/v1/jobs/")
+
+	// Sync client hangs up; wait until its reference is gone.
+	cancel()
+	<-errc
+	waitFor(t, func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		j := s.jobs[id]
+		return j != nil && j.refs == 0
+	})
+
+	// The job survived (detached); release it and poll to done.
+	close(backend.block)
+	waitFor(t, func() bool {
+		pw := httptest.NewRecorder()
+		s.Handler().ServeHTTP(pw, httptest.NewRequest("GET", loc, nil))
+		return strings.Contains(pw.Body.String(), `"status": "done"`)
+	})
+	if got := reg.Counter("serve_jobs_cancelled_total", "").Value(); got != 0 {
+		t.Errorf("serve_jobs_cancelled_total = %d, want 0 (async interest must keep the job alive)", got)
+	}
+	if got := atomic.LoadInt32(&backend.simCalls); got != 1 {
+		t.Errorf("RunSim called %d times, want 1", got)
+	}
+}
+
+// TestFigureLaneDoesNotStarveSims: figure jobs wait on their own
+// single-slot lane, so a blocked figure backlog leaves every sim
+// worker slot free.
+func TestFigureLaneDoesNotStarveSims(t *testing.T) {
+	backend := &stubBackend{figBlock: make(chan struct{})}
+	s, _ := newTestServer(t, backend, func(c *Config) {
+		c.Workers = 1
+	})
+
+	// Two figure jobs: one holds the figure lane, one queues behind it.
+	for _, id := range []string{"5", "14"} {
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, httptest.NewRequest("POST", "/v1/figures/"+id+"?async=1", nil))
+		if w.Code != http.StatusAccepted {
+			t.Fatalf("figure %s admit: status %d", id, w.Code)
+		}
+	}
+
+	// With a single sim worker, a sim must still complete while both
+	// figure jobs are pending.
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() { done <- postSim(t, s.Handler(), simBody(14)) }()
+	select {
+	case w := <-done:
+		if w.Code != http.StatusOK {
+			t.Fatalf("sim under figure backlog: status %d\nbody: %s", w.Code, w.Body.String())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sim starved: figure backlog is occupying sim worker slots")
+	}
+
+	close(backend.figBlock)
+	waitFor(t, func() bool {
+		pw := httptest.NewRecorder()
+		s.Handler().ServeHTTP(pw, httptest.NewRequest("GET", "/v1/jobs/fig-14", nil))
+		return strings.Contains(pw.Body.String(), `"status": "done"`)
+	})
 }
 
 // waitFor polls cond with a deadline, failing the test on timeout.
