@@ -38,6 +38,7 @@ import (
 
 	"pcstall/internal/chaos"
 	"pcstall/internal/clock"
+	"pcstall/internal/dist"
 	"pcstall/internal/exp"
 	"pcstall/internal/orchestrate"
 	"pcstall/internal/telemetry"
@@ -64,6 +65,9 @@ func main() {
 	resume := flag.Bool("resume", false, "resume an interrupted campaign from -cache-dir: only jobs missing from the result cache are recomputed")
 	chaosSpec := flag.String("chaos", "", "fault-injection spec applied to every job, e.g. 'noise=0.1,seed=7' or 'level=0.2' (participates in cache keys)")
 	maxCycles := flag.Int64("max-cycles", 0, "per-run CU-cycle budget; the watchdog fails runs that exhaust it (0 = unbounded)")
+	backends := flag.String("backends", "", "comma-separated pcstall-serve base URLs; simulation jobs run on the fleet instead of in-process (results, cache, and manifest are byte-identical)")
+	backendWindow := flag.Int("backend-window", 4, "max in-flight jobs per backend (the live window adapts below this by observed latency)")
+	skipMismatch := flag.Bool("skip-version-mismatch", false, "drop sim-version-mismatched backends from the fleet instead of refusing to start")
 	showVersion := flag.Bool("version", false, "print the simulator version and exit")
 	flag.Parse()
 
@@ -143,6 +147,38 @@ func main() {
 		os.Exit(130)
 	}()
 	cfg.Ctx = ctx
+
+	if *backends != "" {
+		urls := strings.Split(*backends, ",")
+		d, err := dist.New(dist.Config{
+			Backends:       urls,
+			Window:         *backendWindow,
+			SkipMismatched: *skipMismatch,
+			Metrics:        cfg.Metrics,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcstall-exp: -backends: %v\n", err)
+			os.Exit(2)
+		}
+		defer d.Close()
+		// Version fail-safe at admission: a backend with a different
+		// simulator cache version never receives a job.
+		vctx, vcancel := context.WithTimeout(ctx, 10*time.Second)
+		err = d.CheckVersions(vctx)
+		vcancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcstall-exp: -backends: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.RunVia = d.Bind
+		// The fleet overlaps far more jobs than this machine has cores:
+		// widen the worker pool so dispatch, not local CPU count, is the
+		// concurrency limit. Workers here only hold dispatch slots; real
+		// CPU work happens on the backends (or the bounded local lane).
+		if w := len(urls)**backendWindow + runtime.NumCPU(); w > cfg.Workers {
+			cfg.Workers = w
+		}
+	}
 
 	s := exp.NewSuite(cfg)
 	defer s.Close()

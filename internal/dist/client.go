@@ -1,0 +1,246 @@
+// Package dist turns N pcstall-serve processes into one horizontally
+// scaled simulation fleet. A Dispatcher is the coordinator: it fans a
+// campaign's content-addressed jobs out across backend URLs with
+// work-stealing and per-backend in-flight windows sized by observed job
+// latency, quarantines unhealthy backends behind exponential-backoff
+// health probes, and degrades to in-process execution when the whole
+// fleet is unreachable — so a campaign run on a fleet produces exactly
+// the bytes a local run would, just faster.
+//
+// The worker protocol is the serving layer's existing HTTP surface
+// (internal/serve): synchronous POST /v1/sim carries the full job (every
+// field explicit, so backend defaults can never bend it), GET /healthz
+// gates re-admission after a quarantine, and GET /v1/version fail-safes
+// mixed-version fleets — a backend whose orchestrate.SimVersion differs
+// is rejected at admission and never receives a job, because its results
+// would poison the content-addressed cache under the coordinator's keys.
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"pcstall/internal/dvfs"
+	"pcstall/internal/orchestrate"
+)
+
+// maxReplyBytes bounds a decoded backend response (settled sim bodies
+// are a few KiB; a corrupted or hostile backend must not balloon the
+// coordinator).
+const maxReplyBytes = 64 << 20
+
+// Client speaks the pcstall-serve /v1 worker protocol to one backend.
+// It is stateless and safe for concurrent use; health, windows, and
+// quarantine live on the Dispatcher's per-backend record.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient wraps one backend base URL (e.g. "http://10.0.0.2:8080").
+// A nil http.Client selects http.DefaultClient.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// Base returns the backend's base URL.
+func (c *Client) Base() string { return c.base }
+
+// simWire is the POST /v1/sim body a coordinator sends: every Job field
+// explicit (down to the seed and the picosecond time cap) so the
+// backend's own platform defaults can never bend the job — the reply's
+// key is still verified against the request's as the final guard.
+type simWire struct {
+	App           string  `json:"app"`
+	Design        string  `json:"design"`
+	EpochPs       int64   `json:"epoch_ps"`
+	Objective     string  `json:"objective"`
+	CUsPerDomain  int     `json:"cus_per_domain"`
+	CUs           int     `json:"cus"`
+	Scale         float64 `json:"scale"`
+	Seed          *uint64 `json:"seed"`
+	MaxTimePs     int64   `json:"max_time_ps,omitempty"`
+	OracleSamples int     `json:"oracle_samples,omitempty"`
+	Chaos         string  `json:"chaos,omitempty"`
+	MaxCycles     int64   `json:"max_cycles,omitempty"`
+}
+
+// wireJob maps a content-addressed job onto the request wire form.
+func wireJob(j orchestrate.Job) simWire {
+	seed := j.Seed
+	return simWire{
+		App: j.App, Design: j.Design, EpochPs: j.EpochPs,
+		Objective: j.Objective, CUsPerDomain: j.CUsPerDomain, CUs: j.CUs,
+		Scale: j.Scale, Seed: &seed, MaxTimePs: j.MaxTimePs,
+		OracleSamples: j.OracleSamples, Chaos: j.Chaos, MaxCycles: j.MaxCycles,
+	}
+}
+
+// simReply mirrors the settled /v1/sim response body.
+type simReply struct {
+	ID     string          `json:"id"`
+	Job    orchestrate.Job `json:"job"`
+	Result *dvfs.Result    `json:"result"`
+	Error  string          `json:"error"`
+}
+
+// ShedError is a backend's 429/503 answer: not a fault, an instruction
+// to come back later. The dispatcher honors RetryAfter as a per-backend
+// cooldown and steals the job to a peer in the meantime.
+type ShedError struct {
+	Status     int
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("backend shed the job (%d, retry after %s)", e.Status, e.RetryAfter)
+}
+
+// SkewError is the fail-safe of last resort: the backend computed a
+// different key for the same job, meaning its build canonicalizes jobs
+// differently despite a matching SimVersion. Such a backend is dropped
+// for the rest of the campaign — its results cannot be trusted under the
+// coordinator's content addresses.
+type SkewError struct {
+	Backend string
+	Want    string
+	Got     string
+}
+
+func (e *SkewError) Error() string {
+	return fmt.Sprintf("backend %s computed job key %s for a job the coordinator keys as %s (config/build skew)", e.Backend, e.Got, e.Want)
+}
+
+// retryAfter parses a shed response's Retry-After seconds (default 1s,
+// clamped to 10m like the server's own estimate).
+func retryAfter(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After")))
+	if err != nil || secs < 1 {
+		secs = 1
+	}
+	if secs > 600 {
+		secs = 600
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// Sim runs one job synchronously on the backend. haveBody marks a
+// dispatch for which the coordinator has already ingested this key's
+// result (a retry after a mid-flight failure): the request then carries
+// If-None-Match with the job-key ETag, and a 304 reply returns
+// notModified=true with no body to re-download — the caller resolves the
+// result from its own cache.
+func (c *Client) Sim(ctx context.Context, j orchestrate.Job, haveBody bool) (res *dvfs.Result, notModified bool, err error) {
+	key := j.Key()
+	body, err := json.Marshal(wireJob(j))
+	if err != nil {
+		return nil, false, fmt.Errorf("dist: encoding job %s: %w", j, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/sim", bytes.NewReader(body))
+	if err != nil {
+		return nil, false, fmt.Errorf("dist: %s: %w", c.base, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if haveBody {
+		req.Header.Set("If-None-Match", `"`+key+`"`)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, false, fmt.Errorf("dist: %s: %w", c.base, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotModified:
+		return nil, true, nil
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		return nil, false, &ShedError{Status: resp.StatusCode, RetryAfter: retryAfter(resp)}
+	default:
+		return nil, false, fmt.Errorf("dist: %s: /v1/sim: %s: %s", c.base, resp.Status, readAPIError(resp.Body))
+	}
+	var reply simReply
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxReplyBytes)).Decode(&reply); err != nil {
+		return nil, false, fmt.Errorf("dist: %s: decoding sim reply: %w", c.base, err)
+	}
+	if reply.Result == nil {
+		return nil, false, fmt.Errorf("dist: %s: settled reply carries no result (error: %q)", c.base, reply.Error)
+	}
+	if reply.ID != key || reply.Job.Key() != key {
+		return nil, false, &SkewError{Backend: c.base, Want: key, Got: reply.ID}
+	}
+	return reply.Result, false, nil
+}
+
+// SimVersion fetches the backend's simulator cache version (GET
+// /v1/version). Backends predating the sim_version field return "" and
+// therefore read as mismatched — fail safe, not fail open.
+func (c *Client) SimVersion(ctx context.Context) (string, error) {
+	var v struct {
+		SimVersion string `json:"sim_version"`
+	}
+	if err := c.getJSON(ctx, "/v1/version", &v); err != nil {
+		return "", err
+	}
+	return v.SimVersion, nil
+}
+
+// Healthz probes the backend's readiness endpoint; nil means the
+// backend is accepting work.
+func (c *Client) Healthz(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return fmt.Errorf("dist: %s: %w", c.base, err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("dist: %s: %w", c.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("dist: %s: /healthz: %s", c.base, resp.Status)
+	}
+	return nil
+}
+
+// getJSON fetches and decodes one GET endpoint.
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return fmt.Errorf("dist: %s: %w", c.base, err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("dist: %s: %w", c.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("dist: %s: %s: %s", c.base, path, resp.Status)
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxReplyBytes)).Decode(v); err != nil {
+		return fmt.Errorf("dist: %s: decoding %s: %w", c.base, path, err)
+	}
+	return nil
+}
+
+// readAPIError extracts the serving layer's structured error message
+// from a failure body (falling back to a trimmed raw prefix).
+func readAPIError(r io.Reader) string {
+	b, _ := io.ReadAll(io.LimitReader(r, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(b, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(b))
+}

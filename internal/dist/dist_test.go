@@ -1,0 +1,489 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pcstall/internal/dvfs"
+	"pcstall/internal/orchestrate"
+	"pcstall/internal/telemetry"
+)
+
+// stubWorker is a scriptable pcstall-serve stand-in: it speaks exactly
+// the worker protocol the Client needs (POST /v1/sim, GET /v1/version,
+// GET /healthz), reconstructs each wire job to answer under the true
+// content address, and can be told to fail, shed, or go dark.
+type stubWorker struct {
+	name       string
+	simVersion string
+	srv        *httptest.Server
+	down       atomic.Bool // healthz 503, sims 500
+
+	mu       sync.Mutex
+	simCalls int
+	inmSeen  int // sim requests carrying If-None-Match
+	failN    int // fail this many sims with 500 first
+	shedN    int // then shed this many with 429
+	keys     []string
+}
+
+func newWorker(t *testing.T, name string) *stubWorker {
+	t.Helper()
+	w := &stubWorker{name: name, simVersion: orchestrate.SimVersion}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/version", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(rw).Encode(map[string]string{
+			"version": "stub", "sim_version": w.simVersion,
+		})
+	})
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		if w.down.Load() {
+			http.Error(rw, `{"error":"draining"}`, http.StatusServiceUnavailable)
+			return
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		_, _ = rw.Write([]byte(`{"status":"ok"}`))
+	})
+	mux.HandleFunc("POST /v1/sim", w.handleSim)
+	w.srv = httptest.NewServer(mux)
+	t.Cleanup(w.srv.Close)
+	return w
+}
+
+func (w *stubWorker) handleSim(rw http.ResponseWriter, r *http.Request) {
+	if w.down.Load() {
+		http.Error(rw, `{"error":"backend down"}`, http.StatusInternalServerError)
+		return
+	}
+	w.mu.Lock()
+	w.simCalls++
+	if r.Header.Get("If-None-Match") != "" {
+		w.inmSeen++
+	}
+	fail, shed := false, false
+	if w.failN > 0 {
+		w.failN--
+		fail = true
+	} else if w.shedN > 0 {
+		w.shedN--
+		shed = true
+	}
+	w.mu.Unlock()
+	if fail {
+		http.Error(rw, `{"error":"injected failure"}`, http.StatusInternalServerError)
+		return
+	}
+	if shed {
+		rw.Header().Set("Retry-After", "1")
+		http.Error(rw, `{"error":"queue full"}`, http.StatusTooManyRequests)
+		return
+	}
+	var wire simWire
+	if err := json.NewDecoder(r.Body).Decode(&wire); err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	j := orchestrate.Job{
+		App: wire.App, Design: wire.Design, EpochPs: wire.EpochPs,
+		Objective: wire.Objective, CUsPerDomain: wire.CUsPerDomain,
+		CUs: wire.CUs, Scale: wire.Scale, MaxTimePs: wire.MaxTimePs,
+		OracleSamples: wire.OracleSamples, Chaos: wire.Chaos,
+		MaxCycles: wire.MaxCycles, SimVersion: orchestrate.SimVersion,
+	}
+	if wire.Seed != nil {
+		j.Seed = *wire.Seed
+	}
+	key := j.Key()
+	w.mu.Lock()
+	w.keys = append(w.keys, key)
+	w.mu.Unlock()
+	if etagMatchTest(r.Header.Get("If-None-Match"), `"`+key+`"`) {
+		rw.WriteHeader(http.StatusNotModified)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(rw).Encode(simReply{
+		ID: key, Job: j,
+		Result: &dvfs.Result{Policy: "stub-" + w.name, Epochs: 1},
+	})
+}
+
+// etagMatchTest mirrors the serving layer's validator comparison.
+func etagMatchTest(header, etag string) bool {
+	return header == etag
+}
+
+func (w *stubWorker) calls() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.simCalls
+}
+
+func testJob(seed uint64) orchestrate.Job {
+	return orchestrate.Job{
+		App: "comd", Design: "PCSTALL", EpochPs: 1_000_000,
+		Objective: "ED2P", CUsPerDomain: 1, CUs: 2, Scale: 0.25,
+		Seed: seed, MaxTimePs: 5_000_000_000,
+		SimVersion: orchestrate.SimVersion,
+	}
+}
+
+func newDispatcher(t *testing.T, cfg Config) *Dispatcher {
+	t.Helper()
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(d.Close)
+	return d
+}
+
+// noLocal is a fallback executor for tests where the fleet must handle
+// everything.
+func noLocal(t *testing.T) orchestrate.RunFunc {
+	return func(context.Context, orchestrate.Job, *telemetry.Registry) (*dvfs.Result, error) {
+		t.Error("local fallback ran while the fleet was healthy")
+		return &dvfs.Result{Policy: "local"}, nil
+	}
+}
+
+func noCache(string) (*dvfs.Result, bool) { return nil, false }
+
+func TestFleetSpreadsJobs(t *testing.T) {
+	a, b := newWorker(t, "a"), newWorker(t, "b")
+	d := newDispatcher(t, Config{Backends: []string{a.srv.URL, b.srv.URL}, Window: 2})
+	if err := d.CheckVersions(context.Background()); err != nil {
+		t.Fatalf("CheckVersions: %v", err)
+	}
+	run := d.Bind(noLocal(t), noCache)
+	const jobs = 8
+	results := make([]*dvfs.Result, jobs)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := run(context.Background(), testJob(uint64(i+1)), nil)
+			if err != nil {
+				t.Errorf("job %d: %v", i, err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r == nil || (r.Policy != "stub-a" && r.Policy != "stub-b") {
+			t.Fatalf("job %d settled with %+v, want a stub result", i, r)
+		}
+	}
+	ca, cb := a.calls(), b.calls()
+	if ca+cb != jobs {
+		t.Errorf("fleet saw %d+%d sims, want %d", ca, cb, jobs)
+	}
+	// With windows of 2 and 8 concurrent jobs, neither backend can have
+	// taken everything.
+	if ca == 0 || cb == 0 {
+		t.Errorf("dispatch did not spread: a=%d b=%d", ca, cb)
+	}
+}
+
+func TestCheckVersionsFailsClosed(t *testing.T) {
+	a, b := newWorker(t, "a"), newWorker(t, "b")
+	b.simVersion = "pcstall-sim-v0"
+	d := newDispatcher(t, Config{Backends: []string{a.srv.URL, b.srv.URL}})
+	if err := d.CheckVersions(context.Background()); err == nil {
+		t.Fatal("CheckVersions accepted a mixed-version fleet")
+	}
+}
+
+func TestCheckVersionsSkipsMismatched(t *testing.T) {
+	a, b := newWorker(t, "a"), newWorker(t, "b")
+	b.simVersion = "pcstall-sim-v0"
+	d := newDispatcher(t, Config{
+		Backends:       []string{a.srv.URL, b.srv.URL},
+		SkipMismatched: true,
+	})
+	if err := d.CheckVersions(context.Background()); err != nil {
+		t.Fatalf("CheckVersions: %v", err)
+	}
+	if got := d.Healthy(); got != 1 {
+		t.Fatalf("Healthy() = %d after dropping the mismatch, want 1", got)
+	}
+	run := d.Bind(noLocal(t), noCache)
+	for i := 0; i < 4; i++ {
+		if _, err := run(context.Background(), testJob(uint64(i+1)), nil); err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+	if got := b.calls(); got != 0 {
+		t.Errorf("mismatched backend received %d jobs, want 0", got)
+	}
+	if got := a.calls(); got != 4 {
+		t.Errorf("surviving backend ran %d jobs, want 4", got)
+	}
+}
+
+func TestCheckVersionsNeedsOneSurvivor(t *testing.T) {
+	a := newWorker(t, "a")
+	a.simVersion = "pcstall-sim-v0"
+	d := newDispatcher(t, Config{Backends: []string{a.srv.URL}, SkipMismatched: true})
+	if err := d.CheckVersions(context.Background()); err == nil {
+		t.Fatal("CheckVersions accepted an empty fleet")
+	}
+}
+
+func TestQuarantineStealAndHeal(t *testing.T) {
+	a, b := newWorker(t, "a"), newWorker(t, "b")
+	a.down.Store(true)
+	reg := telemetry.New()
+	d := newDispatcher(t, Config{
+		Backends:     []string{a.srv.URL, b.srv.URL},
+		Metrics:      reg,
+		ProbeBackoff: 5 * time.Millisecond, MaxProbeBackoff: 20 * time.Millisecond,
+	})
+	if err := d.CheckVersions(context.Background()); err != nil {
+		t.Fatalf("CheckVersions: %v", err)
+	}
+	run := d.Bind(noLocal(t), noCache)
+	for i := 0; i < 4; i++ {
+		r, err := run(context.Background(), testJob(uint64(i+1)), nil)
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if r.Policy != "stub-b" {
+			t.Fatalf("job %d ran on %q, want the healthy peer", i, r.Policy)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["dist_jobs_stolen_total"] == 0 {
+		t.Error("no steal was recorded for jobs lost to the dead backend")
+	}
+	if snap.Counters["dist_jobs_requeued_total"] == 0 {
+		t.Error("no requeue was recorded")
+	}
+
+	// The backend comes back; the probe loop must return it to rotation.
+	a.down.Store(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for d.Healthy() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("healed backend never returned to rotation")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	before := a.calls()
+	for i := 0; i < 4; i++ {
+		if _, err := run(context.Background(), testJob(uint64(i+10)), nil); err != nil {
+			t.Fatalf("post-heal job %d: %v", i, err)
+		}
+	}
+	if a.calls() == before {
+		t.Error("healed backend never received a job")
+	}
+}
+
+func TestAllBackendsDownFallsBackLocal(t *testing.T) {
+	a := newWorker(t, "a")
+	reg := telemetry.New()
+	d := newDispatcher(t, Config{
+		Backends: []string{a.srv.URL},
+		Metrics:  reg,
+		// Long probe backoff: the backend must stay quarantined for the
+		// whole test.
+		ProbeBackoff: time.Minute, MaxProbeBackoff: time.Minute,
+	})
+	if err := d.CheckVersions(context.Background()); err != nil {
+		t.Fatalf("CheckVersions: %v", err)
+	}
+	var localRuns atomic.Int32
+	run := d.Bind(func(ctx context.Context, j orchestrate.Job, reg *telemetry.Registry) (*dvfs.Result, error) {
+		localRuns.Add(1)
+		return &dvfs.Result{Policy: "local"}, nil
+	}, noCache)
+	a.down.Store(true)
+	for i := 0; i < 3; i++ {
+		r, err := run(context.Background(), testJob(uint64(i+1)), nil)
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if r.Policy != "local" {
+			t.Fatalf("job %d settled as %q, want the local lane", i, r.Policy)
+		}
+	}
+	if got := localRuns.Load(); got != 3 {
+		t.Errorf("local lane ran %d jobs, want 3", got)
+	}
+	if reg.Snapshot().Counters["dist_local_fallbacks_total"] != 3 {
+		t.Error("local fallbacks were not counted")
+	}
+}
+
+func TestShedCooldownThenRetry(t *testing.T) {
+	a := newWorker(t, "a")
+	a.shedN = 1
+	d := newDispatcher(t, Config{Backends: []string{a.srv.URL}})
+	if err := d.CheckVersions(context.Background()); err != nil {
+		t.Fatalf("CheckVersions: %v", err)
+	}
+	run := d.Bind(noLocal(t), noCache)
+	start := time.Now()
+	r, err := run(context.Background(), testJob(1), nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if r.Policy != "stub-a" {
+		t.Fatalf("settled as %q, want the shedding backend after cooldown", r.Policy)
+	}
+	// A shed is not a fault: the backend must not have been quarantined
+	// (it was re-dispatched after Retry-After, which the stub set to 1s).
+	if d.Healthy() != 1 {
+		t.Error("shed quarantined the backend")
+	}
+	if a.calls() != 2 {
+		t.Errorf("backend saw %d sims, want shed+retry = 2", a.calls())
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Errorf("retry after %v ignored the 1s Retry-After", elapsed)
+	}
+}
+
+func TestRedispatchResolves304FromCache(t *testing.T) {
+	// Backend a takes the job first (deterministic tie-break) and fails
+	// it; the steal to b carries If-None-Match because the coordinator
+	// already has the body, and b's 304 resolves from the local cache.
+	a, b := newWorker(t, "a"), newWorker(t, "b")
+	a.failN = 1
+	reg := telemetry.New()
+	d := newDispatcher(t, Config{
+		Backends:     []string{a.srv.URL, b.srv.URL},
+		Metrics:      reg,
+		ProbeBackoff: time.Minute, MaxProbeBackoff: time.Minute,
+	})
+	if err := d.CheckVersions(context.Background()); err != nil {
+		t.Fatalf("CheckVersions: %v", err)
+	}
+	j := testJob(7)
+	cached := &dvfs.Result{Policy: "cached", Epochs: 1}
+	run := d.Bind(noLocal(t), func(key string) (*dvfs.Result, bool) {
+		if key == j.Key() {
+			return cached, true
+		}
+		return nil, false
+	})
+	r, err := run(context.Background(), j, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if r != cached {
+		t.Fatalf("settled as %+v, want the cached body resolved via 304", r)
+	}
+	b.mu.Lock()
+	inm := b.inmSeen
+	b.mu.Unlock()
+	if inm != 1 {
+		t.Errorf("stealing backend saw %d If-None-Match requests, want 1", inm)
+	}
+	if reg.Snapshot().Counters["dist_etag_hits_total"] != 1 {
+		t.Error("304 resolution was not counted")
+	}
+}
+
+func TestClientRejectsKeySkew(t *testing.T) {
+	// A backend that answers under a different content address must be
+	// reported as skewed, not trusted.
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(rw).Encode(simReply{
+			ID:     "feedfacefeedface",
+			Job:    testJob(1),
+			Result: &dvfs.Result{Policy: "skewed"},
+		})
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL, nil)
+	_, _, err := c.Sim(context.Background(), testJob(1), false)
+	var skew *SkewError
+	if !errors.As(err, &skew) {
+		t.Fatalf("Sim returned %v, want a SkewError", err)
+	}
+}
+
+func TestDispatcherDropsSkewedBackend(t *testing.T) {
+	// a answers under the wrong key: it must be dropped permanently and
+	// the job must settle on b.
+	var aCalls atomic.Int32
+	aSrv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/v1/version":
+			_ = json.NewEncoder(rw).Encode(map[string]string{"sim_version": orchestrate.SimVersion})
+		case r.URL.Path == "/healthz":
+			_, _ = rw.Write([]byte(`{}`))
+		default:
+			aCalls.Add(1)
+			_ = json.NewEncoder(rw).Encode(simReply{
+				ID:     "feedfacefeedface",
+				Job:    testJob(99),
+				Result: &dvfs.Result{Policy: "skewed"},
+			})
+		}
+	}))
+	defer aSrv.Close()
+	b := newWorker(t, "b")
+	d := newDispatcher(t, Config{Backends: []string{aSrv.URL, b.srv.URL}})
+	if err := d.CheckVersions(context.Background()); err != nil {
+		t.Fatalf("CheckVersions: %v", err)
+	}
+	run := d.Bind(noLocal(t), noCache)
+	for i := 0; i < 4; i++ {
+		r, err := run(context.Background(), testJob(uint64(i+1)), nil)
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if r.Policy != "stub-b" {
+			t.Fatalf("job %d settled as %q, want the honest backend", i, r.Policy)
+		}
+	}
+	if got := aCalls.Load(); got != 1 {
+		t.Errorf("skewed backend saw %d sims after the drop, want exactly 1", got)
+	}
+	if d.Healthy() != 1 {
+		t.Errorf("Healthy() = %d, want the skewed backend out of rotation", d.Healthy())
+	}
+}
+
+func TestCancellationPropagates(t *testing.T) {
+	a := newWorker(t, "a")
+	a.down.Store(true) // every dispatch fails; without cancellation Run would loop
+	d := newDispatcher(t, Config{
+		Backends:     []string{a.srv.URL},
+		ProbeBackoff: time.Minute, MaxProbeBackoff: time.Minute,
+	})
+	run := d.Bind(func(ctx context.Context, j orchestrate.Job, reg *telemetry.Registry) (*dvfs.Result, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}, noCache)
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := run(ctx, testJob(1), nil)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("cancelled run settled without error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled run never returned")
+	}
+}

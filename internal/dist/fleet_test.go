@@ -1,0 +1,234 @@
+package dist_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pcstall/internal/dist"
+	"pcstall/internal/exp"
+	"pcstall/internal/orchestrate"
+	"pcstall/internal/serve"
+)
+
+// tinyCfg mirrors the exp package's unit-test platform: a small GPU,
+// short workloads, one app.
+func tinyCfg(cacheDir string) exp.Config {
+	cfg := exp.DefaultConfig()
+	cfg.CUs = 2
+	cfg.Scale = 0.25
+	cfg.TraceEpochs = 12
+	cfg.Apps = []string{"comd"}
+	cfg.CacheDir = cacheDir
+	return cfg
+}
+
+// figGolden renders the reference figure text a plain local campaign
+// produces — the bytes every fleet configuration must reproduce.
+func figGolden(t *testing.T, figID string) string {
+	t.Helper()
+	s := exp.NewSuite(tinyCfg(t.TempDir()))
+	defer s.Close()
+	tb, err := s.Figure(nil, figID)
+	if err != nil {
+		t.Fatalf("direct figure: %v", err)
+	}
+	var sb strings.Builder
+	tb.Fprint(&sb)
+	return sb.String()
+}
+
+// startWorker boots one real pcstall-serve worker over its own suite
+// and cache directory, exactly as `pcstall-serve -listen :0` would.
+func startWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	suite := exp.NewSuite(tinyCfg(t.TempDir()))
+	t.Cleanup(func() { _ = suite.Close() })
+	srv, err := serve.New(serve.Config{
+		Backend:   suite,
+		Defaults:  suite.SimDefaults(),
+		FigureIDs: suite.ArtifactIDs(),
+	})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// runFleetFigure runs one figure campaign on the given dispatcher and
+// returns the rendered text plus the campaign manifest.
+func runFleetFigure(t *testing.T, d *dist.Dispatcher, figID string) (string, *orchestrate.Manifest) {
+	t.Helper()
+	cfg := tinyCfg(t.TempDir())
+	cfg.RunVia = d.Bind
+	cfg.Workers = 8 // dispatch slots, not CPU work
+	s := exp.NewSuite(cfg)
+	defer s.Close()
+	tb, err := s.Figure(nil, figID)
+	if err != nil {
+		t.Fatalf("fleet figure: %v", err)
+	}
+	var sb strings.Builder
+	tb.Fprint(&sb)
+	return sb.String(), s.Manifest()
+}
+
+// TestFleetGolden is the tentpole invariant: a campaign sharded across
+// three real pcstall-serve workers renders byte-identical figure text
+// to a local run, with every manifest entry carrying remote provenance.
+func TestFleetGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations across a fleet")
+	}
+	const figID = "1a"
+	want := figGolden(t, figID)
+
+	workers := []*httptest.Server{startWorker(t), startWorker(t), startWorker(t)}
+	urls := make([]string, len(workers))
+	for i, w := range workers {
+		urls[i] = w.URL
+	}
+	d, err := dist.New(dist.Config{Backends: urls, Window: 2})
+	if err != nil {
+		t.Fatalf("dist.New: %v", err)
+	}
+	defer d.Close()
+	if err := d.CheckVersions(context.Background()); err != nil {
+		t.Fatalf("CheckVersions: %v", err)
+	}
+	got, m := runFleetFigure(t, d, figID)
+	if got != want {
+		t.Errorf("fleet figure diverges from the local rendering:\n--- local ---\n%s--- fleet ---\n%s", want, got)
+	}
+	if len(m.Jobs) == 0 {
+		t.Fatal("fleet campaign recorded no jobs")
+	}
+	for _, e := range m.Jobs {
+		if !strings.HasPrefix(e.Source, "remote:") {
+			t.Errorf("job %s has source %q, want remote provenance", e.Key, e.Source)
+		}
+	}
+}
+
+// killable wraps a worker's handler so the whole endpoint (healthz
+// included) can be made to drop requests mid-campaign, as a killed
+// process would.
+type killable struct {
+	h      http.Handler
+	sims   atomic.Int32
+	killed atomic.Bool
+}
+
+func (k *killable) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if k.killed.Load() {
+		http.Error(w, "connection refused", http.StatusInternalServerError)
+		return
+	}
+	k.h.ServeHTTP(w, r)
+	if r.Method == http.MethodPost && r.URL.Path == "/v1/sim" && k.sims.Add(1) >= 1 {
+		// Die after the first settled sim: remaining jobs must be
+		// stolen by the surviving workers.
+		k.killed.Store(true)
+	}
+}
+
+// TestFleetSurvivesKilledBackend kills one of three workers after its
+// first job; the campaign must complete with identical bytes, the dead
+// worker's jobs stolen by the survivors.
+func TestFleetSurvivesKilledBackend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations across a fleet")
+	}
+	const figID = "1a"
+	want := figGolden(t, figID)
+
+	victimSuite := exp.NewSuite(tinyCfg(t.TempDir()))
+	t.Cleanup(func() { _ = victimSuite.Close() })
+	victimSrv, err := serve.New(serve.Config{
+		Backend:   victimSuite,
+		Defaults:  victimSuite.SimDefaults(),
+		FigureIDs: victimSuite.ArtifactIDs(),
+	})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	victim := &killable{h: victimSrv.Handler()}
+	victimTS := httptest.NewServer(victim)
+	t.Cleanup(victimTS.Close)
+
+	urls := []string{victimTS.URL, startWorker(t).URL, startWorker(t).URL}
+	d, err := dist.New(dist.Config{
+		Backends: urls, Window: 1,
+		ProbeBackoff: 50 * time.Millisecond, MaxProbeBackoff: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("dist.New: %v", err)
+	}
+	defer d.Close()
+	if err := d.CheckVersions(context.Background()); err != nil {
+		t.Fatalf("CheckVersions: %v", err)
+	}
+	got, m := runFleetFigure(t, d, figID)
+	if got != want {
+		t.Errorf("fleet figure with a killed backend diverges:\n--- local ---\n%s--- fleet ---\n%s", want, got)
+	}
+	for _, e := range m.Jobs {
+		if e.Error != "" {
+			t.Errorf("job %s settled with error %q despite healthy peers", e.Key, e.Error)
+		}
+	}
+}
+
+// TestFleetAllDownFallsBackLocal: with every backend dead, the campaign
+// must degrade to in-process execution and still produce identical
+// bytes, with local-fallback provenance on the manifest.
+func TestFleetAllDownFallsBackLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	const figID = "1a"
+	want := figGolden(t, figID)
+
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/version" {
+			// Alive at admission, dead for every job: the harshest
+			// mid-campaign total-fleet loss.
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write([]byte(`{"version":"x","sim_version":"` + orchestrate.SimVersion + `"}`))
+			return
+		}
+		http.Error(w, "connection refused", http.StatusInternalServerError)
+	}))
+	defer dead.Close()
+
+	d, err := dist.New(dist.Config{
+		Backends:     []string{dead.URL},
+		ProbeBackoff: time.Minute, MaxProbeBackoff: time.Minute,
+	})
+	if err != nil {
+		t.Fatalf("dist.New: %v", err)
+	}
+	defer d.Close()
+	if err := d.CheckVersions(context.Background()); err != nil {
+		t.Fatalf("CheckVersions: %v", err)
+	}
+	got, m := runFleetFigure(t, d, figID)
+	if got != want {
+		t.Errorf("all-down fleet figure diverges:\n--- local ---\n%s--- fleet ---\n%s", want, got)
+	}
+	sawFallback := false
+	for _, e := range m.Jobs {
+		if e.Source == "local-fallback" {
+			sawFallback = true
+		}
+	}
+	if !sawFallback {
+		t.Error("no job recorded local-fallback provenance")
+	}
+}

@@ -86,6 +86,14 @@ type Config struct {
 	// MaxCycles bounds each run's CU cycles; the watchdog stops runs
 	// that exhaust it (0 = unbounded).
 	MaxCycles int64
+	// RunVia, when non-nil, intercepts job execution: it receives the
+	// Suite's in-process executor plus a peek into the Suite's result
+	// cache and returns the RunFunc the orchestrator actually drives
+	// (internal/dist binds fleet dispatch here). The returned function
+	// still settles through the normal orchestrator path, so the disk
+	// cache, manifests, retries, and -resume behave identically whether
+	// jobs run locally or on a fleet.
+	RunVia func(local orchestrate.RunFunc, cached func(key string) (*dvfs.Result, bool)) orchestrate.RunFunc
 }
 
 // DefaultConfig returns the default scaled platform.
@@ -203,6 +211,7 @@ func NewSuite(cfg Config) *Suite {
 		d.Metrics = cfg.Metrics
 		d.Ctx, d.JobTimeout, d.Retries = cfg.Ctx, cfg.JobTimeout, cfg.Retries
 		d.Chaos, d.MaxCycles = cfg.Chaos, cfg.MaxCycles
+		d.RunVia = cfg.RunVia
 		cfg = d
 	}
 	if len(cfg.Apps) == 0 {
@@ -226,11 +235,19 @@ func NewSuite(cfg Config) *Suite {
 	if s.ctx == nil {
 		s.ctx = context.Background()
 	}
+	run := orchestrate.RunFunc(s.execJob)
+	if cfg.RunVia != nil {
+		// The cache peek closes over s: s.orch exists before any job
+		// runs, and Cached is safe concurrent with the worker pool.
+		run = cfg.RunVia(run, func(key string) (*dvfs.Result, bool) {
+			return s.orch.Cached(key)
+		})
+	}
 	orch, err := orchestrate.New(orchestrate.Config{
 		Workers:       cfg.Workers,
 		CacheDir:      cfg.CacheDir,
 		NoCache:       cfg.NoCache,
-		Run:           s.execJob,
+		Run:           run,
 		JobTimeout:    cfg.JobTimeout,
 		Retries:       cfg.Retries,
 		Progress:      cfg.Progress,
@@ -254,6 +271,11 @@ func (s *Suite) Stats() orchestrate.Stats { return s.orch.Stats() }
 // WriteManifest writes the campaign's run manifest (job list, hashes,
 // timings, cache hits/misses, worker count) as JSON to path.
 func (s *Suite) WriteManifest(path string) error { return s.orch.WriteManifest(path) }
+
+// Manifest snapshots the campaign's run manifest in memory — the same
+// record WriteManifest serializes, including each job's provenance
+// (run / disk / remote:<backend> / local-fallback).
+func (s *Suite) Manifest() *orchestrate.Manifest { return s.orch.Manifest() }
 
 func (s *Suite) gpu(app string, cusPerDomain int) *sim.GPU {
 	return s.gpuScaled(app, cusPerDomain, s.Cfg.Scale)

@@ -1,0 +1,33 @@
+package orchestrate
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestJitterRange: Jitter(d) is uniform over [d/2, 3d/2) — enough spread
+// to desynchronize a fleet's retries without ever collapsing a backoff
+// to zero or more than doubling it.
+func TestJitterRange(t *testing.T) {
+	const d = 100 * time.Millisecond
+	for i := 0; i < 1000; i++ {
+		j := Jitter(d)
+		if j < d/2 || j >= d+d/2 {
+			t.Fatalf("Jitter(%v) = %v, outside [%v, %v)", d, j, d/2, d+d/2)
+		}
+	}
+	if Jitter(0) != 0 {
+		t.Error("Jitter(0) must stay 0")
+	}
+	if j := Jitter(-time.Second); j != -time.Second {
+		t.Errorf("Jitter of a negative duration must pass through, got %v", j)
+	}
+}
+
+// TestSetJobSourceOutsideJob: recording provenance on a context without
+// a job-source holder is a safe no-op (RunFuncs may be called directly
+// in tests and tools).
+func TestSetJobSourceOutsideJob(t *testing.T) {
+	SetJobSource(context.Background(), "remote:http://example")
+}

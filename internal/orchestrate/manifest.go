@@ -16,9 +16,12 @@ import (
 type ManifestEntry struct {
 	Key string `json:"key"`
 	Job Job    `json:"job"`
-	// Source is "run" (computed this campaign) or "disk" (loaded from
-	// the cache directory). In-process duplicate submissions never add
-	// an entry; they are counted in the aggregate MemHits.
+	// Source is "run" (computed this campaign), "disk" (loaded from the
+	// cache directory), or a provenance string a dispatching RunFunc
+	// recorded via SetJobSource — "remote:<backend>" for results ingested
+	// from a pcstall-serve worker, "local-fallback" for the distributed
+	// coordinator's degraded lane. In-process duplicate submissions never
+	// add an entry; they are counted in the aggregate MemHits.
 	Source string `json:"source"`
 	// DurationMS is the job's wall-clock compute time (0 when cached).
 	DurationMS float64 `json:"duration_ms"`

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -69,8 +70,9 @@ type Config struct {
 	// never retried. 0 disables retry.
 	Retries int
 	// RetryBackoff is the delay before the first retry, doubling each
-	// subsequent one (default 100ms). The backoff sleep aborts early if
-	// the campaign is cancelled.
+	// subsequent one (default 100ms) and jittered (Jitter) so a fleet of
+	// campaigns hitting the same fault never retries in lockstep. The
+	// backoff sleep aborts early if the campaign is cancelled.
 	RetryBackoff time.Duration
 	// Progress, when non-nil, receives a Stats snapshot every
 	// ProgressEvery (default 2s) while jobs are in flight, and once more
@@ -289,6 +291,43 @@ func isCancellation(err error) bool {
 	return errors.Is(err, context.Canceled)
 }
 
+// Jitter spreads a backoff delay uniformly over [d/2, 3d/2) so
+// independent retriers — a campaign's worker pool, a coordinator fleet's
+// quarantine probes — never fall into lockstep against a recovering
+// resource. The orchestrator's own retry loop and internal/dist's
+// backend quarantine both sleep through it.
+func Jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// jobSourceKey carries the per-job source holder through the context the
+// orchestrator hands its RunFunc.
+type jobSourceKey struct{}
+
+// jobSource is the holder SetJobSource writes into.
+type jobSource struct {
+	mu sync.Mutex
+	s  string
+}
+
+// SetJobSource records where a job's result was actually computed —
+// "remote:<backend>" for a result ingested from a pcstall-serve worker,
+// "local-fallback" for the dispatcher's degraded lane — so the campaign
+// manifest carries provenance per job. It is a no-op when ctx does not
+// descend from an orchestrator job (the default Source "run" stands).
+func SetJobSource(ctx context.Context, source string) {
+	h, ok := ctx.Value(jobSourceKey{}).(*jobSource)
+	if !ok {
+		return
+	}
+	h.mu.Lock()
+	h.s = source
+	h.mu.Unlock()
+}
+
 // RunJobs executes jobs through the pool and returns results in job
 // order regardless of completion order. Duplicate keys — within the
 // batch or across earlier calls — are computed once and shared.
@@ -451,8 +490,11 @@ func (o *Orchestrator) exec(ctx context.Context, j Job, key string, f *future) {
 	if o.tele != nil {
 		jobReg = telemetry.New()
 	}
+	// The source holder lets a dispatching RunFunc report where the
+	// result actually came from (SetJobSource); unset means "run".
+	src := &jobSource{}
 	start := time.Now()
-	r, err := o.runAttempts(ctx, j, jobReg)
+	r, err := o.runAttempts(context.WithValue(ctx, jobSourceKey{}, src), j, jobReg)
 	dur := time.Since(start)
 	if err != nil && isCancellation(err) && ctx.Err() != nil {
 		// Cancelled out from under the job (fail-fast or interrupt), not
@@ -480,6 +522,11 @@ func (o *Orchestrator) exec(ctx context.Context, j Job, key string, f *future) {
 		Key: key, Job: j, Source: "run",
 		DurationMS: float64(dur) / float64(time.Millisecond),
 	}
+	src.mu.Lock()
+	if src.s != "" {
+		entry.Source = src.s
+	}
+	src.mu.Unlock()
 	if err != nil {
 		entry.Error = err.Error()
 	}
@@ -543,7 +590,7 @@ func (o *Orchestrator) runAttempts(ctx context.Context, j Job, reg *telemetry.Re
 			o.tele.retries.Inc()
 		}
 		select {
-		case <-time.After(backoff):
+		case <-time.After(Jitter(backoff)):
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}

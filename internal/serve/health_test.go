@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestHealthz: 200 "ok" while accepting work, 503 "draining" after
+// StopAdmitting — the coordinator's quarantine probe relies on exactly
+// this transition.
+func TestHealthz(t *testing.T) {
+	s, _ := newTestServer(t, &stubBackend{}, nil)
+	get := func() (*httptest.ResponseRecorder, healthResponse) {
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, httptest.NewRequest("GET", "/healthz", nil))
+		var h healthResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &h); err != nil {
+			t.Fatalf("healthz body: %v", err)
+		}
+		return w, h
+	}
+	w, h := get()
+	if w.Code != http.StatusOK || h.Status != "ok" || h.Draining {
+		t.Fatalf("healthy server: code=%d body=%+v", w.Code, h)
+	}
+	s.StopAdmitting()
+	w, h = get()
+	if w.Code != http.StatusServiceUnavailable || h.Status != "draining" || !h.Draining {
+		t.Fatalf("draining server: code=%d body=%+v", w.Code, h)
+	}
+}
+
+// TestSimETag: settled sim responses carry an ETag naming the job key,
+// and a request whose If-None-Match names it is answered 304 with no
+// body — the coordinator's re-dispatch bandwidth saver.
+func TestSimETag(t *testing.T) {
+	s, reg := newTestServer(t, &stubBackend{}, nil)
+	body := simBody(1)
+
+	w := postSim(t, s.Handler(), body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("first sim: %d: %s", w.Code, w.Body.String())
+	}
+	etag := w.Header().Get("ETag")
+	if etag == "" || etag[0] != '"' {
+		t.Fatalf("settled response carries no quoted ETag: %q", etag)
+	}
+
+	// Matching validator: 304, empty body.
+	req := httptest.NewRequest("POST", "/v1/sim", strings.NewReader(body))
+	req.Header.Set("If-None-Match", etag)
+	w = httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusNotModified || w.Body.Len() != 0 {
+		t.Fatalf("matching If-None-Match: code=%d len=%d, want 304 empty", w.Code, w.Body.Len())
+	}
+	if got := reg.Snapshot().Counters["serve_etag_hits_total"]; got != 1 {
+		t.Errorf("serve_etag_hits_total = %d, want 1", got)
+	}
+
+	// Stale validator: the full body again.
+	req = httptest.NewRequest("POST", "/v1/sim", strings.NewReader(body))
+	req.Header.Set("If-None-Match", `"deadbeefdeadbeef"`)
+	w = httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK || w.Body.Len() == 0 {
+		t.Fatalf("stale If-None-Match: code=%d len=%d, want 200 with body", w.Code, w.Body.Len())
+	}
+	if w.Header().Get("ETag") != etag {
+		t.Errorf("ETag changed across requests for the same job: %q vs %q", w.Header().Get("ETag"), etag)
+	}
+}
+
+// TestEtagMatch covers the validator list forms RFC 9110 allows.
+func TestEtagMatch(t *testing.T) {
+	cases := []struct {
+		header string
+		want   bool
+	}{
+		{`"abc"`, true},
+		{`W/"abc"`, true},
+		{`"x", "abc"`, true},
+		{`*`, true},
+		{`"x"`, false},
+		{``, false},
+	}
+	for _, c := range cases {
+		if got := etagMatch(c.header, `"abc"`); got != c.want {
+			t.Errorf("etagMatch(%q) = %v, want %v", c.header, got, c.want)
+		}
+	}
+}

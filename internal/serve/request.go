@@ -32,8 +32,13 @@ type SimRequest struct {
 	Scale        float64 `json:"scale,omitempty"`
 	// Seed is a pointer so that an explicit 0 is distinguishable from
 	// "use the server default".
-	Seed          *uint64 `json:"seed,omitempty"`
+	Seed *uint64 `json:"seed,omitempty"`
+	// MaxTimeMs and MaxTimePs both cap simulated time; setting both is
+	// an error. The picosecond form exists for coordinators relaying
+	// content-addressed jobs verbatim: a millisecond round-trip could
+	// perturb MaxTimePs and silently change the job key.
 	MaxTimeMs     float64 `json:"max_time_ms,omitempty"`
+	MaxTimePs     int64   `json:"max_time_ps,omitempty"`
 	OracleSamples int     `json:"oracle_samples,omitempty"`
 	Chaos         string  `json:"chaos,omitempty"`
 	MaxCycles     int64   `json:"max_cycles,omitempty"`
@@ -89,8 +94,11 @@ func (s *Server) parseSimRequest(body io.Reader) (orchestrate.Job, time.Duration
 		j.Objective = req.Objective
 	}
 	if req.CUs < 0 || req.CUsPerDomain < 0 || req.Scale < 0 || req.MaxTimeMs < 0 ||
-		req.OracleSamples < 0 || req.MaxCycles < 0 || req.TimeoutMs < 0 {
+		req.MaxTimePs < 0 || req.OracleSamples < 0 || req.MaxCycles < 0 || req.TimeoutMs < 0 {
 		return j, 0, &requestError{"numeric fields must be non-negative"}
+	}
+	if req.MaxTimeMs != 0 && req.MaxTimePs != 0 {
+		return j, 0, &requestError{"set max_time_ms or max_time_ps, not both"}
 	}
 	if req.CUs != 0 {
 		j.CUs = req.CUs
@@ -109,6 +117,9 @@ func (s *Server) parseSimRequest(body io.Reader) (orchestrate.Job, time.Duration
 	}
 	if req.MaxTimeMs != 0 {
 		j.MaxTimePs = int64(req.MaxTimeMs * 1e9)
+	}
+	if req.MaxTimePs != 0 {
+		j.MaxTimePs = req.MaxTimePs
 	}
 	if req.OracleSamples != 0 {
 		j.OracleSamples = req.OracleSamples
@@ -180,6 +191,27 @@ type jobResponse struct {
 	Kind     string          `json:"kind"`
 	Status   string          `json:"status"`
 	Response json.RawMessage `json:"response,omitempty"`
+}
+
+// versionResponse is the GET /v1/version body. SimVersion is the exact
+// orchestrate.SimVersion string that keys the result cache — distributed
+// coordinators compare it at admission so a mixed-version fleet can
+// never pollute the content-addressed cache (Version also embeds it but
+// carries a VCS suffix, so it is not the comparison key).
+type versionResponse struct {
+	Version    string `json:"version"`
+	SimVersion string `json:"sim_version"`
+}
+
+// healthResponse is the GET /healthz body: whether the server is
+// accepting work (200 "ok") or draining (503 "draining"), plus the
+// queue shape a coordinator or load balancer sizes its dispatch by.
+type healthResponse struct {
+	Version    string `json:"version"`
+	Status     string `json:"status"`
+	QueueDepth int    `json:"queue_depth"`
+	Running    int    `json:"running"`
+	Draining   bool   `json:"draining"`
 }
 
 // listResponse backs the registry listings (GET /v1/workloads,

@@ -231,10 +231,9 @@ func (s *Server) routes() {
 		writeJSON(w, http.StatusOK, listResponse{Version: s.ver, Figures: s.cfg.FigureIDs})
 	}))
 	mux.HandleFunc("GET /v1/version", s.instrument("version", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, struct {
-			Version string `json:"version"`
-		}{s.ver})
+		writeJSON(w, http.StatusOK, versionResponse{Version: s.ver, SimVersion: orchestrate.SimVersion})
 	}))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	if s.cfg.Metrics != nil {
 		telemetry.Register(mux, s.cfg.Metrics)
 	}
@@ -253,6 +252,7 @@ func (s *Server) routes() {
 			"GET  /v1/designs          list designs\n"+
 			"GET  /v1/figures          list figure ids\n"+
 			"GET  /v1/version          simulator version\n"+
+			"GET  /healthz             readiness (200 accepting work, 503 draining)\n"+
 			"GET  /metrics             Prometheus text (also /debug/vars, /debug/pprof/)\n")
 	})
 	s.mux = mux
@@ -594,7 +594,7 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 			Job: simJob, Result: res,
 		})
 		s.recordSettled(key, "sim", body)
-		s.writeStored(w, http.StatusOK, body)
+		s.writeSettled(w, r, http.StatusOK, key, body)
 		return
 	}
 
@@ -676,7 +676,7 @@ func (s *Server) respondAdmitted(w http.ResponseWriter, r *http.Request, j *job,
 	select {
 	case <-j.done:
 		s.detach(j)
-		s.writeStored(w, j.httpStatus, j.body)
+		s.writeSettled(w, r, j.httpStatus, j.id, j.body)
 	case <-r.Context().Done():
 		// Client gone: drop our reference — the last one out cancels
 		// the job's context, which the simulation observes at its next
@@ -691,6 +691,60 @@ func (s *Server) writeStored(w http.ResponseWriter, code int, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_, _ = w.Write(body)
+}
+
+// writeSettled writes a settled response body, stamping successful ones
+// with an ETag derived from the content-addressed job id. A request
+// whose If-None-Match names that id (a coordinator retrying work whose
+// body it already ingested) is answered 304 without the body: the job
+// key determines the bytes, so matching keys means matching bodies —
+// exactly the invariant the singleflight fan-out already relies on.
+func (s *Server) writeSettled(w http.ResponseWriter, r *http.Request, code int, id string, body []byte) {
+	if code == http.StatusOK {
+		etag := `"` + id + `"`
+		w.Header().Set("ETag", etag)
+		if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, etag) {
+			if s.tele != nil {
+				s.tele.etagHits.Inc()
+			}
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+	s.writeStored(w, code, body)
+}
+
+// etagMatch reports whether an If-None-Match header names etag (or "*").
+// Weak validators compare equal to their strong form: the body is a pure
+// function of the key, so there is no weaker equivalence to express.
+func etagMatch(header, etag string) bool {
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(part), "W/"))
+		if part == etag || part == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// handleHealthz is the readiness probe: 200 while accepting work, 503
+// once draining, with the queue shape in the body either way. The
+// distributed coordinator's quarantine loop probes it before returning a
+// backend to rotation; it is equally suited to load-balancer checks.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	depth := s.inflight - s.running
+	running := s.running
+	draining := s.draining
+	s.mu.Unlock()
+	code, status := http.StatusOK, "ok"
+	if draining {
+		code, status = http.StatusServiceUnavailable, "draining"
+	}
+	writeJSON(w, code, healthResponse{
+		Version: s.ver, Status: status,
+		QueueDepth: depth, Running: running, Draining: draining,
+	})
 }
 
 // handleJob reports one job's state, including the settled response

@@ -18,6 +18,7 @@ type serveTelemetry struct {
 	singleflight *telemetry.Counter
 	shed         *telemetry.Counter
 	cacheHits    *telemetry.Counter
+	etagHits     *telemetry.Counter
 	jobsTotal    *telemetry.Counter
 	jobErrors    *telemetry.Counter
 	jobsCanceled *telemetry.Counter
@@ -40,6 +41,7 @@ func newServeTelemetry(r *telemetry.Registry) *serveTelemetry {
 		singleflight: r.Counter("serve_singleflight_hits_total", "requests answered by joining an identical in-flight or settled job"),
 		shed:         r.Counter("serve_shed_total", "requests rejected with 429 because the job queue was full"),
 		cacheHits:    r.Counter("serve_cache_short_circuit_total", "requests answered from the result cache without queueing"),
+		etagHits:     r.Counter("serve_etag_hits_total", "settled responses answered 304 because If-None-Match named the job key"),
 		jobsTotal:    r.Counter("serve_jobs_total", "jobs admitted to the queue"),
 		jobErrors:    r.Counter("serve_job_errors_total", "admitted jobs that settled with an error"),
 		jobsCanceled: r.Counter("serve_jobs_cancelled_total", "admitted jobs cancelled before completing (client gone, deadline, drain)"),

@@ -26,7 +26,7 @@ echo "==> go test"
 go test ./...
 
 echo "==> go test -race (concurrent packages)"
-go test -race ./internal/telemetry ./internal/orchestrate ./internal/trace ./internal/exp ./internal/serve
+go test -race ./internal/telemetry ./internal/orchestrate ./internal/trace ./internal/exp ./internal/serve ./internal/dist
 
 echo "==> go test -shuffle=on (order-independence of the serving/orchestration tests)"
 go test -shuffle=on -count=1 ./internal/serve ./internal/orchestrate ./internal/telemetry
@@ -155,6 +155,82 @@ if [ ! -s "$smoke/serve-cache/manifest.json" ] || ! grep -q "\"$job\"" "$smoke/s
 	exit 1
 fi
 echo "    served job $job completed over HTTP; drain flushed the manifest"
+
+echo "==> distributed smoke (two-backend fleet; byte-identical figures; survives a killed worker)"
+# A -backends campaign must produce byte-identical figure output and the
+# same manifest job set as the serial reference — including when one
+# backend is killed mid-run and its jobs are stolen by the survivor.
+start_backend() {
+	bname=$1
+	shift
+	"$smoke/pcstall-serve" -addr 127.0.0.1:0 -cus 4 -scale 0.3 -j 2 "$@" \
+		> "$smoke/$bname.out" 2> "$smoke/$bname.err" &
+	backend_pid=$!
+	backend_base=""
+	for _ in $(seq 1 100); do
+		backend_base=$(sed -n 's#^pcstall-serve: listening on \(http://.*\)$#\1#p' "$smoke/$bname.out")
+		[ -n "$backend_base" ] && break
+		sleep 0.1
+	done
+	if [ -z "$backend_base" ]; then
+		echo "distributed smoke: backend $bname never announced its address" >&2
+		cat "$smoke/$bname.err" >&2
+		exit 1
+	fi
+}
+start_backend w1; w1_pid=$backend_pid; w1_base=$backend_base
+start_backend w2; w2_pid=$backend_pid; w2_base=$backend_base
+"$smoke/pcstall-exp" $smoke_flags -backends "$w1_base,$w2_base" \
+	-cache-dir "$smoke/dist" 1a > "$smoke/dist.out" 2> "$smoke/dist.err"
+if ! cmp -s "$smoke/ref.out" "$smoke/dist.out"; then
+	echo "distributed smoke: fleet output differs from serial reference" >&2
+	diff "$smoke/ref.out" "$smoke/dist.out" >&2 || true
+	exit 1
+fi
+grep -o '"key": "[^"]*"' "$smoke/ref/manifest.json" | sort > "$smoke/ref.keys"
+grep -o '"key": "[^"]*"' "$smoke/dist/manifest.json" | sort > "$smoke/dist.keys"
+if ! cmp -s "$smoke/ref.keys" "$smoke/dist.keys"; then
+	echo "distributed smoke: fleet manifest job set differs from serial reference" >&2
+	diff "$smoke/ref.keys" "$smoke/dist.keys" >&2 || true
+	exit 1
+fi
+if ! grep -q '"source": "remote:' "$smoke/dist/manifest.json"; then
+	echo "distributed smoke: no job carries remote provenance; fleet never ran anything" >&2
+	exit 1
+fi
+kill "$w1_pid" "$w2_pid" 2>/dev/null || true
+wait "$w1_pid" 2>/dev/null || true
+wait "$w2_pid" 2>/dev/null || true
+echo "    fleet campaign byte-identical to serial reference (figures and manifest job set)"
+# Fresh backends (empty caches, so jobs genuinely re-run), one killed
+# mid-campaign: the coordinator must steal its jobs and still produce
+# identical bytes.
+start_backend w3; w3_pid=$backend_pid; w3_base=$backend_base
+start_backend w4; w4_pid=$backend_pid; w4_base=$backend_base
+"$smoke/pcstall-exp" $smoke_flags -backends "$w3_base,$w4_base" \
+	-cache-dir "$smoke/dist2" 1a > "$smoke/dist2.out" 2> "$smoke/dist2.err" &
+dist_pid=$!
+sleep 1
+if kill -KILL "$w3_pid" 2>/dev/null; then
+	wait "$w3_pid" 2>/dev/null || true
+else
+	echo "    note: campaign finished before the backend kill landed"
+fi
+dist_status=0
+wait "$dist_pid" || dist_status=$?
+if [ "$dist_status" != 0 ]; then
+	echo "distributed smoke: campaign failed ($dist_status) after a backend was killed" >&2
+	cat "$smoke/dist2.err" >&2
+	exit 1
+fi
+if ! cmp -s "$smoke/ref.out" "$smoke/dist2.out"; then
+	echo "distributed smoke: output diverged after a backend was killed mid-run" >&2
+	diff "$smoke/ref.out" "$smoke/dist2.out" >&2 || true
+	exit 1
+fi
+kill "$w4_pid" 2>/dev/null || true
+wait "$w4_pid" 2>/dev/null || true
+echo "    campaign survived a killed backend with byte-identical output"
 
 echo "==> bench smoke (telemetry-off runner vs BENCH_telemetry.json)"
 # The disabled-telemetry path is the one every simulation pays. Absolute
