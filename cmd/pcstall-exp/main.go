@@ -28,6 +28,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -42,6 +44,7 @@ import (
 	"pcstall/internal/exp"
 	"pcstall/internal/orchestrate"
 	"pcstall/internal/telemetry"
+	"pcstall/internal/tracing"
 	"pcstall/internal/version"
 )
 
@@ -68,6 +71,7 @@ func main() {
 	backends := flag.String("backends", "", "comma-separated pcstall-serve base URLs; simulation jobs run on the fleet instead of in-process (results, cache, and manifest are byte-identical)")
 	backendWindow := flag.Int("backend-window", 4, "max in-flight jobs per backend (the live window adapts below this by observed latency)")
 	skipMismatch := flag.Bool("skip-version-mismatch", false, "drop sim-version-mismatched backends from the fleet instead of refusing to start")
+	traceOut := flag.String("trace-out", "", "write the campaign's distributed traces to this file in Chrome trace-event format (load in Perfetto / chrome://tracing)")
 	showVersion := flag.Bool("version", false, "print the simulator version and exit")
 	flag.Parse()
 
@@ -120,16 +124,28 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s\n", st)
 		}
 	}
+	// Tracing rides the campaign context: on for -trace-out (Chrome
+	// export) and whenever metrics are served (-metrics-addr exposes the
+	// flight recorder at /debug/traces). Off otherwise — the disabled
+	// path is a single context lookup per span site.
+	var tracer *tracing.Tracer
+	if *traceOut != "" || *metricsAddr != "" {
+		tracer = tracing.New("pcstall-exp", tracing.DefaultCapacity)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn}))
+	cfg.Log = logger
 	if *metricsAddr != "" {
 		reg := telemetry.New()
 		cfg.Metrics = reg
-		srv, addr, err := telemetry.Serve(*metricsAddr, reg)
+		srv, addr, err := telemetry.Serve(*metricsAddr, reg, func(mux *http.ServeMux) {
+			tracing.Register(mux, tracer.Recorder())
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pcstall-exp: metrics endpoint: %v\n", err)
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "pcstall-exp: serving metrics at http://%s/metrics (pprof at /debug/pprof/)\n", addr)
+		fmt.Fprintf(os.Stderr, "pcstall-exp: serving metrics at http://%s/metrics (traces at /debug/traces, pprof at /debug/pprof/)\n", addr)
 	}
 
 	// Campaign cancellation: the first SIGINT/SIGTERM starts a graceful
@@ -146,6 +162,9 @@ func main() {
 		<-sig
 		os.Exit(130)
 	}()
+	// The tracer propagates by context: every job span, dispatch span,
+	// and injected X-Pcstall-Trace header below derives from here.
+	ctx = tracing.WithTracer(ctx, tracer)
 	cfg.Ctx = ctx
 
 	if *backends != "" {
@@ -155,6 +174,8 @@ func main() {
 			Window:         *backendWindow,
 			SkipMismatched: *skipMismatch,
 			Metrics:        cfg.Metrics,
+			Tracer:         tracer,
+			Log:            logger,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pcstall-exp: -backends: %v\n", err)
@@ -187,6 +208,16 @@ func main() {
 	if mpath == "" && cfg.CacheDir != "" {
 		mpath = filepath.Join(cfg.CacheDir, "manifest.json")
 	}
+	// flushTrace exports the flight recorder; interrupted campaigns keep
+	// whatever traces completed before the drain.
+	flushTrace := func() {
+		if *traceOut == "" || tracer == nil {
+			return
+		}
+		if err := tracer.Recorder().WriteChromeFile(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "pcstall-exp: %v\n", err)
+		}
+	}
 	// drain flushes everything a later -resume needs: the manifest of
 	// completed jobs and the cache append handle.
 	drain := func() {
@@ -198,6 +229,7 @@ func main() {
 		if err := s.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "pcstall-exp: %v\n", err)
 		}
+		flushTrace()
 	}
 	// The artifact table (ids, ablation grouping, explicit-only studies)
 	// lives on the Suite, shared with the pcstall-serve figure endpoint.
@@ -263,6 +295,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	flushTrace()
 	if *timing || *progress {
 		st := s.Stats()
 		fmt.Fprintf(os.Stderr, "[total %v] %s\n", time.Since(start).Round(time.Millisecond), st)

@@ -30,6 +30,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -44,6 +45,7 @@ import (
 	"pcstall/internal/exp"
 	"pcstall/internal/serve"
 	"pcstall/internal/telemetry"
+	"pcstall/internal/tracing"
 	"pcstall/internal/version"
 )
 
@@ -66,6 +68,7 @@ func main() {
 	retries := flag.Int("retries", 0, "retries per failed job (transient faults, doubling backoff)")
 	maxCycles := flag.Int64("max-cycles", 0, "default per-run CU-cycle watchdog budget (0 = unbounded)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight jobs before cancelling them")
+	traceOut := flag.String("trace-out", "", "write this process's distributed traces (flight recorder contents) to FILE on drain, in Chrome trace-event format")
 	showVersion := flag.Bool("version", false, "print the simulator version and exit")
 	flag.Parse()
 
@@ -83,6 +86,13 @@ func main() {
 	baseCtx, cancelBase := context.WithCancel(context.Background())
 	defer cancelBase()
 
+	// A server is always traced: the flight recorder is bounded, the
+	// per-span cost is nanoseconds against millisecond jobs, and the
+	// /debug/traces endpoint plus coordinator trace stitching are most
+	// valuable exactly when nobody thought to turn them on beforehand.
+	tracer := tracing.New("pcstall-serve", tracing.DefaultCapacity)
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
+
 	reg := telemetry.New()
 	cfg.CUs = *cus
 	cfg.Scale = *scale
@@ -97,6 +107,7 @@ func main() {
 	cfg.Retries = *retries
 	cfg.MaxCycles = *maxCycles
 	cfg.Metrics = reg
+	cfg.Log = logger
 	cfg.Ctx = baseCtx
 	if *cacheDir != "" {
 		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
@@ -119,6 +130,8 @@ func main() {
 		BaseCtx:        baseCtx,
 		DefaultTimeout: *jobTimeout,
 		MaxTimeout:     *maxTimeout,
+		Tracer:         tracer,
+		Log:            logger,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pcstall-serve: %v\n", err)
@@ -174,6 +187,12 @@ func main() {
 	}
 	if mpath != "" {
 		if err := suite.WriteManifest(mpath); err != nil {
+			fmt.Fprintf(os.Stderr, "pcstall-serve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *traceOut != "" {
+		if err := tracer.Recorder().WriteChromeFile(*traceOut); err != nil {
 			fmt.Fprintf(os.Stderr, "pcstall-serve: %v\n", err)
 			os.Exit(1)
 		}

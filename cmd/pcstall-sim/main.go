@@ -21,6 +21,7 @@ import (
 	"syscall"
 
 	"pcstall"
+	"pcstall/internal/tracing"
 )
 
 func main() {
@@ -33,10 +34,11 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload duration scale")
 	seed := flag.Uint64("seed", 1, "random seed")
 	verbose := flag.Bool("v", false, "print per-epoch records")
-	traceOut := flag.String("trace", "", "write a per-epoch trace to this file (.jsonl or .csv)")
+	epochTrace := flag.String("trace", "", "write a per-epoch trace to this file (.jsonl or .csv)")
 	stats := flag.Bool("stats", false, "print the run's telemetry summary (cycles, stalls, cache hits, prediction error)")
 	chaosSpec := flag.String("chaos", "", "fault-injection spec, e.g. 'noise=0.1,tfail=0.05,seed=7' or 'level=0.2' (empty = no faults)")
 	maxCycles := flag.Int64("max-cycles", 0, "CU-cycle budget; the watchdog stops runs that exhaust it (0 = unbounded)")
+	traceOut := flag.String("trace-out", "", "write the run's span trace to FILE in Chrome trace-event format (distinct from -trace, the per-epoch record)")
 	showVersion := flag.Bool("version", false, "print the simulator version and exit")
 	flag.Parse()
 
@@ -76,12 +78,12 @@ func main() {
 	}
 
 	var traceClose func() error
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
+	if *epochTrace != "" {
+		f, err := os.Create(*epochTrace)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		if strings.HasSuffix(*traceOut, ".csv") {
+		if strings.HasSuffix(*epochTrace, ".csv") {
 			cfg.Trace = pcstall.NewCSVTrace(f)
 		} else {
 			cfg.Trace = pcstall.NewJSONLTrace(f)
@@ -109,6 +111,11 @@ func main() {
 	// killing the process mid-write (the trace recorder still flushes).
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	var tracer *tracing.Tracer
+	if *traceOut != "" {
+		tracer = tracing.New("pcstall-sim", tracing.DefaultCapacity)
+		ctx = tracing.WithTracer(ctx, tracer)
+	}
 	cfg.Ctx = ctx
 
 	res, err := pcstall.RunApp(*app, *design, cfg)
@@ -116,7 +123,7 @@ func main() {
 		if errors.Is(err, context.Canceled) {
 			if traceClose != nil {
 				if cerr := traceClose(); cerr != nil {
-					fmt.Fprintf(os.Stderr, "pcstall-sim: trace %s: %v\n", *traceOut, cerr)
+					fmt.Fprintf(os.Stderr, "pcstall-sim: trace %s: %v\n", *epochTrace, cerr)
 				}
 			}
 			fmt.Fprintf(os.Stderr, "pcstall-sim: interrupted after %d epochs\n", res.Epochs)
@@ -135,7 +142,12 @@ func main() {
 	}
 	if traceClose != nil {
 		if err := traceClose(); err != nil {
-			fatalf("trace %s: %v", *traceOut, err)
+			fatalf("trace %s: %v", *epochTrace, err)
+		}
+	}
+	if tracer != nil {
+		if err := tracer.Recorder().WriteChromeFile(*traceOut); err != nil {
+			fatalf("%v", err)
 		}
 	}
 

@@ -29,6 +29,7 @@ import (
 
 	"pcstall/internal/dvfs"
 	"pcstall/internal/orchestrate"
+	"pcstall/internal/tracing"
 )
 
 // maxReplyBytes bounds a decoded backend response (settled sim bodies
@@ -151,6 +152,7 @@ func (c *Client) Sim(ctx context.Context, j orchestrate.Job, haveBody bool) (res
 		return nil, false, fmt.Errorf("dist: %s: %w", c.base, err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	tracing.Inject(ctx, req.Header)
 	if haveBody {
 		req.Header.Set("If-None-Match", `"`+key+`"`)
 	}
@@ -201,6 +203,7 @@ func (c *Client) Healthz(ctx context.Context) error {
 	if err != nil {
 		return fmt.Errorf("dist: %s: %w", c.base, err)
 	}
+	tracing.Inject(ctx, req.Header)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("dist: %s: %w", c.base, err)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strings"
@@ -13,6 +14,7 @@ import (
 	"pcstall/internal/dvfs"
 	"pcstall/internal/orchestrate"
 	"pcstall/internal/telemetry"
+	"pcstall/internal/tracing"
 )
 
 // Config shapes a Dispatcher.
@@ -36,6 +38,13 @@ type Config struct {
 	SkipMismatched bool
 	// Metrics, when non-nil, receives dist_* fleet telemetry.
 	Metrics *telemetry.Registry
+	// Tracer, when non-nil, traces quarantine probes (the dispatch path
+	// itself rides the campaign context's tracer) and lets probe requests
+	// carry X-Pcstall-Trace to the backend.
+	Tracer *tracing.Tracer
+	// Log, when non-nil, receives structured fleet-health records
+	// (quarantine, heal, drop, fallback) with their causes.
+	Log *slog.Logger
 	// HTTP overrides the backend transport (nil = http.DefaultClient).
 	HTTP *http.Client
 	// ProbeBackoff is the initial quarantine probe delay, doubling
@@ -70,6 +79,7 @@ type Dispatcher struct {
 	ctx       context.Context
 	cancel    context.CancelFunc
 	tele      *distTelemetry
+	log       *slog.Logger
 	localSem  chan struct{}
 	maxWindow int
 	probeWait time.Duration
@@ -109,12 +119,16 @@ func New(cfg Config) (*Dispatcher, error) {
 	if cfg.ProbeTimeout <= 0 {
 		cfg.ProbeTimeout = 2 * time.Second
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	// The dispatcher's own context (probe loops) carries the tracer so
+	// quarantine probes trace even though they outlive any one campaign
+	// context.
+	ctx, cancel := context.WithCancel(tracing.WithTracer(context.Background(), cfg.Tracer))
 	d := &Dispatcher{
 		cfg:       cfg,
 		ctx:       ctx,
 		cancel:    cancel,
 		tele:      newDistTelemetry(cfg.Metrics),
+		log:       cfg.Log,
 		localSem:  make(chan struct{}, cfg.LocalWorkers),
 		maxWindow: cfg.Window,
 		probeWait: cfg.ProbeBackoff,
@@ -215,6 +229,11 @@ func (d *Dispatcher) CheckVersions(ctx context.Context) error {
 // orchestrate.SetJobSource.
 func (d *Dispatcher) Run(ctx context.Context, j orchestrate.Job, reg *telemetry.Registry) (*dvfs.Result, error) {
 	key := j.Key()
+	// The dispatch span is a child of orchestrate.job (the campaign
+	// context carries it); its Inject'd identity is what stitches the
+	// backend's serve-side spans into the same trace.
+	ctx, dspan := tracing.Start(ctx, "dist.dispatch", tracing.String("job.key", key))
+	defer dspan.End()
 	dispatches := 0
 	useINM := true
 	for {
@@ -225,12 +244,15 @@ func (d *Dispatcher) Run(ctx context.Context, j orchestrate.Job, reg *telemetry.
 		if b == nil {
 			// The whole fleet is out: degrade to the in-process
 			// orchestrator rather than failing the campaign.
+			dspan.Event("fallback")
 			return d.runLocal(ctx, j, reg)
 		}
 		if dispatches > 0 {
 			d.tele.stole(b)
+			dspan.Event("steal", tracing.String("backend", b.url))
 		}
 		dispatches++
+		dspan.SetAttr("backend", b.url)
 		// On a re-dispatch, a previously ingested body need not be
 		// re-downloaded: If-None-Match with the job-key ETag lets the
 		// backend answer 304.
@@ -247,6 +269,7 @@ func (d *Dispatcher) Run(ctx context.Context, j orchestrate.Job, reg *telemetry.
 			d.release(b, lat, true)
 			if notMod {
 				d.tele.etag(b)
+				dspan.Event("etag.304", tracing.String("backend", b.url))
 				if r, ok := d.cached(key); ok {
 					orchestrate.SetJobSource(ctx, "remote:"+b.url)
 					return r, nil
@@ -274,6 +297,9 @@ func (d *Dispatcher) Run(ctx context.Context, j orchestrate.Job, reg *telemetry.
 		case errors.As(rerr, &shed):
 			// Not a fault: the backend is loaded (429) or draining
 			// (503). Honor Retry-After as a dispatch cooldown.
+			dspan.Event("cooldown",
+				tracing.String("backend", b.url),
+				tracing.String("retry_after", shed.RetryAfter.String()))
 			d.cooldownBackend(b, shed.RetryAfter)
 		case errors.As(rerr, &skew):
 			// Its results are unusable under our keys; out for good.
@@ -284,6 +310,9 @@ func (d *Dispatcher) Run(ctx context.Context, j orchestrate.Job, reg *telemetry.
 			d.quarantine(b, rerr)
 		}
 		d.tele.requeued(b)
+		dspan.Event("requeue",
+			tracing.String("backend", b.url),
+			tracing.String("error", rerr.Error()))
 	}
 }
 
@@ -293,6 +322,10 @@ func (d *Dispatcher) runLocal(ctx context.Context, j orchestrate.Job, reg *telem
 		return nil, fmt.Errorf("dist: no healthy backends and no local executor bound")
 	}
 	d.tele.fallback()
+	if d.log != nil {
+		d.log.Debug("running job on local fallback lane",
+			"job", j.String(), "trace_id", tracing.TraceIDFrom(ctx))
+	}
 	select {
 	case d.localSem <- struct{}{}:
 	case <-ctx.Done():
@@ -461,7 +494,10 @@ func (d *Dispatcher) quarantine(b *backend, cause error) {
 	healthy := d.healthyLocked()
 	d.mu.Unlock()
 	d.tele.quarantined(b, healthy)
-	_ = cause
+	if d.log != nil {
+		d.log.Warn("backend quarantined",
+			"backend", b.url, "healthy", healthy, "cause", cause.Error())
+	}
 	if startProbe {
 		go d.probeLoop(b)
 	}
@@ -481,7 +517,10 @@ func (d *Dispatcher) drop(b *backend, cause error) {
 	healthy := d.healthyLocked()
 	d.mu.Unlock()
 	d.tele.droppedBackend(b, healthy)
-	_ = cause
+	if d.log != nil {
+		d.log.Warn("backend dropped from rotation",
+			"backend", b.url, "healthy", healthy, "cause", cause.Error())
+	}
 }
 
 // probeLoop waits out the quarantine: jittered doubling backoff, then a
@@ -500,7 +539,10 @@ func (d *Dispatcher) probeLoop(b *backend) {
 		case <-time.After(orchestrate.Jitter(backoff)):
 		}
 		pctx, cancel := context.WithTimeout(d.ctx, d.probeTO)
+		pctx, pspan := tracing.Start(pctx, "dist.probe", tracing.String("backend", b.url))
 		err := b.client.Healthz(pctx)
+		pspan.SetAttr("ok", fmt.Sprint(err == nil))
+		pspan.End()
 		cancel()
 		if err == nil {
 			d.mu.Lock()
@@ -512,6 +554,9 @@ func (d *Dispatcher) probeLoop(b *backend) {
 			healthy := d.healthyLocked()
 			d.mu.Unlock()
 			d.tele.healed(b, healthy)
+			if d.log != nil {
+				d.log.Info("backend healed", "backend", b.url, "healthy", healthy)
+			}
 			return
 		}
 		if backoff *= 2; backoff > d.probeMax {

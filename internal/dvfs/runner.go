@@ -12,6 +12,7 @@ import (
 	"pcstall/internal/sim"
 	"pcstall/internal/telemetry"
 	"pcstall/internal/trace"
+	"pcstall/internal/tracing"
 )
 
 // RunConfig parameterizes one application run under a policy.
@@ -210,6 +211,21 @@ func Run(g *sim.GPU, pol Policy, cfg RunConfig) (Result, error) {
 		Objective: cfg.Obj.Name(),
 		Residency: make([]float64, k),
 	}
+	// The run span rides cfg.Ctx (nil-safe: untraced runs get a nil span
+	// whose methods no-op). Attributes land at End so the span reports
+	// final epoch/transition counts on every exit path.
+	_, runSpan := tracing.Start(cfg.Ctx, "dvfs.run",
+		tracing.String("policy", pol.Name()),
+		tracing.String("objective", cfg.Obj.Name()))
+	defer func() {
+		if runSpan == nil {
+			return
+		}
+		runSpan.SetAttr("epochs", fmt.Sprint(res.Epochs))
+		runSpan.SetAttr("transitions", fmt.Sprint(res.Transitions))
+		runSpan.SetAttr("truncated", fmt.Sprint(res.Truncated))
+		runSpan.End()
+	}()
 	var temps []float64
 	if cfg.Thermal != nil {
 		temps = make([]float64, nd)
@@ -363,6 +379,11 @@ func Run(g *sim.GPU, pol Policy, cfg RunConfig) (Result, error) {
 		}
 		prevTruth = ctx.NextTruth
 		res.Epochs++
+		// Epoch-batched trace events: one instant per 1024 epochs keeps
+		// the hot loop at a single nil check when tracing is off.
+		if runSpan != nil && res.Epochs&1023 == 0 {
+			runSpan.Event("epochs", tracing.Int("n", int64(res.Epochs)))
+		}
 	}
 
 	res.Truncated = !g.Finished

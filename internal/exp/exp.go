@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"sort"
 	"strings"
 	"time"
@@ -86,6 +87,10 @@ type Config struct {
 	// MaxCycles bounds each run's CU cycles; the watchdog stops runs
 	// that exhaust it (0 = unbounded).
 	MaxCycles int64
+	// Log, when non-nil, receives the orchestrator's structured job
+	// logs (settlements and retries, correlated by trace ID when the
+	// campaign context carries a tracer).
+	Log *slog.Logger
 	// RunVia, when non-nil, intercepts job execution: it receives the
 	// Suite's in-process executor plus a peek into the Suite's result
 	// cache and returns the RunFunc the orchestrator actually drives
@@ -253,6 +258,7 @@ func NewSuite(cfg Config) *Suite {
 		Progress:      cfg.Progress,
 		ProgressEvery: cfg.ProgressEvery,
 		Metrics:       cfg.Metrics,
+		Log:           cfg.Log,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("exp: orchestrator: %v", err))

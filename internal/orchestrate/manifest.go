@@ -34,6 +34,11 @@ type ManifestEntry struct {
 	// counters, prediction error, oracle fork costs), present only for
 	// computed jobs in campaigns with Config.Metrics attached.
 	Metrics *telemetry.Snapshot `json:"metrics,omitempty"`
+	// TraceID correlates this entry with the job's distributed trace
+	// (internal/tracing): the same ID keys /debug/traces on every process
+	// the job touched and the -trace-out Chrome export. Empty when the
+	// campaign ran untraced.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Manifest is the auditable record of one campaign (one Orchestrator

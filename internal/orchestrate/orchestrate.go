@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"runtime"
 	"runtime/debug"
@@ -13,6 +14,7 @@ import (
 	"pcstall/internal/dvfs"
 	"pcstall/internal/sim"
 	"pcstall/internal/telemetry"
+	"pcstall/internal/tracing"
 )
 
 // RunFunc computes one job. It must be a pure function of the Job (given
@@ -85,6 +87,10 @@ type Config struct {
 	// settle and attached to the job's manifest entry. Nil disables all
 	// of it (jobs then run with a nil registry).
 	Metrics *telemetry.Registry
+	// Log, when non-nil, receives structured job-lifecycle records
+	// (settles, retries, failures) correlated by trace ID. Nil disables
+	// job logging.
+	Log *slog.Logger
 }
 
 // Stats is a point-in-time snapshot of campaign progress.
@@ -138,6 +144,7 @@ type Orchestrator struct {
 	sem          chan struct{}
 	created      time.Time
 	tele         *orchTelemetry
+	log          *slog.Logger
 	jobTimeout   time.Duration
 	retries      int
 	retryBackoff time.Duration
@@ -184,6 +191,7 @@ func New(cfg Config) (*Orchestrator, error) {
 		created:      time.Now(),
 		memo:         map[string]*future{},
 		tele:         newOrchTelemetry(cfg.Metrics),
+		log:          cfg.Log,
 		jobTimeout:   cfg.JobTimeout,
 		retries:      cfg.Retries,
 		retryBackoff: backoff,
@@ -437,6 +445,15 @@ func (o *Orchestrator) settleCancelled(key string, f *future, err error, wasRunn
 // exec settles one future: disk-cache lookup, else a pooled run.
 func (o *Orchestrator) exec(ctx context.Context, j Job, key string, f *future) {
 	defer close(f.done)
+	// The job span ties everything below (queue wait, attempts, dvfs
+	// epochs) into the distributed trace: under serve/dist the context
+	// already carries a request or dispatch parent, under a plain
+	// campaign it roots a fresh trace, and untraced contexts get a nil
+	// span whose methods no-op.
+	ctx, jobSpan := tracing.Start(ctx, "orchestrate.job",
+		tracing.String("job.key", key),
+		tracing.String("app", j.App),
+		tracing.String("design", j.Design))
 	if o.cache != nil {
 		var getSpan telemetry.Span
 		if o.tele != nil {
@@ -446,10 +463,14 @@ func (o *Orchestrator) exec(ctx context.Context, j Job, key string, f *future) {
 		getSpan.End()
 		if ok {
 			f.res = r
+			jobSpan.SetAttr("source", "disk")
+			jobSpan.End()
 			o.mu.Lock()
 			o.diskHits++
 			o.completed++
-			o.entries = append(o.entries, ManifestEntry{Key: key, Job: j, Source: "disk"})
+			o.entries = append(o.entries, ManifestEntry{
+				Key: key, Job: j, Source: "disk", TraceID: jobSpan.TraceID(),
+			})
 			o.updateGauges()
 			o.mu.Unlock()
 			if o.tele != nil {
@@ -469,10 +490,13 @@ func (o *Orchestrator) exec(ctx context.Context, j Job, key string, f *future) {
 	case o.sem <- struct{}{}:
 	case <-ctx.Done():
 		queueSpan.End()
+		jobSpan.SetAttr("cancelled", "queued")
+		jobSpan.End()
 		o.settleCancelled(key, f, ctx.Err(), false)
 		return
 	}
 	queueSpan.End()
+	jobSpan.Event("slot.acquired")
 	// The slot is released via defer so that no path out of the attempt
 	// loop — error, cancellation, or a recovered panic — can shrink the
 	// pool. (The release now covers the cache write too; that write is
@@ -499,6 +523,8 @@ func (o *Orchestrator) exec(ctx context.Context, j Job, key string, f *future) {
 	if err != nil && isCancellation(err) && ctx.Err() != nil {
 		// Cancelled out from under the job (fail-fast or interrupt), not
 		// a failure of the job itself.
+		jobSpan.SetAttr("cancelled", "running")
+		jobSpan.End()
 		o.settleCancelled(key, f, err, true)
 		return
 	}
@@ -521,6 +547,7 @@ func (o *Orchestrator) exec(ctx context.Context, j Job, key string, f *future) {
 	entry := ManifestEntry{
 		Key: key, Job: j, Source: "run",
 		DurationMS: float64(dur) / float64(time.Millisecond),
+		TraceID:    jobSpan.TraceID(),
 	}
 	src.mu.Lock()
 	if src.s != "" {
@@ -529,7 +556,11 @@ func (o *Orchestrator) exec(ctx context.Context, j Job, key string, f *future) {
 	src.mu.Unlock()
 	if err != nil {
 		entry.Error = err.Error()
+		jobSpan.SetAttr("error", err.Error())
 	}
+	jobSpan.SetAttr("source", entry.Source)
+	jobSpan.End()
+	o.logJob(entry, err)
 	if o.tele != nil {
 		snap := jobReg.Snapshot()
 		o.tele.reg.Merge(snap)
@@ -552,6 +583,27 @@ func (o *Orchestrator) exec(ctx context.Context, j Job, key string, f *future) {
 	o.entries = append(o.entries, entry)
 	o.updateGauges()
 	o.mu.Unlock()
+}
+
+// logJob emits one structured job-settle record correlated by trace ID.
+func (o *Orchestrator) logJob(entry ManifestEntry, err error) {
+	if o.log == nil {
+		return
+	}
+	attrs := []any{
+		"job", entry.Job.String(),
+		"key", entry.Key,
+		"source", entry.Source,
+		"dur_ms", entry.DurationMS,
+	}
+	if entry.TraceID != "" {
+		attrs = append(attrs, "trace_id", entry.TraceID)
+	}
+	if err != nil {
+		o.log.Warn("job failed", append(attrs, "err", err.Error())...)
+		return
+	}
+	o.log.Info("job settled", attrs...)
 }
 
 // runAttempts drives the retry loop around runOnce: transient failures
@@ -588,6 +640,14 @@ func (o *Orchestrator) runAttempts(ctx context.Context, j Job, reg *telemetry.Re
 		o.mu.Unlock()
 		if o.tele != nil {
 			o.tele.retries.Inc()
+		}
+		tracing.FromContext(ctx).Event("retry",
+			tracing.Int("attempt", int64(attempt+1)),
+			tracing.String("error", err.Error()))
+		if o.log != nil {
+			o.log.Warn("retrying job",
+				"job", j.String(), "attempt", attempt+1, "err", err.Error(),
+				"trace_id", tracing.TraceIDFrom(ctx))
 		}
 		select {
 		case <-time.After(Jitter(backoff)):

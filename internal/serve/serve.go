@@ -29,6 +29,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"runtime"
@@ -41,6 +42,7 @@ import (
 	"pcstall/internal/exp"
 	"pcstall/internal/orchestrate"
 	"pcstall/internal/telemetry"
+	"pcstall/internal/tracing"
 	"pcstall/internal/version"
 	"pcstall/internal/workload"
 )
@@ -96,6 +98,13 @@ type Config struct {
 	ProgressEvery time.Duration
 	// Version is stamped on every response (default version.String()).
 	Version string
+	// Tracer, when non-nil, records a distributed span per request and
+	// per job, joining traces propagated by coordinators via the
+	// X-Pcstall-Trace header, and mounts /debug/traces on the mux.
+	Tracer *tracing.Tracer
+	// Log, when non-nil, receives structured request and job-settlement
+	// logs correlated by trace ID. Health probes log at Debug.
+	Log *slog.Logger
 }
 
 // job states; stored as strings because they render into responses.
@@ -131,6 +140,11 @@ type job struct {
 	// Written once in settle (before close(done)), read-only after:
 	httpStatus int
 	body       []byte
+
+	// Written once in admit (before the job is published), read-only
+	// after; both are nil/empty when the server runs untraced.
+	span    *tracing.Span
+	traceID string
 }
 
 // Server is the serving core. Create with New; it is safe for
@@ -142,6 +156,8 @@ type Server struct {
 	maxQueue  int
 	baseCtx   context.Context
 	tele      *serveTelemetry
+	tracer    *tracing.Tracer
+	log       *slog.Logger
 	mux       *http.ServeMux
 	sem       chan struct{}
 	figureSem chan struct{} // single-slot lane: Backend.Figure is not concurrent-safe
@@ -195,6 +211,8 @@ func New(cfg Config) (*Server, error) {
 		maxQueue:    maxQueue,
 		baseCtx:     baseCtx,
 		tele:        newServeTelemetry(cfg.Metrics),
+		tracer:      cfg.Tracer,
+		log:         cfg.Log,
 		sem:         make(chan struct{}, workers),
 		figureSem:   make(chan struct{}, 1),
 		figureIDs:   make(map[string]bool, len(cfg.FigureIDs)),
@@ -236,6 +254,9 @@ func (s *Server) routes() {
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	if s.cfg.Metrics != nil {
 		telemetry.Register(mux, s.cfg.Metrics)
+	}
+	if s.tracer != nil {
+		tracing.Register(mux, s.tracer.Recorder())
 	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
@@ -279,17 +300,54 @@ func (w *statusWriter) Flush() {
 	}
 }
 
-// instrument stamps the version header and records request count and
-// handler latency per endpoint.
+// instrument stamps the version header, records request count and
+// handler latency per endpoint, and — when the server is traced — opens
+// a "serve.<endpoint>" span on the request context. A coordinator's
+// X-Pcstall-Trace header joins the request span to the remote trace, so
+// one trace ID stitches the dispatch on the coordinator to the handler
+// and job spans here.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Pcstall-Version", s.ver)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		ctx := tracing.WithTracer(r.Context(), s.tracer)
+		if sc, ok := tracing.Extract(r.Header); ok {
+			ctx = tracing.WithRemote(ctx, sc)
+		}
+		ctx, tspan := tracing.Start(ctx, "serve."+endpoint,
+			tracing.String("http.method", r.Method),
+			tracing.String("http.path", r.URL.Path))
+		r = r.WithContext(ctx)
+		start := time.Now()
 		span := telemetry.StartSpan(s.tele.handler(endpoint))
 		h(sw, r)
 		span.End()
+		tspan.SetAttr("http.status", fmt.Sprint(sw.code))
+		tspan.End()
 		s.tele.request(endpoint, sw.code)
+		s.logRequest(endpoint, r, sw.code, time.Since(start), tspan.TraceID())
 	}
+}
+
+// logRequest emits one structured access-log line. Health probes log at
+// Debug so routine load-balancer and quarantine polling does not drown
+// the job log.
+func (s *Server) logRequest(endpoint string, r *http.Request, code int, dur time.Duration, traceID string) {
+	if s.log == nil {
+		return
+	}
+	level := slog.LevelInfo
+	if endpoint == "healthz" {
+		level = slog.LevelDebug
+	}
+	s.log.Log(r.Context(), level, "request",
+		"endpoint", endpoint,
+		"method", r.Method,
+		"path", r.URL.Path,
+		"status", code,
+		"dur_ms", float64(dur)/float64(time.Millisecond),
+		"trace_id", traceID,
+	)
 }
 
 // ---------------------------------------------------------------------------
@@ -300,7 +358,10 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 // returned flags discriminate the outcome: joined (an existing job
 // answered), shed (queue full), draining (server shutting down). A
 // joined or created sync request holds a reference that the caller
-// must release with detach.
+// must release with detach. rctx is the admitting request's context:
+// joins record a singleflight event on its span, and a fresh job's
+// span is parented to it (so the job trace joins the coordinator's
+// when the request carried X-Pcstall-Trace).
 //
 // Joinable jobs are the unsettled (in flight) and the successfully
 // settled. A job that settled with an error or cancellation is NOT
@@ -308,7 +369,7 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 // eviction — it is replaced by a fresh admission, mirroring the
 // orchestrator's contract that cancelled jobs are recomputed on
 // resume.
-func (s *Server) admit(id, kind string, run runFn, detached bool, timeout time.Duration) (j *job, joined, shed, draining bool) {
+func (s *Server) admit(rctx context.Context, id, kind string, run runFn, detached bool, timeout time.Duration) (j *job, joined, shed, draining bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if j := s.jobs[id]; j != nil && (!j.settled || j.httpStatus == http.StatusOK) {
@@ -322,6 +383,7 @@ func (s *Server) admit(id, kind string, run runFn, detached bool, timeout time.D
 			}
 		}
 		s.tele.singleflightInc()
+		tracing.FromContext(rctx).Event("singleflight.join", tracing.String("job", id))
 		return j, true, false, false
 	}
 	if s.draining {
@@ -338,13 +400,28 @@ func (s *Server) admit(id, kind string, run runFn, detached bool, timeout time.D
 		// fresh admission below takes its place.
 		s.dropSettledLocked(id)
 	}
+	// The job outlives the admitting request, so its context derives
+	// from the server's lifetime context — but its span is parented to
+	// the request span (carried over as a remote parent), keeping the
+	// whole job under the coordinator's trace ID without tying the
+	// job's cancellation to the request's.
+	base := s.baseCtx
+	if s.tracer != nil {
+		base = tracing.WithTracer(base, s.tracer)
+		if sc := tracing.SpanContextOf(rctx); sc.TraceID != "" {
+			base = tracing.WithRemote(base, sc)
+		}
+	}
 	var jctx context.Context
 	var cancel context.CancelFunc
 	if timeout > 0 {
-		jctx, cancel = context.WithTimeout(s.baseCtx, timeout)
+		jctx, cancel = context.WithTimeout(base, timeout)
 	} else {
-		jctx, cancel = context.WithCancel(s.baseCtx)
+		jctx, cancel = context.WithCancel(base)
 	}
+	jctx, jspan := tracing.Start(jctx, "serve.job",
+		tracing.String("job.key", id),
+		tracing.String("kind", kind))
 	j = &job{
 		id:       id,
 		kind:     kind,
@@ -353,6 +430,8 @@ func (s *Server) admit(id, kind string, run runFn, detached bool, timeout time.D
 		done:     make(chan struct{}),
 		status:   statusQueued,
 		detached: detached,
+		span:     jspan,
+		traceID:  jspan.TraceID(),
 	}
 	if !detached {
 		j.refs = 1
@@ -396,6 +475,7 @@ func (s *Server) runJob(j *job, run runFn) {
 	}
 	span.End()
 	defer func() { <-lane }()
+	j.span.Event("slot.acquired")
 	s.mu.Lock()
 	j.status = statusRunning
 	s.running++
@@ -442,6 +522,18 @@ func (s *Server) settle(j *job, code int, body []byte) {
 		case statusCancelled:
 			s.tele.jobsCanceled.Inc()
 		}
+	}
+	j.span.SetAttr("status", status)
+	j.span.SetAttr("http.status", fmt.Sprint(code))
+	j.span.End()
+	if s.log != nil {
+		level := slog.LevelInfo
+		if status == statusError {
+			level = slog.LevelWarn
+		}
+		s.log.Log(context.Background(), level, "job settled",
+			"job", j.id, "kind", j.kind, "status", status,
+			"http_status", code, "trace_id", j.traceID)
 	}
 	close(j.done)
 }
@@ -589,6 +681,7 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		if s.tele != nil {
 			s.tele.cacheHits.Inc()
 		}
+		tracing.FromContext(r.Context()).SetAttr("cache", "hit")
 		body := marshalBody(simResponse{
 			Version: s.ver, ID: key, Kind: "sim", Status: statusDone,
 			Job: simJob, Result: res,
@@ -610,7 +703,7 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// 2+3. Singleflight join or bounded admission.
-	j, _, shed, draining := s.admit(key, "sim", run, async, timeout)
+	j, _, shed, draining := s.admit(r.Context(), key, "sim", run, async, timeout)
 	s.respondAdmitted(w, r, j, shed, draining, async)
 }
 
@@ -645,7 +738,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 			Figure: figID, Text: text.String(), Table: t,
 		})
 	}
-	j, _, shed, draining := s.admit(id, "figure", run, async, s.cfg.DefaultTimeout)
+	j, _, shed, draining := s.admit(r.Context(), id, "figure", run, async, s.cfg.DefaultTimeout)
 	s.respondAdmitted(w, r, j, shed, draining, async)
 }
 

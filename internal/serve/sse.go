@@ -18,6 +18,10 @@ type progressEvent struct {
 	Kind    string            `json:"kind"`
 	Status  string            `json:"status"`
 	Stats   orchestrate.Stats `json:"stats"`
+	// TraceID is the job's distributed trace ID (empty on an untraced
+	// server): the key into /debug/traces on every process the job
+	// touched.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // handleJobEvents streams a job's progress as Server-Sent Events:
@@ -53,7 +57,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		st := j.status
 		s.mu.Unlock()
-		ev := progressEvent{Version: s.ver, ID: j.id, Kind: j.kind, Status: st, Stats: s.cfg.Backend.Stats()}
+		ev := progressEvent{Version: s.ver, ID: j.id, Kind: j.kind, Status: st, Stats: s.cfg.Backend.Stats(), TraceID: j.traceID}
 		b, err := json.Marshal(ev)
 		if err != nil {
 			return

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+
+	"pcstall/internal/tracing"
+)
+
+// startAsyncJob admits one async (detached) blocking job and returns its id.
+func startAsyncJob(t *testing.T, s *Server, seed uint64) string {
+	t.Helper()
+	req := httptest.NewRequest("POST", "/v1/sim?async=1", strings.NewReader(simBody(seed)))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("async admit: got %d, want 202: %s", w.Code, w.Body.String())
+	}
+	var jr jobResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &jr); err != nil {
+		t.Fatalf("decoding 202 body: %v", err)
+	}
+	return jr.ID
+}
+
+// readSSEFrame reads one SSE frame (event name + reassembled data) from br.
+func readSSEFrame(t *testing.T, br *bufio.Reader) (event string, data []byte) {
+	t.Helper()
+	var lines []string
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading SSE stream: %v", err)
+		}
+		line = strings.TrimRight(line, "\n")
+		if line == "" {
+			if event != "" || len(lines) > 0 {
+				return event, []byte(strings.Join(lines, "\n"))
+			}
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "event: "); ok {
+			event = v
+		} else if v, ok := strings.CutPrefix(line, "data: "); ok {
+			lines = append(lines, v)
+		}
+	}
+}
+
+// TestSSEDisconnectReleasesSubscription proves a streaming client that
+// goes away releases everything it held: the job's waiter reference
+// drops (without cancelling the detached job) and the handler goroutine
+// exits instead of ticking progress frames into a dead connection.
+func TestSSEDisconnectReleasesSubscription(t *testing.T) {
+	backend := &stubBackend{block: make(chan struct{})}
+	s, _ := newTestServer(t, backend, nil)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	id := startAsyncJob(t, s, 41)
+	base := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", srv.URL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("attaching SSE stream: %v", err)
+	}
+	defer resp.Body.Close()
+	// The first progress frame proves the handler goroutine is live and
+	// the stream registered as a waiter.
+	if ev, _ := readSSEFrame(t, bufio.NewReader(resp.Body)); ev != "progress" {
+		t.Fatalf("first SSE frame = %q, want progress", ev)
+	}
+	s.mu.Lock()
+	refs := s.jobs[id].refs
+	s.mu.Unlock()
+	if refs != 1 {
+		t.Fatalf("job refs with one SSE client = %d, want 1", refs)
+	}
+
+	cancel() // client disconnects mid-stream
+	waitFor(t, func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.jobs[id].refs == 0
+	})
+	// Handler and transport goroutines wind down to (about) where we
+	// started; the blocked job goroutine predates base so it does not
+	// mask a leaked stream handler.
+	waitFor(t, func() bool { return runtime.NumGoroutine() <= base+2 })
+
+	// Detached jobs outlive their audience: the disconnect must not
+	// have cancelled the simulation.
+	s.mu.Lock()
+	st := s.jobs[id].status
+	s.mu.Unlock()
+	if st == statusCancelled {
+		t.Fatalf("detached job was cancelled by SSE disconnect")
+	}
+	close(backend.block)
+	waitFor(t, func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.jobs[id].settled
+	})
+}
+
+// TestSSEEventsCarryTraceID checks a traced server stamps every
+// progress frame with the job's distributed trace ID, so a streaming
+// client can jump straight to /debug/traces/{id} on any process the
+// job touched.
+func TestSSEEventsCarryTraceID(t *testing.T) {
+	backend := &stubBackend{block: make(chan struct{})}
+	tr := tracing.New("serve-test", 16)
+	s, _ := newTestServer(t, backend, func(c *Config) { c.Tracer = tr })
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	id := startAsyncJob(t, s, 42)
+	s.mu.Lock()
+	want := s.jobs[id].traceID
+	s.mu.Unlock()
+	if want == "" {
+		t.Fatal("traced server admitted a job without a trace ID")
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatalf("attaching SSE stream: %v", err)
+	}
+	defer resp.Body.Close()
+	ev, data := readSSEFrame(t, bufio.NewReader(resp.Body))
+	if ev != "progress" {
+		t.Fatalf("first SSE frame = %q, want progress", ev)
+	}
+	var pe progressEvent
+	if err := json.Unmarshal(data, &pe); err != nil {
+		t.Fatalf("progress frame is not JSON: %v\n%s", err, data)
+	}
+	if pe.TraceID != want {
+		t.Fatalf("progress frame trace_id = %q, want %q", pe.TraceID, want)
+	}
+	close(backend.block)
+	waitFor(t, func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.jobs[id].settled
+	})
+}
+
+// TestRemoteTraceJoinsJob is the cross-process stitch: a request
+// carrying a coordinator's X-Pcstall-Trace header must land the
+// backend's request and job spans in the flight recorder under the
+// coordinator's trace ID.
+func TestRemoteTraceJoinsJob(t *testing.T) {
+	backend := &stubBackend{}
+	tr := tracing.New("serve-test", 16)
+	s, _ := newTestServer(t, backend, func(c *Config) { c.Tracer = tr })
+
+	coord := tracing.New("coord", 4)
+	cctx, cspan := tracing.Start(tracing.WithTracer(context.Background(), coord), "dist.dispatch")
+	req := httptest.NewRequest("POST", "/v1/sim", strings.NewReader(simBody(43)))
+	tracing.Inject(cctx, req.Header)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("sim request: got %d: %s", w.Code, w.Body.String())
+	}
+	cspan.End()
+
+	td, ok := tr.Recorder().Trace(cspan.TraceID())
+	if !ok {
+		t.Fatalf("backend recorder has no trace %s (retained %d)", cspan.TraceID(), len(tr.Recorder().Traces()))
+	}
+	names := map[string]bool{}
+	for _, sp := range td.Spans {
+		names[sp.Name] = true
+		if sp.TraceID != cspan.TraceID() {
+			t.Fatalf("span %s carries trace %s, want %s", sp.Name, sp.TraceID, cspan.TraceID())
+		}
+	}
+	if !names["serve.sim"] || !names["serve.job"] {
+		t.Fatalf("trace spans %v missing serve.sim/serve.job", names)
+	}
+}

@@ -3,9 +3,11 @@ package telemetry
 import (
 	"expvar"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -17,6 +19,25 @@ var (
 	expvarReg  atomic.Pointer[Registry]
 	expvarOnce sync.Once
 )
+
+// buildInfo holds the pre-rendered pcstall_build_info exposition block.
+// telemetry cannot import internal/version (version sits above
+// orchestrate, which imports telemetry), so version's init pushes the
+// identity down through SetBuildInfo instead.
+var buildInfo atomic.Value // string
+
+// SetBuildInfo records the process identity /metrics advertises as a
+// constant pcstall_build_info gauge — the Prometheus idiom for "what is
+// running here" (sim version + VCS revision as labels, value 1), so a
+// scrape identifies a backend without hitting /v1/version.
+func SetBuildInfo(simVersion, revision string) {
+	var b strings.Builder
+	b.WriteString("# HELP pcstall_build_info Constant 1; labels identify the running build.\n")
+	b.WriteString("# TYPE pcstall_build_info gauge\n")
+	fmt.Fprintf(&b, "pcstall_build_info{sim_version=%q,revision=%q} 1\n",
+		strings.ReplaceAll(simVersion, `"`, `_`), strings.ReplaceAll(revision, `"`, `_`))
+	buildInfo.Store(b.String())
+}
 
 // Register mounts the observability endpoints on an existing mux:
 //
@@ -38,6 +59,9 @@ func Register(mux *http.ServeMux, r *Registry) {
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if bi, ok := buildInfo.Load().(string); ok {
+			_, _ = io.WriteString(w, bi)
+		}
 		_ = r.WritePrometheus(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -49,30 +73,35 @@ func Register(mux *http.ServeMux, r *Registry) {
 }
 
 // Handler serves Register's endpoints plus a root index listing them —
-// the standalone metrics listener (pcstall-exp -metrics-addr).
-func Handler(r *Registry) http.Handler {
+// the standalone metrics listener (pcstall-exp -metrics-addr). Extra
+// mounts let callers co-host related debug routes (tracing.Register)
+// on the same listener.
+func Handler(r *Registry, mounts ...func(*http.ServeMux)) http.Handler {
 	mux := http.NewServeMux()
 	Register(mux, r)
+	for _, m := range mounts {
+		m(mux)
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprint(w, "pcstall telemetry\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+		fmt.Fprint(w, "pcstall telemetry\n\n/metrics\n/debug/vars\n/debug/pprof/\n/debug/traces\n")
 	})
 	return mux
 }
 
-// Serve listens on addr and serves Handler(r) in a background goroutine.
-// It returns once the listener is bound (so scrapes cannot race startup)
-// with the server and its resolved address; callers stop it with
-// srv.Close or srv.Shutdown.
-func Serve(addr string, r *Registry) (*http.Server, string, error) {
+// Serve listens on addr and serves Handler(r, mounts...) in a
+// background goroutine. It returns once the listener is bound (so
+// scrapes cannot race startup) with the server and its resolved
+// address; callers stop it with srv.Close or srv.Shutdown.
+func Serve(addr string, r *Registry, mounts ...func(*http.ServeMux)) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(r)}
+	srv := &http.Server{Handler: Handler(r, mounts...)}
 	go func() { _ = srv.Serve(ln) }()
 	return srv, ln.Addr().String(), nil
 }

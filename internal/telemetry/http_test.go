@@ -64,6 +64,29 @@ func TestHandlerEndpoints(t *testing.T) {
 	}
 }
 
+func TestBuildInfoGauge(t *testing.T) {
+	SetBuildInfo("pcstall-sim-v1", "abc123def456")
+	_, body := get(t, Handler(New()), "/metrics")
+	want := `pcstall_build_info{sim_version="pcstall-sim-v1",revision="abc123def456"} 1`
+	if !strings.Contains(body, want) {
+		t.Fatalf("/metrics missing %q:\n%s", want, body)
+	}
+	if !strings.Contains(body, "# TYPE pcstall_build_info gauge") {
+		t.Fatalf("/metrics missing build_info TYPE line:\n%s", body)
+	}
+}
+
+func TestHandlerExtraMounts(t *testing.T) {
+	h := Handler(New(), func(mux *http.ServeMux) {
+		mux.HandleFunc("/debug/extra", func(w http.ResponseWriter, _ *http.Request) {
+			_, _ = w.Write([]byte("mounted"))
+		})
+	})
+	if res, body := get(t, h, "/debug/extra"); res.StatusCode != 200 || body != "mounted" {
+		t.Fatalf("extra mount status %d body %q", res.StatusCode, body)
+	}
+}
+
 // TestHandlerRebindsExpvar checks the process-global expvar tracks the
 // most recent Handler registry instead of panicking on re-publish.
 func TestHandlerRebindsExpvar(t *testing.T) {

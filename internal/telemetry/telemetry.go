@@ -162,6 +162,9 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		s.Counts[i] = c
 		s.Count += c
 	}
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
 	return s
 }
 
@@ -265,6 +268,12 @@ type HistogramSnapshot struct {
 	Counts []int64   `json:"counts"`
 	Sum    float64   `json:"sum"`
 	Count  int64     `json:"count"`
+	// P50/P95/P99 are Quantile values precomputed at snapshot time so
+	// manifest and BENCH consumers read tail latency without re-deriving
+	// it from the buckets.
+	P50 float64 `json:"p50,omitempty"`
+	P95 float64 `json:"p95,omitempty"`
+	P99 float64 `json:"p99,omitempty"`
 }
 
 // Mean returns the average observation (0 when empty).
@@ -273,6 +282,49 @@ func (h HistogramSnapshot) Mean() float64 {
 		return 0
 	}
 	return h.Sum / float64(h.Count)
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) by locating the
+// bucket holding rank q*Count and interpolating linearly within it —
+// the standard Prometheus histogram_quantile estimate, so values agree
+// with dashboards scraping /metrics. Observations in the overflow
+// bucket clamp to the highest bound (the estimate cannot exceed what
+// the buckets resolve). Empty histograms report 0; a histogram with no
+// bounds falls back to the mean.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if len(h.Bounds) == 0 {
+		return h.Mean()
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum int64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			break // overflow bucket: clamp below
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		hi := h.Bounds[i]
+		return lo + (hi-lo)*(rank-float64(prev))/float64(c)
+	}
+	return h.Bounds[len(h.Bounds)-1]
 }
 
 // Snapshot is a point-in-time copy of a registry, safe to serialize.
@@ -403,7 +455,8 @@ func (s Snapshot) Fprint(w io.Writer) {
 		} else if v, ok := s.Gauges[n]; ok {
 			fmt.Fprintf(w, "%-*s  %g\n", width, n, v)
 		} else if h, ok := s.Histograms[n]; ok {
-			fmt.Fprintf(w, "%-*s  count=%d sum=%.6g mean=%.6g\n", width, n, h.Count, h.Sum, h.Mean())
+			fmt.Fprintf(w, "%-*s  count=%d sum=%.6g mean=%.6g p50=%.6g p95=%.6g p99=%.6g\n",
+				width, n, h.Count, h.Sum, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -155,13 +156,61 @@ func TestSnapshotFprint(t *testing.T) {
 	r.Snapshot().Fprint(&b)
 	out := b.String()
 	for _, want := range []string{
-		"err               count=1 sum=0.5 mean=0.5\n",
+		"err               count=1 sum=0.5 mean=0.5 p50=0.5 p95=0.95 p99=0.99\n",
 		"queue_depth       3\n",
 		"sim_cycles_total  100\n",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	// Observations 1..100 with decade bounds put exactly ten per bucket,
+	// so linear interpolation lands on q*100 exactly.
+	h := NewHistogram([]float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.snapshot()
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 50}, {0.95, 95}, {0.99, 99}, {0.1, 10}, {1, 100}, {0, 0},
+	} {
+		if got := s.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	if s.P50 != s.Quantile(0.5) || s.P95 != s.Quantile(0.95) || s.P99 != s.Quantile(0.99) {
+		t.Fatalf("snapshot quantile fields disagree with Quantile: %+v", s)
+	}
+
+	// Out-of-range q clamps.
+	if got := s.Quantile(1.5); got != s.Quantile(1) {
+		t.Errorf("Quantile(1.5) = %g, want clamp to %g", got, s.Quantile(1))
+	}
+	if got := s.Quantile(-1); got != s.Quantile(0) {
+		t.Errorf("Quantile(-1) = %g, want clamp to %g", got, s.Quantile(0))
+	}
+
+	// Empty histogram reports 0.
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %g, want 0", got)
+	}
+
+	// Overflow observations clamp to the highest bound.
+	o := NewHistogram([]float64{1})
+	o.Observe(50)
+	if got := o.snapshot().Quantile(0.99); got != 1 {
+		t.Errorf("overflow Quantile = %g, want 1 (highest bound)", got)
+	}
+
+	// No bounds at all falls back to the mean.
+	nb := NewHistogram(nil)
+	nb.Observe(4)
+	nb.Observe(6)
+	if got := nb.snapshot().Quantile(0.5); got != 5 {
+		t.Errorf("boundless Quantile = %g, want mean 5", got)
 	}
 }
 

@@ -1,0 +1,52 @@
+package tracing
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkSpanDisabled measures the untraced path — the cost every
+// instrumented call site pays in a tracing-off run. It must stay at
+// one context lookup (~ns); CI's bench gate keeps instrumented
+// packages' end-to-end numbers flat, and this bench localizes the
+// reason why.
+func BenchmarkSpanDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, s := Start(ctx, "op")
+		s.SetAttr("k", "v")
+		s.Event("e")
+		s.End()
+	}
+}
+
+// BenchmarkSpanEnabled is the traced path: span mint, attr, event,
+// record into the flight recorder.
+func BenchmarkSpanEnabled(b *testing.B) {
+	tr := New("bench", 64)
+	ctx := WithTracer(context.Background(), tr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, s := Start(ctx, "op")
+		s.SetAttr("k", "v")
+		s.Event("e")
+		s.End()
+	}
+}
+
+// BenchmarkSpanEnabledNested is the common two-level shape (request →
+// job) under an active tracer.
+func BenchmarkSpanEnabledNested(b *testing.B) {
+	tr := New("bench", 64)
+	ctx := WithTracer(context.Background(), tr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sctx, root := Start(ctx, "root")
+		_, child := Start(sctx, "child")
+		child.End()
+		root.End()
+	}
+}

@@ -1,0 +1,121 @@
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON
+// Perfetto and chrome://tracing load). ph "X" is a complete (timed)
+// event, "i" an instant, "M" metadata; ts/dur are microseconds.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  uint32            `json:"pid"`
+	Tid  uint32            `json:"tid"`
+	S    string            `json:"s,omitempty"` // instant scope ("t" = thread)
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeFile is the object form of the format ({"traceEvents": [...]}).
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// hash32 maps a label onto a stable pid/tid-sized integer.
+func hash32(s string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	v := h.Sum32() & 0x7fffffff
+	if v == 0 {
+		v = 1
+	}
+	return v
+}
+
+// WriteChrome exports every retained completed trace as a Chrome
+// trace-event file. Each process becomes a pid row (named by the
+// recorder's proc label) and each trace a tid lane within it, so a
+// multi-file merge (coordinator + backends, concatenated by a viewer or
+// scripts/tracecheck) lines the same trace up across processes. Span
+// identity (trace/span/parent IDs) and attributes ride in args.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	if r == nil {
+		return fmt.Errorf("tracing: nil recorder")
+	}
+	traces := r.Traces()
+	pid := hash32(r.proc) % 100000
+	events := []chromeEvent{{
+		Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]string{"name": r.proc},
+	}}
+	for _, td := range traces {
+		tid := hash32(td.TraceID) % 1000000
+		label := td.TraceID
+		if root := td.Root(); root != nil {
+			label = root.Name + " " + td.TraceID[:8]
+		}
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]string{"name": label},
+		})
+		// Spans render parents-first (start order) so nesting reads
+		// naturally in the viewer.
+		spans := append([]SpanData(nil), td.Spans...)
+		sort.Slice(spans, func(a, b int) bool { return spans[a].StartUnixNs < spans[b].StartUnixNs })
+		for _, sp := range spans {
+			args := map[string]string{
+				"trace_id": sp.TraceID,
+				"span_id":  sp.SpanID,
+			}
+			if sp.ParentID != "" {
+				args["parent_id"] = sp.ParentID
+			}
+			for _, a := range sp.Attrs {
+				args[a.Key] = a.Value
+			}
+			events = append(events, chromeEvent{
+				Name: sp.Name, Ph: "X",
+				Ts:  float64(sp.StartUnixNs) / 1e3,
+				Dur: float64(sp.DurNs) / 1e3,
+				Pid: pid, Tid: tid, Args: args,
+			})
+			for _, ev := range sp.Events {
+				eargs := map[string]string{"span_id": sp.SpanID, "trace_id": sp.TraceID}
+				for _, a := range ev.Attrs {
+					eargs[a.Key] = a.Value
+				}
+				events = append(events, chromeEvent{
+					Name: ev.Name, Ph: "i", S: "t",
+					Ts:  float64(ev.UnixNs) / 1e3,
+					Pid: pid, Tid: tid, Args: eargs,
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: events})
+}
+
+// WriteChromeFile writes the Chrome export to path (the -trace-out
+// flag's sink), creating or truncating it.
+func (r *Recorder) WriteChromeFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("tracing: %w", err)
+	}
+	if err := r.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("tracing: %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package tracing
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// traceSummary is one /debug/traces listing row.
+type traceSummary struct {
+	TraceID   string `json:"trace_id"`
+	Root      string `json:"root,omitempty"`
+	Proc      string `json:"proc"`
+	Spans     int    `json:"spans"`
+	DurNs     int64  `json:"dur_ns"`
+	EndUnixNs int64  `json:"end_unix_ns"`
+}
+
+// tracesIndex is the /debug/traces response envelope.
+type tracesIndex struct {
+	Proc     string         `json:"proc"`
+	Capacity int            `json:"capacity"`
+	Retained int            `json:"retained"`
+	Dropped  int64          `json:"dropped_spans"`
+	Traces   []traceSummary `json:"traces"`
+}
+
+// Register mounts the flight recorder's debug endpoints on mux:
+//
+//	GET /debug/traces       — recent completed traces, newest first (JSON)
+//	GET /debug/traces/{id}  — one trace's full span timeline
+//
+// A nil recorder registers nothing, so callers can pass
+// tracer.Recorder() unconditionally.
+func Register(mux *http.ServeMux, rec *Recorder) {
+	if rec == nil {
+		return
+	}
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		serveIndex(w, rec)
+	})
+	mux.HandleFunc("/debug/traces/", func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/debug/traces/")
+		if id == "" {
+			serveIndex(w, rec)
+			return
+		}
+		td, ok := rec.Trace(id)
+		if !ok {
+			http.Error(w, "trace not found", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, td)
+	})
+}
+
+func serveIndex(w http.ResponseWriter, rec *Recorder) {
+	traces := rec.Traces()
+	idx := tracesIndex{
+		Proc:     rec.Proc(),
+		Capacity: rec.Capacity(),
+		Retained: len(traces),
+		Dropped:  rec.Dropped(),
+		Traces:   make([]traceSummary, 0, len(traces)),
+	}
+	for i := range traces {
+		td := &traces[i]
+		s := traceSummary{
+			TraceID:   td.TraceID,
+			Proc:      rec.Proc(),
+			Spans:     len(td.Spans),
+			EndUnixNs: td.EndUnixNs,
+		}
+		if root := td.Root(); root != nil {
+			s.Root = root.Name
+			s.DurNs = root.DurNs
+		}
+		idx.Traces = append(idx.Traces, s)
+	}
+	writeJSON(w, idx)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,205 @@
+package tracing
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// DefaultCapacity is the flight recorder's default bound on retained
+// completed traces per process.
+const DefaultCapacity = 512
+
+// recorderShards stripes the recorder so concurrent span Ends on
+// unrelated traces never contend on one lock; power of two.
+const recorderShards = 8
+
+// TraceData is one trace's retained timeline: every span of the trace
+// that ended in this process.
+type TraceData struct {
+	TraceID string `json:"trace_id"`
+	// Spans are in End order (children before parents within one
+	// goroutine's nesting).
+	Spans []SpanData `json:"spans"`
+	// EndUnixNs is when the trace's latest local root ended — the
+	// recency key listings sort by.
+	EndUnixNs int64 `json:"end_unix_ns"`
+}
+
+// Root returns the trace's earliest-starting span — the best "what was
+// this" label for listings.
+func (td *TraceData) Root() *SpanData {
+	var r *SpanData
+	for i := range td.Spans {
+		if r == nil || td.Spans[i].StartUnixNs < r.StartUnixNs {
+			r = &td.Spans[i]
+		}
+	}
+	return r
+}
+
+// shard is one stripe of the flight recorder. active accumulates traces
+// whose local root has not ended yet; ring/byID hold the last N
+// completed traces, evicting the oldest admission on overflow. Late
+// spans (a second local root on the same trace — e.g. a backend's
+// request span ending after its job span already filed the trace) merge
+// into the completed record in place.
+type shard struct {
+	mu      sync.Mutex
+	active  map[string]*TraceData
+	byID    map[string]*TraceData
+	ring    []string // completed trace IDs in admission order, circular
+	next    int      // ring write cursor
+	dropped int64    // spans discarded by the active-map bound
+}
+
+// Recorder is the bounded, lock-sharded flight recorder: it retains the
+// last N completed traces this process produced. Safe for concurrent
+// use.
+type Recorder struct {
+	proc      string
+	capacity  int // total completed-trace bound across shards
+	maxActive int // per-shard bound on traces awaiting their root
+	shards    [recorderShards]shard
+}
+
+// newRecorder sizes the recorder; capacity <= 0 selects DefaultCapacity.
+func newRecorder(proc string, capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	perShard := (capacity + recorderShards - 1) / recorderShards
+	r := &Recorder{proc: proc, capacity: perShard * recorderShards, maxActive: 4 * perShard}
+	for i := range r.shards {
+		r.shards[i] = shard{
+			active: map[string]*TraceData{},
+			byID:   map[string]*TraceData{},
+			ring:   make([]string, perShard),
+		}
+	}
+	return r
+}
+
+// shardFor picks the stripe owning a trace ID.
+func (r *Recorder) shardFor(traceID string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(traceID))
+	return &r.shards[h.Sum32()&(recorderShards-1)]
+}
+
+// record files one ended span. localRoot moves the trace from the
+// active map into the completed ring (or refreshes an already-completed
+// trace's recency when a second local root lands).
+func (r *Recorder) record(sd SpanData, localRoot bool) {
+	sh := r.shardFor(sd.TraceID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	td := sh.active[sd.TraceID]
+	if td == nil {
+		td = sh.byID[sd.TraceID]
+	}
+	if td == nil {
+		if len(sh.active) >= r.maxActive {
+			// A rootless backlog (leaked spans) must not grow without
+			// bound; count the loss instead.
+			sh.dropped++
+			return
+		}
+		td = &TraceData{TraceID: sd.TraceID}
+		sh.active[sd.TraceID] = td
+	}
+	td.Spans = append(td.Spans, sd)
+	if !localRoot {
+		return
+	}
+	end := sd.StartUnixNs + sd.DurNs
+	if end > td.EndUnixNs {
+		td.EndUnixNs = end
+	}
+	if _, completed := sh.byID[sd.TraceID]; completed {
+		return // second root on an already-filed trace: merged above
+	}
+	delete(sh.active, sd.TraceID)
+	// Admit into the ring, evicting the slot's previous occupant.
+	if old := sh.ring[sh.next]; old != "" {
+		delete(sh.byID, old)
+	}
+	sh.ring[sh.next] = sd.TraceID
+	sh.next = (sh.next + 1) % len(sh.ring)
+	sh.byID[sd.TraceID] = td
+}
+
+// Traces snapshots every retained completed trace, newest first.
+func (r *Recorder) Traces() []TraceData {
+	if r == nil {
+		return nil
+	}
+	var out []TraceData
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for _, td := range sh.byID {
+			out = append(out, copyTrace(td))
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].EndUnixNs > out[b].EndUnixNs })
+	return out
+}
+
+// Trace returns one retained trace by ID (completed or still active).
+func (r *Recorder) Trace(id string) (TraceData, bool) {
+	if r == nil {
+		return TraceData{}, false
+	}
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if td := sh.byID[id]; td != nil {
+		return copyTrace(td), true
+	}
+	if td := sh.active[id]; td != nil {
+		return copyTrace(td), true
+	}
+	return TraceData{}, false
+}
+
+// Dropped counts spans discarded by the active-map bound.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	var n int64
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		n += sh.dropped
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Proc returns the process label exported traces carry.
+func (r *Recorder) Proc() string {
+	if r == nil {
+		return ""
+	}
+	return r.proc
+}
+
+// Capacity returns the completed-trace retention bound.
+func (r *Recorder) Capacity() int {
+	if r == nil {
+		return 0
+	}
+	return r.capacity
+}
+
+// copyTrace snapshots a trace for readers; callers hold the shard lock.
+func copyTrace(td *TraceData) TraceData {
+	return TraceData{
+		TraceID:   td.TraceID,
+		Spans:     append([]SpanData(nil), td.Spans...),
+		EndUnixNs: td.EndUnixNs,
+	}
+}

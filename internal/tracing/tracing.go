@@ -1,0 +1,337 @@
+// Package tracing is the repo's stdlib-only distributed tracing layer:
+// per-job causal timelines ("what happened to *this* job") complementing
+// internal/telemetry's aggregates ("how much, how fast overall").
+//
+// The model is deliberately small. A trace is identified by a 128-bit
+// hex trace ID; spans carry 64-bit span IDs, a parent reference, wall
+// times, string attributes, and point-in-time events. Spans ride the
+// context: tracing.Start(ctx, name) opens a child of whatever span (or
+// remote parent) the context already carries, and the returned context
+// propagates the new span to callees. Completed timelines land in the
+// process's bounded, lock-sharded flight Recorder, exposed as JSON on
+// /debug/traces and exportable as Chrome trace-event files (Perfetto /
+// chrome://tracing load them directly).
+//
+// Cross-process propagation uses one header, X-Pcstall-Trace, carrying
+// "<32-hex trace id>-<16-hex span id>": the coordinator's dist.Client
+// injects it, the serving middleware extracts it, and the extracted
+// SpanContext becomes the remote parent of the backend's spans — so one
+// campaign job yields a single stitched trace spanning coordinator
+// dispatch, backend admission, orchestration, and the simulation run.
+//
+// The discipline matches telemetry's "disabled is free" rule: with no
+// Tracer on the context, Start returns a nil *Span whose every method is
+// a no-op, so an uninstrumented run pays one context lookup per span
+// site and nothing per event. Tracing observes the simulation; it never
+// feeds back (the golden test in internal/dvfs enforces byte-identical
+// results either way).
+package tracing
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Attr is one string-valued span attribute.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute (rendered decimal).
+func Int(k string, v int64) Attr { return Attr{Key: k, Value: fmt.Sprintf("%d", v)} }
+
+// SpanContext identifies one span within one trace — the part of a span
+// that crosses process boundaries.
+type SpanContext struct {
+	TraceID string `json:"trace_id"`
+	SpanID  string `json:"span_id"`
+}
+
+// Valid reports whether the context names a span at all.
+func (sc SpanContext) Valid() bool { return sc.TraceID != "" && sc.SpanID != "" }
+
+// SpanEvent is a point-in-time annotation on a span (a steal, a retry,
+// a singleflight join).
+type SpanEvent struct {
+	Name   string `json:"name"`
+	UnixNs int64  `json:"unix_ns"`
+	Attrs  []Attr `json:"attrs,omitempty"`
+}
+
+// SpanData is one completed span's record as the Recorder retains it.
+type SpanData struct {
+	TraceID     string      `json:"trace_id"`
+	SpanID      string      `json:"span_id"`
+	ParentID    string      `json:"parent_id,omitempty"`
+	Name        string      `json:"name"`
+	Proc        string      `json:"proc"`
+	StartUnixNs int64       `json:"start_unix_ns"`
+	DurNs       int64       `json:"dur_ns"`
+	Attrs       []Attr      `json:"attrs,omitempty"`
+	Events      []SpanEvent `json:"events,omitempty"`
+}
+
+// Tracer mints spans and owns the process's flight recorder. Create one
+// per process with New and put it on request/campaign contexts with
+// WithTracer.
+type Tracer struct {
+	proc string
+	rec  *Recorder
+}
+
+// New builds a Tracer whose flight recorder retains up to capacity
+// completed traces (<= 0 selects DefaultCapacity). proc names this
+// process in exported traces (e.g. "pcstall-exp", "pcstall-serve").
+func New(proc string, capacity int) *Tracer {
+	return &Tracer{proc: proc, rec: newRecorder(proc, capacity)}
+}
+
+// Recorder returns the tracer's flight recorder (for /debug/traces and
+// Chrome export).
+func (t *Tracer) Recorder() *Recorder {
+	if t == nil {
+		return nil
+	}
+	return t.rec
+}
+
+// Span is one in-flight timed operation. A nil *Span (tracing disabled)
+// ignores every method. Spans are safe for concurrent annotation; End
+// is idempotent.
+type Span struct {
+	tracer *Tracer
+	root   bool // local root: End files the trace into the recorder ring
+
+	mu    sync.Mutex
+	ended bool
+	data  SpanData
+}
+
+// TraceID returns the span's trace identifier ("" when nil).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.data.TraceID
+}
+
+// Context returns the span's SpanContext (zero when nil) — what Inject
+// writes into the propagation header.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.data.TraceID, SpanID: s.data.SpanID}
+}
+
+// SetAttr sets (or appends) a string attribute on the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
+	for i := range s.data.Attrs {
+		if s.data.Attrs[i].Key == key {
+			s.data.Attrs[i].Value = value
+			return
+		}
+	}
+	s.data.Attrs = append(s.data.Attrs, Attr{Key: key, Value: value})
+}
+
+// Event records a point-in-time annotation on the span.
+func (s *Span) Event(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
+	s.data.Events = append(s.data.Events, SpanEvent{
+		Name: name, UnixNs: time.Now().UnixNano(), Attrs: attrs,
+	})
+}
+
+// End completes the span and delivers it to the flight recorder. A
+// local-root span's End additionally files its whole trace into the
+// completed ring. End is idempotent; nil spans ignore it.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.data.DurNs = time.Now().UnixNano() - s.data.StartUnixNs
+	data := s.data
+	s.mu.Unlock()
+	s.tracer.rec.record(data, s.root)
+}
+
+// Context plumbing: the tracer, the current local span, and an extracted
+// remote parent each ride their own key.
+type (
+	tracerKey struct{}
+	spanKey   struct{}
+	remoteKey struct{}
+)
+
+// WithTracer enables tracing for everything derived from ctx.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the context's tracer (nil = tracing disabled).
+func TracerFrom(ctx context.Context) *Tracer {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}
+
+// WithRemote records an extracted cross-process parent: the next Start
+// on this context (with no local span in between) joins the remote trace
+// as a local root under that parent.
+func WithRemote(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteKey{}, sc)
+}
+
+// FromContext returns the context's current span (nil when none, or
+// when tracing is disabled). Use it to annotate the enclosing span from
+// deeper layers without threading the *Span explicitly.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// SpanContextOf resolves the propagation identity of ctx: the current
+// local span if any, else an extracted remote parent, else zero.
+func SpanContextOf(ctx context.Context) SpanContext {
+	if s := FromContext(ctx); s != nil {
+		return s.Context()
+	}
+	if ctx == nil {
+		return SpanContext{}
+	}
+	sc, _ := ctx.Value(remoteKey{}).(SpanContext)
+	return sc
+}
+
+// TraceIDFrom returns the trace ID governing ctx ("" when untraced) —
+// the correlation key structured logs carry.
+func TraceIDFrom(ctx context.Context) string {
+	return SpanContextOf(ctx).TraceID
+}
+
+// Start opens a span named name. With no Tracer on ctx (or a nil ctx)
+// it returns (ctx, nil) — the disabled path — and every method of the
+// nil span no-ops. Otherwise the span becomes a child of the context's
+// current span; with none, it becomes a local root, joining an
+// extracted remote parent's trace when one is present and minting a
+// fresh trace ID when not. The returned context carries the new span
+// for callees.
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	t := TracerFrom(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	s := &Span{tracer: t}
+	s.data = SpanData{
+		SpanID:      newSpanID(),
+		Name:        name,
+		Proc:        t.proc,
+		StartUnixNs: time.Now().UnixNano(),
+		Attrs:       attrs,
+	}
+	if parent := FromContext(ctx); parent != nil {
+		s.data.TraceID = parent.data.TraceID
+		s.data.ParentID = parent.data.SpanID
+	} else if rc, _ := ctx.Value(remoteKey{}).(SpanContext); rc.Valid() {
+		s.data.TraceID = rc.TraceID
+		s.data.ParentID = rc.SpanID
+		s.root = true
+	} else {
+		s.data.TraceID = newTraceID()
+		s.root = true
+	}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// TraceHeader is the cross-process propagation header:
+// "X-Pcstall-Trace: <32-hex trace id>-<16-hex span id>".
+const TraceHeader = "X-Pcstall-Trace"
+
+// Inject writes ctx's span identity into an outgoing header set. It is
+// a no-op on untraced contexts.
+func Inject(ctx context.Context, h http.Header) {
+	sc := SpanContextOf(ctx)
+	if !sc.Valid() {
+		return
+	}
+	h.Set(TraceHeader, sc.TraceID+"-"+sc.SpanID)
+}
+
+// Extract parses an incoming header set's trace identity. ok is false
+// when the header is absent or malformed — a malformed header never
+// fails the request, the trace just starts fresh.
+func Extract(h http.Header) (SpanContext, bool) {
+	v := h.Get(TraceHeader)
+	if len(v) != 49 || v[32] != '-' {
+		return SpanContext{}, false
+	}
+	trace, span := v[:32], v[33:]
+	if !isHex(trace) || !isHex(span) {
+		return SpanContext{}, false
+	}
+	return SpanContext{TraceID: trace, SpanID: span}, true
+}
+
+// isHex reports whether s is entirely lowercase hex.
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// newTraceID mints a 128-bit hex trace ID. rand/v2 draws from the
+// runtime's per-thread generator: no locks, and uniqueness at flight-
+// recorder scale (hundreds of retained traces) is overwhelming.
+func newTraceID() string {
+	return fmt.Sprintf("%016x%016x", rand.Uint64(), rand.Uint64())
+}
+
+// newSpanID mints a 64-bit hex span ID.
+func newSpanID() string {
+	return fmt.Sprintf("%016x", rand.Uint64())
+}

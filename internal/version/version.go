@@ -10,7 +10,30 @@ import (
 	"runtime/debug"
 
 	"pcstall/internal/orchestrate"
+	"pcstall/internal/telemetry"
 )
+
+// init pushes the build identity into telemetry's pcstall_build_info
+// gauge. The flow is inverted (version calls telemetry, not the other
+// way) because telemetry sits below orchestrate in the import graph and
+// cannot see SimVersion itself; any binary serving /metrics links this
+// package transitively via its -version flag, so the gauge is always
+// populated.
+func init() {
+	rev, modified := vcsInfo()
+	switch {
+	case rev == "":
+		rev = "unknown"
+	default:
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if modified {
+			rev += "+dirty"
+		}
+	}
+	telemetry.SetBuildInfo(orchestrate.SimVersion, rev)
+}
 
 // String returns "pcstall-sim-v1 (abcdef123456)" when the binary was
 // built inside a VCS checkout, with a "+dirty" suffix for modified

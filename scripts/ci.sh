@@ -26,7 +26,7 @@ echo "==> go test"
 go test ./...
 
 echo "==> go test -race (concurrent packages)"
-go test -race ./internal/telemetry ./internal/orchestrate ./internal/trace ./internal/exp ./internal/serve ./internal/dist
+go test -race ./internal/telemetry ./internal/tracing ./internal/orchestrate ./internal/trace ./internal/exp ./internal/serve ./internal/dist
 
 echo "==> go test -shuffle=on (order-independence of the serving/orchestration tests)"
 go test -shuffle=on -count=1 ./internal/serve ./internal/orchestrate ./internal/telemetry
@@ -49,6 +49,7 @@ echo "==> kill-resume smoke (SIGINT mid-campaign, -resume, byte-identical output
 smoke=$(mktemp -d)
 trap 'rm -rf "$smoke"' EXIT
 go build -o "$smoke/pcstall-exp" ./cmd/pcstall-exp
+go build -o "$smoke/tracecheck" ./scripts/tracecheck
 smoke_flags="-cus 4 -scale 0.3 -apps comd,hpgmg -j 2"
 # Reference: the same campaign run cold to completion.
 "$smoke/pcstall-exp" $smoke_flags -cache-dir "$smoke/ref" 1a > "$smoke/ref.out" 2> "$smoke/ref.err"
@@ -178,9 +179,9 @@ start_backend() {
 		exit 1
 	fi
 }
-start_backend w1; w1_pid=$backend_pid; w1_base=$backend_base
-start_backend w2; w2_pid=$backend_pid; w2_base=$backend_base
-"$smoke/pcstall-exp" $smoke_flags -backends "$w1_base,$w2_base" \
+start_backend w1 -trace-out "$smoke/w1.trace.json"; w1_pid=$backend_pid; w1_base=$backend_base
+start_backend w2 -trace-out "$smoke/w2.trace.json"; w2_pid=$backend_pid; w2_base=$backend_base
+"$smoke/pcstall-exp" $smoke_flags -backends "$w1_base,$w2_base" -trace-out "$smoke/dist.trace.json" \
 	-cache-dir "$smoke/dist" 1a > "$smoke/dist.out" 2> "$smoke/dist.err"
 if ! cmp -s "$smoke/ref.out" "$smoke/dist.out"; then
 	echo "distributed smoke: fleet output differs from serial reference" >&2
@@ -202,16 +203,28 @@ kill "$w1_pid" "$w2_pid" 2>/dev/null || true
 wait "$w1_pid" 2>/dev/null || true
 wait "$w2_pid" 2>/dev/null || true
 echo "    fleet campaign byte-identical to serial reference (figures and manifest job set)"
+# The drained backends and the coordinator each exported their flight
+# recorder. The three files must parse, every span's parent must resolve
+# somewhere in the set, and at least one trace ID must cross a process
+# boundary (the X-Pcstall-Trace stitch).
+"$smoke/tracecheck" -require-cross \
+	"$smoke/dist.trace.json" "$smoke/w1.trace.json" "$smoke/w2.trace.json" || {
+	echo "distributed smoke: trace export failed validation" >&2
+	exit 1
+}
+echo "    distributed traces stitch across coordinator and backends"
 # Fresh backends (empty caches, so jobs genuinely re-run), one killed
 # mid-campaign: the coordinator must steal its jobs and still produce
 # identical bytes.
 start_backend w3; w3_pid=$backend_pid; w3_base=$backend_base
 start_backend w4; w4_pid=$backend_pid; w4_base=$backend_base
-"$smoke/pcstall-exp" $smoke_flags -backends "$w3_base,$w4_base" \
+"$smoke/pcstall-exp" $smoke_flags -backends "$w3_base,$w4_base" -trace-out "$smoke/dist2.trace.json" \
 	-cache-dir "$smoke/dist2" 1a > "$smoke/dist2.out" 2> "$smoke/dist2.err" &
 dist_pid=$!
 sleep 1
+kill_landed=0
 if kill -KILL "$w3_pid" 2>/dev/null; then
+	kill_landed=1
 	wait "$w3_pid" 2>/dev/null || true
 else
 	echo "    note: campaign finished before the backend kill landed"
@@ -231,6 +244,19 @@ fi
 kill "$w4_pid" 2>/dev/null || true
 wait "$w4_pid" 2>/dev/null || true
 echo "    campaign survived a killed backend with byte-identical output"
+# The coordinator's trace must record the recovery: a job that was in
+# flight on the killed backend is requeued and then stolen by the
+# survivor (or degraded to the local lane), as span events on its
+# dist.dispatch span.
+"$smoke/tracecheck" "$smoke/dist2.trace.json" > /dev/null
+if [ "$kill_landed" = 1 ]; then
+	if ! "$smoke/tracecheck" -require-event steal "$smoke/dist2.trace.json" > /dev/null 2>&1 &&
+		! "$smoke/tracecheck" -require-event requeue "$smoke/dist2.trace.json" > /dev/null 2>&1; then
+		echo "distributed smoke: killed-backend trace records neither a steal nor a requeue event" >&2
+		exit 1
+	fi
+	echo "    killed-backend recovery visible in the coordinator's trace"
+fi
 
 echo "==> bench smoke (telemetry-off runner vs BENCH_telemetry.json)"
 # The disabled-telemetry path is the one every simulation pays. Absolute

@@ -1,0 +1,116 @@
+// Command tracecheck validates Chrome trace-event files exported by
+// -trace-out (pcstall-exp, pcstall-serve, pcstall-sim) and proves that
+// a set of per-process files stitches into coherent distributed traces.
+//
+// Usage:
+//
+//	tracecheck [-require-cross] [-require-event NAME] file.json ...
+//
+// For every file it checks the JSON parses as {"traceEvents": [...]}.
+// Across all files together it checks that every span's parent_id
+// resolves to some span_id in the set (a dangling parent means a
+// process dropped or mislabeled part of a trace). With -require-cross
+// it additionally demands at least one trace ID that appears in two or
+// more files — the coordinator-to-backend stitch the X-Pcstall-Trace
+// header exists to produce. -require-event fails unless some instant
+// event with that name (e.g. "steal") occurs in some file.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// event is the subset of the Chrome trace-event shape tracecheck reads.
+type event struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Args map[string]string `json:"args"`
+}
+
+type traceFile struct {
+	TraceEvents []event `json:"traceEvents"`
+}
+
+func main() {
+	requireCross := flag.Bool("require-cross", false, "fail unless >=1 trace ID spans >=2 files (distributed stitch)")
+	requireEvent := flag.String("require-event", "", "fail unless an instant event with this name occurs in some file")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "tracecheck: no trace files given")
+		os.Exit(2)
+	}
+
+	spanIDs := map[string]bool{}        // union of span_ids across all files
+	traceFiles := map[string][]string{} // trace ID -> files it appears in
+	type parentRef struct{ file, span, parent string }
+	var parents []parentRef
+	spans, instants := 0, 0
+	eventSeen := false
+
+	for _, path := range flag.Args() {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			fail("%v", err)
+		}
+		var tf traceFile
+		if err := json.Unmarshal(b, &tf); err != nil {
+			fail("%s: not a Chrome trace-event file: %v", path, err)
+		}
+		for _, ev := range tf.TraceEvents {
+			switch ev.Ph {
+			case "X":
+				spans++
+				id := ev.Args["span_id"]
+				if id == "" {
+					fail("%s: span %q has no span_id", path, ev.Name)
+				}
+				spanIDs[id] = true
+				if tid := ev.Args["trace_id"]; tid != "" {
+					fs := traceFiles[tid]
+					if len(fs) == 0 || fs[len(fs)-1] != path {
+						traceFiles[tid] = append(fs, path)
+					}
+				}
+				if p := ev.Args["parent_id"]; p != "" {
+					parents = append(parents, parentRef{path, id, p})
+				}
+			case "i":
+				instants++
+				if ev.Name == *requireEvent {
+					eventSeen = true
+				}
+			}
+		}
+	}
+
+	if spans == 0 {
+		fail("no spans in %v", flag.Args())
+	}
+	for _, pr := range parents {
+		if !spanIDs[pr.parent] {
+			fail("%s: span %s has dangling parent %s (not in any given file)", pr.file, pr.span, pr.parent)
+		}
+	}
+	cross := 0
+	for _, fs := range traceFiles {
+		if len(fs) >= 2 {
+			cross++
+		}
+	}
+	if *requireCross && cross == 0 {
+		fail("no trace ID spans two or more of %v (distributed stitch missing)", flag.Args())
+	}
+	if *requireEvent != "" && !eventSeen {
+		fail("no %q instant event in %v", *requireEvent, flag.Args())
+	}
+	fmt.Printf("tracecheck: %d files, %d spans, %d instants, %d traces (%d cross-process), all parents resolve\n",
+		flag.NArg(), spans, instants, len(traceFiles), cross)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}
