@@ -131,16 +131,42 @@ type Domain struct {
 	// (fault injection): the domain paid the settle stall but kept its
 	// old frequency.
 	FailedTransitions int64
+	// q and r cache 1e6 divmod Freq (the floor period and its remainder);
+	// memoQ/memoA/memoRem cache the last NextTickAfter query, its answer,
+	// and k*1e6 mod Freq at the answer, letting the hot sequential case —
+	// asking for the tick after the one just returned — advance the grid
+	// cursor with adds instead of divisions. All are lazily rebuilt, so a
+	// zero-value Domain (q == 0) still works.
+	q, r                  Time
+	memoQ, memoA, memoRem Time
 }
 
 // NewDomain returns a domain running at f from time 0.
 func NewDomain(id int32, f Freq) Domain {
-	return Domain{ID: id, Freq: f}
+	d := Domain{ID: id, Freq: f}
+	d.reclock()
+	return d
+}
+
+// reclock rebuilds the cached divmod and invalidates the grid-cursor memo;
+// call after any change to Freq, Anchor, or StallUntil.
+func (d *Domain) reclock() {
+	d.q = 1_000_000 / Time(d.Freq)
+	d.r = 1_000_000 % Time(d.Freq)
+	d.memoQ, d.memoA = -1, -1
 }
 
 // TickAt returns the time of cycle k since the anchor.
 func (d *Domain) TickAt(k int64) Time {
 	return d.Anchor + k*1_000_000/Time(d.Freq)
+}
+
+// PeriodPs returns the domain's (floor) clock period in picoseconds.
+func (d *Domain) PeriodPs() Time {
+	if d.q == 0 {
+		d.reclock()
+	}
+	return d.q
 }
 
 // NextTickAfter returns the earliest domain tick strictly after t (and not
@@ -152,6 +178,26 @@ func (d *Domain) NextTickAfter(t Time) Time {
 	if t < d.Anchor {
 		return d.Anchor
 	}
+	if d.q == 0 {
+		d.reclock()
+	}
+	if t == d.memoQ {
+		// Same query as last time (CUs sharing the domain tick together).
+		return d.memoA
+	}
+	if t == d.memoA {
+		// Asking for the tick after the one just returned — the sequential
+		// ticking case. floor((k+1)*1e6/F) = floor(k*1e6/F) + q + carry,
+		// with the carry tracked by the running remainder: no division.
+		a := d.memoA + d.q
+		rem := d.memoRem + d.r
+		if rem >= Time(d.Freq) {
+			rem -= Time(d.Freq)
+			a++
+		}
+		d.memoQ, d.memoA, d.memoRem = t, a, rem
+		return a
+	}
 	// Smallest k with Anchor + k*1e6/F > t  =>  k = floor((t-Anchor)*F/1e6) + 1.
 	k := (t-d.Anchor)*Time(d.Freq)/1_000_000 + 1
 	tick := d.TickAt(k)
@@ -159,6 +205,8 @@ func (d *Domain) NextTickAfter(t Time) Time {
 		k++
 		tick = d.TickAt(k)
 	}
+	d.memoQ, d.memoA = t, tick
+	d.memoRem = (k * 1_000_000) % Time(d.Freq)
 	return tick
 }
 
@@ -181,12 +229,14 @@ func (d *Domain) SetFreqOutcome(f Freq, now, transition Time, fail bool) {
 	if fail {
 		d.StallUntil = now + transition
 		d.FailedTransitions++
+		d.reclock()
 		return
 	}
 	d.Freq = f
 	d.Anchor = now + transition
 	d.StallUntil = now + transition
 	d.Transitions++
+	d.reclock()
 }
 
 // Map describes how CUs are grouped into V/f domains.

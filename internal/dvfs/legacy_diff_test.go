@@ -1,0 +1,58 @@
+package dvfs_test
+
+import (
+	"reflect"
+	"testing"
+
+	"pcstall/internal/chaos"
+	"pcstall/internal/clock"
+	"pcstall/internal/core"
+	"pcstall/internal/dvfs"
+	"pcstall/internal/power"
+	"pcstall/internal/sim"
+	"pcstall/internal/workload"
+)
+
+// TestEventLoopMatchesLegacyFigures is the end-to-end half of the
+// differential gate for the event-driven RunUntil rewrite: a full DVFS
+// campaign — policy decisions, chaos fault injection, per-epoch records,
+// energy/runtime figures — must be byte-identical whether the GPU under
+// it runs the legacy per-cycle loop or the cycle-skipping event loop.
+func TestEventLoopMatchesLegacyFigures(t *testing.T) {
+	run := func(app string, legacy, withChaos bool) dvfs.Result {
+		t.Helper()
+		cfg := sim.DefaultConfig(2)
+		cfg.LegacyTick = legacy
+		gen := workload.DefaultGenConfig(2)
+		gen.Scale = 0.3
+		a := workload.MustBuild(app, gen)
+		g, err := sim.New(cfg, a.Kernels, a.Launches)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := core.DesignByName("PCSTALL")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pm := power.DefaultModelFor(2)
+		rc := dvfs.RunConfig{Epoch: clock.Microsecond, Obj: dvfs.EDP, PM: &pm, Record: true}
+		if withChaos {
+			rc.Chaos = chaos.Level(0.2, 7)
+		}
+		res, err := dvfs.Run(g, d.New(), rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for _, app := range []string{"comd", "xsbench"} {
+		for _, withChaos := range []bool{false, true} {
+			ev := run(app, false, withChaos)
+			lg := run(app, true, withChaos)
+			if !reflect.DeepEqual(ev, lg) {
+				t.Fatalf("%s (chaos=%v): event-driven campaign diverges from legacy:\nevent:  %+v\nlegacy: %+v",
+					app, withChaos, ev, lg)
+			}
+		}
+	}
+}

@@ -4,26 +4,81 @@
 //
 // Everything in this package is plain data (flat slices, no pointers
 // between components), so the whole hierarchy can be deep-copied by
-// Clone for the fork-pre-execute oracle. Timing decisions (when a bank
-// dequeues, when a response lands) are made in integer picoseconds using
-// the uncore frequency, and are fully deterministic.
+// Clone for the fork-pre-execute oracle. Tag arrays — the bulk of the
+// state — are copy-on-write: Clone shares them under a refcount and the
+// first mutation on either side privatizes them, so a fork that never
+// touches a cache never pays for copying it. Timing decisions (when a
+// bank dequeues, when a response lands) are made in integer picoseconds
+// using the uncore frequency, and are fully deterministic.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// entPools recycles privatized tag arrays, keyed by length. Fork-heavy
+// users (the oracle samples ten clones per epoch, each privatizing the
+// banks it touches) would otherwise churn megabytes of garbage per epoch;
+// Release feeds arrays whose refcount hits zero back to own.
+var entPools sync.Map // int → *sync.Pool of *[]uint64
+
+func entPoolFor(n int) *sync.Pool {
+	if p, ok := entPools.Load(n); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := entPools.LoadOrStore(n, &sync.Pool{})
+	return p.(*sync.Pool)
+}
+
+// getEnt returns an arbitrary-content array of length n; callers must
+// fully overwrite it.
+func getEnt(n int) []uint64 {
+	if v := entPoolFor(n).Get(); v != nil {
+		return *v.(*[]uint64)
+	}
+	return make([]uint64, n)
+}
+
+func putEnt(ent []uint64) {
+	entPoolFor(len(ent)).Put(&ent)
+}
 
 // Cache is a set-associative cache with true-LRU replacement. It models
 // tags only — the simulator never materializes data — and is a value type
-// whose Clone copies the full tag state.
+// whose Clone snapshots the full tag state. The snapshot is copy-on-write:
+// the tag array is shared under a refcount until either side mutates it,
+// at which point the mutator privatizes its own copy. Sharing is safe
+// even when clones run on other goroutines (the refcount is atomic and a
+// shared array is never written in place), which is what lets multiple
+// oracle samplers fork the same quiescent parent GPU concurrently.
+//
+// Each way is one packed word — tag in the low half, LRU stamp in the
+// high half — so a 16-way set scan touches half the host cache lines a
+// split tag/stamp layout would. The 32-bit tag bounds the modeled address
+// space at lineBytes<<32 (256 GiB with 64-byte lines); Probe and Fill
+// panic beyond it rather than aliasing silently.
 type Cache struct {
 	sets      uint32
 	ways      uint32
 	lineShift uint32
-	tick      uint64
-	// tags holds sets*ways entries; entry 0 is invalid, otherwise the
-	// stored value is lineAddr+1.
-	tags []uint64
-	// stamp holds the LRU timestamp for each entry.
-	stamp []uint64
+	// setMask is sets-1 when the set count is a power of two (the common
+	// case), letting setOf mask instead of divide; 0 otherwise.
+	setMask uint32
+	tick    uint64
+	// ent holds sets*ways packed ways: bits [31:0] are the tag (0 =
+	// invalid, otherwise lineAddr+1), bits [63:32] the LRU stamp.
+	ent []uint64
+	// ref counts the Cache values sharing ent. Mutators call own, which
+	// privatizes the array while ref > 1. A conservative overshoot (two
+	// sharers privatizing simultaneously) costs one extra copy, never
+	// correctness.
+	ref *atomic.Int32
+	// pool is the recycler for arrays of len(ent), resolved once at
+	// construction so the privatize/release hot path never touches the
+	// global sync.Map.
+	pool *sync.Pool
 	// hits and misses are cumulative probe outcomes.
 	hits, misses int64
 }
@@ -50,14 +105,19 @@ func NewCache(sets, ways, lineBytes int) (Cache, error) {
 	for 1<<shift != lineBytes {
 		shift++
 	}
-	n := sets * ways
-	return Cache{
+	c := Cache{
 		sets:      uint32(sets),
 		ways:      uint32(ways),
 		lineShift: shift,
-		tags:      make([]uint64, n),
-		stamp:     make([]uint64, n),
-	}, nil
+		ent:       make([]uint64, sets*ways),
+		ref:       new(atomic.Int32),
+		pool:      entPoolFor(sets * ways),
+	}
+	if sets&(sets-1) == 0 {
+		c.setMask = uint32(sets - 1)
+	}
+	c.ref.Store(1)
+	return c, nil
 }
 
 // mustCache is NewCache for geometries already vetted by Config.Validate.
@@ -90,18 +150,77 @@ func (c *Cache) Hits() int64 { return c.hits }
 func (c *Cache) Misses() int64 { return c.misses }
 
 func (c *Cache) setOf(addr uint64) uint32 {
+	if c.setMask != 0 {
+		return uint32(addr>>c.lineShift) & c.setMask
+	}
 	return uint32((addr >> c.lineShift) % uint64(c.sets))
+}
+
+// tagOf returns addr's packed tag (lineAddr+1, never 0).
+func (c *Cache) tagOf(addr uint64) uint64 {
+	line := addr>>c.lineShift + 1
+	if line > 0xffffffff {
+		panic(fmt.Sprintf("mem: address %#x beyond the %d GiB model limit", addr, uint64(1)<<(c.lineShift+2)))
+	}
+	return line
+}
+
+// bump advances the LRU clock, renormalizing stamps in the (practically
+// unreachable) event the 32-bit stamp field would overflow. Halving every
+// stamp preserves their relative order up to ties, which the way index
+// then breaks deterministically.
+func (c *Cache) bump() uint64 {
+	c.tick++
+	if c.tick > 0xffffffff {
+		c.own()
+		for i, e := range c.ent {
+			c.ent[i] = e>>33<<32 | e&0xffffffff
+		}
+		c.tick >>= 1
+	}
+	return c.tick
+}
+
+// own privatizes the tag array before a write. While the array is shared
+// (ref > 1) it copies it and detaches from the shared refcount; once this
+// Cache is the sole owner it is a two-instruction no-op on the hot path.
+// Two sharers racing into own both copy — wasteful but correct, since the
+// shared array itself is never written.
+func (c *Cache) own() {
+	if c.ref.Load() == 1 {
+		return
+	}
+	old := c.ent
+	var ent []uint64
+	if v := c.pool.Get(); v != nil {
+		ent = *v.(*[]uint64)
+	} else {
+		ent = make([]uint64, len(old))
+	}
+	copy(ent, old)
+	c.ent = ent
+	if c.ref.Add(-1) == 0 {
+		// Every other sharer released while we copied; the old array is
+		// now unreferenced and can be recycled.
+		c.pool.Put(&old)
+	}
+	c.ref = new(atomic.Int32)
+	c.ref.Store(1)
 }
 
 // Probe looks up addr, updating LRU state and hit/miss counters. It
 // returns true on hit. Probe does not allocate on miss; pair it with Fill.
 func (c *Cache) Probe(addr uint64) bool {
-	c.tick++
-	line := addr>>c.lineShift + 1
+	tick := c.bump()
+	tag := c.tagOf(addr)
 	base := c.setOf(addr) * c.ways
-	for w := uint32(0); w < c.ways; w++ {
-		if c.tags[base+w] == line {
-			c.stamp[base+w] = c.tick
+	// One bounded subslice lets the compiler drop per-way bounds checks;
+	// the write goes through c.ent because own may swap the array.
+	set := c.ent[base : base+c.ways]
+	for w := range set {
+		if set[w]&0xffffffff == tag {
+			c.own()
+			c.ent[base+uint32(w)] = tick<<32 | tag
 			c.hits++
 			return true
 		}
@@ -113,10 +232,10 @@ func (c *Cache) Probe(addr uint64) bool {
 // Contains reports whether addr is resident without touching LRU state or
 // counters (used by tests and invariant checks).
 func (c *Cache) Contains(addr uint64) bool {
-	line := addr>>c.lineShift + 1
+	tag := c.tagOf(addr)
 	base := c.setOf(addr) * c.ways
 	for w := uint32(0); w < c.ways; w++ {
-		if c.tags[base+w] == line {
+		if c.ent[base+w]&0xffffffff == tag {
 			return true
 		}
 	}
@@ -127,18 +246,76 @@ func (c *Cache) Contains(addr uint64) bool {
 // It returns the evicted line address and whether an eviction happened.
 // Filling an already-resident line refreshes its LRU stamp.
 func (c *Cache) Fill(addr uint64) (evicted uint64, wasEvicted bool) {
-	c.tick++
-	line := addr>>c.lineShift + 1
+	c.own()
+	tick := c.bump()
+	tag := c.tagOf(addr)
 	base := c.setOf(addr) * c.ways
+	if c.ways < 256 {
+		// Branchless victim selection: each way folds to stamp<<8|way
+		// (invalid ways fold to 0<<8|way, undercutting every valid
+		// stamp — bump starts stamps at 1), and the running minimum is
+		// a single conditional move instead of data-dependent branches
+		// the stamp distribution makes unpredictable. Ties and the
+		// invalid-way preference resolve to the lowest way index,
+		// exactly as the sequential scan did.
+		set := c.ent[base : base+c.ways] // own already ran; stable array
+		// Two running minima over alternating ways break the serial
+		// compare chain in half; they merge after the loop. Ties and the
+		// invalid-way preference still resolve to the lowest way index,
+		// because the way number is packed into the low bits of the key.
+		best0, best1 := ^uint64(0), ^uint64(0)
+		w := 0
+		for ; w+1 < len(set); w += 2 {
+			e0, e1 := set[w], set[w+1]
+			if e0&0xffffffff == tag {
+				set[w] = tick<<32 | tag
+				return 0, false
+			}
+			if e1&0xffffffff == tag {
+				set[w+1] = tick<<32 | tag
+				return 0, false
+			}
+			nz0 := (e0&0xffffffff + 0xffffffff) >> 32 // 1 if valid, else 0
+			nz1 := (e1&0xffffffff + 0xffffffff) >> 32
+			if pk := (e0>>32)*nz0<<8 | uint64(w); pk < best0 {
+				best0 = pk
+			}
+			if pk := (e1>>32)*nz1<<8 | uint64(w+1); pk < best1 {
+				best1 = pk
+			}
+		}
+		if w < len(set) { // odd way count
+			e := set[w]
+			if e&0xffffffff == tag {
+				set[w] = tick<<32 | tag
+				return 0, false
+			}
+			nz := (e&0xffffffff + 0xffffffff) >> 32
+			if pk := (e>>32)*nz<<8 | uint64(w); pk < best0 {
+				best0 = pk
+			}
+		}
+		if best1 < best0 {
+			best0 = best1
+		}
+		victim := best0 & 0xff
+		if old := set[victim] & 0xffffffff; old != 0 {
+			evicted = (old - 1) << c.lineShift
+			wasEvicted = true
+		}
+		set[victim] = tick<<32 | tag
+		return evicted, wasEvicted
+	}
 	victim := base
 	oldest := ^uint64(0)
 	for w := uint32(0); w < c.ways; w++ {
 		i := base + w
-		if c.tags[i] == line {
-			c.stamp[i] = c.tick
+		e := c.ent[i]
+		if e&0xffffffff == tag {
+			c.ent[i] = tick<<32 | tag
 			return 0, false
 		}
-		if c.tags[i] == 0 {
+		if e&0xffffffff == 0 {
 			// Prefer an invalid way; stamp 0 guarantees selection
 			// over any valid entry.
 			if oldest != 0 {
@@ -146,34 +323,63 @@ func (c *Cache) Fill(addr uint64) (evicted uint64, wasEvicted bool) {
 			}
 			continue
 		}
-		if c.stamp[i] < oldest {
-			victim, oldest = i, c.stamp[i]
+		if e>>32 < oldest {
+			victim, oldest = i, e>>32
 		}
 	}
-	if c.tags[victim] != 0 {
-		evicted = (c.tags[victim] - 1) << c.lineShift
+	if old := c.ent[victim] & 0xffffffff; old != 0 {
+		evicted = (old - 1) << c.lineShift
 		wasEvicted = true
 	}
-	c.tags[victim] = line
-	c.stamp[victim] = c.tick
+	c.ent[victim] = tick<<32 | tag
 	return evicted, wasEvicted
 }
 
 // Flush invalidates every line and resets counters.
 func (c *Cache) Flush() {
-	for i := range c.tags {
-		c.tags[i] = 0
-		c.stamp[i] = 0
+	if c.ref.Load() > 1 {
+		// The shared array must not be zeroed in place; detach instead.
+		if c.ref.Add(-1) == 0 {
+			ent := c.ent
+			c.pool.Put(&ent)
+		}
+		c.ref = new(atomic.Int32)
+		c.ref.Store(1)
+		c.ent = make([]uint64, len(c.ent))
+	} else {
+		for i := range c.ent {
+			c.ent[i] = 0
+		}
 	}
 	c.tick = 0
 	c.hits = 0
 	c.misses = 0
 }
 
-// Clone returns a deep copy.
+// Clone returns a logically independent copy. Tag state is shared
+// copy-on-write: the array is not copied until one side mutates, so
+// cloning is O(1) regardless of capacity. The clone and the parent may
+// subsequently run on different goroutines.
 func (c *Cache) Clone() Cache {
-	cp := *c
-	cp.tags = append([]uint64(nil), c.tags...)
-	cp.stamp = append([]uint64(nil), c.stamp...)
-	return cp
+	c.ref.Add(1)
+	return *c
 }
+
+// Release drops this Cache's share of the tag array. Calling it when
+// discarding a clone lets the surviving sharer mutate in place again
+// instead of paying a copy-on-first-write; forgetting it is safe, merely
+// slower. The Cache must not be used after Release.
+func (c *Cache) Release() {
+	if c.ref != nil {
+		if c.ref.Add(-1) == 0 {
+			ent := c.ent
+			c.pool.Put(&ent)
+		}
+		c.ref = nil
+		c.ent = nil
+	}
+}
+
+// Shared reports whether the tag array is currently shared with another
+// Cache (used by tests).
+func (c *Cache) Shared() bool { return c.ref.Load() > 1 }

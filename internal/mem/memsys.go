@@ -2,6 +2,7 @@ package mem
 
 import (
 	"fmt"
+	"math/bits"
 
 	"pcstall/internal/clock"
 )
@@ -106,7 +107,9 @@ func (q *queue) pop() Request {
 }
 
 func (q *queue) clone() queue {
-	return queue{buf: append([]Request(nil), q.buf...), head: q.head}
+	// Only the live tail matters; dropping the consumed prefix keeps
+	// clones of long-running queues small.
+	return queue{buf: append([]Request(nil), q.buf[q.head:]...)}
 }
 
 // completion is a response scheduled to land at time At.
@@ -114,6 +117,50 @@ type completion struct {
 	At  clock.Time
 	Seq int64 // tie-break so completion order is deterministic
 	Req Request
+}
+
+func lessAtSeq(at1 clock.Time, seq1 int64, at2 clock.Time, seq2 int64) bool {
+	if at1 != at2 {
+		return at1 < at2
+	}
+	return seq1 < seq2
+}
+
+// ring is a FIFO of completions whose land times are pushed in
+// non-decreasing order, so the head is always the earliest. L2-hit and
+// DRAM responses each have a fixed latency from a monotonically advancing
+// uncore clock, which makes a plain ring an O(1) replacement for a heap.
+type ring struct {
+	buf  []completion
+	head int
+}
+
+func (q *ring) push(c completion) {
+	if n := len(q.buf); n > q.head && c.At < q.buf[n-1].At {
+		panic("mem: completion ring pushed out of order")
+	}
+	q.buf = append(q.buf, c)
+}
+
+func (q *ring) len() int { return len(q.buf) - q.head }
+
+func (q *ring) peek() *completion { return &q.buf[q.head] }
+
+func (q *ring) pop() completion {
+	c := q.buf[q.head]
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return c
+}
+
+func (q *ring) clone() ring {
+	// Only the live tail matters; dropping the consumed prefix keeps
+	// clones of long-running rings small.
+	return ring{buf: append([]completion(nil), q.buf[q.head:]...)}
 }
 
 // complHeap is a binary min-heap ordered by (At, Seq).
@@ -175,15 +222,32 @@ type Stats struct {
 // clocked at the fixed uncore frequency. Each uncore cycle every bank
 // dequeues at most one request and DRAM dequeues at most DRAMWidth.
 type MemSys struct {
-	Cfg    Config
-	banks  []queue
-	dramQ  queue
-	l2     []Cache
-	compl  complHeap
-	seq    int64
-	cycle  int64 // uncore cycles consumed (cycle k happens at k*period)
-	period clock.Time
-	stats  Stats
+	Cfg   Config
+	banks []queue
+	dramQ queue
+	l2    []Cache
+	// Completions are split by source. L2-hit and DRAM responses land a
+	// fixed latency after uncore cycles that only move forward, so each
+	// class is FIFO and lives in an O(1) ring. CU-local L1-hit responses
+	// (ScheduleLocal) use per-CU clocks whose frequency can change, so
+	// only they need a heap. PopDone merges the three by (At, Seq).
+	l2Done   ring
+	dramDone ring
+	local    complHeap
+	seq      int64
+	cycle    int64 // uncore cycles consumed (cycle k happens at k*period)
+	period   clock.Time
+	bankOcc  int // total requests sitting in bank queues
+	// bankBits has bit b set while bank b's queue is non-empty, letting
+	// Tick visit only occupied banks. Maintained only when the bank count
+	// fits in a word (≤ 64); with more banks it stays 0 and Tick scans.
+	bankBits uint64
+	// lineShift and bankMask implement BankOf with shift/mask when line
+	// size and bank count are powers of two (bankMask is 0 otherwise and
+	// BankOf falls back to division).
+	lineShift uint32
+	bankMask  uint64
+	stats     Stats
 }
 
 // NewMemSys builds the shared hierarchy.
@@ -197,6 +261,12 @@ func NewMemSys(cfg Config) *MemSys {
 		l2:     make([]Cache, cfg.L2Banks),
 		period: cfg.UncoreFreq.PeriodPs(),
 	}
+	for 1<<m.lineShift != cfg.LineBytes {
+		m.lineShift++ // LineBytes is a validated power of two
+	}
+	if b := cfg.L2Banks; b&(b-1) == 0 {
+		m.bankMask = uint64(b - 1)
+	}
 	for i := range m.l2 {
 		m.l2[i] = mustCache(cfg.L2Sets, cfg.L2Ways, cfg.LineBytes)
 	}
@@ -208,27 +278,27 @@ func (m *MemSys) Stats() Stats { return m.stats }
 
 // BankOf returns the L2 bank servicing addr.
 func (m *MemSys) BankOf(addr uint64) int {
+	if m.bankMask != 0 {
+		return int((addr >> m.lineShift) & m.bankMask)
+	}
 	return int((addr / uint64(m.Cfg.LineBytes)) % uint64(m.Cfg.L2Banks))
 }
 
 // Submit enqueues an L1 miss into its L2 bank queue.
 func (m *MemSys) Submit(r Request) {
 	m.stats.Submitted++
-	m.banks[m.BankOf(r.Addr)].push(r)
+	b := m.BankOf(r.Addr)
+	m.banks[b].push(r)
+	m.bankOcc++
+	if len(m.banks) <= 64 {
+		m.bankBits |= 1 << uint(b)
+	}
 }
 
 // Pending reports whether any queue still holds work (completions alone do
 // not require uncore ticks; they are drained by PopDone).
 func (m *MemSys) Pending() bool {
-	if m.dramQ.len() > 0 {
-		return true
-	}
-	for i := range m.banks {
-		if m.banks[i].len() > 0 {
-			return true
-		}
-	}
-	return false
+	return m.bankOcc > 0 || m.dramQ.len() > 0
 }
 
 // NextTickAfter returns the first uncore cycle boundary strictly after t,
@@ -242,10 +312,22 @@ func (m *MemSys) NextTickAfter(t clock.Time) clock.Time {
 // NextDone returns the land time of the earliest scheduled completion, or
 // false if none are in flight.
 func (m *MemSys) NextDone() (clock.Time, bool) {
-	if len(m.compl) == 0 {
-		return 0, false
+	at := clock.Time(0)
+	ok := false
+	if m.l2Done.len() > 0 {
+		at, ok = m.l2Done.peek().At, true
 	}
-	return m.compl[0].At, true
+	if m.dramDone.len() > 0 {
+		if t := m.dramDone.peek().At; !ok || t < at {
+			at, ok = t, true
+		}
+	}
+	if len(m.local) > 0 {
+		if t := m.local[0].At; !ok || t < at {
+			at, ok = t, true
+		}
+	}
+	return at, ok
 }
 
 // Tick advances the shared hierarchy by one uncore cycle at time now:
@@ -253,52 +335,142 @@ func (m *MemSys) NextDone() (clock.Time, bool) {
 // miss → DRAM queue and L2 fill on the miss path), and DRAM dequeues up
 // to DRAMWidth requests (response after DRAMLat).
 func (m *MemSys) Tick(now clock.Time) {
-	for b := range m.banks {
-		if m.banks[b].len() == 0 {
-			continue
+	if m.bankOcc > 0 && len(m.banks) <= 64 {
+		// Visit only occupied banks; bit order is ascending bank index,
+		// matching the plain scan exactly.
+		for bb := m.bankBits; bb != 0; bb &= bb - 1 {
+			b := bits.TrailingZeros64(bb)
+			m.tickBank(b, now)
 		}
-		r := m.banks[b].pop()
-		if m.l2[b].Probe(r.Addr) {
-			m.stats.L2Hits++
-			m.schedule(r, now+clock.Time(m.Cfg.L2Latency)*m.period)
-			continue
+	} else if m.bankOcc > 0 {
+		for b := range m.banks {
+			if m.banks[b].len() == 0 {
+				continue
+			}
+			m.tickBank(b, now)
 		}
-		m.stats.L2Misses++
-		m.dramQ.push(r)
 	}
+	m.tickDRAM(now)
+}
+
+// TickRun advances the shared hierarchy through consecutive uncore cycles
+// starting at now, stopping before horizon (exclusive) — a time the
+// caller guarantees free of CU events, so no new request can be submitted
+// inside the window. TickRun additionally stops before the earliest land
+// time of any completion it could itself schedule (now + min latency), so
+// the caller never misses a response. The first cycle at now always runs.
+// It returns the time of the next uncore cycle and whether queued work
+// remains; with no queued work the hierarchy needs no further ticks until
+// the next Submit.
+//
+// Batching cycles here instead of returning to the event loop for each
+// one is what makes memory-bound stretches cheap: the per-event loop
+// overhead (schedule min scans, completion checks) is paid once per
+// batch, not once per 625ps uncore cycle.
+func (m *MemSys) TickRun(now, horizon clock.Time) (clock.Time, bool) {
+	minLat := m.Cfg.L2Latency
+	if m.Cfg.DRAMLat < minLat {
+		minLat = m.Cfg.DRAMLat
+	}
+	if h := now + clock.Time(minLat)*m.period; h < horizon {
+		horizon = h
+	}
+	t := now
+	for {
+		m.Tick(t)
+		if m.bankOcc == 0 && m.dramQ.len() == 0 {
+			return 0, false
+		}
+		t += m.period
+		if t >= horizon {
+			return t, true
+		}
+	}
+}
+
+// tickBank dequeues one request from a non-empty bank queue: L2 hit →
+// response after L2Latency; miss → DRAM queue.
+func (m *MemSys) tickBank(b int, now clock.Time) {
+	r := m.banks[b].pop()
+	m.bankOcc--
+	if m.banks[b].len() == 0 {
+		m.bankBits &^= 1 << uint(b)
+	}
+	if m.l2[b].Probe(r.Addr) {
+		m.stats.L2Hits++
+		m.seq++
+		m.l2Done.push(completion{At: now + clock.Time(m.Cfg.L2Latency)*m.period, Seq: m.seq, Req: r})
+		return
+	}
+	m.stats.L2Misses++
+	m.dramQ.push(r)
+}
+
+// tickDRAM dequeues up to DRAMWidth requests from the DRAM queue, filling
+// L2 on the miss path and scheduling responses after DRAMLat.
+func (m *MemSys) tickDRAM(now clock.Time) {
 	for i := 0; i < m.Cfg.DRAMWidth && m.dramQ.len() > 0; i++ {
 		r := m.dramQ.pop()
 		m.stats.DRAMReqs++
 		m.l2[m.BankOf(r.Addr)].Fill(r.Addr)
-		m.schedule(r, now+clock.Time(m.Cfg.DRAMLat)*m.period)
+		m.seq++
+		m.dramDone.push(completion{At: now + clock.Time(m.Cfg.DRAMLat)*m.period, Seq: m.seq, Req: r})
 	}
-}
-
-func (m *MemSys) schedule(r Request, at clock.Time) {
-	m.seq++
-	m.compl.push(completion{At: at, Seq: m.seq, Req: r})
 }
 
 // ScheduleLocal schedules a response that bypasses the shared hierarchy —
 // the CU uses it for L1 hits, whose latency is in the CU's own clock
 // domain. The response lands through the same deterministic completion
-// queue as L2/DRAM responses.
+// queue as L2/DRAM responses. CU clock frequencies can drop between
+// issues, so local land times are not monotonic and need the heap.
 func (m *MemSys) ScheduleLocal(r Request, at clock.Time) {
 	r.L1Hit = true
-	m.schedule(r, at)
+	m.seq++
+	m.local.push(completion{At: at, Seq: m.seq, Req: r})
 }
 
 // PopDone appends to buf every completion landing at or before now, in
 // deterministic (time, sequence) order, and returns the extended slice.
+// The order is identical to a single (At, Seq) min-heap over all three
+// completion sources.
 func (m *MemSys) PopDone(now clock.Time, buf []Request) []Request {
-	for len(m.compl) > 0 && m.compl[0].At <= now {
-		buf = append(buf, m.compl.pop().Req)
+	for {
+		const none = -1
+		src := none
+		var at clock.Time
+		var seq int64
+		if m.l2Done.len() > 0 {
+			if c := m.l2Done.peek(); c.At <= now {
+				src, at, seq = 0, c.At, c.Seq
+			}
+		}
+		if m.dramDone.len() > 0 {
+			if c := m.dramDone.peek(); c.At <= now && (src == none || lessAtSeq(c.At, c.Seq, at, seq)) {
+				src, at, seq = 1, c.At, c.Seq
+			}
+		}
+		if len(m.local) > 0 {
+			if c := &m.local[0]; c.At <= now && (src == none || lessAtSeq(c.At, c.Seq, at, seq)) {
+				src = 2
+			}
+		}
+		switch src {
+		case 0:
+			buf = append(buf, m.l2Done.pop().Req)
+		case 1:
+			buf = append(buf, m.dramDone.pop().Req)
+		case 2:
+			buf = append(buf, m.local.pop().Req)
+		default:
+			return buf
+		}
 	}
-	return buf
 }
 
 // InFlight returns the number of scheduled, unlanded completions.
-func (m *MemSys) InFlight() int { return len(m.compl) }
+func (m *MemSys) InFlight() int {
+	return m.l2Done.len() + m.dramDone.len() + len(m.local)
+}
 
 // QueueDepth returns the total occupancy of bank and DRAM queues, an
 // indicator of contention used by tests and traces.
@@ -319,18 +491,26 @@ func (m *MemSys) L2HitRate() float64 {
 	return float64(m.stats.L2Hits) / float64(tot)
 }
 
-// Clone returns a deep copy of the full shared-hierarchy state.
+// Clone returns a deep copy of the full shared-hierarchy state. Queue and
+// completion state is copied eagerly (it is small and churns constantly);
+// the L2 tag arrays — the bulk — are shared copy-on-write via Cache.Clone.
 func (m *MemSys) Clone() *MemSys {
 	cp := &MemSys{
-		Cfg:    m.Cfg,
-		banks:  make([]queue, len(m.banks)),
-		dramQ:  m.dramQ.clone(),
-		l2:     make([]Cache, len(m.l2)),
-		compl:  append(complHeap(nil), m.compl...),
-		seq:    m.seq,
-		cycle:  m.cycle,
-		period: m.period,
-		stats:  m.stats,
+		Cfg:       m.Cfg,
+		banks:     make([]queue, len(m.banks)),
+		dramQ:     m.dramQ.clone(),
+		l2:        make([]Cache, len(m.l2)),
+		l2Done:    m.l2Done.clone(),
+		dramDone:  m.dramDone.clone(),
+		local:     append(complHeap(nil), m.local...),
+		seq:       m.seq,
+		cycle:     m.cycle,
+		period:    m.period,
+		bankOcc:   m.bankOcc,
+		bankBits:  m.bankBits,
+		lineShift: m.lineShift,
+		bankMask:  m.bankMask,
+		stats:     m.stats,
 	}
 	for i := range m.banks {
 		cp.banks[i] = m.banks[i].clone()
@@ -339,4 +519,13 @@ func (m *MemSys) Clone() *MemSys {
 		cp.l2[i] = m.l2[i].Clone()
 	}
 	return cp
+}
+
+// Release drops this MemSys's copy-on-write share of the L2 tag arrays.
+// Call it when discarding a Clone whose parent lives on; forgetting it is
+// safe, merely slower. The MemSys must not be used after Release.
+func (m *MemSys) Release() {
+	for i := range m.l2 {
+		m.l2[i].Release()
+	}
 }

@@ -9,7 +9,10 @@
 //
 // The paper forks simulator processes; this package clones the in-process
 // simulator state (sim.GPU.Clone), which is functionally identical and
-// deterministic.
+// deterministic. Clones are copy-on-write — cache tag arrays, the bulk of
+// the state, are shared with the parent until first mutation — so forking
+// is cheap, and each fork is Released when its sample has been read so
+// the parent regains in-place mutation of anything left shared.
 package oracle
 
 import (
@@ -102,6 +105,15 @@ func (w *WFTruth) WFEstimateTrue(grid clock.Grid) estimate.WFEstimate {
 }
 
 // Sampler pre-executes upcoming epochs across the frequency grid.
+//
+// A Sampler is single-goroutine: the scratch EpochSample is reused across
+// samples, so SampleNext must not be called concurrently on the same
+// Sampler. Distinct Samplers may sample the same quiescent parent GPU from
+// different goroutines — the copy-on-write clone machinery is built for
+// exactly that — as long as nothing runs the parent meanwhile. The
+// returned Truth never aliases the scratch state: every slice and map in
+// it is freshly allocated, so it stays valid across later SampleNext
+// calls.
 type Sampler struct {
 	Grid clock.Grid
 	PM   *power.Model
@@ -156,26 +168,30 @@ func (s *Sampler) SampleNext(g *sim.GPU, epoch clock.Time) *Truth {
 		c := g.Clone()
 		// Reset the clone's per-epoch counters so the sample measures
 		// exactly the pre-executed epoch, regardless of when the parent
-		// last collected.
-		c.CollectEpoch(&s.scratch)
+		// last collected. ResetEpoch discards instead of collecting —
+		// no record building for counters nobody reads.
+		c.ResetEpoch()
 		for d := 0; d < nd; d++ {
 			c.SetDomainFreq(d, s.Grid.State((d+smp)%k), 0)
 		}
+		start := c.Now
 		c.RunUntil(c.Now + epoch)
-		c.CollectEpoch(&s.scratch)
-		es := &s.scratch
-		dur := es.End - es.Start
+		dur := c.Now - start
 		if s.Metrics != nil {
 			s.Metrics.Forks.Inc()
 			s.Metrics.PreExecPs.Add(int64(dur))
 		}
+		// The per-domain truth reads the fork's live epoch counters
+		// directly; the full EpochSample (with its per-wave records) is
+		// built only when the caller wants per-wavefront truth, and only
+		// after these reads — CollectEpoch resets the live counters.
 		for d := 0; d < nd; d++ {
 			st := (d + smp) % k
 			var committed, issue int64
 			lo, hi := g.Cfg.Domains.CUs(d)
 			for cu := lo; cu < hi; cu++ {
-				committed += es.CUs[cu].C.Committed
-				issue += es.CUs[cu].C.IssueSlots
+				committed += c.CUs[cu].C.Committed
+				issue += c.CUs[cu].C.IssueSlots
 			}
 			t.I[d][st] = float64(committed)
 			t.E[d][st] = s.PM.DomainEpochEnergyJ(s.Grid.State(st), issue, cusPerDom, simds, dur) +
@@ -183,8 +199,12 @@ func (s *Sampler) SampleNext(g *sim.GPU, epoch clock.Time) *Truth {
 			filled[d][st] = true
 		}
 		if s.CollectWF {
-			collectWF(g, t, es, smp, k)
+			c.CollectEpoch(&s.scratch)
+			collectWF(g, t, &s.scratch, smp, k)
 		}
+		// The fork is done: release its copy-on-write shares so the
+		// parent regains in-place mutation and privatized arrays recycle.
+		c.Release()
 	}
 	if nSamples < k {
 		if s.Metrics != nil {

@@ -26,7 +26,7 @@ func benchGPU(b *testing.B, app string, cus int) *sim.GPU {
 // BenchmarkSimulate measures simulation throughput: wall time per 50µs of
 // simulated time on an 8-CU GPU.
 func BenchmarkSimulate(b *testing.B) {
-	for _, app := range []string{"comd", "xsbench", "dgemm"} {
+	for _, app := range []string{"comd", "xsbench", "hpgmg", "dgemm"} {
 		b.Run(app, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				g := benchGPU(b, app, 8)
@@ -59,5 +59,39 @@ func BenchmarkEpochCollect(b *testing.B) {
 			g = benchGPU(b, "comd", 8)
 			b.StartTimer()
 		}
+	}
+}
+
+// BenchmarkEpochHotPath measures one steady-state epoch step — RunUntil,
+// CollectEpoch, and the per-domain ActivePCs lookup a PC-based policy
+// performs — after a warm-up epoch has sized every reused buffer. The
+// ci.sh allocation gate pins allocs/op at zero: nothing on this path may
+// allocate once buffers have reached steady state.
+func BenchmarkEpochHotPath(b *testing.B) {
+	for _, app := range []string{"comd", "xsbench"} {
+		b.Run(app, func(b *testing.B) {
+			g := benchGPU(b, app, 8)
+			var es sim.EpochSample
+			var pcs []sim.WavePC
+			step := func() {
+				g.RunUntil(g.Now + clock.Microsecond)
+				g.CollectEpoch(&es)
+				for d := 0; d < g.Cfg.Domains.NumDomains(); d++ {
+					pcs = g.ActivePCs(d, pcs[:0])
+				}
+			}
+			step() // warm-up: size es, pcs, and internal buffers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				step()
+				if g.Finished {
+					b.StopTimer()
+					g = benchGPU(b, app, 8)
+					step()
+					b.StartTimer()
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,173 @@
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"pcstall/internal/clock"
+	"pcstall/internal/isa"
+	"pcstall/internal/sim"
+	"pcstall/internal/workload"
+)
+
+// TestCollectEpochGrowRetainsSamples: reusing one EpochSample across GPUs
+// of growing CU count must not let the larger collection scribble over
+// per-wave records a consumer retained from the smaller one. (Regression:
+// the grow path once copied the old CUEpoch headers into the larger
+// array, so the new sample's WFs aliased backing arrays the consumer
+// still held.)
+func TestCollectEpochGrowRetainsSamples(t *testing.T) {
+	build := func(cus int) *sim.GPU {
+		a := workload.MustBuild("xsbench", workload.DefaultGenConfig(cus))
+		g, err := sim.New(sim.DefaultConfig(cus), a.Kernels, a.Launches)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+
+	var es sim.EpochSample
+	small := build(2)
+	small.RunUntil(2 * clock.Microsecond)
+	small.CollectEpoch(&es)
+	retained := es.CUs[0].WFs
+	if len(retained) == 0 {
+		t.Fatal("no resident waves in the small sample; test needs a live epoch")
+	}
+	snap := append([]sim.WFRecord(nil), retained...)
+
+	big := build(8)
+	big.RunUntil(2 * clock.Microsecond)
+	big.CollectEpoch(&es) // grows es.CUs from 2 to 8 entries
+	big.RunUntil(4 * clock.Microsecond)
+	big.CollectEpoch(&es) // rewrites records in place
+
+	if !reflect.DeepEqual(retained, snap) {
+		t.Fatal("records retained from the pre-grow sample were mutated by a later CollectEpoch")
+	}
+}
+
+// TestThrottledWavesWakeFIFO: waves parked on MSHR backpressure must wake
+// in the order they throttled, and the whole parked span must land in
+// StallPs — waking a wave that cannot issue (and re-stamping BlockedSince
+// when it instantly re-throttles) used to drop the wake-to-re-throttle
+// gap from the accounting. With every wave either issuing, memory-stalled,
+// or waiting a handful of scheduler cycles, residency must be nearly
+// fully explained by occupancy plus stall.
+func TestThrottledWavesWakeFIFO(t *testing.T) {
+	cfg := sim.DefaultConfig(1)
+	cfg.Mem.L1MSHRs = 4
+	p := isa.NewBuilder("thr", 0).
+		Load(isa.AccessPattern{Kind: isa.PatRandom, Base: 1 << 30, WorkingSet: 64 << 20, Stride: 64, Lines: 4}).
+		WaitAll().
+		MustBuild()
+	k := isa.Kernel{Program: p, Workgroups: 1, WavesPerWG: 3}
+	g, err := sim.New(cfg, []isa.Kernel{k}, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.RunUntil(clock.Millisecond)
+	if !g.Finished {
+		t.Fatal("three-wave MSHR kernel hung")
+	}
+	es := collect(g)
+	recs := es.CUs[0].WFs
+	if len(recs) != 3 {
+		t.Fatalf("want 3 wave records, got %d", len(recs))
+	}
+	// Wave 0 fills the MSHRs; waves 1 and 2 throttle in age order and
+	// must be replayed in that order, so each later wave stalls longer.
+	for i := 1; i < 3; i++ {
+		if recs[i].C.StallPs <= recs[i-1].C.StallPs {
+			t.Fatalf("wave %d stalled %dps, wave %d stalled %dps — FIFO replay should wake older waves first",
+				recs[i-1].GlobalWave, recs[i-1].C.StallPs, recs[i].GlobalWave, recs[i].C.StallPs)
+		}
+	}
+	// Stall conservation: residency = occupancy + stall + a few cycles
+	// of scheduling slack. A re-stamped BlockedSince shows up here as a
+	// large unexplained gap.
+	const slackPs = 64 * 590 // ~64 cycles at the slowest grid frequency
+	for _, r := range recs {
+		explained := r.C.OccupancyPs + r.C.StallPs
+		if explained > r.ResidentPs {
+			t.Fatalf("wave %d: occupancy+stall %dps exceeds residency %dps", r.GlobalWave, explained, r.ResidentPs)
+		}
+		if gap := r.ResidentPs - explained; gap > slackPs {
+			t.Fatalf("wave %d: %dps of its %dps residency is neither occupancy nor stall — throttled time leaked from the accounting",
+				r.GlobalWave, gap, r.ResidentPs)
+		}
+	}
+}
+
+// TestMaxCyclesBudgetMatchesLegacy: the cycle budget must measure
+// simulated work, not loop iterations — leaping over a known-busy span
+// still charges every skipped cycle. A budget-limited run must therefore
+// trip at the same simulated time under the event-driven loop as under
+// the legacy per-cycle loop.
+func TestMaxCyclesBudgetMatchesLegacy(t *testing.T) {
+	run := func(legacy bool) *sim.GPU {
+		cfg := sim.DefaultConfig(2)
+		cfg.LegacyTick = legacy
+		cfg.MaxCycles = 20_000
+		a := workload.MustBuild("xsbench", workload.DefaultGenConfig(2))
+		g, err := sim.New(cfg, a.Kernels, a.Launches)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.RunUntil(clock.Millisecond)
+		return g
+	}
+	ev, lg := run(false), run(true)
+	if ev.Stuck == nil || lg.Stuck == nil {
+		t.Fatalf("budget did not trip: event %v, legacy %v", ev.Stuck, lg.Stuck)
+	}
+	if ev.Now != lg.Now {
+		t.Fatalf("budget tripped at %dps under the event loop but %dps under the legacy loop", ev.Now, lg.Now)
+	}
+	if ev.Cycles != lg.Cycles {
+		t.Fatalf("budget charged %d cycles under the event loop but %d under the legacy loop", ev.Cycles, lg.Cycles)
+	}
+}
+
+// TestEventLoopMatchesLegacyEpochStream is the differential property test
+// for the RunUntil rewrite: across seeds and workloads, the event-driven
+// loop must produce byte-identical epoch sample streams to the legacy
+// per-cycle loop — same counters, same per-wave records, same finish
+// state, epoch by epoch.
+func TestEventLoopMatchesLegacyEpochStream(t *testing.T) {
+	for _, app := range []string{"xsbench", "dgemm"} {
+		for _, seed := range []uint64{1, 2, 3} {
+			t.Run(app, func(t *testing.T) {
+				gen := workload.DefaultGenConfig(4)
+				gen.Seed = seed
+				gen.Scale = 0.25
+				a := workload.MustBuild(app, gen)
+				build := func(legacy bool) *sim.GPU {
+					cfg := sim.DefaultConfig(4)
+					cfg.LegacyTick = legacy
+					g, err := sim.New(cfg, a.Kernels, a.Launches)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return g
+				}
+				ev, lg := build(false), build(true)
+				var esE, esL sim.EpochSample
+				for epoch := 0; epoch < 30 && !ev.Finished; epoch++ {
+					end := clock.Time(epoch+1) * clock.Microsecond
+					ev.RunUntil(end)
+					lg.RunUntil(end)
+					ev.CollectEpoch(&esE)
+					lg.CollectEpoch(&esL)
+					if !reflect.DeepEqual(esE, esL) {
+						t.Fatalf("seed %d epoch %d: event-driven sample diverges from legacy", seed, epoch)
+					}
+				}
+				if ev.Finished != lg.Finished || ev.Now != lg.Now || ev.Cycles != lg.Cycles {
+					t.Fatalf("seed %d: end state diverged (finished %v/%v, now %d/%d, cycles %d/%d)",
+						seed, ev.Finished, lg.Finished, ev.Now, lg.Now, ev.Cycles, lg.Cycles)
+				}
+			})
+		}
+	}
+}

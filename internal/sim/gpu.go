@@ -27,10 +27,16 @@ type Config struct {
 	InitFreq clock.Freq
 	// Seed drives all workload randomness.
 	Seed uint64
-	// MaxCycles bounds the total CU cycle events the simulation may
-	// execute; when the budget runs out RunUntil stops with a
-	// DeadlockCycleLimit diagnostic in GPU.Stuck. 0 means unbounded.
+	// MaxCycles bounds the total CU cycles the simulation may execute
+	// (skipped spans included); when the budget runs out RunUntil stops
+	// with a DeadlockCycleLimit diagnostic in GPU.Stuck. 0 means unbounded.
 	MaxCycles int64
+	// LegacyTick selects the pre-event-driven RunUntil structure, which
+	// re-schedules a CU after every individual memory completion instead
+	// of once per completion batch. Both loops produce byte-identical
+	// EpochSample streams; the flag exists so differential tests can prove
+	// it. New code should leave it false.
+	LegacyTick bool
 }
 
 // DefaultConfig returns the paper's platform scaled by numCUs: per-CU V/f
@@ -118,7 +124,13 @@ type GPU struct {
 
 	heap      tickHeap
 	memTickAt clock.Time
-	doneBuf   []mem.Request
+	// memDirty is set by submit/scheduleLocal so the event loop knows a
+	// CU sweep changed the memory system's next-completion time.
+	memDirty bool
+	doneBuf  []mem.Request
+	// dirty lists CUs touched by the current completion batch; the
+	// event-driven loop re-schedules each once per batch.
+	dirty []int32
 }
 
 // New builds a GPU running the given launch sequence. It validates the
@@ -158,8 +170,14 @@ func New(cfg Config, kernels []isa.Kernel, launches []int32) (*GPU, error) {
 		memTickAt: InfTime,
 		LaunchIdx: -1,
 	}
+	maxBranchSlots := 0
+	for i := range kernels {
+		if s := kernels[i].Program.BranchSlots; s > maxBranchSlots {
+			maxBranchSlots = s
+		}
+	}
 	for i := range g.CUs {
-		g.CUs[i] = newCU(int32(i), int32(cfg.Domains.DomainOf(i)), &cfg)
+		g.CUs[i] = newCU(int32(i), int32(cfg.Domains.DomainOf(i)), &cfg, maxBranchSlots)
 	}
 	for d := range g.Domains {
 		g.Domains[d] = clock.NewDomain(int32(d), cfg.InitFreq)
@@ -250,6 +268,7 @@ func (g *GPU) noteWaveDone(now clock.Time) {
 // submit routes a request into the shared hierarchy, waking the uncore.
 func (g *GPU) submit(r mem.Request) {
 	g.Msys.Submit(r)
+	g.memDirty = true
 	if g.memTickAt == InfTime {
 		g.memTickAt = g.Msys.NextTickAfter(g.Now)
 	}
@@ -258,20 +277,19 @@ func (g *GPU) submit(r mem.Request) {
 // scheduleLocal schedules an L1-hit response.
 func (g *GPU) scheduleLocal(r mem.Request, at clock.Time) {
 	g.Msys.ScheduleLocal(r, at)
+	g.memDirty = true
 }
 
 // scheduleCU recomputes cu's next tick: the first domain tick at which
 // some runnable wavefront's SIMD is free, or sleep if nothing can issue.
+// This is the cycle-skipping core — when every SIMD with runnable work is
+// busy, the CU leaps straight past the known-busy span instead of ticking
+// through it. O(#SIMDs) thanks to the maintained runnable counts.
 func (g *GPU) scheduleCU(cu *CU, now clock.Time) {
 	earliest := InfTime
 	for s := range cu.SIMDFreeAt {
-		for _, slot := range cu.simdQ[s] {
-			if cu.WFs[slot].State == WFRunning {
-				if cu.SIMDFreeAt[s] < earliest {
-					earliest = cu.SIMDFreeAt[s]
-				}
-				break
-			}
+		if cu.runnable[s] > 0 && cu.SIMDFreeAt[s] < earliest {
+			earliest = cu.SIMDFreeAt[s]
 		}
 	}
 	if earliest == InfTime {
@@ -280,6 +298,11 @@ func (g *GPU) scheduleCU(cu *CU, now clock.Time) {
 		return
 	}
 	cu.closeIdle(now)
+	if g.heap.key[cu.ID] == InfTime {
+		// Waking from sleep: the slept span holds no CU cycles, so the
+		// budget must not be billed for it.
+		cu.cycleMark = now
+	}
 	dom := &g.Domains[cu.Domain]
 	t := earliest - 1
 	if t < now {
@@ -296,6 +319,11 @@ func (g *GPU) applyCompletion(r mem.Request, now clock.Time) {
 	if r.Store {
 		cu.StoresInFlight--
 		cu.L1MissOut--
+		if wf.OutStores == 1 && (wf.State == WFWaitCnt || wf.State == WFThrottled) {
+			// Last in-flight store of a memory-blocked wave drains; the
+			// wave no longer counts toward store-classified idle time.
+			cu.blockedStore--
+		}
 		wf.OutStores--
 	} else {
 		cu.LoadsInFlight--
@@ -316,20 +344,35 @@ func (g *GPU) applyCompletion(r mem.Request, now clock.Time) {
 			}
 		}
 	}
-	if !r.L1Hit {
-		// A miss completion freed an MSHR: release throttled waves so
-		// they can retry their memory issue.
-		for i := range cu.WFs {
-			twf := &cu.WFs[i]
-			if twf.State == WFThrottled {
-				twf.C.StallPs += now - twf.BlockedSince
-				twf.State = WFRunning
+	if !r.L1Hit && cu.throttled > 0 {
+		// A miss completion freed MSHRs. Replay the throttled waves FIFO in
+		// the order they throttled, waking one only when its pending memory
+		// issue fits the free capacity, and stopping at the first that does
+		// not (in-order replay, like a hardware MSHR retry queue). Waking
+		// every wave — as the sim once did — left instantly re-throttling
+		// waves with a re-stamped BlockedSince, splitting one continuous
+		// stall span and dropping the wake-to-re-throttle gap from StallPs,
+		// besides burning scheduling work on waves that could not issue.
+		avail := int32(g.Cfg.Mem.L1MSHRs) - cu.L1MissOut
+		for cu.throttled > 0 && avail > 0 {
+			twf := &cu.WFs[cu.thrQ[cu.thrHead]]
+			lines := twf.ThrLines
+			if lines > avail {
+				break
 			}
+			avail -= lines
+			cu.thrPop()
+			twf.C.StallPs += now - twf.BlockedSince
+			twf.State = WFRunning
+			cu.noteRunnable(twf)
+			cu.noteMemWake(twf)
 		}
 	}
 	if wf.State == WFWaitCnt && wf.OutLoads+wf.OutStores <= wf.WaitThresh {
 		wf.C.StallPs += now - wf.BlockedSince
 		wf.State = WFRunning
+		cu.noteRunnable(wf)
+		cu.noteMemWake(wf)
 		prog := &g.Kernels[wf.Kernel].Program
 		cu.commit(g, wf, false)
 		if prog.Code[wf.PC].Kind == isa.EndPgm {
@@ -338,7 +381,6 @@ func (g *GPU) applyCompletion(r mem.Request, now clock.Time) {
 			wf.PC++
 		}
 	}
-	g.scheduleCU(cu, now)
 }
 
 // RunUntil advances simulated time to limit (or until the application
@@ -354,6 +396,151 @@ func (g *GPU) applyCompletion(r mem.Request, now clock.Time) {
 // navigable: further RunUntil calls just advance Now so callers' epoch
 // loops terminate instead of spinning.
 func (g *GPU) RunUntil(limit clock.Time) {
+	if g.Cfg.LegacyTick {
+		g.runUntilLegacy(limit)
+		return
+	}
+	// The three event sources — CU tick schedule, uncore tick, completion
+	// queue — are cached across iterations and refreshed only when they
+	// can actually have moved: the tick schedule after a drain or a CU
+	// sweep, the completion queue after a drain, an uncore batch, or a
+	// submit/L1-hit scheduled during a sweep (memDirty).
+	ci, ck := g.heap.min()
+	nd, ndok := g.Msys.NextDone()
+	for !g.Finished && g.Stuck == nil {
+		t := ck
+		if g.memTickAt < t {
+			t = g.memTickAt
+		}
+		if ndok && nd < t {
+			t = nd
+		}
+		if t == InfTime {
+			g.Stuck = g.diagnoseStall()
+			break
+		}
+		if t > limit {
+			break
+		}
+		g.Now = t
+
+		// Apply the whole completion batch, then re-schedule each touched
+		// CU once. Per-completion re-scheduling (the legacy structure) is
+		// equivalent — scheduleCU is a pure recomputation, and same-time
+		// zero-duration idle intervals contribute nothing — but does the
+		// heap and idle bookkeeping once per completion instead of once
+		// per batch. A completion is due only when nd == t, so the drain
+		// is skipped entirely on pure tick events.
+		if ndok && nd <= t {
+			g.doneBuf = g.Msys.PopDone(t, g.doneBuf[:0])
+			for _, r := range g.doneBuf {
+				if g.Finished {
+					break
+				}
+				g.applyCompletion(r, t)
+				cu := &g.CUs[r.CU]
+				if !cu.dirtySched {
+					cu.dirtySched = true
+					g.dirty = append(g.dirty, r.CU)
+				}
+			}
+			for _, ci := range g.dirty {
+				cu := &g.CUs[ci]
+				cu.dirtySched = false
+				if !g.Finished {
+					g.scheduleCU(cu, t)
+				}
+			}
+			g.dirty = g.dirty[:0]
+			if g.Finished {
+				break
+			}
+			// Rescheduling may have moved CU ticks, and the drain consumed
+			// completions; refresh both cached minima.
+			ci, ck = g.heap.min()
+			nd, ndok = g.Msys.NextDone()
+		}
+
+		if g.memTickAt == t {
+			// Batch-run uncore cycles up to the next CU event: the window
+			// below holds no CU tick (ck), no completion landing (nd — and
+			// TickRun stops before anything it schedules itself could
+			// land), and no time past the caller's limit, so no submission
+			// or wake can occur inside it. Uncore ticks never touch CU
+			// tick keys, so the cached (ci, ck) stays valid across the
+			// batch.
+			horizon := ck
+			if ndok && nd < horizon {
+				horizon = nd
+			}
+			if limit+1 < horizon {
+				horizon = limit + 1
+			}
+			if next, pending := g.Msys.TickRun(t, horizon); pending {
+				g.memTickAt = next
+			} else {
+				g.memTickAt = InfTime
+			}
+			// The batch moved requests into the completion queues.
+			nd, ndok = g.Msys.NextDone()
+		}
+
+		if ck != t {
+			continue
+		}
+		g.memDirty = false
+		if g.heap.linear {
+			// One ascending pass ticks every CU due at t. A tick only
+			// rewrites its own key (to a strictly later time), so this
+			// visits exactly the CUs repeated min() would, in the same
+			// index order, at one key scan per time step instead of one
+			// per tick.
+			for i := range g.heap.key {
+				if g.heap.key[i] != t {
+					continue
+				}
+				g.CUs[i].tick(g, t)
+				if g.Cfg.MaxCycles > 0 && g.Cycles >= g.Cfg.MaxCycles && !g.Finished && g.Stuck == nil {
+					g.Stuck = &DeadlockError{
+						Kind: DeadlockCycleLimit, Now: t, Cycles: g.Cycles,
+						Waiting: g.residentWaves(),
+					}
+				}
+				if g.Finished || g.Stuck != nil {
+					break
+				}
+			}
+		} else {
+			for ck == t {
+				g.CUs[ci].tick(g, t)
+				if g.Cfg.MaxCycles > 0 && g.Cycles >= g.Cfg.MaxCycles && !g.Finished && g.Stuck == nil {
+					g.Stuck = &DeadlockError{
+						Kind: DeadlockCycleLimit, Now: t, Cycles: g.Cycles,
+						Waiting: g.residentWaves(),
+					}
+				}
+				if g.Finished || g.Stuck != nil {
+					break
+				}
+				ci, ck = g.heap.min()
+			}
+		}
+		ci, ck = g.heap.min()
+		if g.memDirty {
+			nd, ndok = g.Msys.NextDone()
+		}
+	}
+	if !g.Finished && g.Now < limit {
+		g.Now = limit
+	}
+}
+
+// runUntilLegacy is the pre-event-driven loop structure, retained behind
+// Config.LegacyTick so differential tests can prove the event-driven loop
+// produces byte-identical results. It re-schedules a CU after every
+// individual completion instead of once per batch; everything else —
+// tick, applyCompletion, cycle accounting — is shared.
+func (g *GPU) runUntilLegacy(limit clock.Time) {
 	for !g.Finished && g.Stuck == nil {
 		_, t := g.heap.min()
 		if g.memTickAt < t {
@@ -377,6 +564,7 @@ func (g *GPU) RunUntil(limit clock.Time) {
 				break
 			}
 			g.applyCompletion(r, t)
+			g.scheduleCU(&g.CUs[r.CU], t)
 		}
 		if g.Finished {
 			break
@@ -397,7 +585,6 @@ func (g *GPU) RunUntil(limit clock.Time) {
 				break
 			}
 			g.CUs[i].tick(g, t)
-			g.Cycles++
 			if g.Cfg.MaxCycles > 0 && g.Cycles >= g.Cfg.MaxCycles && !g.Finished && g.Stuck == nil {
 				g.Stuck = &DeadlockError{
 					Kind: DeadlockCycleLimit, Now: t, Cycles: g.Cycles,
@@ -439,13 +626,30 @@ func (g *GPU) CollectEpoch(out *EpochSample) {
 		out.Freqs[d] = g.Domains[d].Freq
 	}
 	if cap(out.CUs) < len(g.CUs) {
-		cus := make([]CUEpoch, len(g.CUs))
-		copy(cus, out.CUs)
-		out.CUs = cus
+		// Fresh entries only: copying the old CUEpoch headers would carry
+		// over WFs slices whose backing arrays a consumer may have
+		// retained from an earlier sample, and collect would then mutate
+		// records behind the consumer's back. Each new entry re-grows its
+		// own WFs on first use instead.
+		out.CUs = make([]CUEpoch, len(g.CUs))
 	}
 	out.CUs = out.CUs[:len(g.CUs)]
 	for i := range g.CUs {
 		g.CUs[i].collect(g, end, &out.CUs[i])
+	}
+	g.EpochStart = end
+}
+
+// ResetEpoch discards the epoch in progress and starts a fresh one at the
+// current time: exactly CollectEpoch's state effects without building a
+// sample. The oracle uses it to zero a fork's counters before
+// pre-executing, at a fraction of CollectEpoch's cost.
+func (g *GPU) ResetEpoch() {
+	end := g.Now
+	for i := range g.CUs {
+		cu := &g.CUs[i]
+		cu.closeEpochStamps(end)
+		cu.resetEpochState(g, end)
 	}
 	g.EpochStart = end
 }
@@ -500,8 +704,14 @@ type WavePC struct {
 	PC         uint64
 }
 
-// Clone deep-copies the entire simulator state. Kernels and launches are
-// immutable and shared.
+// Clone copies the entire simulator state; the clone executes identically
+// given identical frequency schedules and may run on another goroutine.
+// Kernels and launches are immutable and shared outright; L1/L2 cache tag
+// arrays — the bulk of the state — are shared copy-on-write and privatized
+// on first write, so cloning cost is proportional to the small mutable
+// core (waves, queues, counters), not cache capacity. Call Release on a
+// clone being discarded while its parent lives on; forgetting to is safe,
+// merely slower.
 func (g *GPU) Clone() *GPU {
 	cp := *g
 	cp.CUs = make([]CU, len(g.CUs))
@@ -512,5 +722,15 @@ func (g *GPU) Clone() *GPU {
 	cp.Msys = g.Msys.Clone()
 	cp.heap = g.heap.clone()
 	cp.doneBuf = nil
+	cp.dirty = nil
 	return &cp
+}
+
+// Release drops the GPU's copy-on-write share of cache tag state. The GPU
+// must not be used afterwards.
+func (g *GPU) Release() {
+	for i := range g.CUs {
+		g.CUs[i].L1.Release()
+	}
+	g.Msys.Release()
 }

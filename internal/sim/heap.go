@@ -5,23 +5,46 @@ import "pcstall/internal/clock"
 // InfTime is a sentinel "never" time for sleeping components.
 const InfTime = clock.Time(1) << 62
 
-// tickHeap is an indexed binary min-heap over per-component tick times.
-// Components are dense indices [0, n); ties break on component index so
-// event ordering — and therefore the whole simulation — is deterministic.
+// linearScanMax is the component count up to which the tick schedule uses
+// a flat array scan instead of heap maintenance. Up to 64 components the
+// key array spans at most eight cache lines, so a branch-free linear min
+// beats heap sift costs — and set() becomes a single store.
+const linearScanMax = 64
+
+// tickHeap is an indexed schedule of per-component tick times. For up to
+// linearScanMax components it is a flat array (set is one store, min is a
+// linear scan); beyond that it is an indexed binary min-heap. Components
+// are dense indices [0, n); ties break on component index so event
+// ordering — and therefore the whole simulation — is deterministic in
+// both modes.
 type tickHeap struct {
-	key  []clock.Time // key[i] = component i's next tick
-	heap []int32      // heap of component indices
-	pos  []int32      // pos[i] = index of component i within heap
+	key    []clock.Time // key[i] = component i's next tick
+	heap   []int32      // heap of component indices (heap mode only)
+	pos    []int32      // pos[i] = index of component i within heap
+	linear bool
+	// cachedIdx/cachedKey memoize the linear-mode minimum between
+	// rescans; cachedIdx < 0 marks the cache stale. The event loop calls
+	// min after every schedule change, so keeping the answer warm turns
+	// most of those calls into two loads.
+	cachedIdx int32
+	cachedKey clock.Time
 }
 
 func newTickHeap(n int) tickHeap {
 	h := tickHeap{
-		key:  make([]clock.Time, n),
-		heap: make([]int32, n),
-		pos:  make([]int32, n),
+		key:       make([]clock.Time, n),
+		linear:    n <= linearScanMax,
+		cachedIdx: -1,
 	}
 	for i := 0; i < n; i++ {
 		h.key[i] = InfTime
+	}
+	if h.linear {
+		return h
+	}
+	h.heap = make([]int32, n)
+	h.pos = make([]int32, n)
+	for i := 0; i < n; i++ {
 		h.heap[i] = int32(i)
 		h.pos[i] = int32(i)
 	}
@@ -74,6 +97,19 @@ func (h *tickHeap) down(i int32) {
 
 // set updates component i's next tick time.
 func (h *tickHeap) set(i int32, t clock.Time) {
+	if h.linear {
+		h.key[i] = t
+		if h.cachedIdx >= 0 {
+			if t < h.cachedKey || (t == h.cachedKey && i < h.cachedIdx) {
+				h.cachedIdx, h.cachedKey = i, t
+			} else if i == h.cachedIdx && t != h.cachedKey {
+				// The cached minimum moved later; some other
+				// component may now be earliest.
+				h.cachedIdx = -1
+			}
+		}
+		return
+	}
 	old := h.key[i]
 	if old == t {
 		return
@@ -88,15 +124,32 @@ func (h *tickHeap) set(i int32, t clock.Time) {
 
 // min returns the component with the earliest tick and its time.
 func (h *tickHeap) min() (int32, clock.Time) {
+	if h.linear {
+		if h.cachedIdx >= 0 {
+			return h.cachedIdx, h.cachedKey
+		}
+		best := int32(0)
+		bk := h.key[0]
+		for i := 1; i < len(h.key); i++ {
+			if h.key[i] < bk {
+				best, bk = int32(i), h.key[i]
+			}
+		}
+		h.cachedIdx, h.cachedKey = best, bk
+		return best, bk
+	}
 	i := h.heap[0]
 	return i, h.key[i]
 }
 
-// clone deep-copies the heap.
+// clone deep-copies the schedule.
 func (h *tickHeap) clone() tickHeap {
 	return tickHeap{
-		key:  append([]clock.Time(nil), h.key...),
-		heap: append([]int32(nil), h.heap...),
-		pos:  append([]int32(nil), h.pos...),
+		key:       append([]clock.Time(nil), h.key...),
+		heap:      append([]int32(nil), h.heap...),
+		pos:       append([]int32(nil), h.pos...),
+		linear:    h.linear,
+		cachedIdx: h.cachedIdx,
+		cachedKey: h.cachedKey,
 	}
 }

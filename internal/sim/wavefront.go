@@ -39,6 +39,12 @@ type Wavefront struct {
 	// GlobalWave is the global dispatch index (also the age key for
 	// oldest-first scheduling: smaller = older).
 	GlobalWave int64
+	// SIMD is the issue unit this wave is bound to (GlobalWave modulo the
+	// CU's SIMD count, cached at dispatch by CU.enqueue).
+	SIMD int32
+	// QPos is this wave's position within its SIMD's age queue,
+	// maintained by CU.enqueue/dequeue so run-mask updates are O(1).
+	QPos int32
 	// DispatchedAt is when the wave became resident.
 	DispatchedAt clock.Time
 	// Loop holds the remaining trip counts, one per branch slot.
@@ -51,6 +57,10 @@ type Wavefront struct {
 	OutStores int32
 	// WaitThresh is the s_waitcnt threshold while State == WFWaitCnt.
 	WaitThresh int32
+	// ThrLines caches the line count of the memory instruction a
+	// WFThrottled wave is parked on, so the MSHR replay loop can check
+	// capacity without chasing kernel program pointers.
+	ThrLines int32
 	// BlockedSince is when the wave entered WFWaitCnt or WFBarrier.
 	BlockedSince clock.Time
 	// Rng drives this wave's random access patterns.

@@ -36,6 +36,30 @@ echo "==> go test -race (chaos / hardened-governor / watchdog paths)"
 # path; exercise them under the race detector too.
 go test -race -run 'Chaos|Harden|Deadlock|Watchdog|Stuck' ./internal/chaos ./internal/dvfs ./internal/sim
 
+echo "==> go test -race (sim core / CoW oracle forks / shared cache arrays)"
+# The oracle's copy-on-write clones let distinct samplers fork the same
+# quiescent parent GPU from different goroutines, sharing cache entry
+# arrays until first write. The whole sim/mem/oracle surface runs under
+# the race detector so a privatization bug (a fork writing a still-shared
+# array) fails here rather than corrupting a campaign.
+go test -race ./internal/sim ./internal/mem ./internal/oracle
+
+echo "==> alloc gate (epoch hot path must not allocate)"
+# RunUntil + CollectEpoch + ActivePCs per epoch is the per-epoch hot path
+# every DVFS campaign and every oracle fork pays; it is tuned to zero
+# steady-state allocations (scratch reuse, pooled cache arrays). The
+# benchtime must be high enough to amortize the rare one-off buffer
+# growth in the first iterations — at 60x a single grow rounds to 0
+# allocs/op, while a real per-epoch allocation shows up as >= 1.
+alloc_out=$(go test -run '^$' -bench 'BenchmarkEpochHotPath' -benchtime 60x ./internal/sim/)
+echo "$alloc_out" | grep allocs/op || true
+if echo "$alloc_out" | awk '/allocs\/op/ { if ($(NF-1) + 0 > 0) bad = 1 } END { exit bad }'; then
+	:
+else
+	echo "alloc gate: epoch hot path allocates (want 0 allocs/op)" >&2
+	exit 1
+fi
+
 echo "==> fuzz smoke (15s each: program builder, config validator)"
 # Short deterministic-budget fuzz passes; CI catches crashes and invariant
 # violations, the long exploratory runs stay manual.
