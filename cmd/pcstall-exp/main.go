@@ -42,6 +42,7 @@ import (
 	"pcstall/internal/clock"
 	"pcstall/internal/dist"
 	"pcstall/internal/exp"
+	"pcstall/internal/netchaos"
 	"pcstall/internal/orchestrate"
 	"pcstall/internal/telemetry"
 	"pcstall/internal/tracing"
@@ -70,6 +71,10 @@ func main() {
 	maxCycles := flag.Int64("max-cycles", 0, "per-run CU-cycle budget; the watchdog fails runs that exhaust it (0 = unbounded)")
 	backends := flag.String("backends", "", "comma-separated pcstall-serve base URLs; simulation jobs run on the fleet instead of in-process (results, cache, and manifest are byte-identical)")
 	backendWindow := flag.Int("backend-window", 4, "max in-flight jobs per backend (the live window adapts below this by observed latency)")
+	backendDialTimeout := flag.Duration("backend-dial-timeout", 0, "TCP connect budget per backend attempt (0 = default)")
+	backendHeaderTimeout := flag.Duration("backend-header-timeout", 0, "response-header budget per backend attempt; sync sims compute before headers, so keep this generous (0 = default)")
+	backendBodyTimeout := flag.Duration("backend-body-timeout", 0, "budget for reading a backend reply body once headers arrive; a mid-body stall fails the attempt and the job is re-stolen (0 = default)")
+	netchaosSpec := flag.String("netchaos", "", "seeded network-fault spec injected into every backend exchange, e.g. 'level=0.3,seed=42' or 'flip=0.2,stall=0.1' (testing the fleet's fault recovery; figures must stay byte-identical)")
 	skipMismatch := flag.Bool("skip-version-mismatch", false, "drop sim-version-mismatched backends from the fleet instead of refusing to start")
 	traceOut := flag.String("trace-out", "", "write the campaign's distributed traces to this file in Chrome trace-event format (load in Perfetto / chrome://tracing)")
 	showVersion := flag.Bool("version", false, "print the simulator version and exit")
@@ -167,16 +172,43 @@ func main() {
 	ctx = tracing.WithTracer(ctx, tracer)
 	cfg.Ctx = ctx
 
+	if *netchaosSpec != "" && *backends == "" {
+		fmt.Fprintln(os.Stderr, "pcstall-exp: -netchaos requires -backends (it faults the fleet wire, not the simulator)")
+		os.Exit(2)
+	}
 	if *backends != "" {
-		urls := strings.Split(*backends, ",")
-		d, err := dist.New(dist.Config{
-			Backends:       urls,
+		dcfg := dist.Config{
+			Backends:       strings.Split(*backends, ","),
 			Window:         *backendWindow,
+			DialTimeout:    *backendDialTimeout,
+			HeaderTimeout:  *backendHeaderTimeout,
+			BodyTimeout:    *backendBodyTimeout,
 			SkipMismatched: *skipMismatch,
 			Metrics:        cfg.Metrics,
 			Tracer:         tracer,
 			Log:            logger,
-		})
+		}
+		if *netchaosSpec != "" {
+			ncfg, err := netchaos.Parse(*netchaosSpec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pcstall-exp: -netchaos: %v\n", err)
+				os.Exit(2)
+			}
+			eng := netchaos.NewEngine(ncfg)
+			if cfg.Metrics != nil {
+				eng.Publish(cfg.Metrics)
+			}
+			dcfg.WrapTransport = func(base http.RoundTripper) http.RoundTripper {
+				return netchaos.NewTransport(base, eng)
+			}
+			defer func() {
+				st := eng.Stats()
+				fmt.Fprintf(os.Stderr, "pcstall-exp: netchaos %s: %d/%d exchanges faulted\n",
+					ncfg.String(), st.Injected(), st.Exchanges)
+			}()
+		}
+		urls := dcfg.Backends
+		d, err := dist.New(dcfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pcstall-exp: -backends: %v\n", err)
 			os.Exit(2)

@@ -1,0 +1,80 @@
+// Command pcstall-netchaos is a fault-injecting reverse proxy for
+// black-box testing of distributed campaigns. It sits between a
+// coordinator (pcstall-exp -backends) and one pcstall-serve worker and
+// corrupts the wire according to a seeded, reproducible schedule:
+// refused connections, injected latency, mid-body stalls, truncated
+// and bit-flipped bodies, synthetic 5xx/429, connection resets,
+// duplicated replies.
+//
+// Usage:
+//
+//	pcstall-netchaos -listen 127.0.0.1:0 -target http://127.0.0.1:8080 \
+//	    -faults level=0.3,seed=42
+//
+// Only POST /v1/sim exchanges are faulted; health and version probes
+// pass clean so fleet admission and healing stay observable. The live
+// fault tally is served as JSON at /netchaos/stats.
+//
+// The point of the exercise: a campaign run through this proxy must
+// either complete with figures byte-identical to a serial run, or fail
+// with a typed error — never hang, never emit corrupted results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"time"
+
+	"pcstall/internal/netchaos"
+	"pcstall/internal/version"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "proxy listen address (port 0 picks a free port)")
+	target := flag.String("target", "", "base URL of the pcstall-serve worker to front (required)")
+	faults := flag.String("faults", "level=0.25,seed=1", "netchaos fault spec, e.g. 'level=0.3,seed=42' or 'flip=0.2,stall=0.1,seed=7'")
+	showVersion := flag.Bool("version", false, "print the simulator version and exit")
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
+	if *target == "" {
+		fmt.Fprintln(os.Stderr, "pcstall-netchaos: -target is required")
+		os.Exit(2)
+	}
+	if _, err := url.Parse(*target); err != nil {
+		fmt.Fprintf(os.Stderr, "pcstall-netchaos: -target: %v\n", err)
+		os.Exit(2)
+	}
+	cfg, err := netchaos.Parse(*faults)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcstall-netchaos: -faults: %v\n", err)
+		os.Exit(2)
+	}
+	eng := netchaos.NewEngine(cfg)
+	proxy := netchaos.NewProxy(*target, eng, nil)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcstall-netchaos: listen %s: %v\n", *listen, err)
+		os.Exit(1)
+	}
+	// The resolved address goes to stdout so scripts (and the CI smoke)
+	// can discover a :0-assigned port, mirroring pcstall-serve.
+	fmt.Printf("pcstall-netchaos: listening on http://%s -> %s (%s)\n", ln.Addr(), *target, cfg.String())
+	srv := &http.Server{
+		Handler:           proxy,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	if err := srv.Serve(ln); err != nil {
+		fmt.Fprintf(os.Stderr, "pcstall-netchaos: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -143,7 +143,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pcstall-serve: listen %s: %v\n", *addr, err)
 		os.Exit(1)
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpSrv := &http.Server{
+		Handler: srv.Handler(),
+		// Slow-loris guard: a client trickling header bytes (or holding
+		// idle keep-alive sockets) must not pin connections forever. No
+		// ReadTimeout/WriteTimeout — sync /v1/sim responses legitimately
+		// take minutes; per-job budgets live in the orchestrator.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	// The resolved address goes to stdout so scripts (and the CI smoke)
 	// can discover a :0-assigned port.
 	fmt.Printf("pcstall-serve: listening on http://%s\n", ln.Addr())

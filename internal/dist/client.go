@@ -20,16 +20,20 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"pcstall/internal/dvfs"
 	"pcstall/internal/orchestrate"
 	"pcstall/internal/tracing"
+	"pcstall/internal/wire"
 )
 
 // maxReplyBytes bounds a decoded backend response (settled sim bodies
@@ -37,21 +41,119 @@ import (
 // coordinator).
 const maxReplyBytes = 64 << 20
 
+// Per-attempt transport deadlines. Every dispatch attempt is bounded in
+// all three places a lying network can black-hole it: connecting,
+// waiting for response headers, and reading the body.
+const (
+	// DefaultDialTimeout bounds TCP connect to a backend.
+	DefaultDialTimeout = 5 * time.Second
+	// DefaultHeaderTimeout bounds the wait for response headers after
+	// the request is written. It is deliberately generous: a synchronous
+	// /v1/sim computes the whole simulation before its first header
+	// byte, so a tight value would kill legitimate long jobs — the cap
+	// exists to bound a dead peer, not a slow one.
+	DefaultHeaderTimeout = 15 * time.Minute
+	// DefaultBodyTimeout bounds reading a settled body once headers
+	// arrived. Settled bodies are small; a body that cannot finish in a
+	// minute is a stalled wire, not a slow simulation.
+	DefaultBodyTimeout = time.Minute
+)
+
+// DefaultHTTPClient builds the client NewClient falls back to: a
+// dedicated transport with a bounded dial and response-header wait
+// (zero durations select the package defaults). http.DefaultClient has
+// neither bound, which is exactly how a black-holed backend used to pin
+// a dispatch window forever.
+func DefaultHTTPClient(dial, header time.Duration) *http.Client {
+	if dial <= 0 {
+		dial = DefaultDialTimeout
+	}
+	if header <= 0 {
+		header = DefaultHeaderTimeout
+	}
+	return &http.Client{Transport: &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   dial,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		ResponseHeaderTimeout: header,
+		MaxIdleConns:          64,
+		MaxIdleConnsPerHost:   16,
+		IdleConnTimeout:       90 * time.Second,
+	}}
+}
+
+// IntegrityError reports a settled body that failed end-to-end digest
+// verification: the backend stamped wire.DigestHeader over the bytes it
+// wrote, and the bytes that arrived hash differently — corruption,
+// truncation, or duplication in flight. The dispatcher treats it as a
+// backend fault (quarantine + re-steal); the result is never ingested.
+type IntegrityError struct {
+	Backend string
+	Reason  string
+	// Stamped is the digest the backend declared; Computed is the
+	// digest of the bytes actually received (empty when the failure is
+	// not a hash mismatch).
+	Stamped  string
+	Computed string
+}
+
+func (e *IntegrityError) Error() string {
+	if e.Stamped == "" {
+		return fmt.Sprintf("dist: %s: integrity: %s", e.Backend, e.Reason)
+	}
+	return fmt.Sprintf("dist: %s: integrity: %s (stamped %s, received bytes hash to %s)",
+		e.Backend, e.Reason, e.Stamped, e.Computed)
+}
+
+// TimeoutError reports a dispatch attempt that exhausted one of its
+// transport deadlines: "connect"/"headers" when the http.Transport's
+// bounds fired, "body" when the body-read budget did. It deliberately
+// does not unwrap to context.Canceled — a budget firing is the
+// backend's fault, not campaign cancellation, and must not be mistaken
+// for it.
+type TimeoutError struct {
+	Backend string
+	Phase   string
+	Budget  time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("dist: %s: %s deadline exceeded (budget %s)", e.Backend, e.Phase, e.Budget)
+}
+
 // Client speaks the pcstall-serve /v1 worker protocol to one backend.
 // It is stateless and safe for concurrent use; health, windows, and
 // quarantine live on the Dispatcher's per-backend record.
 type Client struct {
-	base string
-	hc   *http.Client
+	base       string
+	hc         *http.Client
+	bodyBudget time.Duration
 }
 
 // NewClient wraps one backend base URL (e.g. "http://10.0.0.2:8080").
-// A nil http.Client selects http.DefaultClient.
+// A nil http.Client selects DefaultHTTPClient's bounded transport —
+// never http.DefaultClient, whose unbounded dial and header waits let a
+// black-holed backend pin a dispatch slot forever.
 func NewClient(base string, hc *http.Client) *Client {
 	if hc == nil {
-		hc = http.DefaultClient
+		hc = DefaultHTTPClient(0, 0)
 	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+	return &Client{
+		base:       strings.TrimRight(base, "/"),
+		hc:         hc,
+		bodyBudget: DefaultBodyTimeout,
+	}
+}
+
+// SetBodyBudget overrides the settled-body read deadline (<= 0 restores
+// the default). Call before the first Sim.
+func (c *Client) SetBodyBudget(d time.Duration) {
+	if d <= 0 {
+		d = DefaultBodyTimeout
+	}
+	c.bodyBudget = d
 }
 
 // Base returns the backend's base URL.
@@ -147,7 +249,11 @@ func (c *Client) Sim(ctx context.Context, j orchestrate.Job, haveBody bool) (res
 	if err != nil {
 		return nil, false, fmt.Errorf("dist: encoding job %s: %w", j, err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/sim", bytes.NewReader(body))
+	// The attempt context lets the body-read budget cancel this one
+	// exchange without touching the campaign context.
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.base+"/v1/sim", bytes.NewReader(body))
 	if err != nil {
 		return nil, false, fmt.Errorf("dist: %s: %w", c.base, err)
 	}
@@ -158,9 +264,14 @@ func (c *Client) Sim(ctx context.Context, j orchestrate.Job, haveBody bool) (res
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
+		if ctx.Err() == nil && isTimeout(err) {
+			// The transport's dial or response-header bound fired while
+			// the campaign itself is still live: a black-holed backend.
+			return nil, false, &TimeoutError{Backend: c.base, Phase: "connect/headers", Budget: DefaultHeaderTimeout}
+		}
 		return nil, false, fmt.Errorf("dist: %s: %w", c.base, err)
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	switch resp.StatusCode {
 	case http.StatusOK:
 	case http.StatusNotModified:
@@ -170,8 +281,46 @@ func (c *Client) Sim(ctx context.Context, j orchestrate.Job, haveBody bool) (res
 	default:
 		return nil, false, fmt.Errorf("dist: %s: /v1/sim: %s: %s", c.base, resp.Status, readAPIError(resp.Body))
 	}
+	// The settled body is read whole — never streamed into the decoder —
+	// so digest verification covers every byte that arrived, including
+	// trailing garbage a streaming decoder would silently ignore. The
+	// read is bounded by the body budget: a wire that stalls mid-body
+	// cancels the attempt, not the campaign.
+	var timedOut atomic.Bool
+	budget := c.bodyBudget
+	if budget <= 0 {
+		budget = DefaultBodyTimeout
+	}
+	tmr := time.AfterFunc(budget, func() {
+		timedOut.Store(true)
+		cancel()
+	})
+	raw, rerr := io.ReadAll(io.LimitReader(resp.Body, maxReplyBytes+1))
+	tmr.Stop()
+	if rerr != nil {
+		if timedOut.Load() && ctx.Err() == nil {
+			return nil, false, &TimeoutError{Backend: c.base, Phase: "body", Budget: budget}
+		}
+		return nil, false, fmt.Errorf("dist: %s: reading sim reply: %w", c.base, rerr)
+	}
+	if len(raw) > maxReplyBytes {
+		return nil, false, fmt.Errorf("dist: %s: sim reply exceeds %d bytes", c.base, maxReplyBytes)
+	}
+	// End-to-end integrity: the backend stamped a digest over the exact
+	// bytes it wrote; mismatching bytes were corrupted in flight. This
+	// check runs before decode and before the key-skew check, so a
+	// flipped byte re-steals the job instead of permanently dropping an
+	// honest backend as "skewed". Absent or foreign-scheme stamps verify
+	// trivially (legacy backends); corruption there still fails decode.
+	stamp := resp.Header.Get(wire.DigestHeader)
+	if computed, ok := wire.Check(stamp, raw); !ok {
+		return nil, false, &IntegrityError{
+			Backend: c.base, Reason: "settled body digest mismatch",
+			Stamped: strings.TrimSpace(stamp), Computed: computed,
+		}
+	}
 	var reply simReply
-	if err := json.NewDecoder(io.LimitReader(resp.Body, maxReplyBytes)).Decode(&reply); err != nil {
+	if err := json.Unmarshal(raw, &reply); err != nil {
 		return nil, false, fmt.Errorf("dist: %s: decoding sim reply: %w", c.base, err)
 	}
 	if reply.Result == nil {
@@ -181,6 +330,21 @@ func (c *Client) Sim(ctx context.Context, j orchestrate.Job, haveBody bool) (res
 		return nil, false, &SkewError{Backend: c.base, Want: key, Got: reply.ID}
 	}
 	return reply.Result, false, nil
+}
+
+// isTimeout reports whether a transport error is a deadline, not a
+// refusal or a protocol failure.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// drainClose consumes a bounded remainder of a response body before
+// closing it, so the keep-alive connection returns to the pool instead
+// of being severed (and re-dialed) on every non-200 exchange.
+func drainClose(body io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(body, 64<<10))
+	body.Close()
 }
 
 // SimVersion fetches the backend's simulator cache version (GET
@@ -208,7 +372,7 @@ func (c *Client) Healthz(ctx context.Context) error {
 	if err != nil {
 		return fmt.Errorf("dist: %s: %w", c.base, err)
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("dist: %s: /healthz: %s", c.base, resp.Status)
 	}
@@ -225,7 +389,7 @@ func (c *Client) getJSON(ctx context.Context, path string, v any) error {
 	if err != nil {
 		return fmt.Errorf("dist: %s: %w", c.base, err)
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("dist: %s: %s: %s", c.base, path, resp.Status)
 	}

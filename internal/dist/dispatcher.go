@@ -45,8 +45,22 @@ type Config struct {
 	// Log, when non-nil, receives structured fleet-health records
 	// (quarantine, heal, drop, fallback) with their causes.
 	Log *slog.Logger
-	// HTTP overrides the backend transport (nil = http.DefaultClient).
+	// HTTP overrides the backend client wholesale (nil builds
+	// DefaultHTTPClient from the timeouts below).
 	HTTP *http.Client
+	// DialTimeout and HeaderTimeout shape the default transport's
+	// per-attempt connect and response-header deadlines (zero selects
+	// DefaultDialTimeout / DefaultHeaderTimeout). Ignored when HTTP is
+	// set.
+	DialTimeout   time.Duration
+	HeaderTimeout time.Duration
+	// BodyTimeout bounds reading one settled body (zero selects
+	// DefaultBodyTimeout). Applied whether or not HTTP is set.
+	BodyTimeout time.Duration
+	// WrapTransport, when non-nil, wraps the backend client's transport
+	// — the seam netchaos.NewTransport plugs into for in-process fault
+	// injection without dist importing the injector.
+	WrapTransport func(http.RoundTripper) http.RoundTripper
 	// ProbeBackoff is the initial quarantine probe delay, doubling
 	// (jittered via orchestrate.Jitter) up to MaxProbeBackoff — the same
 	// discipline the orchestrator's job retries use. Defaults 250ms/15s.
@@ -136,6 +150,20 @@ func New(cfg Config) (*Dispatcher, error) {
 		probeTO:   cfg.ProbeTimeout,
 		waitCh:    make(chan struct{}),
 	}
+	hc := cfg.HTTP
+	if hc == nil {
+		hc = DefaultHTTPClient(cfg.DialTimeout, cfg.HeaderTimeout)
+	}
+	if cfg.WrapTransport != nil {
+		// Wrap a shallow copy so a caller-owned client is not mutated.
+		base := hc.Transport
+		if base == nil {
+			base = http.DefaultTransport
+		}
+		wrapped := *hc
+		wrapped.Transport = cfg.WrapTransport(base)
+		hc = &wrapped
+	}
 	seen := map[string]bool{}
 	for _, u := range cfg.Backends {
 		u = strings.TrimRight(strings.TrimSpace(u), "/")
@@ -143,10 +171,12 @@ func New(cfg Config) (*Dispatcher, error) {
 			continue
 		}
 		seen[u] = true
+		cl := NewClient(u, hc)
+		cl.SetBodyBudget(cfg.BodyTimeout)
 		d.backends = append(d.backends, &backend{
 			url:     u,
 			name:    metricName(u),
-			client:  NewClient(u, cfg.HTTP),
+			client:  cl,
 			healthy: true,
 			window:  1, // trust is earned: windows grow with completions
 		})
@@ -293,19 +323,41 @@ func (d *Dispatcher) Run(ctx context.Context, j orchestrate.Job, reg *telemetry.
 		}
 		var shed *ShedError
 		var skew *SkewError
+		var integ *IntegrityError
+		var tmo *TimeoutError
 		switch {
 		case errors.As(rerr, &shed):
 			// Not a fault: the backend is loaded (429) or draining
 			// (503). Honor Retry-After as a dispatch cooldown.
+			orchestrate.AddJobFault(ctx, "shed:"+b.url)
 			dspan.Event("cooldown",
 				tracing.String("backend", b.url),
 				tracing.String("retry_after", shed.RetryAfter.String()))
 			d.cooldownBackend(b, shed.RetryAfter)
 		case errors.As(rerr, &skew):
 			// Its results are unusable under our keys; out for good.
+			orchestrate.AddJobFault(ctx, "skew:"+b.url)
 			d.release(b, lat, false)
 			d.drop(b, rerr)
+		case errors.As(rerr, &integ):
+			// The wire corrupted the reply; the result was never
+			// ingested. The backend itself may be fine, but a path that
+			// corrupts once will corrupt again — quarantine and let a
+			// peer re-steal the job.
+			orchestrate.AddJobFault(ctx, "integrity:"+b.url)
+			d.tele.integrityFault(b)
+			d.release(b, lat, false)
+			d.quarantine(b, rerr)
+		case errors.As(rerr, &tmo):
+			// A transport deadline fired: black-holed dial, headers, or
+			// body. Bounded by construction — this is the invariant that
+			// campaigns never hang.
+			orchestrate.AddJobFault(ctx, "timeout:"+b.url)
+			d.tele.timeoutFault(b)
+			d.release(b, lat, false)
+			d.quarantine(b, rerr)
 		default:
+			orchestrate.AddJobFault(ctx, "error:"+b.url)
 			d.release(b, lat, false)
 			d.quarantine(b, rerr)
 		}

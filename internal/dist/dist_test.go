@@ -14,6 +14,7 @@ import (
 	"pcstall/internal/dvfs"
 	"pcstall/internal/orchestrate"
 	"pcstall/internal/telemetry"
+	"pcstall/internal/wire"
 )
 
 // stubWorker is a scriptable pcstall-serve stand-in: it speaks exactly
@@ -86,20 +87,20 @@ func (w *stubWorker) handleSim(rw http.ResponseWriter, r *http.Request) {
 		http.Error(rw, `{"error":"queue full"}`, http.StatusTooManyRequests)
 		return
 	}
-	var wire simWire
-	if err := json.NewDecoder(r.Body).Decode(&wire); err != nil {
+	var sw simWire
+	if err := json.NewDecoder(r.Body).Decode(&sw); err != nil {
 		http.Error(rw, err.Error(), http.StatusBadRequest)
 		return
 	}
 	j := orchestrate.Job{
-		App: wire.App, Design: wire.Design, EpochPs: wire.EpochPs,
-		Objective: wire.Objective, CUsPerDomain: wire.CUsPerDomain,
-		CUs: wire.CUs, Scale: wire.Scale, MaxTimePs: wire.MaxTimePs,
-		OracleSamples: wire.OracleSamples, Chaos: wire.Chaos,
-		MaxCycles: wire.MaxCycles, SimVersion: orchestrate.SimVersion,
+		App: sw.App, Design: sw.Design, EpochPs: sw.EpochPs,
+		Objective: sw.Objective, CUsPerDomain: sw.CUsPerDomain,
+		CUs: sw.CUs, Scale: sw.Scale, MaxTimePs: sw.MaxTimePs,
+		OracleSamples: sw.OracleSamples, Chaos: sw.Chaos,
+		MaxCycles: sw.MaxCycles, SimVersion: orchestrate.SimVersion,
 	}
-	if wire.Seed != nil {
-		j.Seed = *wire.Seed
+	if sw.Seed != nil {
+		j.Seed = *sw.Seed
 	}
 	key := j.Key()
 	w.mu.Lock()
@@ -109,11 +110,13 @@ func (w *stubWorker) handleSim(rw http.ResponseWriter, r *http.Request) {
 		rw.WriteHeader(http.StatusNotModified)
 		return
 	}
-	rw.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(rw).Encode(simReply{
+	body, _ := json.Marshal(simReply{
 		ID: key, Job: j,
 		Result: &dvfs.Result{Policy: "stub-" + w.name, Epochs: 1},
 	})
+	rw.Header().Set("Content-Type", "application/json")
+	rw.Header().Set(wire.DigestHeader, wire.Digest(body))
+	_, _ = rw.Write(body)
 }
 
 // etagMatchTest mirrors the serving layer's validator comparison.

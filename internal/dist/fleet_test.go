@@ -11,6 +11,7 @@ import (
 
 	"pcstall/internal/dist"
 	"pcstall/internal/exp"
+	"pcstall/internal/netchaos"
 	"pcstall/internal/orchestrate"
 	"pcstall/internal/serve"
 )
@@ -113,6 +114,54 @@ func TestFleetGolden(t *testing.T) {
 		if !strings.HasPrefix(e.Source, "remote:") {
 			t.Errorf("job %s has source %q, want remote provenance", e.Key, e.Source)
 		}
+	}
+}
+
+// TestFleetNetchaosGolden drives a full campaign through a seeded
+// network-fault schedule: flipped bytes, truncations, stalls, resets,
+// injected errors. The digest check, body budget, and re-steal loop
+// must absorb every fault — the rendered figure stays byte-identical
+// to the local run and no corrupted reply ever settles.
+func TestFleetNetchaosGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations across a fleet")
+	}
+	const figID = "1a"
+	want := figGolden(t, figID)
+
+	urls := []string{startWorker(t).URL, startWorker(t).URL}
+	eng := netchaos.NewEngine(netchaos.Level(0.3, 42))
+	d, err := dist.New(dist.Config{
+		Backends: urls, Window: 2,
+		BodyTimeout:  2 * time.Second,
+		ProbeBackoff: 10 * time.Millisecond, MaxProbeBackoff: 50 * time.Millisecond,
+		WrapTransport: func(base http.RoundTripper) http.RoundTripper {
+			return netchaos.NewTransport(base, eng)
+		},
+	})
+	if err != nil {
+		t.Fatalf("dist.New: %v", err)
+	}
+	defer d.Close()
+	if err := d.CheckVersions(context.Background()); err != nil {
+		t.Fatalf("CheckVersions: %v", err)
+	}
+	got, m := runFleetFigure(t, d, figID)
+	if got != want {
+		t.Errorf("netchaos fleet figure diverges from the local rendering:\n--- local ---\n%s--- fleet ---\n%s", want, got)
+	}
+	if len(m.Jobs) == 0 {
+		t.Fatal("netchaos campaign recorded no jobs")
+	}
+	for _, e := range m.Jobs {
+		if e.Error != "" {
+			t.Errorf("job %s settled with error %q under netchaos", e.Key, e.Error)
+		}
+	}
+	st := eng.Stats()
+	t.Logf("netchaos stats: %+v (injected %d)", st, st.Injected())
+	if st.Injected() == 0 {
+		t.Error("fault schedule injected nothing — the invariant was not exercised")
 	}
 }
 

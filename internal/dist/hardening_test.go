@@ -1,0 +1,335 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"pcstall/internal/dvfs"
+	"pcstall/internal/netchaos"
+	"pcstall/internal/orchestrate"
+	"pcstall/internal/telemetry"
+	"pcstall/internal/wire"
+)
+
+// retryAfter must clamp whatever the wire claims into [1s, 10m]: a
+// netchaos-mangled or hostile Retry-After must never stall a backend
+// for an hour or spin it at zero delay.
+func TestRetryAfterEdges(t *testing.T) {
+	cases := []struct {
+		header string
+		want   time.Duration
+	}{
+		{"", time.Second},               // missing
+		{"soon", time.Second},           // non-numeric
+		{"-5", time.Second},             // negative
+		{"0", time.Second},              // zero rounds up
+		{"1", time.Second},              // smallest honest value
+		{"30", 30 * time.Second},        // honest value passes through
+		{"600", 600 * time.Second},      // at the clamp
+		{"99999999", 600 * time.Second}, // absurd claim clamps to 10m
+		{"1e9", time.Second},            // float syntax is non-numeric for Atoi
+		{" 2 ", 2 * time.Second},        // padded
+	}
+	for _, c := range cases {
+		resp := &http.Response{Header: http.Header{}}
+		if c.header != "" {
+			resp.Header.Set("Retry-After", c.header)
+		}
+		if got := retryAfter(resp); got != c.want {
+			t.Errorf("retryAfter(%q) = %v, want %v", c.header, got, c.want)
+		}
+	}
+}
+
+// replyServer serves exactly the given bytes (and optional digest
+// stamp) for any POST /v1/sim.
+func replyServer(t *testing.T, body []byte, stamp string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		if stamp != "" {
+			rw.Header().Set(wire.DigestHeader, stamp)
+		}
+		_, _ = rw.Write(body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// validReplyBytes renders a correctly keyed settled body for job j.
+func validReplyBytes(t *testing.T, j orchestrate.Job) []byte {
+	t.Helper()
+	b, err := json.Marshal(simReply{
+		ID: j.Key(), Job: j, Result: &dvfs.Result{Policy: "honest", Epochs: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestClientVerifiesDigest(t *testing.T) {
+	j := testJob(5)
+	body := validReplyBytes(t, j)
+
+	t.Run("matching stamp ingests", func(t *testing.T) {
+		srv := replyServer(t, body, wire.Digest(body))
+		res, _, err := NewClient(srv.URL, nil).Sim(context.Background(), j, false)
+		if err != nil || res == nil {
+			t.Fatalf("verified reply rejected: %v", err)
+		}
+	})
+
+	t.Run("flipped byte is an IntegrityError, not a SkewError", func(t *testing.T) {
+		corrupt := append([]byte(nil), body...)
+		corrupt[len(corrupt)/3] ^= 0x20 // flips a key character's case
+		srv := replyServer(t, corrupt, wire.Digest(body))
+		_, _, err := NewClient(srv.URL, nil).Sim(context.Background(), j, false)
+		var ie *IntegrityError
+		if !errors.As(err, &ie) {
+			t.Fatalf("corrupted reply returned %v, want IntegrityError", err)
+		}
+		if ie.Stamped != wire.Digest(body) || ie.Computed != wire.Digest(corrupt) {
+			t.Errorf("error carries stamped=%q computed=%q", ie.Stamped, ie.Computed)
+		}
+		var skew *SkewError
+		if errors.As(err, &skew) {
+			t.Error("wire corruption misclassified as backend key skew")
+		}
+	})
+
+	t.Run("duplicated body is an IntegrityError", func(t *testing.T) {
+		srv := replyServer(t, append(append([]byte(nil), body...), body...), wire.Digest(body))
+		_, _, err := NewClient(srv.URL, nil).Sim(context.Background(), j, false)
+		var ie *IntegrityError
+		if !errors.As(err, &ie) {
+			t.Fatalf("duplicated reply returned %v, want IntegrityError", err)
+		}
+	})
+
+	t.Run("unstamped legacy reply still ingests", func(t *testing.T) {
+		srv := replyServer(t, body, "")
+		res, _, err := NewClient(srv.URL, nil).Sim(context.Background(), j, false)
+		if err != nil || res == nil {
+			t.Fatalf("unstamped reply rejected: %v", err)
+		}
+	})
+
+	t.Run("unstamped duplicated body still fails strict decode", func(t *testing.T) {
+		srv := replyServer(t, append(append([]byte(nil), body...), body...), "")
+		_, _, err := NewClient(srv.URL, nil).Sim(context.Background(), j, false)
+		if err == nil {
+			t.Fatal("trailing garbage after the reply was silently ignored")
+		}
+	})
+}
+
+func TestClientBodyBudgetBoundsStalls(t *testing.T) {
+	j := testJob(6)
+	body := validReplyBytes(t, j)
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		// Promise the whole body, deliver half, then black-hole.
+		rw.Header().Set("Content-Length", "4096")
+		rw.WriteHeader(http.StatusOK)
+		_, _ = rw.Write(body[:len(body)/2])
+		rw.(http.Flusher).Flush()
+		<-r.Context().Done()
+	}))
+	t.Cleanup(srv.Close)
+	c := NewClient(srv.URL, nil)
+	c.SetBodyBudget(100 * time.Millisecond)
+	start := time.Now()
+	_, _, err := c.Sim(context.Background(), j, false)
+	elapsed := time.Since(start)
+	var tmo *TimeoutError
+	if !errors.As(err, &tmo) || tmo.Phase != "body" {
+		t.Fatalf("stalled body returned %v, want a body TimeoutError", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("stall held the attempt for %v despite a 100ms budget", elapsed)
+	}
+	// The budget firing must not read as campaign cancellation: the
+	// orchestrator retries cancellation-free errors, and a stalled
+	// backend is precisely a retryable fault.
+	if errors.Is(err, context.Canceled) {
+		t.Error("body timeout unwraps to context.Canceled")
+	}
+}
+
+// corruptingWorker answers correctly keyed replies whose bytes were
+// flipped after digest stamping — an honest backend behind a lying wire.
+func corruptingWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/version":
+			_ = json.NewEncoder(rw).Encode(map[string]string{"sim_version": orchestrate.SimVersion})
+		case "/healthz":
+			_, _ = rw.Write([]byte(`{}`))
+		default:
+			var sw simWire
+			_ = json.NewDecoder(r.Body).Decode(&sw)
+			j := orchestrate.Job{
+				App: sw.App, Design: sw.Design, EpochPs: sw.EpochPs,
+				Objective: sw.Objective, CUsPerDomain: sw.CUsPerDomain,
+				CUs: sw.CUs, Scale: sw.Scale, MaxTimePs: sw.MaxTimePs,
+				OracleSamples: sw.OracleSamples, Chaos: sw.Chaos,
+				MaxCycles: sw.MaxCycles, SimVersion: orchestrate.SimVersion,
+			}
+			if sw.Seed != nil {
+				j.Seed = *sw.Seed
+			}
+			body := validReplyBytes(t, j)
+			rw.Header().Set(wire.DigestHeader, wire.Digest(body))
+			body[0] ^= 0xff // corruption after stamping = corruption in flight
+			_, _ = rw.Write(body)
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// The integrity fault path end to end: a backend whose replies arrive
+// corrupted is quarantined (not dropped — the backend may be honest),
+// the job re-steals to a clean peer, and the corrupted result is never
+// ingested.
+func TestDispatcherRestealsOnIntegrityFault(t *testing.T) {
+	bad := corruptingWorker(t)
+	good := newWorker(t, "good")
+	reg := telemetry.New()
+	d := newDispatcher(t, Config{
+		Backends:     []string{bad.URL, good.srv.URL},
+		Metrics:      reg,
+		ProbeBackoff: time.Minute, MaxProbeBackoff: time.Minute,
+	})
+	if err := d.CheckVersions(context.Background()); err != nil {
+		t.Fatalf("CheckVersions: %v", err)
+	}
+	run := d.Bind(noLocal(t), noCache)
+	r, err := run(context.Background(), testJob(1), nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if r.Policy != "stub-good" {
+		t.Fatalf("job settled as %q, want the clean peer's result", r.Policy)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["dist_integrity_faults_total"] == 0 {
+		t.Error("integrity fault was not counted")
+	}
+	if d.Healthy() != 1 {
+		t.Errorf("Healthy() = %d, want the corrupting backend quarantined", d.Healthy())
+	}
+}
+
+// The invariant harness: under an arbitrary seeded netchaos schedule
+// covering every fault class, a batch of jobs either settles with real
+// results or fails with a typed error — and always within the deadline
+// the per-attempt budgets imply. No hang, no corrupted result ingested.
+func TestDispatcherSurvivesNetchaosSchedule(t *testing.T) {
+	eng := netchaos.NewEngine(netchaos.Level(0.3, 42))
+	a, b := newWorker(t, "a"), newWorker(t, "b")
+	reg := telemetry.New()
+	d := newDispatcher(t, Config{
+		Backends: []string{a.srv.URL, b.srv.URL},
+		Window:   2,
+		Metrics:  reg,
+		// Stalls must die fast and quarantined backends heal fast, or
+		// the test waits out real-time fault budgets.
+		BodyTimeout:  200 * time.Millisecond,
+		ProbeBackoff: 5 * time.Millisecond, MaxProbeBackoff: 20 * time.Millisecond,
+		WrapTransport: func(rt http.RoundTripper) http.RoundTripper {
+			return netchaos.NewTransport(rt, eng)
+		},
+	})
+	if err := d.CheckVersions(context.Background()); err != nil {
+		t.Fatalf("CheckVersions (control plane must pass clean): %v", err)
+	}
+	// The local lane stands in when faults empty the whole rotation; in
+	// production it computes the true result, so it counts as success.
+	run := d.Bind(func(context.Context, orchestrate.Job, *telemetry.Registry) (*dvfs.Result, error) {
+		return &dvfs.Result{Policy: "local", Epochs: 1}, nil
+	}, noCache)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	const jobs = 12
+	var wg sync.WaitGroup
+	errs := make([]error, jobs)
+	results := make([]*dvfs.Result, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = run(ctx, testJob(uint64(i+1)), nil)
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(90 * time.Second):
+		t.Fatal("campaign hung under netchaos: per-attempt deadlines failed to bound it")
+	}
+	for i := 0; i < jobs; i++ {
+		if errs[i] != nil {
+			t.Errorf("job %d failed under netchaos: %v", i, errs[i])
+			continue
+		}
+		if results[i] == nil || results[i].Epochs != 1 {
+			t.Errorf("job %d settled with a mangled result: %+v", i, results[i])
+		}
+	}
+	if eng.Stats().Injected() == 0 {
+		t.Fatalf("fault schedule injected nothing (stats %+v); the test proved nothing", eng.Stats())
+	}
+	t.Logf("netchaos stats: %+v", eng.Stats())
+	t.Logf("integrity=%d timeouts=%d requeues=%d",
+		reg.Snapshot().Counters["dist_integrity_faults_total"],
+		reg.Snapshot().Counters["dist_timeout_faults_total"],
+		reg.Snapshot().Counters["dist_jobs_requeued_total"])
+}
+
+// FuzzClientReply drives the sim-reply ingestion path (read, digest
+// check, strict decode, key verification) with arbitrary response
+// bytes: it must classify, never panic, and never ingest a reply whose
+// key does not match.
+func FuzzClientReply(f *testing.F) {
+	j := testJob(9)
+	valid, _ := json.Marshal(simReply{
+		ID: j.Key(), Job: j, Result: &dvfs.Result{Policy: "fuzz", Epochs: 1},
+	})
+	f.Add(valid)
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"id":"xyz"}`))
+	f.Add(valid[:len(valid)/2])
+	f.Add(append(append([]byte(nil), valid...), valid...))
+	f.Add([]byte(`{"id":null,"job":null,"result":{}}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, _ *http.Request) {
+			rw.Header().Set("Content-Type", "application/json")
+			_, _ = rw.Write(body)
+		}))
+		defer srv.Close()
+		res, notMod, err := NewClient(srv.URL, nil).Sim(context.Background(), j, false)
+		if notMod {
+			t.Fatal("200 reply reported notModified")
+		}
+		if err == nil {
+			if res == nil {
+				t.Fatal("nil result with nil error")
+			}
+			var reply simReply
+			if json.Unmarshal(body, &reply) != nil || reply.Job.Key() != j.Key() {
+				t.Fatalf("ingested a reply that does not decode to our key: %q", body)
+			}
+		}
+	})
+}

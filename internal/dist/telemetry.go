@@ -19,6 +19,8 @@ type distTelemetry struct {
 	requeues  *telemetry.Counter
 	fallbacks *telemetry.Counter
 	etagHits  *telemetry.Counter
+	integrity *telemetry.Counter
+	timeouts  *telemetry.Counter
 
 	healthy *telemetry.Gauge
 
@@ -37,6 +39,8 @@ func newDistTelemetry(r *telemetry.Registry) *distTelemetry {
 		requeues:  r.Counter("dist_jobs_requeued_total", "dispatch attempts returned to the queue by a backend fault or shed"),
 		fallbacks: r.Counter("dist_local_fallbacks_total", "jobs executed in-process because no backend was healthy"),
 		etagHits:  r.Counter("dist_etag_hits_total", "re-dispatches answered 304 from the coordinator's own cached body"),
+		integrity: r.Counter("dist_integrity_faults_total", "settled replies rejected by digest verification (corrupted in flight, never ingested)"),
+		timeouts:  r.Counter("dist_timeout_faults_total", "dispatch attempts cut off by a per-attempt transport deadline"),
 		healthy:   r.Gauge("dist_backends_healthy", "backends currently in dispatch rotation"),
 		remote:    r.Phase("dist_remote_job"),
 	}
@@ -133,6 +137,24 @@ func (t *distTelemetry) healed(b *backend, healthy int) {
 	}
 	t.perBackend(b, "heals", "probe-confirmed returns to rotation")
 	t.healthy.Set(float64(healthy))
+}
+
+// integrityFault counts a reply rejected by digest verification.
+func (t *distTelemetry) integrityFault(b *backend) {
+	if t == nil {
+		return
+	}
+	t.integrity.Inc()
+	t.perBackend(b, "integrity_faults", "settled replies rejected by digest verification")
+}
+
+// timeoutFault counts a dispatch attempt ended by a transport deadline.
+func (t *distTelemetry) timeoutFault(b *backend) {
+	if t == nil {
+		return
+	}
+	t.timeouts.Inc()
+	t.perBackend(b, "timeout_faults", "dispatch attempts cut off by a transport deadline")
 }
 
 // fallback counts one job routed to the local lane.

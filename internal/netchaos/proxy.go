@@ -1,0 +1,205 @@
+package netchaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// StatsPath is the proxy's own introspection endpoint: GET returns the
+// engine's Stats as JSON. It is served by the proxy itself, never
+// forwarded, so smokes can assert faults were actually injected.
+const StatsPath = "/netchaos/stats"
+
+// Proxy is a reverse proxy that applies an Engine's fault plans at the
+// socket between a coordinator and one backend. Unlike Transport it
+// lives outside the coordinator process, so black-box tests and CI
+// smokes exercise the real http.Client error surface: refused
+// connects, RST-like closes, short writes under a longer
+// Content-Length, and stalls the client must deadline its way out of.
+//
+// Control-plane paths (/healthz, /v1/version) and non-sim traffic
+// forward transparently.
+type Proxy struct {
+	target string
+	eng    *Engine
+	hc     *http.Client
+}
+
+// NewProxy builds a fault proxy in front of the backend at target
+// (e.g. "http://127.0.0.1:8080"). A nil client selects a dedicated
+// non-default client so injected response mangling never poisons
+// shared connection pools.
+func NewProxy(target string, eng *Engine, hc *http.Client) *Proxy {
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &Proxy{target: strings.TrimRight(target, "/"), eng: eng, hc: hc}
+}
+
+// hopByHop are connection-scoped headers that must not be forwarded.
+var hopByHop = map[string]bool{
+	"Connection":          true,
+	"Keep-Alive":          true,
+	"Proxy-Authenticate":  true,
+	"Proxy-Authorization": true,
+	"Te":                  true,
+	"Trailer":             true,
+	"Transfer-Encoding":   true,
+	"Upgrade":             true,
+}
+
+func copyHeaders(dst, src http.Header) {
+	for k, vs := range src {
+		if hopByHop[http.CanonicalHeaderKey(k)] {
+			continue
+		}
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == StatsPath {
+		p.serveStats(w)
+		return
+	}
+	if !p.eng.Enabled() || !faultable(r.Method, r.URL.Path) {
+		p.forward(w, r, Plan{})
+		return
+	}
+	plan := p.eng.Plan()
+	if plan.DialDelay > 0 && !sleepHandler(r, plan.DialDelay) {
+		return
+	}
+	switch plan.Class {
+	case ClassRefuse:
+		// Kill the connection before the backend hears anything — the
+		// client sees a reset or an empty reply, as with a dead port.
+		abort(w)
+		return
+	case Class5xx, Class429:
+		status := http.StatusInternalServerError
+		if plan.Class == Class429 {
+			status = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", "1")
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		fmt.Fprintf(w, `{"error":"netchaos: injected %d (exchange %d)"}`+"\n", status, plan.Exchange)
+		return
+	}
+	p.forward(w, r, plan)
+}
+
+// forward relays the exchange to the backend and applies plan's body
+// faults to the response. A zero plan forwards faithfully.
+func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, plan Plan) {
+	out, err := http.NewRequestWithContext(r.Context(), r.Method,
+		p.target+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":"netchaos proxy: %v"}`, err), http.StatusBadGateway)
+		return
+	}
+	copyHeaders(out.Header, r.Header)
+	resp, err := p.hc.Do(out)
+	if err != nil {
+		// The backend is genuinely unreachable; that is its fault to
+		// own, not an injected one.
+		http.Error(w, fmt.Sprintf(`{"error":"netchaos proxy: backend: %v"}`, err), http.StatusBadGateway)
+		return
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":"netchaos proxy: backend body: %v"}`, err), http.StatusBadGateway)
+		return
+	}
+	if plan.HeaderDelay > 0 && !sleepHandler(r, plan.HeaderDelay) {
+		return
+	}
+	if plan.Class == ClassReset {
+		// Headers and body are ready, but the wire dies instead.
+		abort(w)
+		return
+	}
+	copyHeaders(w.Header(), resp.Header)
+	w.Header().Del("Content-Length")
+	switch plan.Class {
+	case ClassNone:
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		w.WriteHeader(resp.StatusCode)
+		w.Write(body)
+	case ClassFlip:
+		if len(body) > 0 {
+			body[int(plan.FlipBit/8)%len(body)] ^= 1 << (plan.FlipBit % 8)
+		}
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		w.WriteHeader(resp.StatusCode)
+		w.Write(body)
+	case ClassDup:
+		w.Header().Set("Content-Length", strconv.Itoa(2*len(body)))
+		w.WriteHeader(resp.StatusCode)
+		w.Write(body)
+		w.Write(body)
+	case ClassTruncate:
+		// Promise the full length, deliver half, return: the server
+		// notices the short write and severs the connection, so the
+		// client reads an unexpected EOF mid-body.
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		w.WriteHeader(resp.StatusCode)
+		w.Write(body[:len(body)/2])
+	case ClassStall:
+		// Deliver half, flush it onto the wire, then black-hole until
+		// the client hangs up (its body-read budget firing) or the
+		// proxy shuts down.
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		w.WriteHeader(resp.StatusCode)
+		w.Write(body[:len(body)/2])
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		<-r.Context().Done()
+		abort(w)
+	}
+}
+
+// serveStats answers the proxy's introspection endpoint.
+func (p *Proxy) serveStats(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(p.eng.Stats())
+}
+
+// abort severs the client connection without a valid HTTP response:
+// hijack and close when the server supports it, otherwise panic with
+// http.ErrAbortHandler (which net/http turns into a mid-stream close).
+func abort(w http.ResponseWriter) {
+	if hj, ok := w.(http.Hijacker); ok {
+		if conn, _, err := hj.Hijack(); err == nil {
+			conn.Close()
+			return
+		}
+	}
+	panic(http.ErrAbortHandler)
+}
+
+// sleepHandler waits d inside a handler; false means the client went
+// away first and the exchange is moot.
+func sleepHandler(r *http.Request, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-r.Context().Done():
+		return false
+	}
+}

@@ -1,0 +1,179 @@
+package netchaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Transport is an http.RoundTripper that applies an Engine's fault
+// plans to POST /v1/sim exchanges, passing everything else through
+// untouched. With a disabled (or nil) engine it is a pure passthrough —
+// same bytes, same errors, zero draws — so wiring it unconditionally
+// under dist.Client costs nothing when netchaos is off.
+type Transport struct {
+	base http.RoundTripper
+	eng  *Engine
+}
+
+// NewTransport wraps base (nil selects http.DefaultTransport) with
+// eng's fault plans.
+func NewTransport(base http.RoundTripper, eng *Engine) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{base: base, eng: eng}
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if !t.eng.Enabled() || !faultable(req.Method, req.URL.Path) {
+		return t.base.RoundTrip(req)
+	}
+	p := t.eng.Plan()
+	if p.DialDelay > 0 {
+		if err := sleepCtx(req, p.DialDelay); err != nil {
+			return nil, err
+		}
+	}
+	switch p.Class {
+	case ClassRefuse:
+		// The backend is never contacted; per the RoundTripper contract
+		// the request body must still be closed.
+		closeBody(req)
+		return nil, &FaultError{Class: ClassRefuse, Exchange: p.Exchange}
+	case Class5xx:
+		closeBody(req)
+		return synthetic(req, http.StatusInternalServerError, p), nil
+	case Class429:
+		closeBody(req)
+		return synthetic(req, http.StatusTooManyRequests, p), nil
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if p.HeaderDelay > 0 {
+		if serr := sleepCtx(req, p.HeaderDelay); serr != nil {
+			resp.Body.Close()
+			return nil, serr
+		}
+	}
+	if p.Class == ClassNone {
+		return resp, nil
+	}
+	// Body faults operate on the real settled bytes: buffer them, then
+	// hand the caller a corrupted view. Settled sim bodies are small
+	// (a few KiB), so buffering is cheap.
+	raw, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		return nil, fmt.Errorf("netchaos: reading real body to fault it: %w", rerr)
+	}
+	half := len(raw) / 2
+	switch p.Class {
+	case ClassFlip:
+		if len(raw) > 0 {
+			raw[int(p.FlipBit/8)%len(raw)] ^= 1 << (p.FlipBit % 8)
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(raw))
+	case ClassDup:
+		raw = append(raw, raw...)
+		resp.Body = io.NopCloser(bytes.NewReader(raw))
+		resp.ContentLength = int64(len(raw))
+		resp.Header.Set("Content-Length", strconv.Itoa(len(raw)))
+	case ClassTruncate:
+		resp.Body = io.NopCloser(&errAfterReader{
+			r:   bytes.NewReader(raw[:half]),
+			err: fmt.Errorf("netchaos: injected trunc fault (exchange %d): %w", p.Exchange, io.ErrUnexpectedEOF),
+		})
+	case ClassReset:
+		resp.Body = io.NopCloser(&errAfterReader{
+			r:   bytes.NewReader(raw[:half]),
+			err: &FaultError{Class: ClassReset, Exchange: p.Exchange},
+		})
+	case ClassStall:
+		resp.Body = io.NopCloser(&stallReader{
+			r:    bytes.NewReader(raw[:half]),
+			req:  req,
+			plan: p,
+		})
+	}
+	return resp, nil
+}
+
+// synthetic fabricates an error response as an intercepting middlebox
+// would, without the backend ever seeing the request.
+func synthetic(req *http.Request, status int, p Plan) *http.Response {
+	body := []byte(fmt.Sprintf(`{"error":"netchaos: injected %d (exchange %d)"}`+"\n", status, p.Exchange))
+	h := http.Header{"Content-Type": {"application/json"}}
+	if status == http.StatusTooManyRequests {
+		h.Set("Retry-After", "1")
+	}
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		StatusCode:    status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(bytes.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// sleepCtx waits d or until the request's context ends.
+func sleepCtx(req *http.Request, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-req.Context().Done():
+		return req.Context().Err()
+	}
+}
+
+func closeBody(req *http.Request) {
+	if req.Body != nil {
+		req.Body.Close()
+	}
+}
+
+// errAfterReader yields a prefix of the real body, then a read error —
+// a truncation or reset as the client's body-read loop observes it.
+type errAfterReader struct {
+	r   io.Reader
+	err error
+}
+
+func (e *errAfterReader) Read(p []byte) (int, error) {
+	n, err := e.r.Read(p)
+	if err == io.EOF {
+		return n, e.err
+	}
+	return n, err
+}
+
+// stallReader yields a prefix, then blocks until the request context is
+// cancelled — the black hole that forces callers to carry body-read
+// deadlines.
+type stallReader struct {
+	r    io.Reader
+	req  *http.Request
+	plan Plan
+}
+
+func (s *stallReader) Read(p []byte) (int, error) {
+	n, err := s.r.Read(p)
+	if err == io.EOF {
+		<-s.req.Context().Done()
+		return n, fmt.Errorf("netchaos: injected stall fault (exchange %d): %w",
+			s.plan.Exchange, s.req.Context().Err())
+	}
+	return n, err
+}

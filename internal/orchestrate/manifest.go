@@ -25,6 +25,12 @@ type ManifestEntry struct {
 	Source string `json:"source"`
 	// DurationMS is the job's wall-clock compute time (0 when cached).
 	DurationMS float64 `json:"duration_ms"`
+	// Faults lists the dispatch faults this job survived before settling
+	// (AddJobFault) — "integrity:<backend>", "timeout:<backend>",
+	// "shed:<backend>", "skew:<backend>", "error:<backend>" — in the
+	// order they occurred. Absent on clean runs, so fault-free campaign
+	// manifests are byte-identical to those of earlier builds.
+	Faults []string `json:"faults,omitempty"`
 	// Error records why a computed job settled without a result (timeout,
 	// recovered panic, exhausted retries). Cancelled jobs never appear in
 	// the manifest at all: they are forgotten so a resumed campaign

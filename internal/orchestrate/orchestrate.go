@@ -315,10 +315,11 @@ func Jitter(d time.Duration) time.Duration {
 // orchestrator hands its RunFunc.
 type jobSourceKey struct{}
 
-// jobSource is the holder SetJobSource writes into.
+// jobSource is the holder SetJobSource and AddJobFault write into.
 type jobSource struct {
-	mu sync.Mutex
-	s  string
+	mu     sync.Mutex
+	s      string
+	faults []string
 }
 
 // SetJobSource records where a job's result was actually computed —
@@ -333,6 +334,24 @@ func SetJobSource(ctx context.Context, source string) {
 	}
 	h.mu.Lock()
 	h.s = source
+	h.mu.Unlock()
+}
+
+// AddJobFault records one fault a job survived on its way to a result —
+// "integrity:<backend>" for a corrupted reply caught by digest
+// verification, "timeout:<backend>" for a deadline-bounded black hole,
+// "shed:<backend>"/"error:<backend>" for load shedding and plain
+// dispatch failures. Faults accumulate in dispatch order on the
+// manifest entry, so a campaign that completed despite a lying network
+// shows exactly what it absorbed. No-op when ctx does not descend from
+// an orchestrator job.
+func AddJobFault(ctx context.Context, fault string) {
+	h, ok := ctx.Value(jobSourceKey{}).(*jobSource)
+	if !ok {
+		return
+	}
+	h.mu.Lock()
+	h.faults = append(h.faults, fault)
 	h.mu.Unlock()
 }
 
@@ -553,6 +572,7 @@ func (o *Orchestrator) exec(ctx context.Context, j Job, key string, f *future) {
 	if src.s != "" {
 		entry.Source = src.s
 	}
+	entry.Faults = src.faults
 	src.mu.Unlock()
 	if err != nil {
 		entry.Error = err.Error()

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pcstall/internal/wire"
+)
+
+// Every settled body — success or error — must carry a digest stamped
+// over the exact bytes written, or the coordinator's end-to-end
+// integrity check has nothing to verify.
+func TestSettledBodiesCarryDigest(t *testing.T) {
+	s, _ := newTestServer(t, &stubBackend{}, nil)
+	w := postSim(t, s.Handler(), simBody(1))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200", w.Code)
+	}
+	stamp := w.Header().Get(wire.DigestHeader)
+	if stamp == "" {
+		t.Fatal("settled 200 missing digest header")
+	}
+	if got := wire.Digest(w.Body.Bytes()); got != stamp {
+		t.Errorf("stamp %s does not cover the written bytes (hash %s)", stamp, got)
+	}
+
+	// A settled error body is stamped too: the coordinator must be able
+	// to trust what the failure said.
+	s2, _ := newTestServer(t, &stubBackend{failN: 1}, nil)
+	w = postSim(t, s2.Handler(), simBody(2))
+	if w.Code == http.StatusOK {
+		t.Fatalf("expected a settled error, got 200")
+	}
+	stamp = w.Header().Get(wire.DigestHeader)
+	if stamp == "" || stamp != wire.Digest(w.Body.Bytes()) {
+		t.Errorf("settled error stamp %q does not cover body", stamp)
+	}
+}
+
+// A tampered settled body must fail verification — the property the
+// whole netchaos flip/trunc/dup recovery path rests on.
+func TestDigestCatchesTampering(t *testing.T) {
+	s, _ := newTestServer(t, &stubBackend{}, nil)
+	w := postSim(t, s.Handler(), simBody(3))
+	stamp := w.Header().Get(wire.DigestHeader)
+	body := append([]byte(nil), w.Body.Bytes()...)
+	if _, ok := wire.Check(stamp, body); !ok {
+		t.Fatal("pristine body failed verification")
+	}
+	body[len(body)/2] ^= 0x01
+	if _, ok := wire.Check(stamp, body); ok {
+		t.Error("flipped byte passed verification")
+	}
+	if _, ok := wire.Check(stamp, body[:len(body)-2]); ok {
+		t.Error("truncated body passed verification")
+	}
+	if _, ok := wire.Check(stamp, append(w.Body.Bytes(), w.Body.Bytes()...)); ok {
+		t.Error("duplicated body passed verification")
+	}
+}
+
+// Oversized sim configs are rejected 413 with a structured error, not
+// streamed into the decoder.
+func TestOversizedSimRequestRejected(t *testing.T) {
+	s, _ := newTestServer(t, &stubBackend{}, nil)
+	huge := `{"app":"` + strings.Repeat("x", maxSimRequestBytes+4096) + `"}`
+	req := httptest.NewRequest("POST", "/v1/sim", strings.NewReader(huge))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", w.Code)
+	}
+	e := decodeError(t, w)
+	if !strings.Contains(e.Error, "exceeds") {
+		t.Errorf("413 body %q does not name the limit", e.Error)
+	}
+	// A request under the cap still works.
+	if w := postSim(t, s.Handler(), simBody(4)); w.Code != http.StatusOK {
+		t.Errorf("normal request after oversize rejection: status %d", w.Code)
+	}
+}

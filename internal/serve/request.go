@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -57,6 +58,12 @@ func (s *Server) parseSimRequest(body io.Reader) (orchestrate.Job, time.Duration
 	dec.DisallowUnknownFields()
 	var req SimRequest
 	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			// Keep the MaxBytesError in the chain so the handler can
+			// answer 413 instead of a generic 400.
+			return orchestrate.Job{}, 0, fmt.Errorf("decoding sim config: %w", err)
+		}
 		return orchestrate.Job{}, 0, &requestError{fmt.Sprintf("decoding sim config: %v", err)}
 	}
 	j := s.defaults // copy

@@ -44,8 +44,13 @@ import (
 	"pcstall/internal/telemetry"
 	"pcstall/internal/tracing"
 	"pcstall/internal/version"
+	"pcstall/internal/wire"
 	"pcstall/internal/workload"
 )
+
+// maxSimRequestBytes caps a POST /v1/sim body. Sim configs are sparse
+// JSON well under a kilobyte; anything bigger is a mistake or an attack.
+const maxSimRequestBytes = 1 << 20
 
 // Backend is what the serving layer fronts. *exp.Suite implements it;
 // tests substitute stubs to exercise admission, singleflight, and
@@ -663,14 +668,25 @@ func (s *Server) retryAfterSeconds() int {
 // handleSim admits one simulation request: cache short-circuit, then
 // singleflight join, then bounded admission.
 func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
-	simJob, timeout, err := s.parseSimRequest(r.Body)
+	// Sim configs are a few hundred bytes of sparse JSON; the cap stops
+	// a confused or hostile client from streaming gigabytes into the
+	// decoder. MaxBytesReader also severs the connection on overflow so
+	// the rest of the flood is never read.
+	simJob, timeout, err := s.parseSimRequest(http.MaxBytesReader(w, r.Body, maxSimRequestBytes))
 	if err != nil {
 		var reqErr *requestError
-		if errors.As(err, &reqErr) {
+		var mbe *http.MaxBytesError
+		switch {
+		case errors.As(err, &reqErr):
 			writeJSON(w, http.StatusBadRequest, apiError{Version: s.ver, Error: reqErr.msg})
-			return
+		case errors.As(err, &mbe):
+			writeJSON(w, http.StatusRequestEntityTooLarge, apiError{
+				Version: s.ver,
+				Error:   fmt.Sprintf("sim config exceeds %d bytes", mbe.Limit),
+			})
+		default:
+			writeJSON(w, http.StatusInternalServerError, apiError{Version: s.ver, Error: err.Error()})
 		}
-		writeJSON(w, http.StatusInternalServerError, apiError{Version: s.ver, Error: err.Error()})
 		return
 	}
 	key := simJob.Key()
@@ -779,9 +795,15 @@ func (s *Server) respondAdmitted(w http.ResponseWriter, r *http.Request, j *job,
 	}
 }
 
-// writeStored writes a settled body verbatim.
+// writeStored writes a settled body verbatim, stamped with the
+// end-to-end digest (wire.DigestHeader) over the exact bytes written.
+// A coordinator recomputes the digest over the bytes it received, so
+// corruption, truncation, or duplication anywhere on the wire is caught
+// before a result is ingested — the transport's checksums guard a hop,
+// the stamp guards the whole path.
 func (s *Server) writeStored(w http.ResponseWriter, code int, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(wire.DigestHeader, wire.Digest(body))
 	w.WriteHeader(code)
 	_, _ = w.Write(body)
 }

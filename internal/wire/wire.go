@@ -1,0 +1,50 @@
+// Package wire holds the few constants and helpers the coordinator/
+// worker HTTP protocol shares between its two ends: internal/serve
+// stamps what internal/dist verifies. It exists so the serving layer
+// and the dispatch layer agree on bytes without importing each other.
+package wire
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// DigestHeader carries the end-to-end body digest on settled responses.
+// The serving layer stamps it over the exact bytes it writes; the
+// coordinator recomputes it over the exact bytes it read. A mismatch
+// means the wire (or a middlebox) altered the payload — flipped bits,
+// truncation the framing missed, duplicated segments — and the reply
+// must not be ingested.
+const DigestHeader = "X-Pcstall-Digest"
+
+// digestPrefix names the algorithm so the scheme can evolve without
+// ambiguity; verifiers ignore digests whose prefix they do not speak.
+const digestPrefix = "fnv1a64:"
+
+// Digest returns the canonical digest string for a response body:
+// FNV-1a/64 over the raw bytes, rendered as "fnv1a64:<16 hex digits>".
+// FNV is not cryptographic — the threat model is a lying network, not a
+// malicious backend (a malicious backend could simply fabricate results
+// under a valid digest) — and it is cheap enough to stamp on every
+// settled body.
+func Digest(b []byte) string {
+	h := fnv.New64a()
+	_, _ = h.Write(b)
+	return fmt.Sprintf("%s%016x", digestPrefix, h.Sum64())
+}
+
+// Check verifies a received digest header against the body actually
+// read. It returns ok=false with the recomputed want only when header
+// carries a digest this code understands and the body does not match;
+// an empty or foreign-scheme header verifies trivially (fail-open for
+// backends predating the scheme — corruption there still surfaces as a
+// decode or key-skew failure).
+func Check(header string, body []byte) (want string, ok bool) {
+	header = strings.TrimSpace(header)
+	if header == "" || !strings.HasPrefix(header, digestPrefix) {
+		return "", true
+	}
+	want = Digest(body)
+	return want, header == want
+}

@@ -1,0 +1,44 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDigestIsStableAndDistinct(t *testing.T) {
+	a := Digest([]byte("hello"))
+	if a != Digest([]byte("hello")) {
+		t.Error("digest of identical bytes differs")
+	}
+	if !strings.HasPrefix(a, "fnv1a64:") || len(a) != len("fnv1a64:")+16 {
+		t.Errorf("digest %q not in canonical form", a)
+	}
+	if a == Digest([]byte("hellp")) {
+		t.Error("one-byte change did not change the digest")
+	}
+	if Digest(nil) != Digest([]byte{}) {
+		t.Error("nil and empty bodies digest differently")
+	}
+}
+
+func TestCheck(t *testing.T) {
+	body := []byte(`{"id":"x"}`)
+	good := Digest(body)
+	cases := []struct {
+		name   string
+		header string
+		ok     bool
+	}{
+		{"match", good, true},
+		{"match with padding", "  " + good + " ", true},
+		{"empty header verifies trivially", "", true},
+		{"foreign scheme verifies trivially", "sha256:deadbeef", true},
+		{"mismatch", Digest([]byte("other")), false},
+		{"truncated digest", good[:len(good)-2], false},
+	}
+	for _, c := range cases {
+		if _, ok := Check(c.header, body); ok != c.ok {
+			t.Errorf("%s: Check(%q) ok=%v, want %v", c.name, c.header, ok, c.ok)
+		}
+	}
+}

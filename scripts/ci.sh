@@ -26,7 +26,7 @@ echo "==> go test"
 go test ./...
 
 echo "==> go test -race (concurrent packages)"
-go test -race ./internal/telemetry ./internal/tracing ./internal/orchestrate ./internal/trace ./internal/exp ./internal/serve ./internal/dist
+go test -race ./internal/telemetry ./internal/tracing ./internal/orchestrate ./internal/trace ./internal/exp ./internal/serve ./internal/dist ./internal/netchaos ./internal/wire
 
 echo "==> go test -shuffle=on (order-independence of the serving/orchestration tests)"
 go test -shuffle=on -count=1 ./internal/serve ./internal/orchestrate ./internal/telemetry
@@ -281,6 +281,55 @@ if [ "$kill_landed" = 1 ]; then
 	fi
 	echo "    killed-backend recovery visible in the coordinator's trace"
 fi
+
+echo "==> netchaos smoke (campaign through a fault-injecting proxy; byte-identical figures)"
+# A campaign where one backend sits behind pcstall-netchaos — seeded
+# refusals, latency, stalls, truncations, bit flips, resets, injected
+# errors on every sim exchange — must still complete with figures
+# byte-identical to the serial reference. The digest check catches
+# corruption, the body budget bounds stalls, and re-steal moves the job
+# to the clean worker; nothing corrupted may settle.
+go build -o "$smoke/pcstall-netchaos" ./cmd/pcstall-netchaos
+start_backend w5; w5_pid=$backend_pid; w5_base=$backend_base
+start_backend w6; w6_pid=$backend_pid; w6_base=$backend_base
+"$smoke/pcstall-netchaos" -listen 127.0.0.1:0 -target "$w5_base" \
+	-faults level=0.35,seed=42 > "$smoke/ncproxy.out" 2> "$smoke/ncproxy.err" &
+ncproxy_pid=$!
+nc_base=""
+for _ in $(seq 1 100); do
+	nc_base=$(sed -n 's#^pcstall-netchaos: listening on \(http://[^ ]*\) .*#\1#p' "$smoke/ncproxy.out")
+	[ -n "$nc_base" ] && break
+	sleep 0.1
+done
+if [ -z "$nc_base" ]; then
+	echo "netchaos smoke: proxy never announced its address" >&2
+	cat "$smoke/ncproxy.err" >&2
+	exit 1
+fi
+if ! "$smoke/pcstall-exp" $smoke_flags -backends "$nc_base,$w6_base" -backend-body-timeout 2s \
+	-cache-dir "$smoke/nc" 1a > "$smoke/nc.out" 2> "$smoke/nc.err"; then
+	echo "netchaos smoke: campaign failed under fault injection" >&2
+	cat "$smoke/nc.err" >&2
+	exit 1
+fi
+if ! cmp -s "$smoke/ref.out" "$smoke/nc.out"; then
+	echo "netchaos smoke: faulted-fleet output differs from serial reference" >&2
+	diff "$smoke/ref.out" "$smoke/nc.out" >&2 || true
+	exit 1
+fi
+nc_stats=$(curl -sf "$nc_base/netchaos/stats")
+nc_exchanges=$(echo "$nc_stats" | sed -n 's/.*"exchanges": \([0-9]*\).*/\1/p' | head -n 1)
+nc_clean=$(echo "$nc_stats" | sed -n 's/.*"clean": \([0-9]*\).*/\1/p' | head -n 1)
+nc_injected=$(( ${nc_exchanges:-0} - ${nc_clean:-0} ))
+if [ -z "$nc_injected" ] || [ "$nc_injected" -lt 1 ]; then
+	echo "netchaos smoke: proxy injected no faults (stats: $nc_stats) — the invariant was not exercised" >&2
+	exit 1
+fi
+kill "$w5_pid" "$w6_pid" "$ncproxy_pid" 2>/dev/null || true
+wait "$w5_pid" 2>/dev/null || true
+wait "$w6_pid" 2>/dev/null || true
+wait "$ncproxy_pid" 2>/dev/null || true
+echo "    campaign absorbed $nc_injected injected wire faults with byte-identical output"
 
 echo "==> bench smoke (telemetry-off runner vs BENCH_telemetry.json)"
 # The disabled-telemetry path is the one every simulation pays. Absolute
