@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -8,6 +9,8 @@ import (
 	"testing"
 
 	"pcstall/internal/exp"
+	"pcstall/internal/telemetry"
+	"pcstall/internal/wire"
 )
 
 // tinySuite mirrors the exp package's unit-test platform: a small GPU,
@@ -79,17 +82,21 @@ func TestFigureGolden(t *testing.T) {
 
 // TestSimGolden: a POST /v1/sim that sets only app+design computes the
 // same job (same cache key, same result) as the server's default
-// platform run directly through the suite.
+// platform run directly through the suite — and a replay of the same
+// request, served from the rendered-body LRU, is byte-identical to the
+// cold rendering, ETag and wire digest included.
 func TestSimGolden(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a real simulation")
 	}
 	suite := tinySuite(t.TempDir())
 	defer suite.Close()
+	reg := telemetry.New()
 	s, err := New(Config{
 		Backend:   suite,
 		Defaults:  suite.SimDefaults(),
 		FigureIDs: suite.ArtifactIDs(),
+		Metrics:   reg,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -114,5 +121,29 @@ func TestSimGolden(t *testing.T) {
 	}
 	if resp.ID != resp.Job.Key() {
 		t.Errorf("response id %s != job key %s", resp.ID, resp.Job.Key())
+	}
+
+	// Replay: the hot tier must serve the settled rendering verbatim.
+	rw := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rw, httptest.NewRequest("POST", "/v1/sim",
+		strings.NewReader(`{"app":"comd","design":"PCSTALL"}`)))
+	if rw.Code != http.StatusOK {
+		t.Fatalf("replay status = %d\nbody: %s", rw.Code, rw.Body.String())
+	}
+	if !bytes.Equal(rw.Body.Bytes(), w.Body.Bytes()) {
+		t.Error("LRU-served body diverges from the cold-rendered body")
+	}
+	if a, b := w.Header().Get("ETag"), rw.Header().Get("ETag"); a == "" || a != b {
+		t.Errorf("ETag diverged on replay: %q vs %q", a, b)
+	}
+	a, b := w.Header().Get(wire.DigestHeader), rw.Header().Get(wire.DigestHeader)
+	if a == "" || a != b {
+		t.Errorf("%s diverged on replay: %q vs %q", wire.DigestHeader, a, b)
+	}
+	if got := wire.Digest(rw.Body.Bytes()); got != b {
+		t.Errorf("replay digest stamp %q does not cover the body (%q)", b, got)
+	}
+	if got := reg.Snapshot().Counters["serve_body_cache_hits_total"]; got != 1 {
+		t.Errorf("serve_body_cache_hits_total = %d, want 1 (the replay)", got)
 	}
 }

@@ -213,12 +213,23 @@ type versionResponse struct {
 // healthResponse is the GET /healthz body: whether the server is
 // accepting work (200 "ok") or draining (503 "draining"), plus the
 // queue shape a coordinator or load balancer sizes its dispatch by.
+// QueueDepth and Running aggregate across lanes (the pre-lane wire
+// shape, kept for existing coordinators); Queues breaks the same
+// numbers out per admission class.
 type healthResponse struct {
-	Version    string `json:"version"`
-	Status     string `json:"status"`
-	QueueDepth int    `json:"queue_depth"`
-	Running    int    `json:"running"`
-	Draining   bool   `json:"draining"`
+	Version    string                `json:"version"`
+	Status     string                `json:"status"`
+	QueueDepth int                   `json:"queue_depth"`
+	Running    int                   `json:"running"`
+	Queues     map[string]laneHealth `json:"queues,omitempty"`
+	Draining   bool                  `json:"draining"`
+}
+
+// laneHealth is one admission lane's queue shape in /healthz.
+type laneHealth struct {
+	QueueDepth int `json:"queue_depth"`
+	Running    int `json:"running"`
+	Capacity   int `json:"capacity"`
 }
 
 // listResponse backs the registry listings (GET /v1/workloads,

@@ -2,19 +2,27 @@
 // HTTP front end over the experiment suite and its orchestrator, built
 // for sustained traffic rather than one-shot campaigns.
 //
-// The serving core applies three disciplines in order on every request:
+// The serving core applies four disciplines in order on every request:
 //
-//  1. Cache short-circuit — a request whose content-addressed job key
+//  1. Hot tier — a bounded in-memory LRU of fully rendered response
+//     bodies keyed by the content-addressed job key. A hit returns the
+//     exact bytes (and wire digest) of a previous settlement without
+//     touching the result cache or re-rendering JSON.
+//  2. Cache short-circuit — a request whose content-addressed job key
 //     (orchestrate.Job.Key, SimVersion included) is already settled in
 //     the orchestrator's memo or disk cache is answered immediately,
-//     consuming neither queue capacity nor a worker slot.
-//  2. Singleflight — N identical concurrent requests collapse onto one
+//     consuming neither queue capacity nor a worker slot; the rendered
+//     body is promoted into the hot tier.
+//  3. Singleflight — N identical concurrent requests collapse onto one
 //     job: the first admission computes, the rest attach as waiters and
 //     receive the identical rendered bytes when it settles.
-//  3. Admission control — genuinely new work enters a bounded queue;
-//     when queued+running reaches the bound, requests are shed with
-//     429 and a Retry-After estimated from observed job times, instead
-//     of queueing unboundedly.
+//  4. Admission control — genuinely new work enters a bounded per-class
+//     queue: cold simulations and figure regenerations each have their
+//     own lane, so a flood of expensive cold sims can never shed a
+//     figure request (or vice versa). When a lane's queued+running
+//     reaches its bound, requests are shed with 429 and a Retry-After
+//     estimated from that lane's observed job times, instead of
+//     queueing unboundedly.
 //
 // Per-request deadlines and client disconnects propagate through the
 // job's context down to the simulation's per-epoch cancellation checks
@@ -78,9 +86,21 @@ type Config struct {
 	// suite-backed servers). Its SimVersion is overwritten with the
 	// binary's own.
 	Defaults orchestrate.Job
-	// MaxQueue bounds admitted-but-unsettled jobs (queued + running);
-	// beyond it requests shed with 429. <= 0 selects 64.
+	// MaxQueue bounds admitted-but-unsettled simulation jobs (queued +
+	// running) on the cold-sim lane; beyond it requests shed with 429.
+	// <= 0 selects 64.
 	MaxQueue int
+	// FigureQueue bounds admitted-but-unsettled figure jobs on their own
+	// admission lane, so a backlog of expensive cold sims never sheds a
+	// figure request (and a figure backlog never sheds sims). 0 selects
+	// 16; negative collapses figures onto the sim lane — the pre-lane
+	// aggregate discipline, kept selectable for A/B load tests.
+	FigureQueue int
+	// BodyCacheBytes bounds the in-memory LRU of rendered response
+	// bodies (the hot tier above the JSONL result cache). 0 selects
+	// 32 MiB; negative disables the tier — kept selectable so the load
+	// harness can measure before/after.
+	BodyCacheBytes int64
 	// Workers bounds concurrently executing jobs; <= 0 selects
 	// runtime.NumCPU(). (Simulations are additionally bounded by the
 	// orchestrator's own pool.)
@@ -121,16 +141,50 @@ const (
 	statusCancelled = "cancelled"
 )
 
+// job kinds and the admission-lane classes they map to. The class
+// strings label the per-lane serve_* metric series and the /healthz
+// queue map; "cached" requests (hot-tier and result-cache hits) never
+// enter a lane at all.
+const (
+	kindSim    = "sim"
+	kindFigure = "figure"
+
+	classCold   = "cold"
+	classFigure = "figure"
+	classAll    = "all" // shared single-lane (legacy) mode
+)
+
+// defaultBodyCacheBytes is the hot tier's byte budget when the config
+// leaves it unset: a few thousand typical rendered sim bodies.
+const defaultBodyCacheBytes int64 = 32 << 20
+
 // runFn computes one admitted job and returns its rendered settlement:
 // an HTTP status code plus the exact response body every attached
 // waiter receives.
 type runFn func(ctx context.Context) (int, []byte)
+
+// lane is one admission class's queue accounting: cold simulations and
+// figure regenerations each get a lane so neither sheds behind the
+// other's backlog. class and max are immutable after New; the counters
+// are guarded by Server.mu.
+type lane struct {
+	class string // metric label: "cold", "figure", or "all" (shared mode)
+	max   int    // admitted-but-unsettled bound; beyond it requests shed
+
+	inflight int // admitted, not yet settled
+	running  int // holding a worker slot now
+
+	// Settled-OK run durations, for the lane's Retry-After estimate.
+	durSum time.Duration
+	durN   int64
+}
 
 // job is one unit of admitted (or cache-settled) work, shared by every
 // request that deduplicated onto it.
 type job struct {
 	id   string
 	kind string // "sim" | "figure"
+	lane *lane  // admission lane charged for this job (nil if cache-settled)
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -141,10 +195,12 @@ type job struct {
 	refs     int  // attached waiters; 0 with detached=false cancels
 	detached bool // async jobs run to completion regardless of waiters
 	settled  bool
+	startRun time.Time // when the job acquired its worker slot
 
 	// Written once in settle (before close(done)), read-only after:
 	httpStatus int
 	body       []byte
+	digest     string // wire.Digest over body ("" = compute on write)
 
 	// Written once in admit (before the job is published), read-only
 	// after; both are nil/empty when the server runs untraced.
@@ -158,15 +214,19 @@ type Server struct {
 	cfg       Config
 	defaults  orchestrate.Job
 	ver       string
-	maxQueue  int
 	baseCtx   context.Context
 	tele      *serveTelemetry
 	tracer    *tracing.Tracer
 	log       *slog.Logger
 	mux       *http.ServeMux
 	sem       chan struct{}
-	figureSem chan struct{} // single-slot lane: Backend.Figure is not concurrent-safe
+	figureSem chan struct{} // single-slot execution lane: Backend.Figure is not concurrent-safe
 	figureIDs map[string]bool
+	bodies    *bodyCache // hot tier of rendered bodies; nil when disabled
+
+	// lanes maps a job kind ("sim", "figure") onto its admission lane.
+	// In shared mode (FigureQueue < 0) both kinds map to one lane.
+	lanes map[string]*lane
 
 	workloads   []string
 	workloadSet map[string]bool
@@ -174,8 +234,6 @@ type Server struct {
 	mu        sync.Mutex
 	jobs      map[string]*job
 	doneOrder []string // settled job ids, oldest first, for eviction
-	inflight  int      // admitted, not yet settled
-	running   int      // holding a worker slot now
 	draining  bool
 
 	wg sync.WaitGroup // one per admitted job goroutine
@@ -209,18 +267,44 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ProgressEvery <= 0 {
 		cfg.ProgressEvery = 500 * time.Millisecond
 	}
+	// Admission lanes: cold sims and figures each bounded separately, or
+	// one shared lane when FigureQueue is negative (the legacy aggregate
+	// discipline the load harness A/B-tests against).
+	var lanes map[string]*lane
+	if cfg.FigureQueue < 0 {
+		shared := &lane{class: classAll, max: maxQueue}
+		lanes = map[string]*lane{kindSim: shared, kindFigure: shared}
+	} else {
+		figQueue := cfg.FigureQueue
+		if figQueue == 0 {
+			figQueue = 16
+		}
+		lanes = map[string]*lane{
+			kindSim:    {class: classCold, max: maxQueue},
+			kindFigure: {class: classFigure, max: figQueue},
+		}
+	}
+	classes := []string{lanes[kindSim].class}
+	if fl := lanes[kindFigure]; fl != lanes[kindSim] {
+		classes = append(classes, fl.class)
+	}
+	bodyBytes := cfg.BodyCacheBytes
+	if bodyBytes == 0 {
+		bodyBytes = defaultBodyCacheBytes
+	}
 	s := &Server{
 		cfg:         cfg,
 		defaults:    cfg.Defaults,
 		ver:         ver,
-		maxQueue:    maxQueue,
 		baseCtx:     baseCtx,
-		tele:        newServeTelemetry(cfg.Metrics),
+		tele:        newServeTelemetry(cfg.Metrics, classes),
 		tracer:      cfg.Tracer,
 		log:         cfg.Log,
 		sem:         make(chan struct{}, workers),
 		figureSem:   make(chan struct{}, 1),
 		figureIDs:   make(map[string]bool, len(cfg.FigureIDs)),
+		bodies:      newBodyCache(bodyBytes), // nil when bodyBytes < 0
+		lanes:       lanes,
 		workloads:   workload.Names(),
 		workloadSet: map[string]bool{},
 		jobs:        map[string]*job{},
@@ -394,10 +478,9 @@ func (s *Server) admit(rctx context.Context, id, kind string, run runFn, detache
 	if s.draining {
 		return nil, false, false, true
 	}
-	if s.inflight >= s.maxQueue {
-		if s.tele != nil {
-			s.tele.shed.Inc()
-		}
+	ln := s.lanes[kind]
+	if ln.inflight >= ln.max {
+		s.tele.shedInc(ln.class)
 		return nil, false, true, false
 	}
 	if s.jobs[id] != nil {
@@ -430,6 +513,7 @@ func (s *Server) admit(rctx context.Context, id, kind string, run runFn, detache
 	j = &job{
 		id:       id,
 		kind:     kind,
+		lane:     ln,
 		ctx:      jctx,
 		cancel:   cancel,
 		done:     make(chan struct{}),
@@ -442,7 +526,7 @@ func (s *Server) admit(rctx context.Context, id, kind string, run runFn, detache
 		j.refs = 1
 	}
 	s.jobs[id] = j
-	s.inflight++
+	ln.inflight++
 	if s.tele != nil {
 		s.tele.jobsTotal.Inc()
 	}
@@ -466,24 +550,25 @@ func (t *serveTelemetry) singleflightInc() {
 // must not occupy sim worker slots it cannot use.
 func (s *Server) runJob(j *job, run runFn) {
 	defer s.wg.Done()
-	lane := s.sem
-	if j.kind == "figure" {
-		lane = s.figureSem
+	slot := s.sem
+	if j.kind == kindFigure {
+		slot = s.figureSem
 	}
 	span := telemetry.StartSpan(s.tele.queueWaitHist())
 	select {
-	case lane <- struct{}{}:
+	case slot <- struct{}{}:
 	case <-j.ctx.Done():
 		span.End()
 		s.settle(j, errCode(j.ctx.Err()), marshalBody(apiError{Version: s.ver, Error: "cancelled while queued: " + j.ctx.Err().Error()}))
 		return
 	}
 	span.End()
-	defer func() { <-lane }()
+	defer func() { <-slot }()
 	j.span.Event("slot.acquired")
 	s.mu.Lock()
 	j.status = statusRunning
-	s.running++
+	j.startRun = time.Now()
+	j.lane.running++
 	s.gaugesLocked()
 	s.mu.Unlock()
 	code, body := run(j.ctx)
@@ -498,8 +583,10 @@ func (t *serveTelemetry) queueWaitHist() *telemetry.Histogram {
 	return t.queueWait
 }
 
-// settle publishes a job's outcome and releases its queue slot. The
-// body is stored once; every waiter fans the same bytes out.
+// settle publishes a job's outcome and releases its lane slot. The
+// body is rendered and digested exactly once here; every waiter fans
+// the same bytes out, and settled-OK sim bodies are promoted into the
+// hot tier so later requests for the key skip the render entirely.
 func (s *Server) settle(j *job, code int, body []byte) {
 	status := statusDone
 	switch {
@@ -509,16 +596,27 @@ func (s *Server) settle(j *job, code int, body []byte) {
 	default:
 		status = statusError
 	}
+	digest := wire.Digest(body)
 	s.mu.Lock()
 	if j.status == statusRunning {
-		s.running--
+		j.lane.running--
+		if code == http.StatusOK && !j.startRun.IsZero() {
+			j.lane.durSum += time.Since(j.startRun)
+			j.lane.durN++
+		}
 	}
-	j.httpStatus, j.body, j.status, j.settled = code, body, status, true
-	s.inflight--
+	j.httpStatus, j.body, j.digest, j.status, j.settled = code, body, digest, status, true
+	j.lane.inflight--
 	s.doneOrder = append(s.doneOrder, j.id)
 	s.evictLocked()
 	s.gaugesLocked()
 	s.mu.Unlock()
+	if code == http.StatusOK && j.kind == kindSim {
+		// The bytes were just rendered for this settlement (and its
+		// singleflight waiters); keeping them hot means the next request
+		// for the key never re-renders from the orchestrate record.
+		s.bodyPut(j.id, body, digest)
+	}
 	j.cancel() // release the deadline timer
 	if s.tele != nil {
 		switch status {
@@ -614,14 +712,28 @@ func (s *Server) dropSettledLocked(id string) {
 	}
 }
 
-// gaugesLocked publishes queue state from the running counter
+// bodyPut promotes a settled-OK rendering into the hot tier and
+// publishes the tier's shape.
+func (s *Server) bodyPut(key string, body []byte, digest string) {
+	if s.bodies == nil {
+		return
+	}
+	evicted := s.bodies.put(key, body, digest)
+	entries, bytes := s.bodies.stats()
+	s.tele.bodyShape(entries, bytes, evicted)
+}
+
+// gaugesLocked publishes per-lane queue state from the counters
 // maintained at status transitions; callers hold s.mu.
 func (s *Server) gaugesLocked() {
 	if s.tele == nil {
 		return
 	}
-	s.tele.running.Set(float64(s.running))
-	s.tele.queueDepth.Set(float64(s.inflight - s.running))
+	sim := s.lanes[kindSim]
+	s.tele.laneGauges(sim.class, sim.inflight-sim.running, sim.running)
+	if fig := s.lanes[kindFigure]; fig != sim {
+		s.tele.laneGauges(fig.class, fig.inflight-fig.running, fig.running)
+	}
 }
 
 // statusClientClosed is nginx's 499 "client closed request": the job
@@ -640,19 +752,42 @@ func errCode(err error) int {
 	}
 }
 
-// retryAfterSeconds estimates when shed clients should come back: the
-// backlog's expected drain time from observed mean job cost across the
-// worker pool, clamped to [1s, 10m].
-func (s *Server) retryAfterSeconds() int {
-	st := s.cfg.Backend.Stats()
-	mean := 1.0
-	if st.Misses > 0 {
-		mean = st.JobTime.Seconds() / float64(st.Misses)
-	}
+// retryAfterSeconds estimates when a client shed from kind's lane
+// should come back: that lane's backlog drain time from the lane's own
+// observed mean job cost across its execution capacity, clamped to
+// [1s, 10m]. Computing it per lane is the point: a saturated cold-sim
+// backlog must not inflate the hint a shed figure client receives, and
+// vice versa.
+func (s *Server) retryAfterSeconds(kind string) int {
 	s.mu.Lock()
-	backlog := s.inflight
+	ln := s.lanes[kind]
+	backlog := ln.inflight
+	var mean float64
+	if ln.durN > 0 {
+		mean = ln.durSum.Seconds() / float64(ln.durN)
+	}
+	shared := s.lanes[kindSim] == s.lanes[kindFigure]
 	s.mu.Unlock()
-	secs := int(math.Ceil(mean * float64(backlog) / float64(cap(s.sem))))
+	capacity := cap(s.sem)
+	if kind == kindFigure && !shared {
+		capacity = cap(s.figureSem)
+	}
+	if mean == 0 {
+		if kind == kindFigure && !shared {
+			// No settled figure observed yet. A figure regenerates a
+			// whole campaign, so guess high rather than invite an
+			// immediate re-stampede.
+			mean = 30
+		} else {
+			// Fall back to the orchestrator's campaign-wide mean.
+			st := s.cfg.Backend.Stats()
+			mean = 1.0
+			if st.Misses > 0 {
+				mean = st.JobTime.Seconds() / float64(st.Misses)
+			}
+		}
+	}
+	secs := int(math.Ceil(mean * float64(backlog) / float64(capacity)))
 	if secs < 1 {
 		secs = 1
 	}
@@ -692,18 +827,30 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	key := simJob.Key()
 	async := isAsync(r)
 
-	// 1. Cache short-circuit: a settled result never queues.
+	// 1. Hot tier: a previously rendered body is served byte-identical,
+	// digest and all, without touching the result cache or the encoder.
+	if body, digest, ok := s.bodies.get(key); ok {
+		s.tele.bodyHitInc()
+		tracing.FromContext(r.Context()).SetAttr("cache", "lru")
+		s.recordSettled(key, kindSim, body)
+		s.writeSettled(w, r, http.StatusOK, key, body, digest)
+		return
+	}
+
+	// 2. Cache short-circuit: a settled result never queues.
 	if res, ok := s.cfg.Backend.Cached(key); ok {
 		if s.tele != nil {
 			s.tele.cacheHits.Inc()
 		}
 		tracing.FromContext(r.Context()).SetAttr("cache", "hit")
 		body := marshalBody(simResponse{
-			Version: s.ver, ID: key, Kind: "sim", Status: statusDone,
+			Version: s.ver, ID: key, Kind: kindSim, Status: statusDone,
 			Job: simJob, Result: res,
 		})
-		s.recordSettled(key, "sim", body)
-		s.writeSettled(w, r, http.StatusOK, key, body)
+		digest := wire.Digest(body)
+		s.bodyPut(key, body, digest)
+		s.recordSettled(key, kindSim, body)
+		s.writeSettled(w, r, http.StatusOK, key, body, digest)
 		return
 	}
 
@@ -713,14 +860,14 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 			return errCode(rerr), marshalBody(apiError{Version: s.ver, Error: rerr.Error()})
 		}
 		return http.StatusOK, marshalBody(simResponse{
-			Version: s.ver, ID: key, Kind: "sim", Status: statusDone,
+			Version: s.ver, ID: key, Kind: kindSim, Status: statusDone,
 			Job: simJob, Result: res,
 		})
 	}
 
-	// 2+3. Singleflight join or bounded admission.
-	j, _, shed, draining := s.admit(r.Context(), key, "sim", run, async, timeout)
-	s.respondAdmitted(w, r, j, shed, draining, async)
+	// 3+4. Singleflight join or bounded admission on the cold-sim lane.
+	j, _, shed, draining := s.admit(r.Context(), key, kindSim, run, async, timeout)
+	s.respondAdmitted(w, r, j, kindSim, shed, draining, async)
 }
 
 // handleFigure admits one figure-regeneration request. Figure jobs
@@ -750,28 +897,31 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		var text strings.Builder
 		t.Fprint(&text)
 		return http.StatusOK, marshalBody(figureResponse{
-			Version: s.ver, ID: id, Kind: "figure", Status: statusDone,
+			Version: s.ver, ID: id, Kind: kindFigure, Status: statusDone,
 			Figure: figID, Text: text.String(), Table: t,
 		})
 	}
-	j, _, shed, draining := s.admit(r.Context(), id, "figure", run, async, s.cfg.DefaultTimeout)
-	s.respondAdmitted(w, r, j, shed, draining, async)
+	j, _, shed, draining := s.admit(r.Context(), id, kindFigure, run, async, s.cfg.DefaultTimeout)
+	s.respondAdmitted(w, r, j, kindFigure, shed, draining, async)
 }
 
 // respondAdmitted finishes an admission outcome: shed and drain map to
 // 429/503, async maps to 202+Location, sync waits for settlement (or
-// the client leaving) and fans out the stored bytes.
-func (s *Server) respondAdmitted(w http.ResponseWriter, r *http.Request, j *job, shed, draining, async bool) {
+// the client leaving) and fans out the stored bytes. kind names the
+// admission lane the request targeted, so shed responses carry that
+// lane's own Retry-After rather than a global aggregate.
+func (s *Server) respondAdmitted(w http.ResponseWriter, r *http.Request, j *job, kind string, shed, draining, async bool) {
 	switch {
 	case draining:
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Version: s.ver, Error: "server is draining; no new work is admitted"})
 		return
 	case shed:
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
+		ln := s.lanes[kind] // class and max are immutable after New
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds(kind)))
 		writeJSON(w, http.StatusTooManyRequests, apiError{
 			Version: s.ver,
-			Error:   fmt.Sprintf("job queue full (%d in flight); retry later", s.maxQueue),
+			Error:   fmt.Sprintf("%s admission queue full (%d in flight); retry later", ln.class, ln.max),
 		})
 		return
 	case async:
@@ -785,7 +935,7 @@ func (s *Server) respondAdmitted(w http.ResponseWriter, r *http.Request, j *job,
 	select {
 	case <-j.done:
 		s.detach(j)
-		s.writeSettled(w, r, j.httpStatus, j.id, j.body)
+		s.writeSettled(w, r, j.httpStatus, j.id, j.body, j.digest)
 	case <-r.Context().Done():
 		// Client gone: drop our reference — the last one out cancels
 		// the job's context, which the simulation observes at its next
@@ -800,10 +950,15 @@ func (s *Server) respondAdmitted(w http.ResponseWriter, r *http.Request, j *job,
 // A coordinator recomputes the digest over the bytes it received, so
 // corruption, truncation, or duplication anywhere on the wire is caught
 // before a result is ingested — the transport's checksums guard a hop,
-// the stamp guards the whole path.
-func (s *Server) writeStored(w http.ResponseWriter, code int, body []byte) {
+// the stamp guards the whole path. digest is the precomputed
+// wire.Digest over body when the caller already has it (settle and the
+// hot tier both do); "" computes it here.
+func (s *Server) writeStored(w http.ResponseWriter, code int, body []byte, digest string) {
+	if digest == "" {
+		digest = wire.Digest(body)
+	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set(wire.DigestHeader, wire.Digest(body))
+	w.Header().Set(wire.DigestHeader, digest)
 	w.WriteHeader(code)
 	_, _ = w.Write(body)
 }
@@ -814,7 +969,7 @@ func (s *Server) writeStored(w http.ResponseWriter, code int, body []byte) {
 // body it already ingested) is answered 304 without the body: the job
 // key determines the bytes, so matching keys means matching bodies —
 // exactly the invariant the singleflight fan-out already relies on.
-func (s *Server) writeSettled(w http.ResponseWriter, r *http.Request, code int, id string, body []byte) {
+func (s *Server) writeSettled(w http.ResponseWriter, r *http.Request, code int, id string, body []byte, digest string) {
 	if code == http.StatusOK {
 		etag := `"` + id + `"`
 		w.Header().Set("ETag", etag)
@@ -826,7 +981,7 @@ func (s *Server) writeSettled(w http.ResponseWriter, r *http.Request, code int, 
 			return
 		}
 	}
-	s.writeStored(w, code, body)
+	s.writeStored(w, code, body, digest)
 }
 
 // etagMatch reports whether an If-None-Match header names etag (or "*").
@@ -848,8 +1003,19 @@ func etagMatch(header, etag string) bool {
 // backend to rotation; it is equally suited to load-balancer checks.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
-	depth := s.inflight - s.running
-	running := s.running
+	queues := make(map[string]laneHealth, 2)
+	depth, running := 0, 0
+	sim := s.lanes[kindSim]
+	lns := []*lane{sim}
+	if fig := s.lanes[kindFigure]; fig != sim {
+		lns = append(lns, fig)
+	}
+	for _, ln := range lns {
+		d := ln.inflight - ln.running
+		queues[ln.class] = laneHealth{QueueDepth: d, Running: ln.running, Capacity: ln.max}
+		depth += d
+		running += ln.running
+	}
 	draining := s.draining
 	s.mu.Unlock()
 	code, status := http.StatusOK, "ok"
@@ -858,7 +1024,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	writeJSON(w, code, healthResponse{
 		Version: s.ver, Status: status,
-		QueueDepth: depth, Running: running, Draining: draining,
+		QueueDepth: depth, Running: running, Queues: queues, Draining: draining,
 	})
 }
 

@@ -242,8 +242,8 @@ func TestQueueFullSheds(t *testing.T) {
 		t.Error("429 missing Retry-After header")
 	}
 	decodeError(t, w)
-	if got := reg.Counter("serve_shed_total", "").Value(); got < 1 {
-		t.Errorf("serve_shed_total = %d, want >= 1", got)
+	if got := reg.Counter(`serve_shed_total{class="cold"}`, "").Value(); got < 1 {
+		t.Errorf(`serve_shed_total{class="cold"} = %d, want >= 1`, got)
 	}
 
 	// An identical request still joins: singleflight outranks shedding.

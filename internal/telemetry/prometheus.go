@@ -11,8 +11,12 @@ import (
 // WritePrometheus renders the registry in the Prometheus text exposition
 // format (version 0.0.4): counters as `counter`, gauges as `gauge`, and
 // histograms as cumulative `_bucket{le=...}` series with `_sum` and
-// `_count`. Metric names in this repo are already legal Prometheus
-// identifiers; anything else is sanitized. Safe concurrent with writers.
+// `_count`. A metric name may carry a literal label suffix — e.g.
+// `serve_queue_depth{class="cold"}` — in which case every series sharing
+// the base name is grouped under a single HELP/TYPE header, exactly as a
+// labelled Prometheus metric family renders. Metric names in this repo
+// are already legal Prometheus identifiers; anything else is sanitized.
+// Safe concurrent with writers.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
@@ -30,11 +34,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	lastBase := ""
 	for _, n := range names {
-		if err := writeHeader(w, n, help[n], "counter"); err != nil {
-			return err
+		base, labels := splitSeries(n)
+		if base != lastBase {
+			if err := writeHeader(w, base, help[n], "counter"); err != nil {
+				return err
+			}
+			lastBase = base
 		}
-		if _, err := fmt.Fprintf(w, "%s %d\n", sanitize(n), s.Counters[n]); err != nil {
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", base, labels, s.Counters[n]); err != nil {
 			return err
 		}
 	}
@@ -44,11 +53,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	lastBase = ""
 	for _, n := range names {
-		if err := writeHeader(w, n, help[n], "gauge"); err != nil {
-			return err
+		base, labels := splitSeries(n)
+		if base != lastBase {
+			if err := writeHeader(w, base, help[n], "gauge"); err != nil {
+				return err
+			}
+			lastBase = base
 		}
-		if _, err := fmt.Fprintf(w, "%s %s\n", sanitize(n), formatFloat(s.Gauges[n])); err != nil {
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", base, labels, formatFloat(s.Gauges[n])); err != nil {
 			return err
 		}
 	}
@@ -92,6 +106,18 @@ func writeHeader(w io.Writer, name, help, typ string) error {
 	}
 	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", sn, typ)
 	return err
+}
+
+// splitSeries splits a registry name into its sanitized base identifier
+// and a literal label suffix. `serve_shed_total{class="cold"}` yields
+// ("serve_shed_total", `{class="cold"}`); an unlabelled name yields
+// (sanitized name, ""). The label block is emitted verbatim — callers in
+// this repo construct it from fixed class strings, never from input.
+func splitSeries(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return sanitize(name[:i]), name[i:]
+	}
+	return sanitize(name), ""
 }
 
 // sanitize maps a metric name onto the Prometheus identifier alphabet.

@@ -36,6 +36,50 @@ h_count 3
 	}
 }
 
+// TestWritePrometheusLabelledSeries: registry names carrying a literal
+// {label="value"} suffix render as one Prometheus metric family — a
+// single HELP/TYPE header over every series of the base name, labels
+// preserved verbatim. The serving layer's per-class queue metrics
+// (serve_queue_depth{class="cold"} etc.) rely on exactly this grouping.
+func TestWritePrometheusLabelledSeries(t *testing.T) {
+	r := New()
+	r.Counter(`shed_total{class="cold"}`, "sheds by lane").Add(7)
+	r.Counter(`shed_total{class="figure"}`, "sheds by lane").Add(2)
+	r.Gauge(`depth{class="cold"}`, "depth by lane").Set(3)
+	r.Gauge(`depth{class="figure"}`, "depth by lane").Set(1)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP shed_total sheds by lane
+# TYPE shed_total counter
+shed_total{class="cold"} 7
+shed_total{class="figure"} 2
+# HELP depth depth by lane
+# TYPE depth gauge
+depth{class="cold"} 3
+depth{class="figure"} 1
+`
+	if b.String() != want {
+		t.Fatalf("labelled exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+func TestSplitSeries(t *testing.T) {
+	cases := []struct{ in, base, labels string }{
+		{`x_total{class="a"}`, "x_total", `{class="a"}`},
+		{"x_total", "x_total", ""},
+		{"x{", "x_", ""}, // unterminated label block: sanitized whole
+		{"bad name", "bad_name", ""},
+	}
+	for _, c := range cases {
+		base, labels := splitSeries(c.in)
+		if base != c.base || labels != c.labels {
+			t.Fatalf("splitSeries(%q) = (%q, %q), want (%q, %q)", c.in, base, labels, c.base, c.labels)
+		}
+	}
+}
+
 func TestWritePrometheusNil(t *testing.T) {
 	var r *Registry
 	var b strings.Builder

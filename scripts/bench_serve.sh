@@ -1,0 +1,92 @@
+#!/bin/sh
+# Regenerates BENCH_serve.json: pcstall-load offered-load sweeps for
+# every built-in mix against two pcstall-serve variants on one machine.
+#
+#   baseline   -figure-queue -1 -body-cache-bytes -1
+#              (single shared admission lane, no rendered-body LRU —
+#              the pre-hot-tier server)
+#   lru+lanes  defaults (per-class admission lanes + bounded body LRU)
+#
+# Each (variant, mix) pair gets a fresh server and cache dir; the rate
+# points within a mix run against the same warm server, which is what an
+# offered-load sweep means. Usage:
+#
+#   scripts/bench_serve.sh [out.json]   # default BENCH_serve.json
+set -eu
+
+cd "$(dirname "$0")/.."
+out=${1:-BENCH_serve.json}
+
+work=$(mktemp -d)
+srv_pid=""
+cleanup() {
+	[ -n "$srv_pid" ] && kill -TERM "$srv_pid" 2>/dev/null || true
+	rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$work/pcstall-serve" ./cmd/pcstall-serve
+go build -o "$work/pcstall-load" ./cmd/pcstall-load
+
+machine="$(grep -m1 'model name' /proc/cpuinfo | sed 's/.*: //'), $(nproc) core(s), $(go env GOOS)/$(go env GOARCH), $(go version | awk '{print $3}')"
+cat > "$out" <<EOF
+{
+  "schema": "pcstall/bench-serve/v1",
+  "note": "scripts/bench_serve.sh: seed-1 open-loop sweeps, 3s windows, server -cus 4 -scale 0.3 -apps comd,hpgmg -j 2; $machine",
+  "runs": []
+}
+EOF
+
+serve_flags="-cus 4 -scale 0.3 -apps comd,hpgmg -j 2"
+base=""
+
+start_server() { # $1 = variant flags, $2 = cache dir
+	# shellcheck disable=SC2086
+	"$work/pcstall-serve" -addr 127.0.0.1:0 $serve_flags -cache-dir "$2" $1 \
+		> "$work/srv.out" 2> "$work/srv.err" &
+	srv_pid=$!
+	base=""
+	for _ in $(seq 1 100); do
+		base=$(sed -n 's#^pcstall-serve: listening on \(http://.*\)$#\1#p' "$work/srv.out")
+		[ -n "$base" ] && break
+		sleep 0.1
+	done
+	if [ -z "$base" ]; then
+		echo "bench_serve: server never announced its address" >&2
+		cat "$work/srv.err" >&2
+		exit 1
+	fi
+}
+
+stop_server() {
+	kill -TERM "$srv_pid" 2>/dev/null || true
+	wait "$srv_pid" 2>/dev/null || true
+	srv_pid=""
+}
+
+rates_for() {
+	case $1 in
+	cachehot | collide) echo "40 160 640" ;;
+	unique) echo "10 40 160" ;;
+	figlane) echo "16 64 256" ;;
+	esac
+}
+
+for variant in baseline lru+lanes; do
+	case $variant in
+	baseline) vflags="-figure-queue -1 -body-cache-bytes -1" ;;
+	*) vflags="" ;;
+	esac
+	for mix in cachehot collide unique figlane; do
+		start_server "$vflags" "$work/cache-$variant-$mix"
+		for rate in $(rates_for "$mix"); do
+			echo "== $variant $mix rate=$rate/s"
+			"$work/pcstall-load" -targets "$base" -mix "$mix" -rate "$rate" \
+				-duration 3s -seed 1 -apps comd,hpgmg -figures 10 \
+				-timeout 120s -label "$variant" -out "$out"
+		done
+		stop_server
+	done
+done
+
+"$work/pcstall-load" -validate "$out"

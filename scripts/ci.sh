@@ -26,7 +26,7 @@ echo "==> go test"
 go test ./...
 
 echo "==> go test -race (concurrent packages)"
-go test -race ./internal/telemetry ./internal/tracing ./internal/orchestrate ./internal/trace ./internal/exp ./internal/serve ./internal/dist ./internal/netchaos ./internal/wire
+go test -race ./internal/telemetry ./internal/tracing ./internal/orchestrate ./internal/trace ./internal/exp ./internal/serve ./internal/dist ./internal/netchaos ./internal/wire ./internal/load
 
 echo "==> go test -shuffle=on (order-independence of the serving/orchestration tests)"
 go test -shuffle=on -count=1 ./internal/serve ./internal/orchestrate ./internal/telemetry
@@ -180,6 +180,46 @@ if [ ! -s "$smoke/serve-cache/manifest.json" ] || ! grep -q "\"$job\"" "$smoke/s
 	exit 1
 fi
 echo "    served job $job completed over HTTP; drain flushed the manifest"
+
+echo "==> load smoke (pcstall-load: open-loop mixes, zero sheds/errors, BENCH schema)"
+# A short deterministic pcstall-load run per class family (cached-heavy,
+# cold-heavy, figure-lane) against a local server. At these offered
+# rates no lane saturates, so the lane contract is: zero sheds on every
+# class (-max-shed 0) and zero harness errors / digest mismatches
+# (pcstall-load exits 1 on either). The accumulated BENCH file must
+# round-trip the schema validator, as must the checked-in curves.
+go build -o "$smoke/pcstall-load" ./cmd/pcstall-load
+"$smoke/pcstall-serve" -addr 127.0.0.1:0 -cus 4 -scale 0.3 -apps comd,hpgmg -j 2 \
+	-cache-dir "$smoke/load-cache" > "$smoke/loadsrv.out" 2> "$smoke/loadsrv.err" &
+loadsrv_pid=$!
+load_base=""
+for _ in $(seq 1 100); do
+	load_base=$(sed -n 's#^pcstall-serve: listening on \(http://.*\)$#\1#p' "$smoke/loadsrv.out")
+	[ -n "$load_base" ] && break
+	sleep 0.1
+done
+if [ -z "$load_base" ]; then
+	echo "load smoke: server never announced its address" >&2
+	cat "$smoke/loadsrv.err" >&2
+	exit 1
+fi
+for mixspec in "cachehot 30" "unique 10" "figlane 5"; do
+	mix=${mixspec% *}
+	rate=${mixspec#* }
+	if ! "$smoke/pcstall-load" -targets "$load_base" -mix "$mix" -rate "$rate" \
+		-duration 2s -seed 1 -apps comd,hpgmg -figures 10 -timeout 120s \
+		-label ci-smoke -max-shed 0 -out "$smoke/BENCH_load_smoke.json" \
+		> "$smoke/load.$mix.out" 2> "$smoke/load.$mix.err"; then
+		echo "load smoke: mix $mix failed (harness errors, corruption, or sheds)" >&2
+		cat "$smoke/load.$mix.out" "$smoke/load.$mix.err" >&2
+		exit 1
+	fi
+done
+"$smoke/pcstall-load" -validate "$smoke/BENCH_load_smoke.json" > /dev/null
+"$smoke/pcstall-load" -validate BENCH_serve.json > /dev/null
+kill -TERM "$loadsrv_pid" 2>/dev/null || true
+wait "$loadsrv_pid" 2>/dev/null || true
+echo "    three mixes clean (no sheds, no errors); BENCH schema validates"
 
 echo "==> distributed smoke (two-backend fleet; byte-identical figures; survives a killed worker)"
 # A -backends campaign must produce byte-identical figure output and the
